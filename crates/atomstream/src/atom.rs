@@ -1,0 +1,168 @@
+//! Atoms: the N-bit fragments of quantized values.
+//!
+//! An `m`-bit integer is the sum of ⌈m/N⌉ terms, each the product of an
+//! N-bit *atom* and a power-of-two shift (paper §III-A). Only non-zero
+//! atoms are ever stored or computed on.
+
+use crate::error::AtomError;
+use serde::{Deserialize, Serialize};
+
+/// Atom granularity in bits (the paper evaluates 1/2/3-bit; 2-bit is the
+/// default design point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AtomBits(u8);
+
+impl AtomBits {
+    /// 1-bit atoms (Fig 19 ablation).
+    pub const B1: AtomBits = AtomBits(1);
+    /// 2-bit atoms — the paper's default.
+    pub const B2: AtomBits = AtomBits(2);
+    /// 3-bit atoms (Fig 19 ablation).
+    pub const B3: AtomBits = AtomBits(3);
+    /// 4-bit atoms.
+    pub const B4: AtomBits = AtomBits(4);
+
+    /// Creates a granularity, validating `1..=8`.
+    ///
+    /// # Errors
+    /// Returns [`AtomError::BadGranularity`] outside that range.
+    pub fn new(bits: u8) -> Result<Self, AtomError> {
+        if (1..=8).contains(&bits) {
+            Ok(AtomBits(bits))
+        } else {
+            Err(AtomError::BadGranularity(bits))
+        }
+    }
+
+    /// The raw bit count.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Largest atom magnitude: `2^N - 1`.
+    pub fn max_magnitude(self) -> u16 {
+        (1u16 << self.0) - 1
+    }
+
+    /// Number of atom slots in a `value_bits`-wide magnitude: ⌈m/N⌉.
+    pub fn slots(self, value_bits: u8) -> u8 {
+        value_bits.div_ceil(self.0)
+    }
+}
+
+impl Default for AtomBits {
+    fn default() -> Self {
+        AtomBits::B2
+    }
+}
+
+impl std::fmt::Display for AtomBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b-atom", self.0)
+    }
+}
+
+/// The set of legal shift offsets for a value of `value_bits` decomposed at
+/// `atom_bits` granularity — the paper's Table IV: an 8-bit activation under
+/// 2-bit atoms shifts by {0, 2, 4, 6}.
+pub fn shift_range(value_bits: u8, atom_bits: AtomBits) -> Vec<u8> {
+    (0..atom_bits.slots(value_bits))
+        .map(|s| s * atom_bits.bits())
+        .collect()
+}
+
+/// One non-zero atom of a quantized value, with the metadata the
+/// compression phase generates (paper §III-B step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Atom magnitude, `1..=2^N-1` (zero atoms are squeezed out).
+    pub mag: u8,
+    /// Shift offset: the atom's bit position within the value's magnitude.
+    pub shift: u8,
+    /// Sign bit: `true` when the originating value is negative.
+    pub negative: bool,
+    /// Last-atom flag: `true` on the final atom of a value, telling the
+    /// accumulator to deliver and clear (paper §IV-C2).
+    pub last: bool,
+}
+
+impl Atom {
+    /// The signed term this atom contributes: `±mag · 2^shift`.
+    pub fn term(&self) -> i64 {
+        let t = (self.mag as i64) << self.shift;
+        if self.negative {
+            -t
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_validation() {
+        assert!(AtomBits::new(0).is_err());
+        assert!(AtomBits::new(9).is_err());
+        assert_eq!(AtomBits::new(2).unwrap(), AtomBits::B2);
+        assert_eq!(AtomBits::default(), AtomBits::B2);
+    }
+
+    #[test]
+    fn slots_round_up() {
+        assert_eq!(AtomBits::B2.slots(8), 4);
+        assert_eq!(AtomBits::B2.slots(4), 2);
+        assert_eq!(AtomBits::B3.slots(8), 3);
+        assert_eq!(AtomBits::B1.slots(8), 8);
+        assert_eq!(AtomBits::B3.slots(2), 1);
+    }
+
+    #[test]
+    fn table_iv_shift_ranges() {
+        // Paper Table IV, 2-bit atoms.
+        assert_eq!(shift_range(8, AtomBits::B2), vec![0, 2, 4, 6]);
+        assert_eq!(shift_range(6, AtomBits::B2), vec![0, 2, 4]);
+        assert_eq!(shift_range(4, AtomBits::B2), vec![0, 2]);
+        assert_eq!(shift_range(2, AtomBits::B2), vec![0]);
+        // 1-bit atoms widen the range to {0..7} (Fig 19 discussion).
+        assert_eq!(shift_range(8, AtomBits::B1), (0..8).collect::<Vec<u8>>());
+        // 16-bit spatial extension (§IV-D).
+        assert_eq!(
+            shift_range(16, AtomBits::B2),
+            vec![0, 2, 4, 6, 8, 10, 12, 14]
+        );
+    }
+
+    #[test]
+    fn atom_term_signs_and_shifts() {
+        let a = Atom {
+            mag: 3,
+            shift: 2,
+            negative: false,
+            last: false,
+        };
+        assert_eq!(a.term(), 12);
+        let b = Atom {
+            mag: 1,
+            shift: 4,
+            negative: true,
+            last: true,
+        };
+        assert_eq!(b.term(), -16);
+    }
+
+    #[test]
+    fn max_magnitude() {
+        assert_eq!(AtomBits::B1.max_magnitude(), 1);
+        assert_eq!(AtomBits::B2.max_magnitude(), 3);
+        assert_eq!(AtomBits::B3.max_magnitude(), 7);
+        assert_eq!(AtomBits::new(8).unwrap().max_magnitude(), 255);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AtomBits::B2.to_string(), "2b-atom");
+    }
+}

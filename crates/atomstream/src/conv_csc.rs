@@ -1,0 +1,352 @@
+//! Full mixed-precision sparse convolution via condensed streaming
+//! computation — the end-to-end pipeline of Fig 6, bit-exact against the
+//! dense reference convolution of [`qnn::conv::conv2d`].
+//!
+//! Per input channel the kernels' channel slice is flattened and compressed
+//! once (offline in hardware); the feature map channel is tiled, each tile
+//! flattened + compressed (the Atomizer's job) and intersected against the
+//! static weight stream; output coordinates follow Eq 1/2, and the strided
+//! output is extracted from full-convolution space at the end.
+
+use crate::atom::AtomBits;
+use crate::compress::{compress_activations, compress_weights};
+use crate::error::AtomError;
+use crate::flatten::{flatten_kernel_channel, flatten_tile};
+use crate::intersect::{intersect, FullConvAcc, IntersectConfig, IntersectStats};
+use qnn::conv::ConvGeometry;
+use qnn::error::QnnError;
+use qnn::quant::BitWidth;
+use qnn::tensor::{AccTensor3, Tensor3, Tensor4};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a CSC convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CscConfig {
+    /// Atom granularity (2-bit is the paper's default).
+    pub atom_bits: AtomBits,
+    /// Atom multipliers per compute tile (`N`, the static stream length).
+    pub multipliers: usize,
+    /// Feature-map tile height.
+    pub tile_h: usize,
+    /// Feature-map tile width.
+    pub tile_w: usize,
+}
+
+impl Default for CscConfig {
+    /// The paper's default: 2-bit atoms, 32 multipliers, 8×8 tiles.
+    fn default() -> Self {
+        Self {
+            atom_bits: AtomBits::B2,
+            multipliers: 32,
+            tile_h: 8,
+            tile_w: 8,
+        }
+    }
+}
+
+/// Aggregate work counters for a whole CSC convolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CscStats {
+    /// Intersection counters summed over all channels and tiles.
+    pub intersect: IntersectStats,
+    /// Non-zero activation values streamed.
+    pub act_values: u64,
+    /// Non-zero activation atoms streamed (`T` summed over channels).
+    pub act_atoms: u64,
+    /// Non-zero weight atoms held static (`S` summed over channels).
+    pub weight_atoms: u64,
+    /// Number of `(channel, tile)` intersections executed.
+    pub tiles_processed: u64,
+}
+
+/// Result of a CSC convolution: the output accumulator plus work counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CscOutput {
+    /// Convolution output, identical to the dense reference.
+    pub output: AccTensor3,
+    /// Work counters.
+    pub stats: CscStats,
+}
+
+/// Runs a sparse mixed-precision convolution through the CSC pipeline.
+///
+/// `a_bits`/`w_bits` declare the quantized widths of activations and
+/// weights; the result is bit-exact with [`qnn::conv::conv2d`] on the same
+/// inputs for every combination of widths, granularity, stride and padding.
+///
+/// ```
+/// use atomstream::conv_csc::{conv2d_csc, CscConfig};
+/// use qnn::conv::{conv2d, ConvGeometry};
+/// use qnn::quant::BitWidth;
+/// use qnn::tensor::{Tensor3, Tensor4};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmap = Tensor3::from_vec(1, 3, 3, vec![1, 0, 2, 0, 3, 0, 4, 0, 5])?;
+/// let k = Tensor4::from_vec(1, 1, 2, 2, vec![1, -2, 0, 3])?;
+/// let geom = ConvGeometry::default();
+/// let csc = conv2d_csc(&fmap, &k, geom, BitWidth::W4, BitWidth::W4, &CscConfig::default())?;
+/// assert_eq!(csc.output, conv2d(&fmap, &k, geom)?);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns geometry errors from the `qnn` substrate (channel mismatch,
+/// kernel larger than padded input) and atomization errors when values do
+/// not fit the declared widths.
+pub fn conv2d_csc(
+    fmap: &Tensor3,
+    kernels: &Tensor4,
+    geom: ConvGeometry,
+    a_bits: BitWidth,
+    w_bits: BitWidth,
+    cfg: &CscConfig,
+) -> Result<CscOutput, AtomError> {
+    let (c, h, w) = fmap.shape();
+    let (o, i, kh, kw) = kernels.shape();
+    if c != i {
+        return Err(QnnError::ChannelMismatch { fmap: c, kernel: i }.into());
+    }
+    if kh != kw {
+        return Err(AtomError::TileShapeMismatch {
+            expected: (kh, kh),
+            actual: (kh, kw),
+        });
+    }
+    let k = kh;
+    let out_h = geom.out_extent(h, k)?;
+    let out_w = geom.out_extent(w, k)?;
+    if cfg.tile_h == 0 || cfg.tile_w == 0 {
+        return Err(QnnError::EmptyDimension("tile extent").into());
+    }
+
+    let mut acc = FullConvAcc::new(o, h, w, k)?;
+    let icfg = IntersectConfig {
+        multipliers: cfg.multipliers,
+    };
+    let mut stats = CscStats::default();
+
+    for ci in 0..c {
+        // Offline phase: flatten + compress this channel's kernel slices
+        // across all output channels (the static stream).
+        let w_flat = flatten_kernel_channel(kernels, ci)?;
+        let w_stream = compress_weights(&w_flat, w_bits.bits(), cfg.atom_bits)?;
+        stats.weight_atoms += w_stream.len() as u64;
+        if w_stream.is_empty() {
+            continue;
+        }
+
+        // Online phase: tile the channel; the Atomizer squeezes zero atoms
+        // out of each tile's non-zero activations on the fly.
+        for y0 in (0..h).step_by(cfg.tile_h) {
+            for x0 in (0..w).step_by(cfg.tile_w) {
+                let a_flat = flatten_tile(fmap, ci, y0, x0, cfg.tile_h, cfg.tile_w);
+                if a_flat.is_empty() {
+                    continue;
+                }
+                let a_stream = compress_activations(&a_flat, a_bits.bits(), cfg.atom_bits)?;
+                stats.act_values += a_stream.value_count() as u64;
+                stats.act_atoms += a_stream.len() as u64;
+                stats.tiles_processed += 1;
+                let s = intersect(&w_stream, &a_stream, icfg, &mut acc, y0, x0);
+                stats.intersect.merge(&s);
+            }
+        }
+    }
+
+    let output = acc.extract(geom, out_h, out_w)?;
+    Ok(CscOutput { output, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::conv2d;
+
+    fn check_against_dense(
+        fmap: &Tensor3,
+        kernels: &Tensor4,
+        geom: ConvGeometry,
+        a_bits: BitWidth,
+        w_bits: BitWidth,
+        cfg: &CscConfig,
+    ) -> CscStats {
+        let dense = conv2d(fmap, kernels, geom).expect("dense conv");
+        let csc = conv2d_csc(fmap, kernels, geom, a_bits, w_bits, cfg).expect("csc conv");
+        assert_eq!(csc.output, dense);
+        csc.stats
+    }
+
+    #[test]
+    fn fig6_style_example() {
+        // 8-bit 2x2 feature map tile convolved with two 4-bit 2x2 kernels.
+        let fmap = Tensor3::from_vec(1, 2, 2, vec![29, 0, 13, 200]).unwrap();
+        let kernels = Tensor4::from_vec(2, 1, 2, 2, vec![5, 0, -3, 1, 0, 7, -7, 2]).unwrap();
+        let geom = ConvGeometry::unit_stride(1);
+        let stats = check_against_dense(
+            &fmap,
+            &kernels,
+            geom,
+            BitWidth::W8,
+            BitWidth::W4,
+            &CscConfig::default(),
+        );
+        assert!(stats.act_atoms > 0 && stats.weight_atoms > 0);
+        // Zero value at (1,0) contributes no atoms: 29 (3 atoms) + 13 (2) +
+        // 200 = 0b11001000 (2 atoms) = 7.
+        assert_eq!(stats.act_atoms, 7);
+    }
+
+    #[test]
+    fn multi_channel_strided_padded() {
+        let fmap = Tensor3::from_fn(3, 6, 5, |c, y, x| {
+            if (c + 2 * y + x) % 3 == 0 {
+                ((c * 31 + y * 7 + x * 13) % 255) as i32
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        let kernels = Tensor4::from_fn(4, 3, 3, 3, |o, i, ky, kx| {
+            let v = (o * 17 + i * 5 + ky * 3 + kx) as i32 % 15 - 7;
+            if v % 4 == 0 {
+                0
+            } else {
+                v
+            }
+        })
+        .unwrap();
+        for stride in [1usize, 2] {
+            for pad in [0usize, 1, 2] {
+                let geom = ConvGeometry::new(stride, pad).unwrap();
+                check_against_dense(
+                    &fmap,
+                    &kernels,
+                    geom,
+                    BitWidth::W8,
+                    BitWidth::W4,
+                    &CscConfig {
+                        tile_h: 3,
+                        tile_w: 2,
+                        ..CscConfig::default()
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_granularities_and_widths() {
+        let fmap = Tensor3::from_vec(
+            2,
+            3,
+            3,
+            vec![
+                3, 0, 1, 0, 2, 0, 1, 0, 3, //
+                0, 1, 0, 2, 0, 3, 0, 1, 0,
+            ],
+        )
+        .unwrap();
+        let kernels = Tensor4::from_vec(
+            2,
+            2,
+            2,
+            2,
+            vec![1, -1, 0, 1, -1, 0, 1, 0, 0, 1, -1, 1, 1, 0, 0, -1],
+        )
+        .unwrap();
+        for gran in [AtomBits::B1, AtomBits::B2, AtomBits::B3] {
+            for (ab, wb) in [
+                (BitWidth::W2, BitWidth::W2),
+                (BitWidth::W4, BitWidth::W2),
+                (BitWidth::W8, BitWidth::W8),
+            ] {
+                let cfg = CscConfig {
+                    atom_bits: gran,
+                    multipliers: 4,
+                    tile_h: 2,
+                    tile_w: 2,
+                };
+                check_against_dense(&fmap, &kernels, ConvGeometry::default(), ab, wb, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_shape_never_changes_result() {
+        let fmap = Tensor3::from_fn(2, 7, 9, |c, y, x| ((c + y * x) % 5) as i32).unwrap();
+        let kernels = Tensor4::from_fn(3, 2, 3, 3, |o, i, ky, kx| {
+            ((o + i + ky + kx) % 7) as i32 - 3
+        })
+        .unwrap();
+        let geom = ConvGeometry::unit_stride(1);
+        let reference = conv2d(&fmap, &kernels, geom).unwrap();
+        for (th, tw) in [(1, 1), (2, 3), (7, 9), (4, 4), (16, 16)] {
+            let cfg = CscConfig {
+                tile_h: th,
+                tile_w: tw,
+                ..CscConfig::default()
+            };
+            let out = conv2d_csc(&fmap, &kernels, geom, BitWidth::W4, BitWidth::W4, &cfg)
+                .unwrap()
+                .output;
+            assert_eq!(out, reference, "tile {th}x{tw}");
+        }
+    }
+
+    #[test]
+    fn stats_step_count_obeys_eq3_per_tile() {
+        // Single channel, one tile covering everything: steps should equal
+        // ideal_steps(t, S, N).
+        let fmap = Tensor3::from_vec(1, 2, 2, vec![3, 1, 0, 2]).unwrap();
+        let kernels = Tensor4::from_vec(1, 1, 2, 2, vec![1, 2, 3, 0]).unwrap();
+        let cfg = CscConfig {
+            multipliers: 2,
+            tile_h: 2,
+            tile_w: 2,
+            ..CscConfig::default()
+        };
+        let csc = conv2d_csc(
+            &fmap,
+            &kernels,
+            ConvGeometry::unit_stride(1),
+            BitWidth::W2,
+            BitWidth::W2,
+            &cfg,
+        )
+        .unwrap();
+        let t = csc.stats.act_atoms;
+        let s = csc.stats.weight_atoms;
+        assert_eq!(
+            csc.stats.intersect.steps,
+            crate::cycles::ideal_steps(t, s, 2)
+        );
+    }
+
+    #[test]
+    fn rejects_non_square_kernels_and_channel_mismatch() {
+        let fmap = Tensor3::zeros(2, 4, 4).unwrap();
+        let bad_k = Tensor4::zeros(1, 2, 2, 3).unwrap();
+        assert!(matches!(
+            conv2d_csc(
+                &fmap,
+                &bad_k,
+                ConvGeometry::default(),
+                BitWidth::W4,
+                BitWidth::W4,
+                &CscConfig::default()
+            ),
+            Err(AtomError::TileShapeMismatch { .. })
+        ));
+        let mismatch = Tensor4::zeros(1, 3, 2, 2).unwrap();
+        assert!(conv2d_csc(
+            &fmap,
+            &mismatch,
+            ConvGeometry::default(),
+            BitWidth::W4,
+            BitWidth::W4,
+            &CscConfig::default()
+        )
+        .is_err());
+    }
+}

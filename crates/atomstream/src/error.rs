@@ -1,0 +1,88 @@
+//! Error type for the `atomstream` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by atomization and stream construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomError {
+    /// Atom granularity outside the supported `1..=8` range.
+    BadGranularity(u8),
+    /// A value does not fit the declared bit-width.
+    ValueTooWide {
+        /// Offending value.
+        value: i64,
+        /// Declared value bit-width.
+        bits: u8,
+    },
+    /// A negative value was given to an unsigned atomizer.
+    NegativeUnsigned(i64),
+    /// Stream construction saw inconsistent tile shapes.
+    TileShapeMismatch {
+        /// Expected shape.
+        expected: (usize, usize),
+        /// Provided shape.
+        actual: (usize, usize),
+    },
+    /// An error bubbled up from the `qnn` substrate.
+    Qnn(qnn::error::QnnError),
+}
+
+impl fmt::Display for AtomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomError::BadGranularity(b) => write!(f, "atom granularity {b} outside 1..=8"),
+            AtomError::ValueTooWide { value, bits } => {
+                write!(
+                    f,
+                    "value {value} does not fit declared width of {bits} bits"
+                )
+            }
+            AtomError::NegativeUnsigned(v) => {
+                write!(f, "negative value {v} given to unsigned atomizer")
+            }
+            AtomError::TileShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "tile shape {actual:?} does not match expected {expected:?}"
+                )
+            }
+            AtomError::Qnn(e) => write!(f, "substrate error: {e}"),
+        }
+    }
+}
+
+impl Error for AtomError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AtomError::Qnn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<qnn::error::QnnError> for AtomError {
+    fn from(e: qnn::error::QnnError) -> Self {
+        AtomError::Qnn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_concise() {
+        assert!(AtomError::BadGranularity(9).to_string().contains('9'));
+        let e: AtomError = qnn::error::QnnError::ZeroStride.into();
+        assert!(e.to_string().contains("stride"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtomError>();
+    }
+}

@@ -1,0 +1,136 @@
+//! Flattening: tensors → compact 1-D value streams with metadata
+//! (phase 1 of the condensed streaming computation, paper §III-B / Fig 6).
+//!
+//! Feature-map tiles are flattened in zigzag (row-major) order through the
+//! block COO-2D format; kernel channel slices are flattened per input
+//! channel across all kernels (output channels), which is the unit a
+//! compute tile consumes.
+
+use crate::error::AtomError;
+use qnn::formats::coo::BlockCoo2d;
+use qnn::tensor::{Tensor3, Tensor4};
+use serde::{Deserialize, Serialize};
+
+/// A flattened non-zero activation value with its in-tile coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatActivation {
+    /// The non-zero value.
+    pub value: i32,
+    /// Column within the tile.
+    pub x: u16,
+    /// Row within the tile.
+    pub y: u16,
+}
+
+/// A flattened non-zero weight value with kernel coordinates and output
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatWeight {
+    /// The non-zero value.
+    pub value: i32,
+    /// Kernel column.
+    pub x: u16,
+    /// Kernel row.
+    pub y: u16,
+    /// Output channel (kernel index).
+    pub out_ch: u16,
+}
+
+/// Flattens one channel-tile of a feature map into a compact value stream,
+/// in zigzag order. Equivalent to reading the block COO-2D entries.
+pub fn flatten_tile(
+    fmap: &Tensor3,
+    channel: usize,
+    y0: usize,
+    x0: usize,
+    tile_h: usize,
+    tile_w: usize,
+) -> Vec<FlatActivation> {
+    let coo = BlockCoo2d::from_fmap_tile(fmap, channel, y0, x0, tile_h, tile_w);
+    coo.entries()
+        .iter()
+        .map(|e| FlatActivation {
+            value: e.value,
+            x: e.x,
+            y: e.y,
+        })
+        .collect()
+}
+
+/// Flattens the kernel slices of one *input channel* across all kernels:
+/// the weights a compute tile keeps static while that channel's activations
+/// stream through. Entries are ordered kernel-major, zigzag within a slice.
+///
+/// # Errors
+/// Returns [`AtomError::TileShapeMismatch`] if `in_channel` is out of range.
+pub fn flatten_kernel_channel(
+    kernels: &Tensor4,
+    in_channel: usize,
+) -> Result<Vec<FlatWeight>, AtomError> {
+    let (o, i, kh, kw) = kernels.shape();
+    if in_channel >= i {
+        return Err(AtomError::TileShapeMismatch {
+            expected: (i, i),
+            actual: (in_channel, i),
+        });
+    }
+    let mut out = Vec::new();
+    for oc in 0..o {
+        let slice = kernels.kernel_slice(oc, in_channel);
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let v = slice[ky * kw + kx];
+                if v != 0 {
+                    out.push(FlatWeight {
+                        value: v,
+                        x: kx as u16,
+                        y: ky as u16,
+                        out_ch: oc as u16,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_tile_zigzag_skips_zeros() {
+        let fmap = Tensor3::from_vec(1, 2, 2, vec![0, 7, 9, 0]).unwrap();
+        let flat = flatten_tile(&fmap, 0, 0, 0, 2, 2);
+        assert_eq!(flat.len(), 2);
+        assert_eq!((flat[0].value, flat[0].x, flat[0].y), (7, 1, 0));
+        assert_eq!((flat[1].value, flat[1].x, flat[1].y), (9, 0, 1));
+    }
+
+    #[test]
+    fn flatten_tile_beyond_boundary_pads_with_zeros() {
+        let fmap = Tensor3::from_vec(1, 2, 2, vec![1, 2, 3, 4]).unwrap();
+        let flat = flatten_tile(&fmap, 0, 1, 1, 2, 2);
+        // Only (1,1)=4 is inside.
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].value, 4);
+        assert_eq!((flat[0].x, flat[0].y), (0, 0));
+    }
+
+    #[test]
+    fn flatten_kernels_orders_kernel_major() {
+        // Two kernels, one input channel, 2x2.
+        let k = Tensor4::from_vec(2, 1, 2, 2, vec![1, 0, 0, 2, 0, 3, 0, 0]).unwrap();
+        let flat = flatten_kernel_channel(&k, 0).unwrap();
+        let vals: Vec<(i32, u16)> = flat.iter().map(|w| (w.value, w.out_ch)).collect();
+        assert_eq!(vals, vec![(1, 0), (2, 0), (3, 1)]);
+        assert_eq!((flat[1].x, flat[1].y), (1, 1));
+    }
+
+    #[test]
+    fn flatten_kernel_channel_validates_index() {
+        let k = Tensor4::zeros(1, 2, 1, 1).unwrap();
+        assert!(flatten_kernel_channel(&k, 2).is_err());
+        assert!(flatten_kernel_channel(&k, 1).is_ok());
+    }
+}

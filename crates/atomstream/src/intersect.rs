@@ -1,0 +1,389 @@
+//! Intersection: 1-D convolution between condensed atom streams
+//! (phase 3 of the condensed streaming computation, paper §III-B / Fig 6).
+//!
+//! The weight stream is held *static* (split into segments of `N`, the
+//! number of atom multipliers); the activation stream slides through each
+//! segment one atom per step. Every activation atom therefore meets every
+//! weight atom. Per product only the **activation** shift is applied (the
+//! decoupled shift of §IV-C2); per-value partial sums are delivered on the
+//! activation's last-atom flag, and the **weight** shift plus sign are
+//! applied once at accumulate-buffer aggregation.
+//!
+//! Output coordinates follow the paper's Eq 1/2: with kernel size `k`,
+//! `x_out = k − 1 − x_w + x_in` in full-convolution space of width
+//! `W_in + k − 1`; strided/padded outputs are extracted afterwards
+//! ([`FullConvAcc::extract`]), matching §IV-C3's handling of non-unit
+//! strides in the accumulate buffer.
+
+use crate::stream::{ActivationStream, WeightStream};
+use qnn::conv::ConvGeometry;
+use qnn::error::QnnError;
+use qnn::tensor::AccTensor3;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the intersection engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntersectConfig {
+    /// Number of atom multipliers `N` — the static stream segment length.
+    pub multipliers: usize,
+}
+
+impl Default for IntersectConfig {
+    /// The paper's default compute tile: 32 2-bit multipliers.
+    fn default() -> Self {
+        Self { multipliers: 32 }
+    }
+}
+
+/// Work counters produced by one intersection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntersectStats {
+    /// Pipeline steps (cycles of the Atomputer's systolic chain),
+    /// matching the paper's Eq 3: `t·⌈S/N⌉ + ε`.
+    pub steps: u64,
+    /// Effectual atom multiplications (`t · S`).
+    pub atom_mults: u64,
+    /// Accumulator deliveries to the accumulate buffer
+    /// (`S · value_count(activations)`).
+    pub deliveries: u64,
+    /// Static-stream segments processed (`⌈S/N⌉`).
+    pub segments: u64,
+}
+
+impl IntersectStats {
+    /// Accumulates another intersection's counters into this one.
+    pub fn merge(&mut self, other: &IntersectStats) {
+        self.steps += other.steps;
+        self.atom_mults += other.atom_mults;
+        self.deliveries += other.deliveries;
+        self.segments += other.segments;
+    }
+}
+
+/// Accumulator in full-convolution coordinate space: per output channel a
+/// `(H_in + k − 1) × (W_in + k − 1)` plane of `i64` partial sums.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullConvAcc {
+    out_c: usize,
+    k: usize,
+    fh: usize,
+    fw: usize,
+    data: Vec<i64>,
+}
+
+impl FullConvAcc {
+    /// Creates a zeroed accumulator for an `in_h × in_w` input convolved
+    /// with `out_c` kernels of extent `k`.
+    ///
+    /// # Errors
+    /// Returns [`QnnError::EmptyDimension`] for zero extents.
+    pub fn new(out_c: usize, in_h: usize, in_w: usize, k: usize) -> Result<Self, QnnError> {
+        if out_c == 0 {
+            return Err(QnnError::EmptyDimension("out_c"));
+        }
+        if in_h == 0 || in_w == 0 {
+            return Err(QnnError::EmptyDimension("in extent"));
+        }
+        if k == 0 {
+            return Err(QnnError::EmptyDimension("k"));
+        }
+        let (fh, fw) = (in_h + k - 1, in_w + k - 1);
+        Ok(Self {
+            out_c,
+            k,
+            fh,
+            fw,
+            data: vec![0; out_c * fh * fw],
+        })
+    }
+
+    /// Full-convolution plane shape `(fh, fw)`.
+    pub fn plane_shape(&self) -> (usize, usize) {
+        (self.fh, self.fw)
+    }
+
+    /// Kernel extent this accumulator was built for.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Adds `v` at full-conv coordinates `(out_ch, fy, fx)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds (the hardware's `comp`
+    /// validator guarantees in-bounds addresses; the functional model treats
+    /// a violation as a bug).
+    #[inline]
+    pub fn add(&mut self, out_ch: usize, fy: usize, fx: usize, v: i64) {
+        assert!(
+            out_ch < self.out_c && fy < self.fh && fx < self.fw,
+            "address out of bounds"
+        );
+        self.data[(out_ch * self.fh + fy) * self.fw + fx] += v;
+    }
+
+    /// Reads the accumulated value at `(out_ch, fy, fx)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, out_ch: usize, fy: usize, fx: usize) -> i64 {
+        assert!(
+            out_ch < self.out_c && fy < self.fh && fx < self.fw,
+            "address out of bounds"
+        );
+        self.data[(out_ch * self.fh + fy) * self.fw + fx]
+    }
+
+    /// Extracts the strided, padded convolution output:
+    /// `out[oy][ox] = fc[oy·s + k−1−p][ox·s + k−1−p]` (paper §IV-C3 — the
+    /// stride access is realized at the accumulate buffer). Full-conv
+    /// positions that fall outside the plane contribute zero (they depend
+    /// only on padding zeros).
+    ///
+    /// # Errors
+    /// Propagates geometry validation errors.
+    pub fn extract(
+        &self,
+        geom: ConvGeometry,
+        out_h: usize,
+        out_w: usize,
+    ) -> Result<AccTensor3, QnnError> {
+        let mut out = AccTensor3::zeros(self.out_c, out_h, out_w)?;
+        let base = self.k as isize - 1 - geom.padding as isize;
+        for oc in 0..self.out_c {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let fy = base + (oy * geom.stride) as isize;
+                    let fx = base + (ox * geom.stride) as isize;
+                    if fy >= 0 && fx >= 0 && (fy as usize) < self.fh && (fx as usize) < self.fw {
+                        out.set(oc, oy, ox, self.get(oc, fy as usize, fx as usize));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Intersects a static weight stream with a sliding activation stream,
+/// accumulating partial products into `acc` at tile origin
+/// `(origin_y, origin_x)` (both in *input* coordinates).
+///
+/// Returns the work counters; `acc` is updated in place. The computation is
+/// exact for any atom order in either stream.
+///
+/// # Panics
+/// Panics if a generated address falls outside `acc` — which cannot happen
+/// when `acc` was sized for the enclosing feature map and kernel.
+pub fn intersect(
+    weights: &WeightStream,
+    acts: &ActivationStream,
+    cfg: IntersectConfig,
+    acc: &mut FullConvAcc,
+    origin_y: usize,
+    origin_x: usize,
+) -> IntersectStats {
+    assert!(cfg.multipliers > 0, "need at least one multiplier");
+    let k = acc.kernel();
+    let s_total = weights.len() as u64;
+    let t_total = acts.len() as u64;
+    if s_total == 0 || t_total == 0 {
+        return IntersectStats::default();
+    }
+
+    let mut stats = IntersectStats::default();
+    for segment in weights.entries().chunks(cfg.multipliers) {
+        stats.segments += 1;
+        // One pass of the activation stream through this segment. Each
+        // multiplier holds one weight atom; per activation *value* it
+        // accumulates Σ mag_w·mag_a << shift_a (decoupled shift), then
+        // delivers on the last flag with the weight shift and sign applied
+        // at aggregation.
+        for w in segment {
+            let mut value_acc: i64 = 0;
+            for a in acts.entries() {
+                let prod = (w.atom.mag as i64) * (a.atom.mag as i64);
+                value_acc += prod << a.atom.shift;
+                stats.atom_mults += 1;
+                if a.atom.last {
+                    // Deliver: apply the weight-slice shift and sign (Eq 1
+                    // coordinates, full-convolution space).
+                    let fy = origin_y + (k - 1 - w.y as usize) + a.y as usize;
+                    let fx = origin_x + (k - 1 - w.x as usize) + a.x as usize;
+                    let aligned = value_acc << w.atom.shift;
+                    acc.add(
+                        w.out_ch as usize,
+                        fy,
+                        fx,
+                        if w.atom.negative { -aligned } else { aligned },
+                    );
+                    stats.deliveries += 1;
+                    value_acc = 0;
+                }
+            }
+            debug_assert_eq!(value_acc, 0, "activation stream must end on a last flag");
+        }
+    }
+    // Steps per the paper's Eq 3/4: the ping-pong weight registers overlap
+    // segment drain with the next segment's fill, so only the final
+    // segment's drain is exposed.
+    stats.steps = t_total * stats.segments
+        + crate::cycles::intersect_epsilon(s_total, cfg.multipliers as u64);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBits;
+    use crate::compress::{compress_activations, compress_weights};
+    use crate::flatten::{FlatActivation, FlatWeight};
+
+    fn acts(values: &[(i32, u16, u16)], bits: u8) -> ActivationStream {
+        let flat: Vec<FlatActivation> = values
+            .iter()
+            .map(|&(value, x, y)| FlatActivation { value, x, y })
+            .collect();
+        compress_activations(&flat, bits, AtomBits::B2).unwrap()
+    }
+
+    fn weights(values: &[(i32, u16, u16, u16)], bits: u8) -> WeightStream {
+        let flat: Vec<FlatWeight> = values
+            .iter()
+            .map(|&(value, x, y, out_ch)| FlatWeight {
+                value,
+                x,
+                y,
+                out_ch,
+            })
+            .collect();
+        compress_weights(&flat, bits, AtomBits::B2).unwrap()
+    }
+
+    #[test]
+    fn single_pair_reproduces_fig5() {
+        // One activation 13 at (0,0), one weight -11 at kernel (0,0), k=1.
+        let a = acts(&[(13, 0, 0)], 4);
+        let w = weights(&[(-11, 0, 0, 0)], 8);
+        let mut acc = FullConvAcc::new(1, 1, 1, 1).unwrap();
+        let stats = intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        assert_eq!(acc.get(0, 0, 0), -143);
+        assert_eq!(stats.atom_mults, 4); // 2 act atoms x 2 weight atoms
+        assert_eq!(stats.deliveries, 2); // one per weight atom
+    }
+
+    #[test]
+    fn empty_streams_do_no_work() {
+        let a = acts(&[], 4);
+        let w = weights(&[(3, 0, 0, 0)], 4);
+        let mut acc = FullConvAcc::new(1, 1, 1, 1).unwrap();
+        assert_eq!(
+            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0),
+            IntersectStats::default()
+        );
+        let a = acts(&[(3, 0, 0)], 4);
+        let w = weights(&[], 4);
+        assert_eq!(
+            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0),
+            IntersectStats::default()
+        );
+        assert_eq!(acc.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn eq1_coordinates_full_convolution() {
+        // 2x2 input, single weight at kernel (1,1) of a 2x2 kernel:
+        // fc[y][x] += w * in[y_in][x_in] at fy = (k-1-1) + y_in = y_in.
+        let a = acts(&[(1, 0, 0), (2, 1, 0), (3, 0, 1), (1, 1, 1)], 4);
+        let w = weights(&[(1, 1, 1, 0)], 4);
+        let mut acc = FullConvAcc::new(1, 2, 2, 2).unwrap();
+        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        assert_eq!(acc.get(0, 0, 0), 1);
+        assert_eq!(acc.get(0, 0, 1), 2);
+        assert_eq!(acc.get(0, 1, 0), 3);
+        assert_eq!(acc.get(0, 1, 1), 1);
+        // Weight at kernel (0,0) lands at fy = y_in + 1 instead.
+        let w2 = weights(&[(1, 0, 0, 0)], 4);
+        let mut acc2 = FullConvAcc::new(1, 2, 2, 2).unwrap();
+        intersect(&w2, &a, IntersectConfig::default(), &mut acc2, 0, 0);
+        assert_eq!(acc2.get(0, 1, 1), 1);
+        assert_eq!(acc2.get(0, 2, 2), 1);
+    }
+
+    #[test]
+    fn step_count_matches_eq3() {
+        // 5 activation values of 1 atom each, 7 weight atoms, N = 3.
+        let a = acts(&[(1, 0, 0), (2, 1, 0), (1, 2, 0), (2, 3, 0), (1, 4, 0)], 2);
+        assert_eq!(a.len(), 5);
+        let w = weights(
+            &[
+                (1, 0, 0, 0),
+                (2, 1, 0, 0),
+                (1, 2, 0, 1),
+                (2, 0, 1, 1),
+                (1, 1, 1, 2),
+                (2, 2, 1, 2),
+                (1, 0, 2, 3),
+            ],
+            2,
+        );
+        assert_eq!(w.len(), 7);
+        let mut acc = FullConvAcc::new(4, 3, 5, 3).unwrap();
+        let stats = intersect(&w, &a, IntersectConfig { multipliers: 3 }, &mut acc, 0, 0);
+        // ceil(7/3) = 3 segments; eps = mod(7,3)-1 = 0... mod=1 -> eps=0.
+        assert_eq!(stats.segments, 3);
+        assert_eq!(stats.steps, (5 * 3));
+        assert_eq!(stats.atom_mults, 35);
+    }
+
+    #[test]
+    fn extract_applies_stride_and_padding() {
+        let mut acc = FullConvAcc::new(1, 3, 3, 2).unwrap();
+        // Fill fc plane (4x4) with distinct values.
+        for fy in 0..4 {
+            for fx in 0..4 {
+                acc.add(0, fy, fx, (fy * 10 + fx) as i64);
+            }
+        }
+        // stride 1, pad 0: out[oy][ox] = fc[oy+1][ox+1].
+        let out = acc.extract(ConvGeometry::default(), 2, 2).unwrap();
+        assert_eq!(out.get(0, 0, 0), 11);
+        assert_eq!(out.get(0, 1, 1), 22);
+        // stride 2, pad 0: out[0][0] = fc[1][1], out[0][1] = fc[1][3].
+        let g2 = ConvGeometry::new(2, 0).unwrap();
+        let out2 = acc.extract(g2, 1, 2).unwrap();
+        assert_eq!(out2.get(0, 0, 1), 13);
+        // pad 1: out[0][0] = fc[0][0].
+        let gp = ConvGeometry::unit_stride(1);
+        let outp = acc.extract(gp, 4, 4).unwrap();
+        assert_eq!(outp.get(0, 0, 0), 0);
+        assert_eq!(outp.get(0, 1, 1), 11);
+    }
+
+    #[test]
+    fn segment_count_independent_of_result() {
+        let a = acts(&[(9, 0, 0), (6, 1, 1)], 4);
+        let w = weights(&[(7, 0, 0, 0), (-5, 1, 1, 1), (3, 0, 1, 2)], 4);
+        let mut acc_wide = FullConvAcc::new(3, 2, 2, 2).unwrap();
+        let mut acc_narrow = FullConvAcc::new(3, 2, 2, 2).unwrap();
+        let s1 = intersect(
+            &w,
+            &a,
+            IntersectConfig { multipliers: 64 },
+            &mut acc_wide,
+            0,
+            0,
+        );
+        let s2 = intersect(
+            &w,
+            &a,
+            IntersectConfig { multipliers: 1 },
+            &mut acc_narrow,
+            0,
+            0,
+        );
+        assert_eq!(acc_wide, acc_narrow);
+        assert!(s2.steps > s1.steps);
+        assert_eq!(s1.atom_mults, s2.atom_mults);
+    }
+}

@@ -1,0 +1,206 @@
+//! 16-bit (and wider) inference support — paper §IV-D.
+//!
+//! Two methodologies:
+//!
+//! * **Spatial extension** — widen the shifters so atoms of a 16-bit value
+//!   shift over `{0, 2, …, 14}`; [`crate::conv_csc::conv2d_csc`] already
+//!   supports this (pass `BitWidth::W16`), since atomization is
+//!   width-generic.
+//! * **Temporal decomposition** — split a 16-bit model into 8-bit
+//!   sub-models computed in sequence with much smaller shifters:
+//!   `a·w = Σ_{i,j∈{lo,hi}} a_i·w_j · 2^{8(i+j)}`. [`conv2d_csc_temporal16`]
+//!   runs the four 8-bit sub-convolutions and recombines them.
+
+use crate::conv_csc::{conv2d_csc, CscConfig, CscOutput, CscStats};
+use crate::error::AtomError;
+use qnn::conv::ConvGeometry;
+use qnn::quant::BitWidth;
+use qnn::tensor::{AccTensor3, Tensor3, Tensor4};
+
+/// Splits an unsigned 16-bit value into `(hi, lo)` 8-bit halves.
+///
+/// # Panics
+/// Panics (debug) if `v` is outside `0..=65535`.
+pub fn split_unsigned16(v: i32) -> (i32, i32) {
+    debug_assert!(
+        (0..=0xFFFF).contains(&v),
+        "value {v} outside unsigned 16-bit range"
+    );
+    (v >> 8, v & 0xFF)
+}
+
+/// Splits a signed 16-bit value into `(hi, lo)` where both halves carry the
+/// original sign over an 8-bit magnitude: `v = hi·2^8 + lo`.
+///
+/// # Panics
+/// Panics (debug) if `|v|` exceeds 16-bit magnitude range.
+pub fn split_signed16(v: i32) -> (i32, i32) {
+    debug_assert!(
+        v.unsigned_abs() <= 0xFFFF,
+        "value {v} outside signed 16-bit range"
+    );
+    let mag = v.unsigned_abs();
+    let (hi, lo) = ((mag >> 8) as i32, (mag & 0xFF) as i32);
+    if v < 0 {
+        (-hi, -lo)
+    } else {
+        (hi, lo)
+    }
+}
+
+fn map_tensor3(t: &Tensor3, f: impl Fn(i32) -> i32) -> Tensor3 {
+    let (c, h, w) = t.shape();
+    Tensor3::from_vec(c, h, w, t.as_slice().iter().map(|&v| f(v)).collect())
+        .expect("shape preserved")
+}
+
+fn map_tensor4(t: &Tensor4, f: impl Fn(i32) -> i32) -> Tensor4 {
+    let (o, i, kh, kw) = t.shape();
+    Tensor4::from_vec(o, i, kh, kw, t.as_slice().iter().map(|&v| f(v)).collect())
+        .expect("shape preserved")
+}
+
+/// 16-bit × 16-bit convolution by temporal decomposition into four 8-bit
+/// CSC sub-convolutions (§IV-D). Activations are unsigned 16-bit, weights
+/// signed 16-bit. Returns the exact convolution plus the summed work
+/// counters of the four passes.
+///
+/// # Errors
+/// Propagates substrate and atomization errors from the sub-convolutions.
+pub fn conv2d_csc_temporal16(
+    fmap: &Tensor3,
+    kernels: &Tensor4,
+    geom: ConvGeometry,
+    cfg: &CscConfig,
+) -> Result<CscOutput, AtomError> {
+    let a_parts = [
+        (map_tensor3(fmap, |v| split_unsigned16(v).1), 0u32),
+        (map_tensor3(fmap, |v| split_unsigned16(v).0), 8u32),
+    ];
+    let w_parts = [
+        (map_tensor4(kernels, |v| split_signed16(v).1), 0u32),
+        (map_tensor4(kernels, |v| split_signed16(v).0), 8u32),
+    ];
+
+    let (o, _, kh, _) = kernels.shape();
+    let out_h = geom.out_extent(fmap.height(), kh)?;
+    let out_w = geom.out_extent(fmap.width(), kh)?;
+    let mut total = AccTensor3::zeros(o, out_h, out_w)?;
+    let mut stats = CscStats::default();
+    for (a_part, a_shift) in &a_parts {
+        for (w_part, w_shift) in &w_parts {
+            let sub = conv2d_csc(a_part, w_part, geom, BitWidth::W8, BitWidth::W8, cfg)?;
+            let shift = a_shift + w_shift;
+            for (c, y, x, _) in sub_iter(&sub.output) {
+                total.add(c, y, x, sub.output.get(c, y, x) << shift);
+            }
+            stats.intersect.merge(&sub.stats.intersect);
+            stats.act_values += sub.stats.act_values;
+            stats.act_atoms += sub.stats.act_atoms;
+            stats.weight_atoms += sub.stats.weight_atoms;
+            stats.tiles_processed += sub.stats.tiles_processed;
+        }
+    }
+    Ok(CscOutput {
+        output: total,
+        stats,
+    })
+}
+
+fn sub_iter(t: &AccTensor3) -> impl Iterator<Item = (usize, usize, usize, i64)> + '_ {
+    let (c, h, w) = t.shape();
+    (0..c).flat_map(move |ci| {
+        (0..h).flat_map(move |y| (0..w).map(move |x| (ci, y, x, t.get(ci, y, x))))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::conv2d;
+    use qnn::rng::SeededRng;
+
+    #[test]
+    fn split_roundtrips() {
+        for v in [0, 1, 255, 256, 65535, 4097] {
+            let (hi, lo) = split_unsigned16(v);
+            assert_eq!(hi * 256 + lo, v);
+            assert!((0..=255).contains(&lo) && (0..=255).contains(&hi));
+        }
+        for v in [-65535, -4097, -256, -1, 0, 1, 300, 65535] {
+            let (hi, lo) = split_signed16(v);
+            assert_eq!(hi * 256 + lo, v, "v = {v}");
+            assert!(hi.abs() <= 255 && lo.abs() <= 255);
+        }
+    }
+
+    #[test]
+    fn temporal_decomposition_matches_dense_16bit() {
+        let mut rng = SeededRng::new(161);
+        let fmap = Tensor3::from_fn(2, 5, 5, |_, _, _| {
+            if rng.bernoulli(0.6) {
+                rng.below(65536) as i32
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        let kernels = Tensor4::from_fn(3, 2, 3, 3, |_, _, _, _| {
+            let m = rng.below(32768) as i32;
+            if rng.bernoulli(0.5) {
+                -m
+            } else {
+                m
+            }
+        })
+        .unwrap();
+        let geom = ConvGeometry::unit_stride(1);
+        let dense = conv2d(&fmap, &kernels, geom).unwrap();
+        let temporal = conv2d_csc_temporal16(&fmap, &kernels, geom, &CscConfig::default()).unwrap();
+        assert_eq!(temporal.output, dense);
+    }
+
+    #[test]
+    fn spatial_extension_matches_dense_16bit() {
+        // §IV-D spatial extension: just run CSC at 16-bit widths directly.
+        let mut rng = SeededRng::new(162);
+        let fmap = Tensor3::from_fn(1, 4, 4, |_, _, _| rng.below(65536) as i32).unwrap();
+        let kernels =
+            Tensor4::from_fn(2, 1, 2, 2, |_, _, _, _| rng.below(60000) as i32 - 30000).unwrap();
+        let geom = ConvGeometry::default();
+        let dense = conv2d(&fmap, &kernels, geom).unwrap();
+        let spatial = conv2d_csc(
+            &fmap,
+            &kernels,
+            geom,
+            BitWidth::W16,
+            BitWidth::W16,
+            &CscConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(spatial.output, dense);
+    }
+
+    #[test]
+    fn temporal_and_spatial_agree() {
+        let mut rng = SeededRng::new(163);
+        let fmap = Tensor3::from_fn(1, 3, 3, |_, _, _| rng.below(65536) as i32).unwrap();
+        let kernels =
+            Tensor4::from_fn(1, 1, 2, 2, |_, _, _, _| rng.below(131071) as i32 - 65535).unwrap();
+        let geom = ConvGeometry::default();
+        let t = conv2d_csc_temporal16(&fmap, &kernels, geom, &CscConfig::default()).unwrap();
+        let s = conv2d_csc(
+            &fmap,
+            &kernels,
+            geom,
+            BitWidth::W16,
+            BitWidth::W16,
+            &CscConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(t.output, s.output);
+        // Temporal decomposition needs smaller shifters but at least as
+        // many intersection steps.
+        assert!(t.stats.intersect.steps >= s.stats.intersect.steps);
+    }
+}

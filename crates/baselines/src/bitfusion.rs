@@ -1,0 +1,215 @@
+//! Bit Fusion (ISCA 2018): a weight-stationary 2-D systolic array of
+//! spatially decomposable *fusion units*.
+//!
+//! Each fusion unit contains 16 2-bit BitBricks and computes one 8-bit,
+//! four 4-bit or sixteen 2-bit multiplications per cycle. The dataflow is
+//! dense: zero values are neither skipped nor compressed, so cycles scale
+//! with the full MAC count divided by the precision-dependent throughput.
+//! This matches the open-source simulator's first-order behaviour the paper
+//! references.
+
+use crate::report::{Accelerator, BaselineLayerReport};
+use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
+use qnn::workload::LayerStats;
+use serde::{Deserialize, Serialize};
+
+/// A Bit Fusion accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitFusion {
+    /// Systolic array rows.
+    pub rows: usize,
+    /// Systolic array columns.
+    pub cols: usize,
+    /// Input buffer (KiB).
+    pub input_buf_kb: usize,
+    /// Weight buffer (KiB).
+    pub weight_buf_kb: usize,
+    /// Output buffer (KiB).
+    pub output_buf_kb: usize,
+}
+
+impl BitFusion {
+    /// The paper's comparison point: an 8×8 array (64 fusion units = 1024
+    /// 2-bit multipliers) with Ristretto-sized buffers (§V-B).
+    pub fn paper_default() -> Self {
+        Self {
+            rows: 8,
+            cols: 8,
+            input_buf_kb: 64,
+            weight_buf_kb: 192,
+            output_buf_kb: 96,
+        }
+    }
+
+    /// Number of fusion units.
+    pub fn fusion_units(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Spatial decomposition factor for a precision: how many operand
+    /// slices a fusion unit splits into per side (8b→4, 4b→2, 2b→1; the
+    /// architecture rounds odd widths up).
+    pub fn spatial_slices(bits: u8) -> u64 {
+        match bits {
+            0..=2 => 1,
+            3..=4 => 2,
+            _ => 4,
+        }
+    }
+
+    /// Multiplications per fusion unit per cycle at the given precisions.
+    pub fn mults_per_cycle(w_bits: u8, a_bits: u8) -> u64 {
+        16 / (Self::spatial_slices(w_bits) * Self::spatial_slices(a_bits))
+    }
+}
+
+impl Default for BitFusion {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl Accelerator for BitFusion {
+    fn name(&self) -> &'static str {
+        "Bit Fusion"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        let lib = ComponentLib::n28();
+        self.fusion_units() as f64 * lib.fusion_unit_area()
+            + SramMacro::new(self.input_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.weight_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.output_buf_kb << 10, 128).area_mm2()
+            + 0.03 // systolic interconnect + control
+    }
+
+    fn simulate_layer(&self, stats: &LayerStats) -> BaselineLayerReport {
+        let lib = ComponentLib::n28();
+        let tech = TechNode::N28;
+        let layer = &stats.layer;
+        let macs = layer.macs();
+        let per_fu = Self::mults_per_cycle(stats.w_bits.bits(), stats.a_bits.bits());
+        let throughput = self.fusion_units() as u64 * per_fu;
+
+        // Dense compute cycles plus systolic fill per weight-tile pass.
+        let compute = macs.div_ceil(throughput);
+        let passes = (layer.weight_count() as u64).div_ceil(self.fusion_units() as u64);
+        let fill = (self.rows + self.cols) as u64 * passes.min(compute / 16 + 1);
+        let cycles = compute + fill;
+
+        let a_bits = stats.a_bits.bits() as u64;
+        let w_bits = stats.w_bits.bits() as u64;
+        // Dense buffer traffic with systolic reuse: activations shared
+        // along columns, weights along rows, partial sums accumulated
+        // in-array.
+        let act_read_bits = macs * a_bits / self.cols as u64;
+        let weight_read_bits = macs * w_bits / self.rows as u64;
+        let out_write_bits = layer.output_count() as u64 * 24;
+        // Dense DRAM traffic with loop-tiling re-fetch when neither
+        // operand fits on chip.
+        let dram_bits = hwmodel::dram::tiled_traffic_bits(
+            layer.activation_count() as u64 * a_bits,
+            layer.weight_count() as u64 * w_bits,
+            (self.input_buf_kb as u64) << 13,
+            (self.weight_buf_kb as u64) << 13,
+        ) + layer.output_count() as u64 * a_bits;
+
+        let input = SramMacro::new(self.input_buf_kb << 10, 128);
+        let weight = SramMacro::new(self.weight_buf_kb << 10, 128);
+        let output = SramMacro::new(self.output_buf_kb << 10, 128);
+
+        let mut counter = EnergyCounter::new();
+        // A fusion unit burns its full energy each active cycle regardless
+        // of how many of its products are useful.
+        counter.compute(macs / per_fu.max(1), lib.fusion_unit_energy());
+        counter.buffer(act_read_bits, input.read_energy_pj(128) / 128.0);
+        counter.buffer(weight_read_bits, weight.read_energy_pj(128) / 128.0);
+        counter.buffer(out_write_bits, output.write_energy_pj(128) / 128.0);
+        counter.dram_bits(dram_bits);
+        counter.leakage(lib.leakage_pj(self.area_mm2(), cycles, tech.freq_mhz));
+
+        BaselineLayerReport {
+            name: layer.name.clone(),
+            cycles,
+            effectual_ops: macs,
+            dram_bits,
+            energy: counter.breakdown(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::layers::ConvLayer;
+    use qnn::quant::BitWidth;
+    use qnn::rng::SeededRng;
+    use qnn::workload::{ActivationProfile, LayerStats, WeightProfile};
+
+    fn stats(bits: BitWidth) -> LayerStats {
+        let layer = ConvLayer::conv("t", 16, 32, 3, 1, 1, 14, 14).unwrap();
+        let mut rng = SeededRng::new(1);
+        LayerStats::generate(
+            &layer,
+            &WeightProfile::benchmark(bits),
+            &ActivationProfile::new(bits),
+            2,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn throughput_scales_with_precision() {
+        assert_eq!(BitFusion::mults_per_cycle(8, 8), 1);
+        assert_eq!(BitFusion::mults_per_cycle(4, 4), 4);
+        assert_eq!(BitFusion::mults_per_cycle(2, 2), 16);
+        assert_eq!(BitFusion::mults_per_cycle(2, 8), 4);
+        assert_eq!(BitFusion::mults_per_cycle(4, 2), 8);
+    }
+
+    #[test]
+    fn cycles_insensitive_to_sparsity() {
+        // Bit Fusion is dense: same layer at same precision costs the same
+        // regardless of sparsity, so the effectual op count equals MACs.
+        let s = stats(BitWidth::W8);
+        let bf = BitFusion::paper_default();
+        let r = bf.simulate_layer(&s);
+        assert_eq!(r.effectual_ops, s.layer.macs());
+        assert!(r.cycles >= s.layer.macs() / 64);
+    }
+
+    #[test]
+    fn lower_precision_is_faster() {
+        let bf = BitFusion::paper_default();
+        let c8 = bf.simulate_layer(&stats(BitWidth::W8)).cycles;
+        let c4 = bf.simulate_layer(&stats(BitWidth::W4)).cycles;
+        let c2 = bf.simulate_layer(&stats(BitWidth::W2)).cycles;
+        assert!(c8 > c4 && c4 > c2, "{c8} {c4} {c2}");
+        // Near-ideal 4x per precision step.
+        let r = c8 as f64 / c4 as f64;
+        assert!((3.0..4.5).contains(&r), "8b/4b ratio {r}");
+    }
+
+    #[test]
+    fn area_dominated_by_array_plus_buffers() {
+        let bf = BitFusion::paper_default();
+        let a = bf.area_mm2();
+        assert!((0.3..3.0).contains(&a), "area {a}");
+    }
+
+    #[test]
+    fn network_report_has_all_layers() {
+        use crate::report::Accelerator as _;
+        use qnn::models::NetworkId;
+        use qnn::workload::{NetworkStats, PrecisionPolicy};
+        let net = NetworkStats::generate(
+            NetworkId::AlexNet,
+            PrecisionPolicy::Uniform(BitWidth::W4),
+            2,
+            3,
+        );
+        let r = BitFusion::paper_default().simulate_network(&net);
+        assert_eq!(r.layers.len(), net.layers.len());
+        assert!(r.total_cycles() > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Booth / signed-digit term counting for bit-serial accelerators.
+//!
+//! Laconic represents operands as sequences of *effectual terms* (non-zero
+//! signed digits with their shift offsets). The canonical non-adjacent form
+//! (NAF) minimizes the term count, which is what the booth encoders at
+//! Laconic's array boundary produce; a pair's bit-serial latency is
+//! `#terms_a × #terms_w`.
+
+/// Number of non-zero digits in the non-adjacent form of `v`.
+///
+/// ```
+/// use baselines::booth::booth_terms;
+/// assert_eq!(booth_terms(0), 0);
+/// assert_eq!(booth_terms(1), 1);
+/// // 7 = 8 - 1: two terms instead of three bits.
+/// assert_eq!(booth_terms(7), 2);
+/// assert_eq!(booth_terms(-7), 2);
+/// // 0b01010101 has four isolated ones: four terms.
+/// assert_eq!(booth_terms(0b0101_0101), 4);
+/// ```
+pub fn booth_terms(v: i32) -> u32 {
+    let mut n = (v as i64).unsigned_abs();
+    let mut count = 0u32;
+    while n != 0 {
+        if n & 1 == 1 {
+            count += 1;
+            // NAF digit: choose ±1 so the remaining value is divisible by 4.
+            if n & 2 == 2 {
+                n += 1; // digit -1
+            } else {
+                n -= 1; // digit +1
+            }
+        }
+        n >>= 1;
+    }
+    count
+}
+
+/// The bit-serial latency of one weight-activation pair in Laconic:
+/// `#terms_a × #terms_w` (zero for any ineffectual pair).
+pub fn pair_latency(a: i32, w: i32) -> u32 {
+    booth_terms(a) * booth_terms(w)
+}
+
+/// Histogram of term counts over a sample of values (index = #terms).
+pub fn term_histogram(values: &[i32]) -> Vec<f64> {
+    let mut hist = vec![0f64; 1];
+    for &v in values {
+        let t = booth_terms(v) as usize;
+        if t >= hist.len() {
+            hist.resize(t + 1, 0.0);
+        }
+        hist[t] += 1.0;
+    }
+    let total: f64 = hist.iter().sum();
+    if total > 0.0 {
+        for h in &mut hist {
+            *h /= total;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naf_is_never_worse_than_popcount() {
+        for v in -255i32..=255 {
+            assert!(booth_terms(v) <= v.unsigned_abs().count_ones(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn naf_reconstruction_digit_count() {
+        // Spot-check known NAF term counts.
+        assert_eq!(booth_terms(2), 1);
+        assert_eq!(booth_terms(3), 2); // 4 - 1
+        assert_eq!(booth_terms(15), 2); // 16 - 1
+        assert_eq!(booth_terms(85), 4);
+        assert_eq!(booth_terms(255), 2); // 256 - 1
+        assert_eq!(booth_terms(-255), 2);
+    }
+
+    #[test]
+    fn eight_bit_values_need_at_most_five_terms() {
+        for v in -255i32..=255 {
+            assert!(booth_terms(v) <= 5, "v = {v} -> {}", booth_terms(v));
+        }
+    }
+
+    #[test]
+    fn pair_latency_zero_for_ineffectual() {
+        assert_eq!(pair_latency(0, 99), 0);
+        assert_eq!(pair_latency(99, 0), 0);
+        assert_eq!(pair_latency(3, 3), 4);
+    }
+
+    #[test]
+    fn histogram_is_a_distribution() {
+        let h = term_histogram(&[0, 1, 3, 7, 15, -15, 0, 255]);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h[0] - 0.25).abs() < 1e-12); // two zeros out of eight
+        assert!(term_histogram(&[]).iter().sum::<f64>() == 0.0);
+    }
+}

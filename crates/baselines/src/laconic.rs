@@ -1,0 +1,294 @@
+//! Laconic (ISCA 2019): a broadcast 2-D mesh of PEs with parallel
+//! bit-serial multipliers processing booth-encoded *terms*.
+//!
+//! Each PE holds 16 bit-serial lanes computing a 16-long vector inner
+//! product; a pair's latency is `#terms_a × #terms_w`; a PE's latency is
+//! its slowest pair; the tile's latency is its slowest PE (rows share
+//! weights, columns share activations — §II-B2b, Fig 3/4). Laconic
+//! exploits *bit-level* sparsity on both sides but is insensitive to
+//! value-level sparsity: a zero value merely gives one lane zero work while
+//! the slowest pair still gates the PE.
+
+use crate::booth::{booth_terms, term_histogram};
+use crate::report::{Accelerator, BaselineLayerReport};
+use crate::stats::{expectation, expected_max, product_pmf};
+use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
+use qnn::workload::LayerStats;
+use serde::{Deserialize, Serialize};
+
+/// Which latency estimate to report — the three curves of the paper's
+/// Fig 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaconicLatency {
+    /// Workload divided by lane count (upper-bound performance).
+    Theoretical,
+    /// Per-PE slowest pair, no cross-PE sharing stall (averaged over PEs).
+    AveragePe,
+    /// Full tile: the slowest PE gates everyone (Laconic's real behaviour).
+    Tile,
+}
+
+/// A Laconic accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Laconic {
+    /// PE mesh rows.
+    pub pe_rows: usize,
+    /// PE mesh columns.
+    pub pe_cols: usize,
+    /// Bit-serial lanes (pairs) per PE.
+    pub lanes: usize,
+    /// Input buffer (KiB).
+    pub input_buf_kb: usize,
+    /// Weight buffer (KiB).
+    pub weight_buf_kb: usize,
+    /// Output buffer (KiB).
+    pub output_buf_kb: usize,
+}
+
+impl Laconic {
+    /// The paper's comparison point (§V-C): a 6×8 PE mesh, 16 lanes per PE,
+    /// same compute area and buffers as the 32×16 Ristretto.
+    pub fn paper_default() -> Self {
+        Self {
+            pe_rows: 6,
+            pe_cols: 8,
+            lanes: 16,
+            input_buf_kb: 64,
+            weight_buf_kb: 192,
+            output_buf_kb: 96,
+        }
+    }
+
+    /// Total bit-serial lanes in the tile.
+    pub fn total_lanes(&self) -> usize {
+        self.pe_rows * self.pe_cols * self.lanes
+    }
+
+    /// Exact round latencies for an explicit pair workload (used by the
+    /// Fig 4 reproduction): `pairs` holds `#terms_a × #terms_w` per pair,
+    /// chunked `lanes` per PE. Returns `(theoretical, average_pe, tile)`.
+    pub fn round_latencies(pair_work: &[u32], lanes: usize) -> (f64, f64, u64) {
+        if pair_work.is_empty() {
+            return (0.0, 0.0, 0);
+        }
+        let lanes = lanes.max(1);
+        let total: u64 = pair_work.iter().map(|&w| w as u64).sum();
+        let n_lanes = pair_work.len().min(lanes * pair_work.len().div_ceil(lanes));
+        let theoretical = total as f64 / n_lanes as f64;
+        let pe_maxes: Vec<u64> = pair_work
+            .chunks(lanes)
+            .map(|pe| pe.iter().map(|&w| w as u64).max().unwrap_or(0))
+            .collect();
+        let avg_pe = pe_maxes.iter().sum::<u64>() as f64 / pe_maxes.len() as f64;
+        let tile = pe_maxes.iter().copied().max().unwrap_or(0);
+        (theoretical, avg_pe, tile)
+    }
+
+    /// Builds pair work `#terms_a × #terms_w` for explicit vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors' lengths differ.
+    pub fn pair_work(acts: &[i32], weights: &[i32]) -> Vec<u32> {
+        assert_eq!(
+            acts.len(),
+            weights.len(),
+            "inner-product vectors must align"
+        );
+        acts.iter()
+            .zip(weights)
+            .map(|(&a, &w)| booth_terms(a) * booth_terms(w))
+            .collect()
+    }
+
+    /// Expected per-round latency for a layer's value distributions under
+    /// the given estimate mode.
+    fn expected_round_latency(&self, stats: &LayerStats, mode: LaconicLatency) -> f64 {
+        let ha = term_histogram(&stats.activation_sample);
+        let hw = term_histogram(&stats.weight_sample);
+        let tp = product_pmf(&ha, &hw);
+        match mode {
+            LaconicLatency::Theoretical => expectation(&tp),
+            LaconicLatency::AveragePe => expected_max(&tp, self.lanes as u64),
+            LaconicLatency::Tile => expected_max(&tp, self.total_lanes() as u64),
+        }
+    }
+
+    /// Simulates a layer under a chosen latency mode (the [`Accelerator`]
+    /// impl uses [`LaconicLatency::Tile`], the machine's real behaviour).
+    pub fn simulate_layer_mode(
+        &self,
+        stats: &LayerStats,
+        mode: LaconicLatency,
+    ) -> BaselineLayerReport {
+        let lib = ComponentLib::n28();
+        let tech = TechNode::N28;
+        let layer = &stats.layer;
+        let macs = layer.macs();
+        let rounds = macs.div_ceil(self.total_lanes() as u64);
+        let per_round = self
+            .expected_round_latency(stats, mode)
+            .max(f64::MIN_POSITIVE);
+        let cycles = (rounds as f64 * per_round).ceil() as u64;
+
+        // Term-pair operations actually executed (bit-level work).
+        let ha = term_histogram(&stats.activation_sample);
+        let hw = term_histogram(&stats.weight_sample);
+        let mean_tp = expectation(&product_pmf(&ha, &hw));
+        let term_ops = (macs as f64 * mean_tp) as u64;
+
+        let a_bits = stats.a_bits.bits() as u64;
+        let w_bits = stats.w_bits.bits() as u64;
+        // Dense traffic: Laconic stores and moves uncompressed tensors.
+        let act_read_bits = macs * a_bits / self.pe_cols as u64;
+        let weight_read_bits = macs * w_bits / self.pe_rows as u64;
+        let out_write_bits = layer.output_count() as u64 * 24;
+        let dram_bits = hwmodel::dram::tiled_traffic_bits(
+            layer.activation_count() as u64 * a_bits,
+            layer.weight_count() as u64 * w_bits,
+            (self.input_buf_kb as u64) << 13,
+            (self.weight_buf_kb as u64) << 13,
+        ) + layer.output_count() as u64 * a_bits;
+
+        let input = SramMacro::new(self.input_buf_kb << 10, 128);
+        let weight = SramMacro::new(self.weight_buf_kb << 10, 128);
+        let output = SramMacro::new(self.output_buf_kb << 10, 128);
+
+        let mut counter = EnergyCounter::new();
+        counter.compute(term_ops, lib.bit_serial_lane_energy());
+        // Booth encoders at the array boundary: one encode per operand
+        // broadcast.
+        let encodes = macs / self.pe_cols as u64 + macs / self.pe_rows as u64;
+        counter.compute(encodes, lib.booth_encoder_energy);
+        counter.buffer(act_read_bits, input.read_energy_pj(128) / 128.0);
+        counter.buffer(weight_read_bits, weight.read_energy_pj(128) / 128.0);
+        counter.buffer(out_write_bits, output.write_energy_pj(128) / 128.0);
+        counter.dram_bits(dram_bits);
+        counter.leakage(lib.leakage_pj(self.area_mm2(), cycles, tech.freq_mhz));
+
+        BaselineLayerReport {
+            name: layer.name.clone(),
+            cycles,
+            effectual_ops: term_ops,
+            dram_bits,
+            energy: counter.breakdown(),
+        }
+    }
+}
+
+impl Default for Laconic {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl Accelerator for Laconic {
+    fn name(&self) -> &'static str {
+        "Laconic"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        let lib = ComponentLib::n28();
+        let pes = (self.pe_rows * self.pe_cols) as f64;
+        pes * self.lanes as f64 * lib.bit_serial_lane_area()
+            + (self.pe_rows + self.pe_cols) as f64 * lib.booth_encoder_area
+            + SramMacro::new(self.input_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.weight_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.output_buf_kb << 10, 128).area_mm2()
+            + 0.02
+    }
+
+    fn simulate_layer(&self, stats: &LayerStats) -> BaselineLayerReport {
+        self.simulate_layer_mode(stats, LaconicLatency::Tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::layers::ConvLayer;
+    use qnn::quant::BitWidth;
+    use qnn::rng::SeededRng;
+    use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+
+    fn stats(bits: BitWidth) -> LayerStats {
+        let layer = ConvLayer::conv("t", 16, 32, 3, 1, 1, 14, 14).unwrap();
+        let mut rng = SeededRng::new(1);
+        LayerStats::generate(
+            &layer,
+            &WeightProfile::benchmark(bits),
+            &ActivationProfile::new(bits),
+            2,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn latency_modes_are_ordered() {
+        // theoretical <= average PE <= tile (DESIGN.md invariant 8).
+        let s = stats(BitWidth::W8);
+        let l = Laconic::paper_default();
+        let t = l
+            .simulate_layer_mode(&s, LaconicLatency::Theoretical)
+            .cycles;
+        let p = l.simulate_layer_mode(&s, LaconicLatency::AveragePe).cycles;
+        let full = l.simulate_layer_mode(&s, LaconicLatency::Tile).cycles;
+        assert!(t <= p, "{t} > {p}");
+        assert!(p <= full, "{p} > {full}");
+    }
+
+    #[test]
+    fn round_latencies_exact_small_case() {
+        // Two PEs of 2 lanes: works [1, 4 | 2, 2].
+        let (theo, avg, tile) = Laconic::round_latencies(&[1, 4, 2, 2], 2);
+        assert!((theo - 9.0 / 4.0).abs() < 1e-12);
+        assert!((avg - 3.0).abs() < 1e-12); // (4 + 2) / 2
+        assert_eq!(tile, 4);
+    }
+
+    #[test]
+    fn value_sparsity_barely_helps_tile_latency() {
+        // The paper's key observation (Fig 4): raising value sparsity
+        // does little for the full tile because one slow pair gates all.
+        let mut gen = WorkloadGen::new(9);
+        let l = Laconic::paper_default();
+        let lanes = l.lanes;
+        let pes = l.pe_rows * l.pe_cols;
+        let measure = |gen: &mut WorkloadGen, density: f64| -> f64 {
+            let mut total_tile = 0u64;
+            let mut total_theo = 0.0;
+            for _ in 0..200 {
+                let a = gen.values_with_density(lanes * pes, BitWidth::W8, density, false);
+                let w = gen.values_with_density(lanes * pes, BitWidth::W8, density, true);
+                let work = Laconic::pair_work(&a, &w);
+                let (theo, _, tile) = Laconic::round_latencies(&work, lanes);
+                total_tile += tile;
+                total_theo += theo;
+            }
+            total_tile as f64 / total_theo.max(1e-9)
+        };
+        // Slowdown relative to theoretical grows as sparsity rises.
+        let dense_gap = measure(&mut gen, 0.9);
+        let sparse_gap = measure(&mut gen, 0.3);
+        assert!(sparse_gap > dense_gap, "{sparse_gap} vs {dense_gap}");
+    }
+
+    #[test]
+    fn pair_work_rejects_mismatched_lengths() {
+        let r = std::panic::catch_unwind(|| Laconic::pair_work(&[1, 2], &[1]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn lower_precision_reduces_terms_and_cycles() {
+        let l = Laconic::paper_default();
+        let c8 = l.simulate_layer(&stats(BitWidth::W8)).cycles;
+        let c2 = l.simulate_layer(&stats(BitWidth::W2)).cycles;
+        assert!(c2 < c8, "{c2} vs {c8}");
+    }
+
+    #[test]
+    fn area_in_plausible_range() {
+        let a = Laconic::paper_default().area_mm2();
+        assert!((0.3..3.0).contains(&a), "area {a}");
+    }
+}

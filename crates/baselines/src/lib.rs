@@ -1,0 +1,56 @@
+//! # baselines — the comparison accelerators of the Ristretto evaluation
+//!
+//! Analytic models of the four baselines in the paper's Table V, each
+//! consuming the same [`qnn::workload::LayerStats`] the Ristretto simulator
+//! uses, under the paper's fairness constraints (equal 2-bit-multiplier
+//! count / compute area / peak BitOps and equal buffer capacity):
+//!
+//! * [`bitfusion`] — Bit Fusion (ISCA'18): an 8×8 systolic array of
+//!   spatially decomposable *fusion units* (1×8b / 4×4b / 16×2b per cycle),
+//!   dense dataflow;
+//! * [`laconic`] — Laconic (ISCA'19): a 2-D broadcast mesh of PEs with 16
+//!   bit-serial multipliers each, processing booth-encoded *terms*; dense
+//!   value dataflow, term-level (bit) sparsity only;
+//! * [`sparten`] — SparTen (MICRO'19): 32 compute units with bitmap
+//!   inner-joins extracting one effectual 8-bit pair per cycle, dual-sided
+//!   value sparsity, weight-only greedy balancing;
+//! * [`sparten_mp`] — the paper's naive combination (§II-B2a): SparTen CUs
+//!   whose scalar MAC is replaced with a fusion unit fed by 16 parallel
+//!   inner-joins over bitmask segments.
+//!
+//! Beyond the evaluated four, the Table I / §II taxonomy is completed by:
+//!
+//! * [`scnn`] — SCNN's outer-product dual-sided sparse dataflow (16-bit),
+//! * [`snap`] — SNAP's associative-index-matching inner-product dataflow,
+//! * [`laconic_snap`] — the §II-B2b naive Laconic+SNAP combination, used by
+//!   the motivation experiment to quantify why direct combinations lose.
+//!
+//! Shared machinery: [`booth`] (term counting), [`stats`] (order
+//! statistics over sampled distributions) and [`report`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitfusion;
+pub mod booth;
+pub mod laconic;
+pub mod laconic_snap;
+pub mod report;
+pub mod scnn;
+pub mod snap;
+pub mod sparten;
+pub mod sparten_mp;
+pub mod stats;
+
+/// Glob import of the commonly used items.
+pub mod prelude {
+    pub use crate::bitfusion::BitFusion;
+    pub use crate::booth::booth_terms;
+    pub use crate::laconic::{Laconic, LaconicLatency};
+    pub use crate::laconic_snap::LaconicSnap;
+    pub use crate::report::{Accelerator, BaselineLayerReport, BaselineNetworkReport};
+    pub use crate::scnn::Scnn;
+    pub use crate::snap::Snap;
+    pub use crate::sparten::SparTen;
+    pub use crate::sparten_mp::SparTenMp;
+}

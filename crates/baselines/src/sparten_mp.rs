@@ -1,0 +1,234 @@
+//! SparTen-mp: the paper's naive mixed-precision/sparsity combination
+//! (§II-B2a, evaluated in §V-D).
+//!
+//! Each CU replaces SparTen's scalar MAC with a Bit Fusion fusion unit
+//! (1×8b / 4×4b / 16×2b per cycle). To feed it, **16 inner-joins** work in
+//! parallel, each over a 32-bit segment of the bitmask. Two structural
+//! problems follow, which this model captures:
+//!
+//! 1. the per-chunk extraction rate is gated by the most-loaded segment
+//!    (each inner-join extracts at most one pair per cycle from its own
+//!    segment), so segment imbalance throttles the fusion unit;
+//! 2. the 16 inner-joins blow up the CU's area and power (one inner-join is
+//!    already >60% of a SparTen CU), hurting area-normalized performance.
+
+use crate::bitfusion::BitFusion;
+use crate::report::{Accelerator, BaselineLayerReport};
+use crate::sparten::SparTen;
+use crate::stats::{binomial_pmf, expected_max};
+use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
+use qnn::workload::LayerStats;
+use serde::{Deserialize, Serialize};
+
+/// A SparTen-mp accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparTenMp {
+    /// Number of compute units.
+    pub cus: usize,
+    /// Parallel inner-joins per CU.
+    pub joins: usize,
+    /// Bitmask segment length per inner-join.
+    pub segment: usize,
+    /// Input buffer (KiB).
+    pub input_buf_kb: usize,
+    /// Weight buffer (KiB).
+    pub weight_buf_kb: usize,
+    /// Output buffer (KiB).
+    pub output_buf_kb: usize,
+}
+
+impl SparTenMp {
+    /// The paper's configuration: 32 CUs, 16 inner-joins per CU, each over
+    /// a 32-long bitmask segment (§V-A1).
+    pub fn paper_default() -> Self {
+        Self {
+            cus: 32,
+            joins: 16,
+            segment: 32,
+            input_buf_kb: 64,
+            weight_buf_kb: 192,
+            output_buf_kb: 96,
+        }
+    }
+
+    /// Chunk length covered per extraction round: joins × segment.
+    pub fn chunk(&self) -> usize {
+        self.joins * self.segment
+    }
+
+    /// Expected cycles to process one bitmask chunk: the fusion unit
+    /// consumes up to `per_cycle` pairs per cycle, while extraction is
+    /// gated by the most-loaded segment (one pair per segment per cycle).
+    pub fn chunk_cycles(&self, match_prob: f64, w_bits: u8, a_bits: u8) -> f64 {
+        let per_cycle = BitFusion::mults_per_cycle(w_bits, a_bits) as f64;
+        let seg_pmf = binomial_pmf(self.segment as u64, match_prob);
+        let worst_segment = expected_max(&seg_pmf, self.joins as u64);
+        let mean_matches = self.chunk() as f64 * match_prob;
+        let consume_limited = mean_matches / per_cycle;
+        worst_segment.max(consume_limited).max(1.0)
+    }
+}
+
+impl Default for SparTenMp {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl Accelerator for SparTenMp {
+    fn name(&self) -> &'static str {
+        "SparTen-mp"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        let lib = ComponentLib::n28();
+        // Each of the 16 inner-joins covers a quarter-length mask, costing
+        // roughly a quarter of a full inner-join each — still 4x SparTen's
+        // matching area per CU.
+        let join_area = lib.inner_join_area * self.segment as f64 / 128.0;
+        let cu = self.joins as f64 * join_area + lib.fusion_unit_area() + 0.002;
+        self.cus as f64 * cu
+            + lib.crossbar_area(self.cus, 32)
+            + SramMacro::new(self.input_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.weight_buf_kb << 10, 128).area_mm2()
+            + SramMacro::new(self.output_buf_kb << 10, 128).area_mm2()
+    }
+
+    fn simulate_layer(&self, stats: &LayerStats) -> BaselineLayerReport {
+        let lib = ComponentLib::n28();
+        let tech = TechNode::N28;
+        let layer = &stats.layer;
+        let match_prob = stats.activation.value_density * stats.weight.value_density;
+        let chunk_cycles = self.chunk_cycles(match_prob, stats.w_bits.bits(), stats.a_bits.bits());
+
+        // Work decomposition mirrors SparTen: filters over CUs (weight
+        // balancing), chunks per output position.
+        let chunks_per_filter =
+            (layer.in_channels * layer.kernel * layer.kernel).div_ceil(self.chunk()) as u64;
+        let positions = (layer.out_h() * layer.out_w()) as u64;
+        let filters_per_cu = (layer.out_channels as u64).div_ceil(self.cus as u64);
+        let chunks_per_cu = chunks_per_filter * positions * filters_per_cu;
+        // Imbalance across CUs mirrors SparTen's weight balancing quality.
+        let loads = SparTen {
+            cus: self.cus,
+            chunk: self.chunk(),
+            ..SparTen::paper_default()
+        }
+        .balance_filters(stats);
+        let matches: u64 = loads.iter().sum();
+        let mean_load = matches as f64 / self.cus as f64;
+        let imbalance = if mean_load > 0.0 {
+            *loads.iter().max().unwrap() as f64 / mean_load
+        } else {
+            1.0
+        };
+        let cycles = (chunks_per_cu as f64 * chunk_cycles * imbalance).ceil() as u64;
+
+        let a_bits = 8u64;
+        let act_bits_stored =
+            stats.activation.nonzero_values as u64 * a_bits + layer.activation_count() as u64;
+        let weight_bits_stored =
+            stats.weight.nonzero_values as u64 * a_bits + layer.weight_count() as u64;
+        let act_read_bits = act_bits_stored * (layer.out_channels as u64 / self.cus as u64).max(1);
+        let weight_read_bits = weight_bits_stored * positions / self.chunk() as u64;
+        let out_write_bits = layer.output_count() as u64 * 24;
+        let dram_bits = hwmodel::dram::tiled_traffic_bits(
+            act_bits_stored,
+            weight_bits_stored,
+            (self.input_buf_kb as u64) << 13,
+            (self.weight_buf_kb as u64) << 13,
+        ) + (layer.output_count() as f64 * stats.activation.value_density) as u64
+            * a_bits;
+
+        let input = SramMacro::new(self.input_buf_kb << 10, 128);
+        let weight = SramMacro::new(self.weight_buf_kb << 10, 128);
+        let output = SramMacro::new(self.output_buf_kb << 10, 128);
+
+        let mut counter = EnergyCounter::new();
+        // All 16 inner-joins switch every extraction cycle whether or not
+        // their segment yields a pair — the underutilization the paper
+        // calls out.
+        let join_energy = lib.inner_join_energy * self.segment as f64 / 128.0;
+        let extraction_cycles = (chunks_per_cu as f64 * chunk_cycles) as u64 * self.cus as u64;
+        counter.compute(extraction_cycles, self.joins as f64 * join_energy);
+        counter.compute(matches, lib.fusion_unit_energy() / 4.0);
+        counter.compute(
+            layer.output_count() as u64,
+            lib.crossbar_energy(self.cus, 32),
+        );
+        counter.buffer(act_read_bits, input.read_energy_pj(128) / 128.0);
+        counter.buffer(weight_read_bits, weight.read_energy_pj(128) / 128.0);
+        counter.buffer(out_write_bits, output.write_energy_pj(128) / 128.0);
+        counter.dram_bits(dram_bits);
+        counter.leakage(lib.leakage_pj(self.area_mm2(), cycles, tech.freq_mhz));
+
+        BaselineLayerReport {
+            name: layer.name.clone(),
+            cycles,
+            effectual_ops: matches,
+            dram_bits,
+            energy: counter.breakdown(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::layers::ConvLayer;
+    use qnn::quant::BitWidth;
+    use qnn::rng::SeededRng;
+    use qnn::workload::{ActivationProfile, WeightProfile};
+
+    fn stats(bits: BitWidth) -> LayerStats {
+        let layer = ConvLayer::conv("t", 32, 64, 3, 1, 1, 14, 14).unwrap();
+        let mut rng = SeededRng::new(1);
+        LayerStats::generate(
+            &layer,
+            &WeightProfile::benchmark(bits),
+            &ActivationProfile::new(bits),
+            2,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn faster_than_sparten_at_low_precision() {
+        // The added fusion unit + parallel joins should beat plain SparTen
+        // for 2/4-bit models (the paper's expectation before area
+        // normalization).
+        let s = stats(BitWidth::W2);
+        let sp = SparTen::paper_default().simulate_layer(&s).cycles;
+        let mp = SparTenMp::paper_default().simulate_layer(&s).cycles;
+        assert!(mp < sp, "SparTen-mp {mp} vs SparTen {sp}");
+    }
+
+    #[test]
+    fn chunk_cycles_bounded_by_extraction_and_consumption() {
+        let mp = SparTenMp::paper_default();
+        // Dense masks at 8b: consumption-limited (512 matches, 1/cycle).
+        let dense8 = mp.chunk_cycles(1.0, 8, 8);
+        assert!(dense8 >= 500.0, "{dense8}");
+        // Sparse masks at 2b: extraction-limited by the worst segment.
+        let sparse2 = mp.chunk_cycles(0.05, 2, 2);
+        let mean = mp.chunk() as f64 * 0.05 / 16.0;
+        assert!(sparse2 >= mean, "{sparse2} vs {mean}");
+    }
+
+    #[test]
+    fn area_much_larger_than_sparten() {
+        let sp = SparTen::paper_default().area_mm2();
+        let mp = SparTenMp::paper_default().area_mm2();
+        assert!(mp > sp * 1.3, "SparTen-mp area {mp} vs SparTen {sp}");
+    }
+
+    #[test]
+    fn segment_imbalance_hurts_at_moderate_sparsity() {
+        let mp = SparTenMp::paper_default();
+        // At match probability p the mean per-segment load is 32p; the
+        // expected worst of 16 segments exceeds it.
+        let c = mp.chunk_cycles(0.25, 2, 2);
+        let mean_per_segment = 32.0 * 0.25;
+        assert!(c > mean_per_segment, "{c} vs {mean_per_segment}");
+    }
+}

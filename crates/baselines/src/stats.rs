@@ -1,0 +1,146 @@
+//! Order statistics over sampled discrete distributions.
+//!
+//! The Laconic and SparTen-mp models need expectations of the *maximum* of
+//! `K` independent draws (slowest lane in a PE, most-loaded inner-join
+//! segment). Given a pmf over small non-negative integers these are exact:
+//! `E[max of K] = Σ_t (1 − F(t)^K)`.
+
+/// Normalizes a histogram into a pmf. Returns an all-zero vector if the
+/// histogram is empty or sums to zero.
+pub fn normalize(hist: &[f64]) -> Vec<f64> {
+    let total: f64 = hist.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; hist.len().max(1)];
+    }
+    hist.iter().map(|&h| h / total).collect()
+}
+
+/// Expectation of a pmf over `0..len`.
+pub fn expectation(pmf: &[f64]) -> f64 {
+    pmf.iter().enumerate().map(|(v, &p)| v as f64 * p).sum()
+}
+
+/// Expectation of the maximum of `k` independent draws from `pmf`
+/// (`E[max] = Σ_{t≥0} (1 − F(t)^k)` over the support).
+pub fn expected_max(pmf: &[f64], k: u64) -> f64 {
+    if k == 0 || pmf.is_empty() {
+        return 0.0;
+    }
+    let mut cdf = 0.0;
+    let mut e = 0.0;
+    // E[max] = Σ_{t=0}^{T-1} P(max > t) = Σ (1 - F(t)^k).
+    for &p in &pmf[..pmf.len() - 1] {
+        cdf += p;
+        e += 1.0 - cdf.powf(k as f64);
+    }
+    // Values above the last support point don't exist; the loop covers
+    // thresholds below the maximum support value.
+    e
+}
+
+/// Product distribution of two independent pmfs: `Z = X · Y`.
+pub fn product_pmf(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return vec![1.0];
+    }
+    let max = (a.len() - 1) * (b.len() - 1);
+    let mut out = vec![0.0; max + 1];
+    for (i, &pa) in a.iter().enumerate() {
+        if pa == 0.0 {
+            continue;
+        }
+        for (j, &pb) in b.iter().enumerate() {
+            if pb == 0.0 {
+                continue;
+            }
+            out[i * j] += pa * pb;
+        }
+    }
+    out
+}
+
+/// Binomial pmf with `n` trials and probability `p` (exact, for the modest
+/// `n` the segment models need).
+pub fn binomial_pmf(n: u64, p: f64) -> Vec<f64> {
+    let p = p.clamp(0.0, 1.0);
+    let mut pmf = vec![0.0; n as usize + 1];
+    // Iterative: P(0) = (1-p)^n; P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
+    if (1.0 - p).abs() < 1e-15 {
+        pmf[n as usize] = 1.0;
+        return pmf;
+    }
+    let mut cur = (1.0 - p).powf(n as f64);
+    let ratio = p / (1.0 - p);
+    for k in 0..=n {
+        pmf[k as usize] = cur;
+        if k < n {
+            cur *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        }
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_of_uniform() {
+        let pmf = vec![0.25; 4];
+        assert!((expectation(&pmf) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_max_of_one_draw_is_the_mean() {
+        let pmf = normalize(&[1.0, 2.0, 3.0]);
+        assert!((expected_max(&pmf, 1) - expectation(&pmf)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_max_grows_with_k_and_saturates() {
+        let pmf = normalize(&[1.0, 1.0, 1.0, 1.0]);
+        let e1 = expected_max(&pmf, 1);
+        let e4 = expected_max(&pmf, 4);
+        let e1000 = expected_max(&pmf, 1000);
+        assert!(e1 < e4 && e4 < e1000);
+        assert!(e1000 <= 3.0 + 1e-9);
+        assert!(e1000 > 2.99);
+    }
+
+    #[test]
+    fn expected_max_degenerate() {
+        assert_eq!(expected_max(&[1.0], 10), 0.0); // constant zero
+        assert_eq!(expected_max(&[], 10), 0.0);
+        assert_eq!(expected_max(&[0.5, 0.5], 0), 0.0);
+    }
+
+    #[test]
+    fn product_pmf_matches_manual() {
+        // X in {0,1} each 0.5; Y in {0,2}: wait, pmf index IS the value.
+        let a = vec![0.5, 0.5]; // 0 or 1
+        let b = vec![0.0, 0.0, 1.0]; // always 2
+        let p = product_pmf(&a, &b);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[2] - 0.5).abs() < 1e-12);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_sums_to_one_and_has_np_mean() {
+        for (n, p) in [(16u64, 0.3), (32, 0.05), (8, 0.9)] {
+            let pmf = binomial_pmf(n, p);
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!((expectation(&pmf) - n as f64 * p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let zero = binomial_pmf(8, 0.0);
+        assert!((zero[0] - 1.0).abs() < 1e-12);
+        let one = binomial_pmf(8, 1.0);
+        assert!((one[8] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the baseline models' shared machinery.
+
+use baselines::booth::{booth_terms, pair_latency, term_histogram};
+use baselines::laconic::Laconic;
+use baselines::stats::{binomial_pmf, expectation, expected_max, normalize, product_pmf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn booth_terms_symmetric_and_bounded(v in -65535i32..=65535) {
+        prop_assert_eq!(booth_terms(v), booth_terms(-v));
+        prop_assert!(booth_terms(v) <= v.unsigned_abs().count_ones());
+        // NAF of an n-bit value has at most ceil((n+1)/2) non-zero digits.
+        let bits = 32 - v.unsigned_abs().leading_zeros();
+        prop_assert!(booth_terms(v) <= (bits + 2) / 2 + 1);
+    }
+
+    #[test]
+    fn booth_terms_shift_invariant(v in 1i32..=4095, k in 0u32..=8) {
+        // Multiplying by a power of two shifts digits, never adds terms.
+        prop_assert_eq!(booth_terms(v << k), booth_terms(v));
+    }
+
+    #[test]
+    fn pair_latency_bilinear_zero(a in -255i32..=255) {
+        prop_assert_eq!(pair_latency(a, 0), 0);
+        prop_assert_eq!(pair_latency(0, a), 0);
+    }
+
+    #[test]
+    fn histogram_normalizes(vals in proptest::collection::vec(-255i32..=255, 1..200)) {
+        let h = term_histogram(&vals);
+        let sum: f64 = h.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_max_monotone_in_k(
+        raw in proptest::collection::vec(0.0f64..1.0, 2..10),
+        k1 in 1u64..50,
+        k2 in 50u64..500,
+    ) {
+        prop_assume!(raw.iter().sum::<f64>() > 0.0);
+        let pmf = normalize(&raw);
+        let e1 = expected_max(&pmf, k1);
+        let e2 = expected_max(&pmf, k2);
+        prop_assert!(e1 <= e2 + 1e-9);
+        prop_assert!(expectation(&pmf) <= e1 + 1e-9);
+        // Bounded by the support maximum.
+        prop_assert!(e2 <= (pmf.len() - 1) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn product_pmf_mean_is_product_of_means(
+        ra in proptest::collection::vec(0.0f64..1.0, 2..8),
+        rb in proptest::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        prop_assume!(ra.iter().sum::<f64>() > 1e-6 && rb.iter().sum::<f64>() > 1e-6);
+        let a = normalize(&ra);
+        let b = normalize(&rb);
+        let p = product_pmf(&a, &b);
+        let lhs = expectation(&p);
+        let rhs = expectation(&a) * expectation(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn binomial_mean_and_support(n in 1u64..=64, p in 0.0f64..=1.0) {
+        let pmf = binomial_pmf(n, p);
+        prop_assert_eq!(pmf.len(), n as usize + 1);
+        let total: f64 = pmf.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-7);
+        prop_assert!((expectation(&pmf) - n as f64 * p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn laconic_round_latency_invariants(
+        work in proptest::collection::vec(0u32..=25, 1..128),
+        lanes in 1usize..=16,
+    ) {
+        let (theo, avg, tile) = Laconic::round_latencies(&work, lanes);
+        prop_assert!(theo <= avg + 1e-9);
+        prop_assert!(avg <= tile as f64 + 1e-9);
+        prop_assert_eq!(tile, work.iter().copied().max().unwrap_or(0) as u64);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench for the extra ablation studies (tile size, FIFO depth,
+//! balancing across networks).
+
+use bench::cache::StatsCache;
+use bench::experiments::ablations;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("tile_size", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_tile_size(true)))
+    });
+    g.bench_function("fifo_depth", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_fifo_depth(true)))
+    });
+    g.finish();
+
+    let mut cache = StatsCache::new();
+    println!(
+        "{}",
+        ablations::render(
+            &ablations::run_tile_size(false),
+            &ablations::run_fifo_depth(false),
+            &ablations::run_balance_networks(false, &mut cache),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

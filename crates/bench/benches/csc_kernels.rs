@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the condensed-streaming-computation kernels: the
+//! algorithmic core (atomization, compression, intersection, full CSC
+//! convolution vs dense reference).
+
+use atomstream::atom::AtomBits;
+use atomstream::conv_csc::{conv2d_csc, CscConfig};
+use atomstream::decompose::atomize_signed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn::conv::{conv2d, ConvGeometry};
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
+
+fn workload() -> SyntheticLayer {
+    let layer = qnn::layers::ConvLayer::conv("bench", 16, 32, 3, 1, 1, 28, 28).unwrap();
+    let mut gen = WorkloadGen::new(7);
+    SyntheticLayer::generate(
+        &layer,
+        &WeightProfile::benchmark(BitWidth::W8),
+        &ActivationProfile::new(BitWidth::W8),
+        &mut gen,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let geom = ConvGeometry::unit_stride(1);
+
+    let mut g = c.benchmark_group("csc_kernels");
+    g.sample_size(10);
+    g.bench_function("atomize_signed_8b", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for v in -127i32..=127 {
+                n += atomize_signed(std::hint::black_box(v), 8, AtomBits::B2)
+                    .unwrap()
+                    .len();
+            }
+            n
+        })
+    });
+    g.bench_function("dense_reference_conv", |b| {
+        b.iter(|| std::hint::black_box(conv2d(&w.fmap, &w.kernels, geom).unwrap()))
+    });
+    g.bench_function("csc_sparse_conv", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                conv2d_csc(
+                    &w.fmap,
+                    &w.kernels,
+                    geom,
+                    BitWidth::W8,
+                    BitWidth::W8,
+                    &CscConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Figure 1 (sparsity vs bit-width).
+
+use bench::experiments::fig01;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    g.bench_function("sparsity_study", |b| {
+        b.iter(|| std::hint::black_box(fig01::run(true)))
+    });
+    g.finish();
+
+    // Emit the reproduced table once so `cargo bench` output doubles as
+    // the experiment record.
+    println!("{}", fig01::render(&fig01::run(false)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

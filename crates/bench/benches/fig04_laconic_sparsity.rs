@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 4 (Laconic latency vs sparsity).
+
+use bench::experiments::fig04;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("laconic_sparsity_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig04::run(true)))
+    });
+    g.finish();
+
+    println!("{}", fig04::render(&fig04::run(false)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

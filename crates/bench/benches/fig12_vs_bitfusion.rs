@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Figures 12/13 (vs Bit Fusion).
+
+use bench::cache::StatsCache;
+use bench::experiments::fig12;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cache = StatsCache::new();
+    // Pre-warm so the measured loop times the simulators, not workload
+    // generation.
+    let _ = fig12::run(true, &mut cache);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("vs_bitfusion", |b| {
+        b.iter(|| std::hint::black_box(fig12::run(true, &mut cache)))
+    });
+    g.finish();
+
+    let mut full = StatsCache::new();
+    println!("{}", fig12::render(&fig12::run(false, &mut full)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

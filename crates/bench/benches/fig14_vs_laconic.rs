@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figures 14/16 (vs Laconic).
+
+use bench::cache::StatsCache;
+use bench::experiments::fig14;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cache = StatsCache::new();
+    let _ = fig14::run(true, &mut cache);
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("vs_laconic", |b| {
+        b.iter(|| std::hint::black_box(fig14::run(true, &mut cache)))
+    });
+    g.finish();
+
+    let mut full = StatsCache::new();
+    println!("{}", fig14::render(&fig14::run(false, &mut full)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

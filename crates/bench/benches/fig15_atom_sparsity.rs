@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 15 (tile perf vs atom sparsity).
+
+use bench::experiments::fig15;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("atom_sparsity_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig15::run(true)))
+    });
+    g.finish();
+
+    println!("{}", fig15::render(&fig15::run(false)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 17 (vs SparTen / SparTen-mp).
+
+use bench::cache::StatsCache;
+use bench::experiments::fig17;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cache = StatsCache::new();
+    let _ = fig17::run(true, &mut cache);
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("vs_sparten", |b| {
+        b.iter(|| std::hint::black_box(fig17::run(true, &mut cache)))
+    });
+    g.finish();
+
+    let mut full = StatsCache::new();
+    println!("{}", fig17::render(&fig17::run(false, &mut full)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 18 (load balancing).
+
+use bench::experiments::fig18;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("balance_conv3_2", |b| {
+        b.iter(|| std::hint::black_box(fig18::run(true)))
+    });
+    g.finish();
+
+    println!("{}", fig18::render(&fig18::run(false)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Figure 19 (atom granularity ablation).
+
+use bench::cache::StatsCache;
+use bench::experiments::fig19;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cache = StatsCache::new();
+    let _ = fig19::run_perf(true, &mut cache);
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    g.bench_function("granularity_cost", |b| {
+        b.iter(|| std::hint::black_box(fig19::run_cost()))
+    });
+    g.bench_function("granularity_perf", |b| {
+        b.iter(|| std::hint::black_box(fig19::run_perf(true, &mut cache)))
+    });
+    g.finish();
+
+    let mut full = StatsCache::new();
+    println!(
+        "{}",
+        fig19::render(&fig19::run_cost(), &fig19::run_perf(false, &mut full))
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Table VI (area breakdown).
+
+use bench::experiments::table6;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("area_assembly", |b| {
+        b.iter(|| std::hint::black_box(table6::run()))
+    });
+    g.finish();
+
+    println!("{}", table6::render(&table6::run()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Internal calibration tool: dumps the energy breakdown of Ristretto and
+//! Bit Fusion per component for one network.
+
+use baselines::bitfusion::BitFusion;
+use baselines::report::Accelerator;
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto_sim::analytic::RistrettoSim;
+use ristretto_sim::config::RistrettoConfig;
+
+fn main() {
+    let net = NetworkStats::generate(
+        NetworkId::ResNet18,
+        PrecisionPolicy::Uniform(BitWidth::W4),
+        2,
+        20220101,
+    );
+    let sim = RistrettoSim::new(RistrettoConfig::paper_default());
+    let em = sim.energy_model();
+    println!("prices: atom_mult {:.4} delivery {:.4} aggregate {:.4} atomizer {:.4} in/bit {:.4} w/bit {:.4} out/bit {:.4}",
+        em.atom_mult_pj, em.delivery_pj, em.aggregate_pj, em.atomizer_pj,
+        em.input_read_per_bit_pj, em.weight_read_per_bit_pj, em.output_write_per_bit_pj);
+    let r = sim.simulate_network(&net);
+    let e = r.total_energy();
+    println!("Ristretto: cycles {} compute {:.1}uJ buffer {:.1}uJ dram {:.1}uJ leak {:.1}uJ total {:.1}uJ",
+        r.total_cycles(), e.compute_pj*1e-6, e.buffer_pj*1e-6, e.dram_pj*1e-6, e.leakage_pj*1e-6, e.total_pj()*1e-6);
+    let am: u64 = r.layers.iter().map(|l| l.atom_mults).sum();
+    let dv: u64 = r.layers.iter().map(|l| l.deliveries).sum();
+    let bb: u64 = r.layers.iter().map(|l| l.buffer_bits).sum();
+    println!(
+        "  atom_mults {am} ({:.1}uJ)  deliveries {dv} ({:.1}uJ)  buffer_bits {bb}",
+        am as f64 * em.atom_mult_pj * 1e-6,
+        dv as f64 * em.delivery_pj * 1e-6
+    );
+    let bf = BitFusion::paper_default();
+    let b = bf.simulate_network(&net);
+    let eb = b.total_energy();
+    println!("BitFusion: cycles {} compute {:.1}uJ buffer {:.1}uJ dram {:.1}uJ leak {:.1}uJ total {:.1}uJ",
+        b.total_cycles(), eb.compute_pj*1e-6, eb.buffer_pj*1e-6, eb.dram_pj*1e-6, eb.leakage_pj*1e-6, eb.total_pj()*1e-6);
+}

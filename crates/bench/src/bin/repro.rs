@@ -1,0 +1,234 @@
+//! `repro` — regenerates every table and figure of the Ristretto paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--quick] [--json <path>]
+//! experiments: fig1 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
+//!              table6 motivation multicore ablations all
+//! ```
+//!
+//! `fig13` and `fig16` are energy companions produced by the same runners
+//! as `fig12` / `fig14`. `--quick` trims the benchmark to three networks
+//! and coarser sweeps. With `--json`, the structured rows are also written
+//! to the given path.
+
+use bench::cache::StatsCache;
+use bench::experiments::{
+    ablations, fig01, fig04, fig12, fig14, fig15, fig17, fig18, fig19, motivation,
+    multicore_scaling, table6,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref());
+    let Some(which) = which else {
+        eprintln!(
+            "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let mut cache = StatsCache::new();
+    let mut json = serde_json::Map::new();
+    let mut emit = |name: &str, text: String, value: serde_json::Value| {
+        println!("{text}");
+        json.insert(name.to_string(), value);
+    };
+
+    let run_fig1 = |emit: &mut dyn FnMut(&str, String, serde_json::Value)| {
+        let rows = fig01::run(quick);
+        emit(
+            "fig1",
+            fig01::render(&rows),
+            serde_json::to_value(&rows).unwrap(),
+        );
+    };
+    let run_fig4 = |emit: &mut dyn FnMut(&str, String, serde_json::Value)| {
+        let rows = fig04::run(quick);
+        emit(
+            "fig4",
+            fig04::render(&rows),
+            serde_json::to_value(&rows).unwrap(),
+        );
+    };
+
+    match which.as_str() {
+        "fig1" => run_fig1(&mut emit),
+        "fig4" => run_fig4(&mut emit),
+        "fig12" | "fig13" => {
+            let rows = fig12::run(quick, &mut cache);
+            emit(
+                "fig12_13",
+                fig12::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig14" | "fig16" => {
+            let rows = fig14::run(quick, &mut cache);
+            emit(
+                "fig14_16",
+                fig14::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig15" => {
+            let rows = fig15::run(quick);
+            emit(
+                "fig15",
+                fig15::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig17" => {
+            let rows = fig17::run(quick, &mut cache);
+            emit(
+                "fig17",
+                fig17::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig18" => {
+            let rows = fig18::run(quick);
+            emit(
+                "fig18",
+                fig18::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig19" => {
+            let cost = fig19::run_cost();
+            let perf = fig19::run_perf(quick, &mut cache);
+            emit(
+                "fig19",
+                fig19::render(&cost, &perf),
+                serde_json::json!({"cost": cost, "perf": perf}),
+            );
+        }
+        "table6" => {
+            let rows = table6::run();
+            emit(
+                "table6",
+                table6::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "motivation" => {
+            let rows = motivation::run(quick, &mut cache);
+            emit(
+                "motivation",
+                motivation::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "multicore" => {
+            let rows = multicore_scaling::run(&mut cache);
+            emit(
+                "multicore",
+                multicore_scaling::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "ablations" => {
+            let tiles = ablations::run_tile_size(quick);
+            let fifos = ablations::run_fifo_depth(quick);
+            let bals = ablations::run_balance_networks(quick, &mut cache);
+            emit(
+                "ablations",
+                ablations::render(&tiles, &fifos, &bals),
+                serde_json::json!({"tile_size": tiles, "fifo_depth": fifos, "balance": bals}),
+            );
+        }
+        "all" => {
+            run_fig1(&mut emit);
+            run_fig4(&mut emit);
+            let rows = table6::run();
+            emit(
+                "table6",
+                table6::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = fig12::run(quick, &mut cache);
+            emit(
+                "fig12_13",
+                fig12::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = fig14::run(quick, &mut cache);
+            emit(
+                "fig14_16",
+                fig14::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = fig15::run(quick);
+            emit(
+                "fig15",
+                fig15::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = fig17::run(quick, &mut cache);
+            emit(
+                "fig17",
+                fig17::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = fig18::run(quick);
+            emit(
+                "fig18",
+                fig18::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let cost = fig19::run_cost();
+            let perf = fig19::run_perf(quick, &mut cache);
+            emit(
+                "fig19",
+                fig19::render(&cost, &perf),
+                serde_json::json!({"cost": cost, "perf": perf}),
+            );
+            let rows = motivation::run(quick, &mut cache);
+            emit(
+                "motivation",
+                motivation::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let rows = multicore_scaling::run(&mut cache);
+            emit(
+                "multicore",
+                multicore_scaling::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+            let tiles = ablations::run_tile_size(quick);
+            let fifos = ablations::run_fifo_depth(quick);
+            let bals = ablations::run_balance_networks(quick, &mut cache);
+            emit(
+                "ablations",
+                ablations::render(&tiles, &fifos, &bals),
+                serde_json::json!({"tile_size": tiles, "fifo_depth": fifos, "balance": bals}),
+            );
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+            Ok(()) => eprintln!("wrote JSON results to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,60 @@
+//! Caching of generated network statistics so `repro all` builds each
+//! `(network, policy, granularity)` workload once.
+
+use qnn::models::NetworkId;
+use qnn::workload::{NetworkStats, PrecisionPolicy};
+use std::collections::HashMap;
+
+/// Keyed cache of [`NetworkStats`].
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    map: HashMap<(NetworkId, String, u8), NetworkStats>,
+}
+
+impl StatsCache {
+    /// A fresh cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (generating on miss) the stats for a workload.
+    pub fn get(
+        &mut self,
+        id: NetworkId,
+        policy: PrecisionPolicy,
+        atom_bits: u8,
+        seed: u64,
+    ) -> &NetworkStats {
+        self.map
+            .entry((id, policy.label(), atom_bits))
+            .or_insert_with(|| NetworkStats::generate(id, policy, atom_bits, seed))
+    }
+
+    /// Number of cached workloads.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::quant::BitWidth;
+
+    #[test]
+    fn caches_by_key() {
+        let mut c = StatsCache::new();
+        let p = PrecisionPolicy::Uniform(BitWidth::W4);
+        let _ = c.get(NetworkId::AlexNet, p, 2, 1);
+        let _ = c.get(NetworkId::AlexNet, p, 2, 1);
+        assert_eq!(c.len(), 1);
+        let _ = c.get(NetworkId::AlexNet, p, 3, 1);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 1: average value sparsity of weights and activations for the
+//! five ImageNet networks under 8/6/4/2-bit uniform quantization (no
+//! pruning).
+//!
+//! Paper anchors: at 2-bit the averages are 47.43% (weights) and 75.25%
+//! (activations); sparsity grows monotonically as the bit-width shrinks.
+
+use crate::{table, SEED};
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::sparsity::value_density;
+use qnn::workload::{network_flavor, ActivationProfile, WeightProfile, WorkloadGen};
+use serde::{Deserialize, Serialize};
+
+/// One sparsity measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Network name.
+    pub network: String,
+    /// Quantization bit-width.
+    pub bits: u8,
+    /// Measured weight sparsity (fraction of zeros).
+    pub weight_sparsity: f64,
+    /// Measured activation sparsity.
+    pub activation_sparsity: f64,
+}
+
+/// Bit-widths swept (Figure 1's x-axis).
+pub const WIDTHS: [BitWidth; 4] = [BitWidth::W8, BitWidth::W6, BitWidth::W4, BitWidth::W2];
+
+/// Runs the sparsity study.
+pub fn run(quick: bool) -> Vec<Row> {
+    let samples = if quick { 20_000 } else { 200_000 };
+    let mut rows = Vec::new();
+    for &net in &NetworkId::FIG1 {
+        let (shift, clip, _) = network_flavor(net);
+        for &bits in &WIDTHS {
+            let mut gen = WorkloadGen::new(SEED ^ (net as u64) << 8 ^ bits.bits() as u64);
+            // Figure 1 is explicitly *without pruning*.
+            let wp = WeightProfile {
+                bits,
+                prune_sparsity: 0.0,
+                clip_scale: clip,
+            };
+            let ap = ActivationProfile {
+                bits,
+                relu_shift: shift,
+            };
+            let w = gen.weight_values(samples, &wp);
+            let a = gen.activation_values(samples, &ap);
+            rows.push(Row {
+                network: net.name().to_string(),
+                bits: bits.bits(),
+                weight_sparsity: 1.0 - value_density(&w),
+                activation_sparsity: 1.0 - value_density(&a),
+            });
+        }
+    }
+    rows
+}
+
+/// Average sparsity across networks at one width.
+pub fn averages(rows: &[Row], bits: u8) -> (f64, f64) {
+    let sel: Vec<&Row> = rows.iter().filter(|r| r.bits == bits).collect();
+    if sel.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = sel.len() as f64;
+    (
+        sel.iter().map(|r| r.weight_sparsity).sum::<f64>() / n,
+        sel.iter().map(|r| r.activation_sparsity).sum::<f64>() / n,
+    )
+}
+
+/// Renders the result table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "network".to_string(),
+        "bits".to_string(),
+        "weight sparsity".to_string(),
+        "act sparsity".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.network.clone(),
+            format!("{}b", r.bits),
+            table::pct(r.weight_sparsity),
+            table::pct(r.activation_sparsity),
+        ]);
+    }
+    let (w2, a2) = averages(rows, 2);
+    let mut s = table::render(
+        "Fig 1: value sparsity vs quantization bit-width (unpruned)",
+        &t,
+    );
+    s.push_str(&format!(
+        "2-bit averages: weights {} (paper 47.43%), activations {} (paper 75.25%)\n",
+        table::pct(w2),
+        table::pct(a2)
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_monotone_and_2bit_near_paper() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 5 * 4);
+        for net in rows
+            .iter()
+            .map(|r| r.network.clone())
+            .collect::<std::collections::HashSet<_>>()
+        {
+            let mut per_net: Vec<&Row> = rows.iter().filter(|r| r.network == net).collect();
+            per_net.sort_by_key(|r| std::cmp::Reverse(r.bits));
+            for pair in per_net.windows(2) {
+                assert!(
+                    pair[1].weight_sparsity >= pair[0].weight_sparsity - 0.02,
+                    "{net}: weight sparsity not monotone"
+                );
+                assert!(
+                    pair[1].activation_sparsity >= pair[0].activation_sparsity - 0.02,
+                    "{net}: activation sparsity not monotone"
+                );
+            }
+        }
+        let (w2, a2) = averages(&rows, 2);
+        assert!(
+            (0.37..0.60).contains(&w2),
+            "2b weight avg {w2} (paper 0.4743)"
+        );
+        assert!((0.65..0.85).contains(&a2), "2b act avg {a2} (paper 0.7525)");
+    }
+
+    #[test]
+    fn render_mentions_paper_anchor() {
+        let rows = run(true);
+        let s = render(&rows);
+        assert!(s.contains("47.43%"));
+        assert!(s.contains("AlexNet"));
+    }
+}

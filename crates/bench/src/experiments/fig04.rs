@@ -1,0 +1,134 @@
+//! Figure 4: Laconic tile performance vs value sparsity.
+//!
+//! Random uniform 8-bit vectors at controlled value sparsity are paired
+//! into inner products of length 16 (one pair per bit-serial lane) and the
+//! three latency estimates are averaged over many runs:
+//! theoretical ≤ average-PE ≤ tile. The paper's observations: value
+//! sparsity yields little tile-level speedup, and the gap widens with tile
+//! size.
+
+use crate::{table, SEED};
+use baselines::laconic::Laconic;
+use qnn::quant::BitWidth;
+use qnn::workload::WorkloadGen;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Number of PEs in the tile.
+    pub tile_pes: usize,
+    /// Value sparsity of both operands.
+    pub sparsity: f64,
+    /// Theoretical latency (workload / lanes).
+    pub theoretical: f64,
+    /// Mean per-PE latency (no cross-PE sharing).
+    pub average_pe: f64,
+    /// Full-tile latency (slowest PE).
+    pub tile: f64,
+}
+
+/// Tile sizes swept (PE counts).
+pub const TILE_SIZES: [usize; 4] = [4, 16, 48, 64];
+
+/// Runs the sweep.
+pub fn run(quick: bool) -> Vec<Row> {
+    let runs = if quick { 100 } else { 1000 };
+    let lanes = 16;
+    let mut rows = Vec::new();
+    for &pes in &TILE_SIZES {
+        for step in 0..=8 {
+            let sparsity = step as f64 * 0.1;
+            let density = 1.0 - sparsity;
+            let mut gen = WorkloadGen::new(SEED ^ (pes as u64) << 16 ^ step);
+            let (mut st, mut sa, mut sm) = (0.0, 0.0, 0u64);
+            for _ in 0..runs {
+                let a = gen.values_with_density(pes * lanes, BitWidth::W8, density, false);
+                let w = gen.values_with_density(pes * lanes, BitWidth::W8, density, true);
+                let work = Laconic::pair_work(&a, &w);
+                let (t, p, m) = Laconic::round_latencies(&work, lanes);
+                st += t;
+                sa += p;
+                sm += m;
+            }
+            rows.push(Row {
+                tile_pes: pes,
+                sparsity,
+                theoretical: st / runs as f64,
+                average_pe: sa / runs as f64,
+                tile: sm as f64 / runs as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the result table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "PEs".to_string(),
+        "sparsity".to_string(),
+        "theoretical".to_string(),
+        "avg PE".to_string(),
+        "tile".to_string(),
+        "tile/theoretical".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.tile_pes.to_string(),
+            table::pct(r.sparsity),
+            table::f2(r.theoretical),
+            table::f2(r.average_pe),
+            table::f2(r.tile),
+            table::f2(r.tile / r.theoretical.max(1e-9)),
+        ]);
+    }
+    table::render(
+        "Fig 4: Laconic inner-product latency vs value sparsity (cycles per round)",
+        &t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_ordered_and_gap_grows_with_tile_size() {
+        let rows = run(true);
+        for r in &rows {
+            assert!(
+                r.theoretical <= r.average_pe + 1e-9 && r.average_pe <= r.tile + 1e-9,
+                "ordering violated at {r:?}"
+            );
+        }
+        // At fixed sparsity, the tile/theoretical gap grows with PE count.
+        let gap = |pes: usize| {
+            let r = rows
+                .iter()
+                .find(|r| r.tile_pes == pes && (r.sparsity - 0.5).abs() < 1e-9)
+                .unwrap();
+            r.tile / r.theoretical
+        };
+        assert!(gap(64) > gap(4), "{} vs {}", gap(64), gap(4));
+    }
+
+    #[test]
+    fn sparsity_insensitivity_of_tile_latency() {
+        // Paper: increasing value sparsity does not proportionally improve
+        // the tile latency. Going from 0% to 50% sparsity halves the
+        // workload but the 64-PE tile latency shrinks by much less.
+        let rows = run(true);
+        let tile_at = |s: f64| {
+            rows.iter()
+                .find(|r| r.tile_pes == 64 && (r.sparsity - s).abs() < 1e-9)
+                .unwrap()
+                .tile
+        };
+        let improvement = tile_at(0.0) / tile_at(0.5);
+        assert!(
+            improvement < 1.6,
+            "tile latency improved {improvement}x for 2x less work"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 18: load-balancing visualization on conv3_2 of 4-bit ResNet-18
+//! (128 input feature maps and their kernels onto 32 compute tiles) under
+//! no / w / w-a balancing.
+//!
+//! Paper observation: the per-tile workload spread is minimal under w/a
+//! balancing, while weight-only balancing barely improves on none because
+//! Ristretto's latency depends on both operands' non-zero atoms.
+
+use crate::{table, SEED};
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto_sim::balance::{balance, BalanceStrategy, ChannelWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Result for one balancing strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyResult {
+    /// Strategy label.
+    pub strategy: String,
+    /// Per-tile workloads (cycles), 32 entries.
+    pub tile_cycles: Vec<u64>,
+    /// Layer makespan.
+    pub makespan: u64,
+    /// Utilization.
+    pub utilization: f64,
+    /// Relative spread: (max − min) / mean.
+    pub spread: f64,
+}
+
+/// Runs the balancing comparison on the Fig 18 layer.
+pub fn run(_quick: bool) -> Vec<StrategyResult> {
+    let stats = NetworkStats::generate(
+        NetworkId::ResNet18,
+        PrecisionPolicy::Uniform(BitWidth::W4),
+        2,
+        SEED,
+    );
+    let layer = stats
+        .layers
+        .iter()
+        .find(|l| l.layer.name == "conv3_2")
+        .expect("ResNet-18 has conv3_2");
+    assert_eq!(
+        layer.layer.in_channels, 128,
+        "Fig 18's layer has 128 input feature maps"
+    );
+    let workloads: Vec<ChannelWorkload> = (0..128)
+        .map(|i| ChannelWorkload {
+            channel: i,
+            act_atoms: layer.act_atoms_per_channel[i],
+            weight_atoms: layer.weight_atoms_per_channel[i],
+        })
+        .collect();
+    [
+        BalanceStrategy::None,
+        BalanceStrategy::WeightOnly,
+        BalanceStrategy::WeightActivation,
+    ]
+    .into_iter()
+    .map(|s| {
+        let a = balance(&workloads, 32, 16, s);
+        let max = *a.tile_cycles.iter().max().unwrap() as f64;
+        let min = *a.tile_cycles.iter().min().unwrap() as f64;
+        let mean = a.tile_cycles.iter().sum::<u64>() as f64 / 32.0;
+        StrategyResult {
+            strategy: s.to_string(),
+            makespan: a.makespan(),
+            utilization: a.utilization(),
+            spread: (max - min) / mean.max(1.0),
+            tile_cycles: a.tile_cycles,
+        }
+    })
+    .collect()
+}
+
+/// Renders Fig 18 (summary plus the per-tile profile).
+pub fn render(results: &[StrategyResult]) -> String {
+    let mut t = vec![vec![
+        "strategy".to_string(),
+        "makespan".to_string(),
+        "utilization".to_string(),
+        "spread (max-min)/mean".to_string(),
+    ]];
+    for r in results {
+        t.push(vec![
+            r.strategy.clone(),
+            r.makespan.to_string(),
+            table::pct(r.utilization),
+            table::f2(r.spread),
+        ]);
+    }
+    let mut s = table::render(
+        "Fig 18: load balancing on conv3_2 of 4-bit ResNet-18 (128 fmaps -> 32 tiles)",
+        &t,
+    );
+    for r in results {
+        s.push_str(&format!("{:>14} tiles: ", r.strategy));
+        for c in &r.tile_cycles {
+            s.push_str(&format!("{c} "));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_balancing_minimizes_spread() {
+        let results = run(true);
+        assert_eq!(results.len(), 3);
+        let by = |name: &str| results.iter().find(|r| r.strategy == name).unwrap();
+        let none = by("no balancing");
+        let w = by("w balancing");
+        let wa = by("w/a balancing");
+        assert!(wa.spread < none.spread, "{} vs {}", wa.spread, none.spread);
+        assert!(wa.makespan <= w.makespan);
+        assert!(wa.makespan <= none.makespan);
+        assert!(wa.utilization > 0.95, "w/a utilization {}", wa.utilization);
+        // Paper: weight-only balancing is a poor proxy in Ristretto — the
+        // w/a spread is clearly smaller.
+        assert!(wa.spread < w.spread, "{} vs {}", wa.spread, w.spread);
+    }
+
+    #[test]
+    fn work_is_conserved_across_strategies() {
+        let results = run(true);
+        let sums: Vec<u64> = results
+            .iter()
+            .map(|r| r.tile_cycles.iter().sum::<u64>())
+            .collect();
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[1], sums[2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! §II-B2 quantified: "inefficiency of direct combination".
+//!
+//! The paper argues (with Figures 2 and 3 as block diagrams) that bolting
+//! mixed precision onto a sparse accelerator (SparTen→SparTen-mp) or
+//! sparsity onto a precision-scalable one (Laconic→Laconic+SNAP) is
+//! inferior to the unified condensed-streaming design. This experiment
+//! turns the argument into numbers: area-normalized performance of each
+//! base design, its naive combination, and Ristretto, plus the Table I
+//! taxonomy members SCNN and SNAP for reference.
+
+use crate::cache::StatsCache;
+use crate::{area_norm_speedup, benchmark_networks, table, SEED};
+use baselines::prelude::*;
+use hwmodel::ComponentLib;
+use qnn::quant::BitWidth;
+use qnn::workload::PrecisionPolicy;
+use ristretto_sim::analytic::RistrettoSim;
+use ristretto_sim::area::AreaBreakdown;
+use ristretto_sim::config::RistrettoConfig;
+use serde::{Deserialize, Serialize};
+
+/// One accelerator's aggregate standing on the benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Total cycles over the benchmark subset (4-bit models).
+    pub cycles: u64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+    /// Area-normalized speedup over SparTen (the sparse base design).
+    pub speedup_vs_sparten: f64,
+}
+
+/// Runs the seven-way comparison at 4-bit (the precision where the
+/// combinations should shine if the separate-design methodology worked).
+pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
+    let policy = PrecisionPolicy::Uniform(BitWidth::W4);
+    let nets: Vec<_> = benchmark_networks(quick).to_vec();
+
+    let r_cfg = RistrettoConfig::half_width();
+    let r_sim = RistrettoSim::new(r_cfg);
+    let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
+
+    let total = |f: &dyn Fn(&qnn::workload::NetworkStats) -> u64, cache: &mut StatsCache| -> u64 {
+        nets.iter().map(|&n| f(cache.get(n, policy, 2, SEED))).sum()
+    };
+
+    let mut rows: Vec<(String, u64, f64)> = Vec::new();
+    let sparten = SparTen::paper_default();
+    rows.push((
+        "SparTen".into(),
+        total(&|s| sparten.simulate_network(s).total_cycles(), cache),
+        sparten.area_mm2(),
+    ));
+    let mp = SparTenMp::paper_default();
+    rows.push((
+        "SparTen-mp".into(),
+        total(&|s| mp.simulate_network(s).total_cycles(), cache),
+        mp.area_mm2(),
+    ));
+    let lac = Laconic::paper_default();
+    rows.push((
+        "Laconic".into(),
+        total(&|s| lac.simulate_network(s).total_cycles(), cache),
+        lac.area_mm2(),
+    ));
+    let ls = LaconicSnap::paper_default();
+    rows.push((
+        "Laconic+SNAP".into(),
+        total(&|s| ls.simulate_network(s).total_cycles(), cache),
+        ls.area_mm2(),
+    ));
+    let scnn = Scnn::paper_default();
+    rows.push((
+        "SCNN".into(),
+        total(&|s| scnn.simulate_network(s).total_cycles(), cache),
+        scnn.area_mm2(),
+    ));
+    let snap = Snap::paper_default();
+    rows.push((
+        "SNAP".into(),
+        total(&|s| snap.simulate_network(s).total_cycles(), cache),
+        snap.area_mm2(),
+    ));
+    rows.push((
+        "Ristretto".into(),
+        total(&|s| r_sim.simulate_network(s).total_cycles(), cache),
+        r_area,
+    ));
+
+    let (base_cycles, base_area) = (rows[0].1, rows[0].2);
+    rows.into_iter()
+        .map(|(accelerator, cycles, area_mm2)| Row {
+            accelerator,
+            cycles,
+            area_mm2,
+            speedup_vs_sparten: area_norm_speedup(cycles, area_mm2, base_cycles, base_area),
+        })
+        .collect()
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "accelerator".to_string(),
+        "cycles (4b benchmark)".to_string(),
+        "area mm2".to_string(),
+        "perf/area vs SparTen".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.accelerator.clone(),
+            r.cycles.to_string(),
+            format!("{:.3}", r.area_mm2),
+            table::speedup(r.speedup_vs_sparten),
+        ]);
+    }
+    table::render(
+        "Motivation (§II-B2): base designs, naive combinations, and the unified design (4-bit)",
+        &t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by<'a>(rows: &'a [Row], name: &str) -> &'a Row {
+        rows.iter().find(|r| r.accelerator == name).unwrap()
+    }
+
+    #[test]
+    fn unified_design_beats_both_naive_combinations() {
+        let mut cache = StatsCache::new();
+        let rows = run(true, &mut cache);
+        let ristretto = by(&rows, "Ristretto").speedup_vs_sparten;
+        let mp = by(&rows, "SparTen-mp").speedup_vs_sparten;
+        let ls = by(&rows, "Laconic+SNAP").speedup_vs_sparten;
+        assert!(ristretto > mp, "Ristretto {ristretto} vs SparTen-mp {mp}");
+        assert!(ristretto > ls, "Ristretto {ristretto} vs Laconic+SNAP {ls}");
+        // And the combinations do not dominate their own base designs by
+        // the margin the unified design achieves.
+        let sparten = by(&rows, "SparTen").speedup_vs_sparten;
+        assert!(ristretto > 2.0 * sparten, "unified win should be decisive");
+    }
+
+    #[test]
+    fn combination_gains_are_marginal_or_negative_in_perf_per_area() {
+        let mut cache = StatsCache::new();
+        let rows = run(true, &mut cache);
+        let lac = by(&rows, "Laconic").speedup_vs_sparten;
+        let ls = by(&rows, "Laconic+SNAP").speedup_vs_sparten;
+        // Laconic+SNAP's compression doesn't buy area-normalized cycles.
+        assert!(ls < lac * 1.5, "Laconic+SNAP {ls} vs Laconic {lac}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Multi-core scaling study (extension of Fig 7's multi-core organization):
+//! latency, throughput and traffic across core counts for the two natural
+//! parallelism modes.
+
+use crate::cache::StatsCache;
+use crate::{table, SEED};
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::workload::PrecisionPolicy;
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::multicore::{Multicore, MulticoreMode, MulticoreReport};
+use serde::{Deserialize, Serialize};
+
+/// One scaling point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Mode label.
+    pub mode: String,
+    /// Core count.
+    pub cores: usize,
+    /// Single-inference latency (cycles).
+    pub latency: u64,
+    /// Throughput (inferences per mega-cycle).
+    pub throughput: f64,
+    /// DRAM traffic per inference (bits).
+    pub dram_bits: u64,
+}
+
+/// Core counts swept.
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the sweep on 4-bit ResNet-18.
+pub fn run(cache: &mut StatsCache) -> Vec<Row> {
+    let stats = cache
+        .get(
+            NetworkId::ResNet18,
+            PrecisionPolicy::Uniform(BitWidth::W4),
+            2,
+            SEED,
+        )
+        .clone();
+    let mut rows = Vec::new();
+    for mode in [MulticoreMode::Batch, MulticoreMode::OutputChannels] {
+        for &cores in &CORE_COUNTS {
+            let mc = Multicore::new(cores, mode, RistrettoConfig::paper_default());
+            let MulticoreReport {
+                latency_cycles,
+                throughput_per_mcycle,
+                dram_bits_per_inference,
+                ..
+            } = mc.simulate_network(&stats);
+            rows.push(Row {
+                mode: format!("{mode:?}"),
+                cores,
+                latency: latency_cycles,
+                throughput: throughput_per_mcycle,
+                dram_bits: dram_bits_per_inference,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the study.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "mode".to_string(),
+        "cores".to_string(),
+        "latency (cycles)".to_string(),
+        "throughput (inf/Mcycle)".to_string(),
+        "DRAM bits/inf".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.mode.clone(),
+            r.cores.to_string(),
+            r.latency.to_string(),
+            table::f2(r.throughput),
+            r.dram_bits.to_string(),
+        ]);
+    }
+    table::render(
+        "Multi-core scaling (Fig 7 organization, 4-bit ResNet-18)",
+        &t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_laws_hold() {
+        let mut cache = StatsCache::new();
+        let rows = run(&mut cache);
+        assert_eq!(rows.len(), 8);
+        let batch: Vec<&Row> = rows.iter().filter(|r| r.mode == "Batch").collect();
+        // Batch: flat latency, linear throughput, flat traffic.
+        for pair in batch.windows(2) {
+            assert_eq!(pair[0].latency, pair[1].latency);
+            assert!(pair[1].throughput > pair[0].throughput);
+            assert_eq!(pair[0].dram_bits, pair[1].dram_bits);
+        }
+        let oc: Vec<&Row> = rows.iter().filter(|r| r.mode == "OutputChannels").collect();
+        // Output channels: falling latency, rising traffic.
+        for pair in oc.windows(2) {
+            assert!(pair[1].latency < pair[0].latency);
+            assert!(pair[1].dram_bits > pair[0].dram_bits);
+        }
+    }
+}

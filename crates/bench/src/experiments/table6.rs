@@ -1,0 +1,82 @@
+//! Table VI: area breakdown of the single-core Ristretto accelerator.
+
+use crate::table;
+use hwmodel::ComponentLib;
+use ristretto_sim::area::AreaBreakdown;
+use ristretto_sim::config::RistrettoConfig;
+use serde::{Deserialize, Serialize};
+
+/// One area row: measured vs the paper's value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Block name.
+    pub block: String,
+    /// Measured area (mm²).
+    pub measured: f64,
+    /// Paper's Table VI value (mm²).
+    pub paper: f64,
+}
+
+/// Runs the area assembly for the paper's default configuration.
+pub fn run() -> Vec<Row> {
+    let a = AreaBreakdown::from_config(&RistrettoConfig::paper_default(), &ComponentLib::n28());
+    let mk = |block: &str, measured: f64, paper: f64| Row {
+        block: block.to_string(),
+        measured,
+        paper,
+    };
+    vec![
+        mk("Atomizer", a.atomizer, 0.001),
+        mk("Atomputer", a.atomputer, 0.070),
+        mk("Atomulator", a.atomulator, 0.128),
+        mk("Accu Buffer", a.accu_buffer, 0.496),
+        mk("Input buffer", a.input_buffer, 0.118),
+        mk("Weight buffer", a.weight_buffer, 0.302),
+        mk("Output buffer", a.output_buffer, 0.154),
+        mk("Post-Processing Unit", a.ppu, 0.023),
+        mk("Others", a.others, 0.004),
+        mk("Total", a.total(), 1.296),
+    ]
+}
+
+/// Renders Table VI.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "block".to_string(),
+        "measured mm2".to_string(),
+        "paper mm2".to_string(),
+        "delta".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.block.clone(),
+            format!("{:.4}", r.measured),
+            format!("{:.3}", r.paper),
+            format!("{:+.0}%", (r.measured / r.paper - 1.0) * 100.0),
+        ]);
+    }
+    table::render(
+        "Table VI: Ristretto area breakdown (28nm, 32 tiles x 32 2b multipliers)",
+        &t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blocks_present_and_total_consistent() {
+        let rows = run();
+        assert_eq!(rows.len(), 10);
+        let total = rows.last().unwrap();
+        let sum: f64 = rows[..9].iter().map(|r| r.measured).sum();
+        assert!((total.measured - sum).abs() < 1e-9);
+        // Total within 25% of the paper's 1.296 mm².
+        assert!(
+            (total.measured / 1.296 - 1.0).abs() < 0.25,
+            "{}",
+            total.measured
+        );
+    }
+}

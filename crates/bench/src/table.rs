@@ -1,0 +1,78 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+/// Renders rows (first row = header) as an aligned text table with a title.
+pub fn render(title: &str, rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            out.push_str(&"-".repeat(total.saturating_sub(2)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a speedup as `N.NNx`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let rows = vec![
+            vec!["net".to_string(), "value".to_string()],
+            vec!["AlexNet".to_string(), "1.5".to_string()],
+        ];
+        let t = render("Demo", &rows);
+        assert!(t.contains("Demo"));
+        assert!(t.contains("AlexNet"));
+        assert!(t.contains("---"));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(render("t", &[]).contains("(no data)"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.4743), "47.43%");
+        assert_eq!(speedup(8.2), "8.20x");
+    }
+}

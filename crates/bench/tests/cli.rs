@@ -1,0 +1,73 @@
+//! Integration tests for the `repro` binary: argument handling, JSON
+//! output, and determinism of the quick experiments.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let out = repro(&["fig99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn table6_prints_the_area_breakdown() {
+    let out = repro(&["table6"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table VI"));
+    assert!(text.contains("Atomputer"));
+    assert!(text.contains("1.296"));
+}
+
+#[test]
+fn json_output_is_written_and_parses() {
+    let dir = std::env::temp_dir().join(format!("repro_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t6.json");
+    let out = repro(&["table6", "--json", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let rows = json
+        .get("table6")
+        .and_then(|v| v.as_array())
+        .expect("table6 rows");
+    assert_eq!(rows.len(), 10);
+    assert!(rows.iter().any(|r| r["block"] == "Atomizer"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quick_fig18_is_deterministic() {
+    let a = repro(&["fig18", "--quick"]);
+    let b = repro(&["fig18", "--quick"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("w/a balancing"));
+}
+
+#[test]
+fn fig15_runs_quick() {
+    let out = repro(&["fig15", "--quick"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("atom sparsity"));
+    assert!(text.contains("speedup"));
+}

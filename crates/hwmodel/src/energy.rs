@@ -1,0 +1,175 @@
+//! Event-counter → energy-breakdown accumulation, shared by all the
+//! accelerator simulators.
+//!
+//! Simulators record *events* (multiplies, shifts, buffer and DRAM
+//! accesses); this module prices them and produces the compute /
+//! on-chip-buffer / DRAM / leakage breakdown the paper's Figures 13 and 16
+//! report.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// An energy breakdown in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Datapath energy: multiplies, shifts, accumulations, encoders,
+    /// matching logic, crossbars.
+    pub compute_pj: f64,
+    /// On-chip buffer energy (SRAM + register files).
+    pub buffer_pj: f64,
+    /// Off-chip DRAM energy.
+    pub dram_pj: f64,
+    /// Leakage energy over the run's cycle count.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.buffer_pj + self.dram_pj + self.leakage_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() * 1e-6
+    }
+
+    /// Ratio of this breakdown's total to another's (used for the
+    /// normalized energy plots).
+    pub fn relative_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total_pj();
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_pj() / b
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            buffer_pj: self.buffer_pj + rhs.buffer_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+            leakage_pj: self.leakage_pj + rhs.leakage_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// A running event-count accumulator that prices events as they arrive.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyCounter {
+    breakdown: EnergyBreakdown,
+    events: u64,
+}
+
+impl EnergyCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` compute events of `pj_each` picojoules.
+    pub fn compute(&mut self, count: u64, pj_each: f64) {
+        self.breakdown.compute_pj += count as f64 * pj_each;
+        self.events += count;
+    }
+
+    /// Records `count` buffer accesses of `pj_each` picojoules.
+    pub fn buffer(&mut self, count: u64, pj_each: f64) {
+        self.breakdown.buffer_pj += count as f64 * pj_each;
+        self.events += count;
+    }
+
+    /// Records DRAM traffic of `bits` bits.
+    pub fn dram_bits(&mut self, bits: u64) {
+        self.breakdown.dram_pj += crate::dram::dram_energy_pj(bits);
+        self.events += 1;
+    }
+
+    /// Records leakage energy directly (pJ).
+    pub fn leakage(&mut self, pj: f64) {
+        self.breakdown.leakage_pj += pj;
+    }
+
+    /// The priced breakdown so far.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.breakdown
+    }
+
+    /// Number of discrete events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &EnergyCounter) {
+        self.breakdown += other.breakdown;
+        self.events += other.events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_total() {
+        let mut c = EnergyCounter::new();
+        c.compute(10, 0.5);
+        c.buffer(2, 3.0);
+        c.dram_bits(10);
+        c.leakage(1.0);
+        let b = c.breakdown();
+        assert!((b.compute_pj - 5.0).abs() < 1e-12);
+        assert!((b.buffer_pj - 6.0).abs() < 1e-12);
+        assert!((b.dram_pj - 200.0).abs() < 1e-12);
+        assert!((b.total_pj() - 212.0).abs() < 1e-12);
+        assert_eq!(c.events(), 13);
+    }
+
+    #[test]
+    fn merge_and_relative() {
+        let mut a = EnergyCounter::new();
+        a.compute(1, 10.0);
+        let mut b = EnergyCounter::new();
+        b.compute(1, 30.0);
+        let rel = a.breakdown().relative_to(&b.breakdown());
+        assert!((rel - 1.0 / 3.0).abs() < 1e-12);
+        b.merge(&a);
+        assert!((b.breakdown().total_pj() - 40.0).abs() < 1e-12);
+        assert_eq!(b.events(), 2);
+    }
+
+    #[test]
+    fn add_assign_breakdowns() {
+        let mut x = EnergyBreakdown {
+            compute_pj: 1.0,
+            ..Default::default()
+        };
+        x += EnergyBreakdown {
+            dram_pj: 2.0,
+            ..Default::default()
+        };
+        assert!((x.total_pj() - 3.0).abs() < 1e-12);
+        assert!((x.total_uj() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn relative_to_zero_baseline_is_infinite() {
+        let x = EnergyBreakdown {
+            compute_pj: 1.0,
+            ..Default::default()
+        };
+        assert!(x.relative_to(&EnergyBreakdown::default()).is_infinite());
+    }
+}

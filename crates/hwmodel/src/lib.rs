@@ -1,0 +1,37 @@
+//! # hwmodel — 28nm area / power / energy component library
+//!
+//! The paper implements Ristretto and its baselines in a TSMC 28nm HPC+
+//! process (Synopsys DC at 500 MHz) and models SRAM with CACTI-P and DRAM
+//! per the Tetris methodology. This crate substitutes an *analytic*
+//! component library:
+//!
+//! * [`components`] — area (mm²) and per-operation energy (pJ) for every
+//!   datapath primitive the accelerators instantiate (atom multipliers,
+//!   shift units, accumulators, address generators, crossbars, FIFOs,
+//!   inner-joins, booth encoders, fusion units, scalar MACs);
+//! * [`sram`] — a CACTI-like SRAM macro model (area and pJ/access scaling
+//!   with capacity and port width);
+//! * [`dram`] — per-bit off-chip access energy;
+//! * [`energy`] — an event-counter → energy-breakdown accumulator shared by
+//!   all simulators.
+//!
+//! Constants are calibrated so the paper's default Ristretto configuration
+//! reproduces the Table VI area breakdown (the assembly itself lives in
+//! `ristretto-sim`, which owns the configuration); the test suite pins the
+//! calibration. Absolute joules are not the point — the evaluation compares
+//! *relative* energy, which depends on event counts and component ratios.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod components;
+pub mod dram;
+pub mod energy;
+pub mod sram;
+pub mod tech;
+
+pub use components::ComponentLib;
+pub use dram::DRAM_ENERGY_PJ_PER_BIT;
+pub use energy::{EnergyBreakdown, EnergyCounter};
+pub use sram::SramMacro;
+pub use tech::TechNode;

@@ -1,0 +1,142 @@
+//! CACTI-like SRAM macro model.
+//!
+//! The paper models on-chip buffers and register files with CACTI-P. We
+//! substitute a first-order analytic model: area scales linearly with
+//! capacity (≈1.6 mm²/MB at 28nm, matching the paper's buffer areas in
+//! Table VI), and per-access energy scales with port width and the square
+//! root of capacity (bitline/wordline length).
+
+use serde::{Deserialize, Serialize};
+
+/// Area per kilobyte of SRAM at 28nm (mm²). Calibrated so Table VI's
+/// 64 KB input / 192 KB weight / 96 KB output buffers land on 0.118 /
+/// 0.302 / 0.154 mm².
+pub const SRAM_AREA_PER_KB: f64 = 0.00157;
+
+/// Baseline read energy (pJ) per access for a 64-bit port on a 1 KB macro.
+const BASE_READ_PJ: f64 = 1.1;
+/// Write energy ratio relative to read.
+const WRITE_RATIO: f64 = 1.15;
+/// Register-file energy/area premium relative to SRAM.
+const REGFILE_PREMIUM: f64 = 2.2;
+
+/// An on-chip SRAM (or register-file) macro.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    capacity_bytes: usize,
+    port_bits: u32,
+    regfile: bool,
+}
+
+impl SramMacro {
+    /// An SRAM macro of `capacity_bytes` with a `port_bits`-wide port.
+    ///
+    /// # Panics
+    /// Panics if capacity or port width is zero.
+    pub fn new(capacity_bytes: usize, port_bits: u32) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be non-zero");
+        assert!(port_bits > 0, "SRAM port width must be non-zero");
+        Self {
+            capacity_bytes,
+            port_bits,
+            regfile: false,
+        }
+    }
+
+    /// A register-file macro (denser ports, higher energy/area per bit) —
+    /// used for Ristretto's accumulate buffers.
+    pub fn regfile(capacity_bytes: usize, port_bits: u32) -> Self {
+        let mut m = Self::new(capacity_bytes, port_bits);
+        m.regfile = true;
+        m
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Port width in bits.
+    pub fn port_bits(&self) -> u32 {
+        self.port_bits
+    }
+
+    /// Macro area (mm²).
+    pub fn area_mm2(&self) -> f64 {
+        let premium = if self.regfile { REGFILE_PREMIUM } else { 1.0 };
+        SRAM_AREA_PER_KB * (self.capacity_bytes as f64 / 1024.0) * premium
+    }
+
+    /// Energy of one read of `bits` bits (pJ). Reads wider than the port
+    /// are charged as multiple accesses.
+    pub fn read_energy_pj(&self, bits: u64) -> f64 {
+        self.access_energy(bits, false)
+    }
+
+    /// Energy of one write of `bits` bits (pJ).
+    pub fn write_energy_pj(&self, bits: u64) -> f64 {
+        self.access_energy(bits, true)
+    }
+
+    fn access_energy(&self, bits: u64, write: bool) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        let accesses = bits.div_ceil(self.port_bits as u64) as f64;
+        let kb = self.capacity_bytes as f64 / 1024.0;
+        // Bitline/wordline energy scales with sqrt(capacity); very small
+        // register-file banks bottom out at a flop-array floor.
+        let per_access = BASE_READ_PJ * (self.port_bits as f64 / 64.0) * kb.sqrt().max(0.3);
+        let premium = if self.regfile { REGFILE_PREMIUM } else { 1.0 };
+        let rw = if write { WRITE_RATIO } else { 1.0 };
+        accesses * per_access * premium * rw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_buffer_areas() {
+        // Input 64 KB -> ~0.118, weight 192 KB -> ~0.302, output 96 KB -> ~0.154.
+        let input = SramMacro::new(64 << 10, 128).area_mm2();
+        let weight = SramMacro::new(192 << 10, 128).area_mm2();
+        let output = SramMacro::new(96 << 10, 128).area_mm2();
+        assert!((input - 0.118).abs() / 0.118 < 0.20, "input {input}");
+        assert!((weight - 0.302).abs() / 0.302 < 0.20, "weight {weight}");
+        assert!((output - 0.154).abs() / 0.154 < 0.20, "output {output}");
+    }
+
+    #[test]
+    fn energy_scales_with_capacity_and_width() {
+        let small = SramMacro::new(1 << 10, 64);
+        let big = SramMacro::new(256 << 10, 64);
+        assert!(big.read_energy_pj(64) > small.read_energy_pj(64));
+        assert!(small.read_energy_pj(128) > small.read_energy_pj(64));
+        assert!(small.write_energy_pj(64) > small.read_energy_pj(64));
+        assert_eq!(small.read_energy_pj(0), 0.0);
+    }
+
+    #[test]
+    fn wide_reads_charged_as_multiple_accesses() {
+        let m = SramMacro::new(32 << 10, 64);
+        let one = m.read_energy_pj(64);
+        let four = m.read_energy_pj(256);
+        assert!((four / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regfile_premium() {
+        let sram = SramMacro::new(8 << 10, 32);
+        let rf = SramMacro::regfile(8 << 10, 32);
+        assert!(rf.area_mm2() > sram.area_mm2());
+        assert!(rf.read_energy_pj(32) > sram.read_energy_pj(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = SramMacro::new(0, 64);
+    }
+}

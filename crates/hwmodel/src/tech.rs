@@ -1,0 +1,88 @@
+//! Technology node parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A CMOS technology node. Only 28nm (the paper's node) ships constants;
+/// other nodes scale area and energy by first-order Dennard-style factors,
+/// which is sufficient for the relative comparisons the evaluation makes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub nm: u32,
+    /// Nominal clock frequency in MHz (the paper synthesizes at 500 MHz).
+    pub freq_mhz: u32,
+}
+
+impl TechNode {
+    /// The paper's TSMC 28nm HPC+ node at 500 MHz.
+    pub const N28: TechNode = TechNode {
+        nm: 28,
+        freq_mhz: 500,
+    };
+
+    /// Area scaling factor relative to 28nm (∝ (nm/28)²).
+    pub fn area_scale(&self) -> f64 {
+        let r = self.nm as f64 / 28.0;
+        r * r
+    }
+
+    /// Dynamic-energy scaling factor relative to 28nm (∝ nm/28, first
+    /// order: capacitance × V² with V scaling weakly).
+    pub fn energy_scale(&self) -> f64 {
+        self.nm as f64 / 28.0
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn period_ns(&self) -> f64 {
+        1_000.0 / self.freq_mhz as f64
+    }
+
+    /// Converts a per-op energy (pJ) into the power (mW) of one unit
+    /// operating every cycle at this node's frequency.
+    pub fn power_mw(&self, energy_pj_per_op: f64) -> f64 {
+        // mW = pJ/op * ops/s * 1e-9 = pJ * MHz * 1e-3.
+        energy_pj_per_op * self.freq_mhz as f64 * 1e-3
+    }
+}
+
+impl Default for TechNode {
+    fn default() -> Self {
+        TechNode::N28
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n28_defaults() {
+        let t = TechNode::default();
+        assert_eq!(t.nm, 28);
+        assert_eq!(t.freq_mhz, 500);
+        assert!((t.area_scale() - 1.0).abs() < 1e-12);
+        assert!((t.energy_scale() - 1.0).abs() < 1e-12);
+        assert!((t.period_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_monotone() {
+        let n16 = TechNode {
+            nm: 16,
+            freq_mhz: 500,
+        };
+        let n65 = TechNode {
+            nm: 65,
+            freq_mhz: 500,
+        };
+        assert!(n16.area_scale() < 1.0 && n65.area_scale() > 1.0);
+        assert!(n16.energy_scale() < 1.0 && n65.energy_scale() > 1.0);
+    }
+
+    #[test]
+    fn power_conversion() {
+        let t = TechNode::N28;
+        // 1 pJ per op at 500 MHz = 0.5 mW.
+        assert!((t.power_mw(1.0) - 0.5).abs() < 1e-12);
+    }
+}

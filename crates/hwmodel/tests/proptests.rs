@@ -1,0 +1,100 @@
+//! Property-based tests for the hardware cost models.
+
+use hwmodel::dram::{dram_energy_pj, tiled_traffic_bits};
+use hwmodel::{ComponentLib, EnergyBreakdown, EnergyCounter, SramMacro};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sram_energy_monotone_in_capacity(kb1 in 1usize..64, kb2 in 64usize..1024, bits in 1u64..512) {
+        let small = SramMacro::new(kb1 << 10, 64);
+        let big = SramMacro::new(kb2 << 10, 64);
+        prop_assert!(big.read_energy_pj(bits) >= small.read_energy_pj(bits));
+        prop_assert!(big.area_mm2() > small.area_mm2());
+    }
+
+    #[test]
+    fn sram_writes_cost_at_least_reads(kb in 1usize..512, bits in 1u64..512) {
+        let m = SramMacro::new(kb << 10, 64);
+        prop_assert!(m.write_energy_pj(bits) >= m.read_energy_pj(bits));
+    }
+
+    #[test]
+    fn sram_energy_additive_in_port_multiples(kb in 1usize..256, chunks in 1u64..16) {
+        let m = SramMacro::new(kb << 10, 64);
+        let one = m.read_energy_pj(64);
+        let many = m.read_energy_pj(64 * chunks);
+        prop_assert!((many - one * chunks as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiled_traffic_lower_bounded_by_tensor_sizes(
+        a in 1u64..1_000_000,
+        w in 1u64..1_000_000,
+        ib in 1u64..1_000_000,
+        wb in 1u64..1_000_000,
+    ) {
+        let t = tiled_traffic_bits(a, w, ib, wb);
+        prop_assert!(t >= a + w, "traffic {t} below single-pass {}", a + w);
+    }
+
+    #[test]
+    fn tiled_traffic_monotone_in_tensor_size(
+        a in 1u64..500_000,
+        w in 1u64..500_000,
+        ib in 1u64..500_000,
+        wb in 1u64..500_000,
+        extra in 1u64..100_000,
+    ) {
+        prop_assert!(tiled_traffic_bits(a + extra, w, ib, wb) >= tiled_traffic_bits(a, w, ib, wb));
+        prop_assert!(tiled_traffic_bits(a, w + extra, ib, wb) >= tiled_traffic_bits(a, w, ib, wb));
+    }
+
+    #[test]
+    fn bigger_buffers_never_increase_traffic(
+        a in 1u64..500_000,
+        w in 1u64..500_000,
+        ib in 1u64..500_000,
+        wb in 1u64..500_000,
+        extra in 1u64..500_000,
+    ) {
+        prop_assert!(tiled_traffic_bits(a, w, ib + extra, wb) <= tiled_traffic_bits(a, w, ib, wb));
+        prop_assert!(tiled_traffic_bits(a, w, ib, wb + extra) <= tiled_traffic_bits(a, w, ib, wb));
+    }
+
+    #[test]
+    fn dram_energy_linear(bits in 0u64..1_000_000, k in 1u64..8) {
+        prop_assert!((dram_energy_pj(bits * k) - dram_energy_pj(bits) * k as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplier_cost_monotone_in_width(lib_n in Just(ComponentLib::n28()), n1 in 1u8..8, extra in 1u8..8) {
+        let n2 = n1 + extra;
+        prop_assert!(lib_n.multiplier_area(n2) > lib_n.multiplier_area(n1));
+        prop_assert!(lib_n.multiplier_energy(n2) > lib_n.multiplier_energy(n1));
+    }
+
+    #[test]
+    fn shifter_cost_monotone_in_options(width in 1u8..32, opt in 2u8..16, extra in 1u8..16) {
+        let lib = ComponentLib::n28();
+        prop_assert!(lib.shifter_area(width, opt + extra) >= lib.shifter_area(width, opt));
+        prop_assert!(lib.shifter_energy(width, opt + extra) >= lib.shifter_energy(width, opt));
+    }
+
+    #[test]
+    fn energy_counter_totals_are_sums(
+        mults in 0u64..10_000,
+        reads in 0u64..10_000,
+        dram in 0u64..10_000,
+    ) {
+        let mut c = EnergyCounter::new();
+        c.compute(mults, 0.5);
+        c.buffer(reads, 2.0);
+        c.dram_bits(dram);
+        let b: EnergyBreakdown = c.breakdown();
+        let expected = mults as f64 * 0.5 + reads as f64 * 2.0 + dram_energy_pj(dram);
+        prop_assert!((b.total_pj() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by the `qnn` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction, convolution geometry checks and
+/// format conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QnnError {
+    /// The provided buffer length does not match the requested shape.
+    ShapeMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A dimension was zero where a non-zero extent is required.
+    EmptyDimension(&'static str),
+    /// The kernel does not fit in the (padded) input feature map.
+    KernelTooLarge {
+        /// Kernel spatial extent.
+        kernel: usize,
+        /// Padded input spatial extent.
+        input: usize,
+    },
+    /// Channel counts of the feature map and kernel disagree.
+    ChannelMismatch {
+        /// Input feature-map channels.
+        fmap: usize,
+        /// Kernel input channels.
+        kernel: usize,
+    },
+    /// A stride of zero was requested.
+    ZeroStride,
+    /// An out-of-range bit-width was requested (supported: 1..=16).
+    UnsupportedBitWidth(u8),
+    /// A value does not fit the requested quantized range.
+    ValueOutOfRange {
+        /// Offending value.
+        value: i64,
+        /// Number of bits available.
+        bits: u8,
+    },
+}
+
+impl fmt::Display for QnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QnnError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shape implies {expected} elements but {actual} were provided"
+                )
+            }
+            QnnError::EmptyDimension(name) => write!(f, "dimension `{name}` must be non-zero"),
+            QnnError::KernelTooLarge { kernel, input } => {
+                write!(
+                    f,
+                    "kernel extent {kernel} exceeds padded input extent {input}"
+                )
+            }
+            QnnError::ChannelMismatch { fmap, kernel } => {
+                write!(
+                    f,
+                    "feature map has {fmap} channels but kernel expects {kernel}"
+                )
+            }
+            QnnError::ZeroStride => write!(f, "convolution stride must be non-zero"),
+            QnnError::UnsupportedBitWidth(b) => {
+                write!(f, "unsupported bit-width {b} (expected 1..=16)")
+            }
+            QnnError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for QnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = QnnError::ZeroStride;
+        let msg = e.to_string();
+        assert!(msg.starts_with("convolution"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QnnError>();
+    }
+}

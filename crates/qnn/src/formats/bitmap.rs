@@ -1,0 +1,229 @@
+//! SparTen-style bitmap compression.
+//!
+//! A dense vector is stored as a bitmask (one bit per position, 1 = non-zero)
+//! plus a compact vector of the non-zero values in position order. SparTen's
+//! inner-join intersects two bitmasks with priority encoding + prefix sums to
+//! pair matching non-zeros; [`BitmapVec::matching_pairs`] is the functional
+//! model of that logic and drives the SparTen cycle model.
+
+use serde::{Deserialize, Serialize};
+
+/// A bitmap-compressed sparse vector.
+///
+/// ```
+/// use qnn::formats::bitmap::BitmapVec;
+/// let v = BitmapVec::from_dense(&[0, 5, 0, -3]);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.nonzeros(), &[5, -3]);
+/// assert_eq!(v.to_dense(), vec![0, 5, 0, -3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitmapVec {
+    len: usize,
+    mask: Vec<u64>,
+    values: Vec<i32>,
+}
+
+impl BitmapVec {
+    /// Compresses a dense vector.
+    pub fn from_dense(dense: &[i32]) -> Self {
+        let len = dense.len();
+        let mut mask = vec![0u64; len.div_ceil(64)];
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0 {
+                mask[i / 64] |= 1u64 << (i % 64);
+                values.push(v);
+            }
+        }
+        Self { len, mask, values }
+    }
+
+    /// Logical (uncompressed) length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compact non-zero values in position order.
+    pub fn nonzeros(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Number of non-zero entries.
+    pub fn count_nonzero(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether position `i` holds a non-zero.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "position {i} out of bounds (len {})",
+            self.len
+        );
+        self.mask[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Decompresses back to a dense vector.
+    pub fn to_dense(&self) -> Vec<i32> {
+        let mut out = vec![0; self.len];
+        let mut next = 0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.bit(i) {
+                *slot = self.values[next];
+                next += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of positions where both vectors are non-zero — the number of
+    /// effectual multiplications SparTen's inner-join extracts (one per
+    /// cycle per compute unit).
+    ///
+    /// # Panics
+    /// Panics if the logical lengths differ.
+    pub fn match_count(&self, other: &BitmapVec) -> usize {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        self.mask
+            .iter()
+            .zip(&other.mask)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Extracts the matched value pairs, in position order, exactly as the
+    /// inner-join feeds them to the MAC.
+    ///
+    /// # Panics
+    /// Panics if the logical lengths differ.
+    pub fn matching_pairs(&self, other: &BitmapVec) -> Vec<(i32, i32)> {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        let mut pairs = Vec::new();
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for i in 0..self.len {
+            let (a_set, b_set) = (self.bit(i), other.bit(i));
+            if a_set && b_set {
+                pairs.push((self.values[ai], other.values[bi]));
+            }
+            if a_set {
+                ai += 1;
+            }
+            if b_set {
+                bi += 1;
+            }
+        }
+        pairs
+    }
+
+    /// Per-segment match counts when the bitmask is split into `segments`
+    /// equal chunks (SparTen-mp places one inner-join per chunk; imbalance
+    /// across chunks throttles its parallel extraction, paper §V-A1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or `segments == 0`.
+    pub fn segmented_match_counts(&self, other: &BitmapVec, segments: usize) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        assert!(segments > 0, "need at least one segment");
+        let seg_len = self.len.div_ceil(segments);
+        let mut counts = vec![0usize; segments];
+        for i in 0..self.len {
+            if self.bit(i) && other.bit(i) {
+                counts[i / seg_len] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Size of the compressed representation in bits, assuming `value_bits`
+    /// per stored non-zero (mask contributes one bit per logical position).
+    pub fn storage_bits(&self, value_bits: u8) -> usize {
+        self.len + self.values.len() * value_bits as usize
+    }
+}
+
+impl FromIterator<i32> for BitmapVec {
+    fn from_iter<T: IntoIterator<Item = i32>>(iter: T) -> Self {
+        let dense: Vec<i32> = iter.into_iter().collect();
+        Self::from_dense(&dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various() {
+        for dense in [
+            vec![],
+            vec![0, 0, 0],
+            vec![1, 2, 3],
+            vec![0, -7, 0, 0, 9, 0],
+        ] {
+            let c = BitmapVec::from_dense(&dense);
+            assert_eq!(c.to_dense(), dense);
+        }
+    }
+
+    #[test]
+    fn roundtrip_crossing_word_boundary() {
+        let mut dense = vec![0i32; 130];
+        dense[0] = 1;
+        dense[63] = 2;
+        dense[64] = 3;
+        dense[129] = 4;
+        let c = BitmapVec::from_dense(&dense);
+        assert_eq!(c.count_nonzero(), 4);
+        assert_eq!(c.to_dense(), dense);
+    }
+
+    #[test]
+    fn match_count_is_intersection_popcount() {
+        let a = BitmapVec::from_dense(&[1, 0, 2, 0, 3, 0]);
+        let b = BitmapVec::from_dense(&[0, 1, 5, 0, 7, 7]);
+        assert_eq!(a.match_count(&b), 2);
+        assert_eq!(a.matching_pairs(&b), vec![(2, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn matching_pairs_align_values_not_positions() {
+        let a = BitmapVec::from_dense(&[9, 0, 8, 7]);
+        let b = BitmapVec::from_dense(&[0, 6, 5, 4]);
+        // Matches at positions 2 and 3 -> (8,5), (7,4).
+        assert_eq!(a.matching_pairs(&b), vec![(8, 5), (7, 4)]);
+    }
+
+    #[test]
+    fn segmented_counts_sum_to_total() {
+        let a = BitmapVec::from_dense(&[1; 64]);
+        let mut bd = vec![0i32; 64];
+        for i in (0..64).step_by(3) {
+            bd[i] = 2;
+        }
+        let b = BitmapVec::from_dense(&bd);
+        let segs = a.segmented_match_counts(&b, 4);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs.iter().sum::<usize>(), a.match_count(&b));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let c = BitmapVec::from_dense(&[0, 3, 0, 1]);
+        assert_eq!(c.storage_bits(8), 4 + 2 * 8);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: BitmapVec = [0, 1, 0, 2].into_iter().collect();
+        assert_eq!(c.count_nonzero(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Compressed sparse row (CSR) format.
+//!
+//! Discussed in the paper (§II-B2b) as the compression a Laconic+SNAP
+//! combination would apply to its dense tensors; we use it for the modified
+//! Laconic baseline's traffic accounting and as a third round-trip target in
+//! the format test matrix.
+
+use crate::error::QnnError;
+use serde::{Deserialize, Serialize};
+
+/// A CSR-compressed 2-D matrix of `i32` values.
+///
+/// ```
+/// use qnn::formats::csr::CsrMatrix;
+/// let m = CsrMatrix::from_dense(&[0, 1, 2, 0, 0, 3], 2, 3).unwrap();
+/// assert_eq!(m.count_nonzero(), 3);
+/// assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 1), (2, 2)]);
+/// assert_eq!(m.to_dense(), vec![0, 1, 2, 0, 0, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<i32>,
+}
+
+impl CsrMatrix {
+    /// Compresses a dense row-major matrix of shape `(rows, cols)`.
+    ///
+    /// # Errors
+    /// Returns [`QnnError::ShapeMismatch`] if `dense.len() != rows * cols`
+    /// and [`QnnError::EmptyDimension`] for zero extents.
+    pub fn from_dense(dense: &[i32], rows: usize, cols: usize) -> Result<Self, QnnError> {
+        if rows == 0 {
+            return Err(QnnError::EmptyDimension("rows"));
+        }
+        if cols == 0 {
+            return Err(QnnError::EmptyDimension("cols"));
+        }
+        if dense.len() != rows * cols {
+            return Err(QnnError::ShapeMismatch {
+                expected: rows * cols,
+                actual: dense.len(),
+            });
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[r * cols + c];
+                if v != 0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn count_nonzero(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(col, value)` of one row.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, i32)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of non-zeros in one row.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of bounds.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Decompresses to a dense row-major matrix.
+    pub fn to_dense(&self) -> Vec<i32> {
+        let mut out = vec![0; self.rows * self.cols];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out[r * self.cols + c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Compressed size in bits with `value_bits` per value, ⌈log2 cols⌉ bits
+    /// per column index and 32 bits per row pointer.
+    pub fn storage_bits(&self, value_bits: u8) -> usize {
+        let col_bits = if self.cols <= 1 {
+            1
+        } else {
+            (usize::BITS - (self.cols - 1).leading_zeros()) as usize
+        };
+        self.values.len() * value_bits as usize
+            + self.col_idx.len() * col_bits
+            + self.row_ptr.len() * 32
+    }
+
+    /// Inner-product pairing of one row of `self` with one row of `other`
+    /// (positions where both are non-zero), as SNAP's associative index
+    /// matching would produce.
+    ///
+    /// # Panics
+    /// Panics if row indices are out of bounds or column counts differ.
+    pub fn match_row(&self, r: usize, other: &CsrMatrix, ro: usize) -> Vec<(i32, i32)> {
+        assert_eq!(self.cols, other.cols, "column counts differ");
+        let mut out = Vec::new();
+        let mut a = self.row(r).peekable();
+        let mut b = other.row(ro).peekable();
+        while let (Some(&(ca, va)), Some(&(cb, vb))) = (a.peek(), b.peek()) {
+            match ca.cmp(&cb) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((va, vb));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dense = vec![0, 1, 0, 2, 0, 0, 3, 0, 4, 0, 0, 0];
+        let m = CsrMatrix::from_dense(&dense, 3, 4).unwrap();
+        assert_eq!(m.to_dense(), dense);
+        assert_eq!(m.count_nonzero(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row_nnz(2), 1);
+    }
+
+    #[test]
+    fn row_iteration_in_column_order() {
+        let m = CsrMatrix::from_dense(&[5, 0, 6, 0, 7, 0], 1, 6).unwrap();
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 5), (2, 6), (4, 7)]);
+    }
+
+    #[test]
+    fn match_row_intersects_columns() {
+        let a = CsrMatrix::from_dense(&[1, 0, 2, 3, 0], 1, 5).unwrap();
+        let b = CsrMatrix::from_dense(&[0, 9, 8, 7, 6], 1, 5).unwrap();
+        assert_eq!(a.match_row(0, &b, 0), vec![(2, 8), (3, 7)]);
+    }
+
+    #[test]
+    fn match_row_agrees_with_dense_dot_structure() {
+        let a = CsrMatrix::from_dense(&[1, 2, 0, 0, 5, 6, 0, 8], 2, 4).unwrap();
+        let b = CsrMatrix::from_dense(&[0, 3, 3, 0, 1, 0, 2, 4], 2, 4).unwrap();
+        let pairs = a.match_row(1, &b, 1);
+        let dot: i64 = pairs.iter().map(|&(x, y)| x as i64 * y as i64).sum();
+        assert_eq!(dot, 5 + 8 * 4);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(CsrMatrix::from_dense(&[1, 2], 1, 3).is_err());
+        assert!(CsrMatrix::from_dense(&[], 0, 3).is_err());
+    }
+
+    #[test]
+    fn storage_bits_scale_with_nnz() {
+        let sparse = CsrMatrix::from_dense(&[0; 64], 4, 16).unwrap();
+        let dense = CsrMatrix::from_dense(&[1; 64], 4, 16).unwrap();
+        assert!(sparse.storage_bits(8) < dense.storage_bits(8));
+    }
+}

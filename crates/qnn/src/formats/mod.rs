@@ -1,0 +1,13 @@
+//! Sparse compression formats used by the accelerators under study.
+//!
+//! * [`bitmap`] — SparTen's bitmask + compact-value format (paper §II-B2a),
+//! * [`coo`] — Ristretto's block COO-2D format (paper §IV-B, Fig 8),
+//! * [`csr`] — the CSR format discussed for the Laconic+SNAP combination
+//!   (paper §II-B2b).
+//!
+//! All formats round-trip losslessly to/from dense and expose the element
+//! counts the traffic/energy models need.
+
+pub mod bitmap;
+pub mod coo;
+pub mod csr;

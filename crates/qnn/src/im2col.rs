@@ -1,0 +1,144 @@
+//! im2col + GEMM convolution: a second, independent reference
+//! implementation used to cross-check the direct convolution (two
+//! implementations agreeing is much stronger evidence than one).
+//!
+//! The lowering also exposes the matrix view the inner-product baselines
+//! (SparTen, SNAP) operate on: each output position becomes a column of
+//! unrolled activations dotted with each kernel's flattened weights.
+
+use crate::conv::ConvGeometry;
+use crate::error::QnnError;
+use crate::tensor::{AccTensor3, Tensor3, Tensor4};
+
+/// Lowers a feature map into the im2col matrix: one row per output
+/// position, one column per `(in_channel, ky, kx)` patch element. Returns
+/// the matrix plus its shape `(rows = out_h*out_w, cols = c*k*k)`.
+///
+/// # Errors
+/// Propagates geometry validation errors.
+pub fn im2col(
+    fmap: &Tensor3,
+    kernel: usize,
+    geom: ConvGeometry,
+) -> Result<(Vec<i32>, usize, usize), QnnError> {
+    let (c, h, w) = fmap.shape();
+    let out_h = geom.out_extent(h, kernel)?;
+    let out_w = geom.out_extent(w, kernel)?;
+    let rows = out_h * out_w;
+    let cols = c * kernel * kernel;
+    let mut m = vec![0i32; rows * cols];
+    let pad = geom.padding as isize;
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            let base_y = (oy * geom.stride) as isize - pad;
+            let base_x = (ox * geom.stride) as isize - pad;
+            for ci in 0..c {
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let col = (ci * kernel + ky) * kernel + kx;
+                        m[row * cols + col] =
+                            fmap.get_padded(ci, base_y + ky as isize, base_x + kx as isize);
+                    }
+                }
+            }
+        }
+    }
+    Ok((m, rows, cols))
+}
+
+/// Convolution via im2col + integer GEMM; numerically identical to
+/// [`crate::conv::conv2d`].
+///
+/// # Errors
+/// Returns [`QnnError::ChannelMismatch`] on operand mismatch plus the
+/// geometry errors of [`im2col`].
+pub fn conv2d_im2col(
+    fmap: &Tensor3,
+    kernels: &Tensor4,
+    geom: ConvGeometry,
+) -> Result<AccTensor3, QnnError> {
+    let (c, _, _) = fmap.shape();
+    let (o, i, kh, kw) = kernels.shape();
+    if c != i {
+        return Err(QnnError::ChannelMismatch { fmap: c, kernel: i });
+    }
+    if kh != kw {
+        return Err(QnnError::KernelTooLarge {
+            kernel: kh.max(kw),
+            input: kh.min(kw),
+        });
+    }
+    let (m, rows, cols) = im2col(fmap, kh, geom)?;
+    let out_h = geom.out_extent(fmap.height(), kh)?;
+    let out_w = geom.out_extent(fmap.width(), kw)?;
+    let mut out = AccTensor3::zeros(o, out_h, out_w)?;
+    // GEMM: out[oc][row] = Σ_col kernels[oc][col] * m[row][col].
+    let kflat = kernels.as_slice();
+    for oc in 0..o {
+        let krow = &kflat[oc * cols..(oc + 1) * cols];
+        for row in 0..rows {
+            let mrow = &m[row * cols..(row + 1) * cols];
+            let mut acc = 0i64;
+            for (a, b) in mrow.iter().zip(krow) {
+                acc += *a as i64 * *b as i64;
+            }
+            out.set(oc, row / out_w, row % out_w, acc);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn matches_direct_convolution_across_geometries() {
+        let mut rng = SeededRng::new(404);
+        for (c, o, k, h, w, s, p) in [
+            (1, 1, 1, 3, 3, 1, 0),
+            (2, 3, 3, 6, 5, 1, 1),
+            (3, 4, 3, 8, 8, 2, 1),
+            (2, 2, 5, 9, 9, 1, 2),
+            (4, 2, 2, 7, 6, 2, 0),
+        ] {
+            let fmap = Tensor3::from_fn(c, h, w, |_, _, _| {
+                if rng.bernoulli(0.6) {
+                    rng.below(255) as i32
+                } else {
+                    0
+                }
+            })
+            .unwrap();
+            let kernels =
+                Tensor4::from_fn(o, c, k, k, |_, _, _, _| rng.below(15) as i32 - 7).unwrap();
+            let geom = ConvGeometry::new(s, p).unwrap();
+            assert_eq!(
+                conv2d_im2col(&fmap, &kernels, geom).unwrap(),
+                conv2d(&fmap, &kernels, geom).unwrap(),
+                "c{c} o{o} k{k} {h}x{w} s{s} p{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let fmap = Tensor3::from_vec(1, 3, 3, (1..=9).collect()).unwrap();
+        let (m, rows, cols) = im2col(&fmap, 2, ConvGeometry::default()).unwrap();
+        assert_eq!((rows, cols), (4, 4));
+        // First output position's patch: [1, 2, 4, 5].
+        assert_eq!(&m[0..4], &[1, 2, 4, 5]);
+        // Last: [5, 6, 8, 9].
+        assert_eq!(&m[12..16], &[5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn rejects_mismatched_operands() {
+        let fmap = Tensor3::zeros(2, 4, 4).unwrap();
+        let k = Tensor4::zeros(1, 3, 2, 2).unwrap();
+        assert!(conv2d_im2col(&fmap, &k, ConvGeometry::default()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Convolution layer descriptors.
+//!
+//! Every accelerator model in this reproduction consumes layers through
+//! [`ConvLayer`]: geometry plus derived work counts. Fully connected layers
+//! are expressed as 1×1 convolutions over a 1×1 spatial extent, the standard
+//! trick all the baselines in the paper use as well.
+
+use crate::conv::ConvGeometry;
+use crate::error::QnnError;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a layer, for reporting purposes. Depthwise convolutions are
+/// intentionally absent: the paper omits MobileNets because none of the
+/// baselines support depthwise layers in their PEs (§V-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A standard (dense-channel) 2-D convolution.
+    Conv,
+    /// A fully connected layer, modelled as a 1×1 convolution on a 1×1 map.
+    FullyConnected,
+}
+
+/// Geometry of one convolutional layer plus derived work counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Human-readable layer name (e.g. `conv3_2`).
+    pub name: String,
+    /// Whether this is a convolution or an FC layer expressed as one.
+    pub kind: LayerKind,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (number of kernels).
+    pub out_channels: usize,
+    /// Square kernel extent `k`.
+    pub kernel: usize,
+    /// Stride (both dimensions).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl ConvLayer {
+    /// Creates a convolution layer descriptor.
+    ///
+    /// # Errors
+    /// Returns [`QnnError::ZeroStride`] for a zero stride,
+    /// [`QnnError::EmptyDimension`] for zero extents and
+    /// [`QnnError::KernelTooLarge`] when the kernel exceeds the padded input.
+    #[allow(clippy::too_many_arguments)] // mirrors the standard layer-spec tuple
+    pub fn conv(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Result<Self, QnnError> {
+        if stride == 0 {
+            return Err(QnnError::ZeroStride);
+        }
+        for (v, n) in [
+            (in_channels, "in_channels"),
+            (out_channels, "out_channels"),
+            (kernel, "kernel"),
+            (in_h, "in_h"),
+            (in_w, "in_w"),
+        ] {
+            if v == 0 {
+                return Err(QnnError::EmptyDimension(n));
+            }
+        }
+        let layer = Self {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_h,
+            in_w,
+        };
+        // Validate output extents.
+        layer.geometry().out_extent(in_h, kernel)?;
+        layer.geometry().out_extent(in_w, kernel)?;
+        Ok(layer)
+    }
+
+    /// Creates a fully connected layer expressed as a 1×1×1×1 convolution.
+    ///
+    /// # Errors
+    /// Returns [`QnnError::EmptyDimension`] for zero feature counts.
+    pub fn fully_connected(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<Self, QnnError> {
+        let mut l = Self::conv(name, in_features, out_features, 1, 1, 0, 1, 1)?;
+        l.kind = LayerKind::FullyConnected;
+        Ok(l)
+    }
+
+    /// The stride/padding geometry of this layer.
+    pub fn geometry(&self) -> ConvGeometry {
+        ConvGeometry {
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.geometry()
+            .out_extent(self.in_h, self.kernel)
+            .expect("validated at construction")
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.geometry()
+            .out_extent(self.in_w, self.kernel)
+            .expect("validated at construction")
+    }
+
+    /// Number of weights.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of input activations.
+    pub fn activation_count(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Number of output activations.
+    pub fn output_count(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Dense multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.output_count() as u64 * self.in_channels as u64 * (self.kernel * self.kernel) as u64
+    }
+}
+
+impl std::fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{} -> {}x{}x{} (k{} s{} p{})",
+            self.name,
+            self.in_channels,
+            self.in_h,
+            self.in_w,
+            self.out_channels,
+            self.out_h(),
+            self.out_w(),
+            self.kernel,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_derived_quantities() {
+        // VGG conv1_1: 3 -> 64 channels, 3x3, s1 p1, 224x224.
+        let l = ConvLayer::conv("conv1_1", 3, 64, 3, 1, 1, 224, 224).unwrap();
+        assert_eq!(l.out_h(), 224);
+        assert_eq!(l.out_w(), 224);
+        assert_eq!(l.weight_count(), 64 * 3 * 9);
+        assert_eq!(l.macs(), 64 * 224 * 224 * 3 * 9);
+    }
+
+    #[test]
+    fn strided_conv_output() {
+        // AlexNet conv1 (Caffe variant): 3 -> 96, 11x11, s4 p0, 227 -> 55.
+        let l = ConvLayer::conv("conv1", 3, 96, 11, 4, 0, 227, 227).unwrap();
+        assert_eq!(l.out_h(), 55);
+    }
+
+    #[test]
+    fn fc_as_unit_conv() {
+        let l = ConvLayer::fully_connected("fc6", 9216, 4096).unwrap();
+        assert_eq!(l.kind, LayerKind::FullyConnected);
+        assert_eq!(l.macs(), 9216 * 4096);
+        assert_eq!(l.out_h(), 1);
+    }
+
+    #[test]
+    fn invalid_layers_rejected() {
+        assert!(ConvLayer::conv("x", 0, 1, 3, 1, 1, 8, 8).is_err());
+        assert!(ConvLayer::conv("x", 1, 1, 3, 0, 1, 8, 8).is_err());
+        assert!(ConvLayer::conv("x", 1, 1, 9, 1, 0, 4, 4).is_err());
+    }
+
+    #[test]
+    fn display_contains_geometry() {
+        let l = ConvLayer::conv("c", 1, 2, 3, 1, 1, 8, 8).unwrap();
+        let s = l.to_string();
+        assert!(s.contains("k3 s1 p1"));
+    }
+}

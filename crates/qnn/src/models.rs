@@ -1,0 +1,568 @@
+//! The DNN benchmark: layer tables for the six ImageNet networks the paper
+//! evaluates (§V-A2): AlexNet, VGG-16, GoogLeNet, Inception-V2, ResNet-18
+//! and ResNet-50.
+//!
+//! MobileNets are omitted, as in the paper, because the baseline
+//! accelerators do not support depthwise convolution in their PEs.
+//!
+//! The tables record geometry only; synthetic quantized tensors matching
+//! each layer are produced by [`crate::workload`]. Inception-V2 follows the
+//! BN-Inception configuration (Ioffe & Szegedy, 2015) with double-3×3
+//! branches replacing 5×5 convolutions.
+
+use crate::error::QnnError;
+use crate::layers::ConvLayer;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a network in the DNN benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NetworkId {
+    /// AlexNet (Krizhevsky et al., 2012).
+    AlexNet,
+    /// VGG-16 (Simonyan & Zisserman, 2014).
+    Vgg16,
+    /// GoogLeNet (Szegedy et al., 2015).
+    GoogLeNet,
+    /// Inception-V2 / BN-Inception (Ioffe & Szegedy, 2015).
+    InceptionV2,
+    /// ResNet-18 (He et al., 2016).
+    ResNet18,
+    /// ResNet-50 (He et al., 2016).
+    ResNet50,
+}
+
+impl NetworkId {
+    /// All six benchmark networks, in the paper's presentation order.
+    pub const ALL: [NetworkId; 6] = [
+        NetworkId::AlexNet,
+        NetworkId::Vgg16,
+        NetworkId::GoogLeNet,
+        NetworkId::InceptionV2,
+        NetworkId::ResNet18,
+        NetworkId::ResNet50,
+    ];
+
+    /// The five networks of Figure 1 (ResNet-50 is excluded there).
+    pub const FIG1: [NetworkId; 5] = [
+        NetworkId::AlexNet,
+        NetworkId::Vgg16,
+        NetworkId::GoogLeNet,
+        NetworkId::InceptionV2,
+        NetworkId::ResNet18,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkId::AlexNet => "AlexNet",
+            NetworkId::Vgg16 => "VGG-16",
+            NetworkId::GoogLeNet => "GoogLeNet",
+            NetworkId::InceptionV2 => "Inception-V2",
+            NetworkId::ResNet18 => "ResNet-18",
+            NetworkId::ResNet50 => "ResNet-50",
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A network: an ordered list of convolution / FC layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// Which benchmark network this is.
+    pub id: NetworkId,
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Builds the layer table for `id`.
+    pub fn new(id: NetworkId) -> Self {
+        let layers = match id {
+            NetworkId::AlexNet => alexnet(),
+            NetworkId::Vgg16 => vgg16(),
+            NetworkId::GoogLeNet => googlenet(),
+            NetworkId::InceptionV2 => inception_v2(),
+            NetworkId::ResNet18 => resnet18(),
+            NetworkId::ResNet50 => resnet50(),
+        }
+        .expect("builtin layer tables are valid");
+        Self { id, layers }
+    }
+
+    /// The network's layers in execution order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer(&self, name: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Total dense MAC count of the network.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Total weight count of the network.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(ConvLayer::weight_count).sum()
+    }
+}
+
+type Layers = Result<Vec<ConvLayer>, QnnError>;
+
+fn alexnet() -> Layers {
+    Ok(vec![
+        ConvLayer::conv("conv1", 3, 96, 11, 4, 0, 227, 227)?,
+        ConvLayer::conv("conv2", 96, 256, 5, 1, 2, 27, 27)?,
+        ConvLayer::conv("conv3", 256, 384, 3, 1, 1, 13, 13)?,
+        ConvLayer::conv("conv4", 384, 384, 3, 1, 1, 13, 13)?,
+        ConvLayer::conv("conv5", 384, 256, 3, 1, 1, 13, 13)?,
+        ConvLayer::fully_connected("fc6", 9216, 4096)?,
+        ConvLayer::fully_connected("fc7", 4096, 4096)?,
+        ConvLayer::fully_connected("fc8", 4096, 1000)?,
+    ])
+}
+
+fn vgg16() -> Layers {
+    let mut layers = Vec::new();
+    let blocks: [(usize, usize, usize, usize); 5] = [
+        (2, 3, 64, 224),
+        (2, 64, 128, 112),
+        (3, 128, 256, 56),
+        (3, 256, 512, 28),
+        (3, 512, 512, 14),
+    ];
+    for (bi, &(reps, in_c, out_c, hw)) in blocks.iter().enumerate() {
+        for r in 0..reps {
+            let ic = if r == 0 { in_c } else { out_c };
+            layers.push(ConvLayer::conv(
+                format!("conv{}_{}", bi + 1, r + 1),
+                ic,
+                out_c,
+                3,
+                1,
+                1,
+                hw,
+                hw,
+            )?);
+        }
+    }
+    layers.push(ConvLayer::fully_connected("fc6", 25088, 4096)?);
+    layers.push(ConvLayer::fully_connected("fc7", 4096, 4096)?);
+    layers.push(ConvLayer::fully_connected("fc8", 4096, 1000)?);
+    Ok(layers)
+}
+
+/// GoogLeNet inception parameters:
+/// `(name, in_c, hw, p1x1, red3, c3x3, red5, c5x5, pool_proj)`.
+#[allow(clippy::type_complexity)]
+const GOOGLENET_INCEPTION: [(&str, usize, usize, usize, usize, usize, usize, usize, usize); 9] = [
+    ("3a", 192, 28, 64, 96, 128, 16, 32, 32),
+    ("3b", 256, 28, 128, 128, 192, 32, 96, 64),
+    ("4a", 480, 14, 192, 96, 208, 16, 48, 64),
+    ("4b", 512, 14, 160, 112, 224, 24, 64, 64),
+    ("4c", 512, 14, 128, 128, 256, 24, 64, 64),
+    ("4d", 512, 14, 112, 144, 288, 32, 64, 64),
+    ("4e", 528, 14, 256, 160, 320, 32, 128, 128),
+    ("5a", 832, 7, 256, 160, 320, 32, 128, 128),
+    ("5b", 832, 7, 384, 192, 384, 48, 128, 128),
+];
+
+fn googlenet() -> Layers {
+    let mut layers = vec![
+        ConvLayer::conv("conv1", 3, 64, 7, 2, 3, 224, 224)?,
+        ConvLayer::conv("conv2_reduce", 64, 64, 1, 1, 0, 56, 56)?,
+        ConvLayer::conv("conv2", 64, 192, 3, 1, 1, 56, 56)?,
+    ];
+    for &(name, in_c, hw, p1, r3, c3, r5, c5, pp) in &GOOGLENET_INCEPTION {
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_1x1"),
+            in_c,
+            p1,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_3x3r"),
+            in_c,
+            r3,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_3x3"),
+            r3,
+            c3,
+            3,
+            1,
+            1,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_5x5r"),
+            in_c,
+            r5,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_5x5"),
+            r5,
+            c5,
+            5,
+            1,
+            2,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_pool"),
+            in_c,
+            pp,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+    }
+    layers.push(ConvLayer::fully_connected("fc", 1024, 1000)?);
+    Ok(layers)
+}
+
+/// BN-Inception (Inception-V2) module parameters:
+/// `(name, in_c, hw, stride, p1x1, red3, c3x3, red_d, c_d, pool_proj)`.
+/// `stride == 2` modules drop the 1×1 branch and use a pass-through pool.
+#[allow(clippy::type_complexity)]
+const INCEPTION_V2_MODULES: [(
+    &str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+); 10] = [
+    ("3a", 192, 28, 1, 64, 64, 64, 64, 96, 32),
+    ("3b", 256, 28, 1, 64, 64, 96, 64, 96, 64),
+    ("3c", 320, 28, 2, 0, 128, 160, 64, 96, 0),
+    ("4a", 576, 14, 1, 224, 64, 96, 96, 128, 128),
+    ("4b", 576, 14, 1, 192, 96, 128, 96, 128, 128),
+    ("4c", 576, 14, 1, 160, 128, 160, 128, 160, 96),
+    ("4d", 576, 14, 1, 96, 128, 192, 160, 192, 96),
+    ("4e", 576, 14, 2, 0, 128, 192, 192, 256, 0),
+    ("5a", 1024, 7, 1, 352, 192, 320, 160, 224, 128),
+    ("5b", 1024, 7, 1, 352, 192, 320, 192, 224, 128),
+];
+
+fn inception_v2() -> Layers {
+    let mut layers = vec![
+        ConvLayer::conv("conv1", 3, 64, 7, 2, 3, 224, 224)?,
+        ConvLayer::conv("conv2_reduce", 64, 64, 1, 1, 0, 56, 56)?,
+        ConvLayer::conv("conv2", 64, 192, 3, 1, 1, 56, 56)?,
+    ];
+    for &(name, in_c, hw, stride, p1, r3, c3, rd, cd, pp) in &INCEPTION_V2_MODULES {
+        if p1 > 0 {
+            layers.push(ConvLayer::conv(
+                format!("inc{name}_1x1"),
+                in_c,
+                p1,
+                1,
+                1,
+                0,
+                hw,
+                hw,
+            )?);
+        }
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_3x3r"),
+            in_c,
+            r3,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_3x3"),
+            r3,
+            c3,
+            3,
+            stride,
+            1,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_d3x3r"),
+            in_c,
+            rd,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_d3x3a"),
+            rd,
+            cd,
+            3,
+            1,
+            1,
+            hw,
+            hw,
+        )?);
+        layers.push(ConvLayer::conv(
+            format!("inc{name}_d3x3b"),
+            cd,
+            cd,
+            3,
+            stride,
+            1,
+            hw,
+            hw,
+        )?);
+        if pp > 0 {
+            layers.push(ConvLayer::conv(
+                format!("inc{name}_pool"),
+                in_c,
+                pp,
+                1,
+                1,
+                0,
+                hw,
+                hw,
+            )?);
+        }
+    }
+    layers.push(ConvLayer::fully_connected("fc", 1024, 1000)?);
+    Ok(layers)
+}
+
+fn resnet18() -> Layers {
+    let mut layers = vec![ConvLayer::conv("conv1", 3, 64, 7, 2, 3, 224, 224)?];
+    // (stage, in_c, out_c, hw_in, blocks)
+    let stages: [(usize, usize, usize, usize, usize); 4] = [
+        (2, 64, 64, 56, 2),
+        (3, 64, 128, 56, 2),
+        (4, 128, 256, 28, 2),
+        (5, 256, 512, 14, 2),
+    ];
+    for &(stage, in_c, out_c, hw_in, blocks) in &stages {
+        for b in 0..blocks {
+            let first = b == 0;
+            let downsample = first && in_c != out_c;
+            let stride = if downsample { 2 } else { 1 };
+            let ic = if first { in_c } else { out_c };
+            // Non-first blocks of a downsampling stage run at the halved extent.
+            let hw_blk = if first || in_c == out_c {
+                hw_in
+            } else {
+                hw_in / 2
+            };
+            let hw_out = if downsample { hw_blk / 2 } else { hw_blk };
+            layers.push(ConvLayer::conv(
+                format!("conv{stage}_{}", 2 * b + 1),
+                ic,
+                out_c,
+                3,
+                stride,
+                1,
+                hw_blk,
+                hw_blk,
+            )?);
+            layers.push(ConvLayer::conv(
+                format!("conv{stage}_{}", 2 * b + 2),
+                out_c,
+                out_c,
+                3,
+                1,
+                1,
+                hw_out,
+                hw_out,
+            )?);
+            if downsample {
+                layers.push(ConvLayer::conv(
+                    format!("conv{stage}_down"),
+                    in_c,
+                    out_c,
+                    1,
+                    2,
+                    0,
+                    hw_blk,
+                    hw_blk,
+                )?);
+            }
+        }
+    }
+    layers.push(ConvLayer::fully_connected("fc", 512, 1000)?);
+    Ok(layers)
+}
+
+fn resnet50() -> Layers {
+    let mut layers = vec![ConvLayer::conv("conv1", 3, 64, 7, 2, 3, 224, 224)?];
+    // (stage, in_c, mid_c, out_c, hw_in, blocks, first_stride)
+    let stages: [(usize, usize, usize, usize, usize, usize, usize); 4] = [
+        (2, 64, 64, 256, 56, 3, 1),
+        (3, 256, 128, 512, 56, 4, 2),
+        (4, 512, 256, 1024, 28, 6, 2),
+        (5, 1024, 512, 2048, 14, 3, 2),
+    ];
+    for &(stage, in_c, mid_c, out_c, hw_in, blocks, first_stride) in &stages {
+        for b in 0..blocks {
+            let first = b == 0;
+            let stride = if first { first_stride } else { 1 };
+            let ic = if first { in_c } else { out_c };
+            let hw = if first { hw_in } else { hw_in / first_stride };
+            let hw_out = hw / stride;
+            layers.push(ConvLayer::conv(
+                format!("conv{stage}_{}a", b + 1),
+                ic,
+                mid_c,
+                1,
+                1,
+                0,
+                hw,
+                hw,
+            )?);
+            layers.push(ConvLayer::conv(
+                format!("conv{stage}_{}b", b + 1),
+                mid_c,
+                mid_c,
+                3,
+                stride,
+                1,
+                hw,
+                hw,
+            )?);
+            layers.push(ConvLayer::conv(
+                format!("conv{stage}_{}c", b + 1),
+                mid_c,
+                out_c,
+                1,
+                1,
+                0,
+                hw_out,
+                hw_out,
+            )?);
+            if first {
+                layers.push(ConvLayer::conv(
+                    format!("conv{stage}_down"),
+                    in_c,
+                    out_c,
+                    1,
+                    stride,
+                    0,
+                    hw,
+                    hw,
+                )?);
+            }
+        }
+    }
+    layers.push(ConvLayer::fully_connected("fc", 2048, 1000)?);
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_construct() {
+        for id in NetworkId::ALL {
+            let net = Network::new(id);
+            assert!(!net.layers().is_empty(), "{id} has no layers");
+            assert!(net.total_macs() > 0);
+        }
+    }
+
+    #[test]
+    fn alexnet_macs_in_expected_range() {
+        let net = Network::new(NetworkId::AlexNet);
+        // AlexNet is ~0.7 GMACs for convs + ~0.06 G for FCs.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((0.6..1.2).contains(&g), "AlexNet GMACs = {g}");
+    }
+
+    #[test]
+    fn vgg16_macs_about_15_g() {
+        let net = Network::new(NetworkId::Vgg16);
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((14.0..16.5).contains(&g), "VGG-16 GMACs = {g}");
+        use crate::layers::LayerKind;
+        assert_eq!(
+            net.layers()
+                .iter()
+                .filter(|l| l.kind == LayerKind::Conv)
+                .count(),
+            13
+        );
+    }
+
+    #[test]
+    fn resnet18_macs_about_1_8_g() {
+        let net = Network::new(NetworkId::ResNet18);
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.6..2.1).contains(&g), "ResNet-18 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_about_4_g() {
+        let net = Network::new(NetworkId::ResNet50);
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&g), "ResNet-50 GMACs = {g}");
+    }
+
+    #[test]
+    fn googlenet_macs_about_1_5_g() {
+        let net = Network::new(NetworkId::GoogLeNet);
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.2..2.0).contains(&g), "GoogLeNet GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet18_has_fig18_layer() {
+        let net = Network::new(NetworkId::ResNet18);
+        let l = net.layer("conv3_2").expect("conv3_2 exists");
+        assert_eq!(l.in_channels, 128);
+        assert_eq!(l.out_channels, 128);
+    }
+
+    #[test]
+    fn layer_shapes_chain_spatially() {
+        // Within each plain-conv network, output extents must be positive.
+        for id in NetworkId::ALL {
+            for l in Network::new(id).layers() {
+                assert!(l.out_h() > 0 && l.out_w() > 0, "{id} {}", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn vgg_weight_count_about_138m() {
+        let net = Network::new(NetworkId::Vgg16);
+        let m = net.total_weights() as f64 / 1e6;
+        assert!((130.0..145.0).contains(&m), "VGG-16 params = {m}M");
+    }
+}

@@ -1,0 +1,162 @@
+//! Pooling layers.
+//!
+//! The benchmark networks interleave convolutions with max/average pooling;
+//! the functional multi-layer pipeline needs them to chain layers the way
+//! the real networks do (pooling runs in the post-processing path, not on
+//! the compute tiles).
+
+use crate::error::QnnError;
+use crate::tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// Pooling operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window (rounded toward zero, matching
+    /// integer inference).
+    Average,
+}
+
+/// Applies 2-D pooling with a square `window`, the given `stride`, and
+/// zero padding `padding` (padding cells count as zero for both kinds,
+/// matching the common inference-runtime convention).
+///
+/// ```
+/// use qnn::pool::{pool2d, PoolKind};
+/// use qnn::tensor::Tensor3;
+/// let t = Tensor3::from_vec(1, 2, 2, vec![1, 5, 3, 2]).unwrap();
+/// let p = pool2d(&t, PoolKind::Max, 2, 2, 0).unwrap();
+/// assert_eq!(p.as_slice(), &[5]);
+/// ```
+///
+/// # Errors
+/// Returns [`QnnError::ZeroStride`] for a zero stride and
+/// [`QnnError::KernelTooLarge`] when the padded input is smaller than the
+/// window.
+pub fn pool2d(
+    fmap: &Tensor3,
+    kind: PoolKind,
+    window: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor3, QnnError> {
+    if stride == 0 {
+        return Err(QnnError::ZeroStride);
+    }
+    let (c, h, w) = fmap.shape();
+    let geom = crate::conv::ConvGeometry { stride, padding };
+    let out_h = geom.out_extent(h, window)?;
+    let out_w = geom.out_extent(w, window)?;
+    let mut out = Tensor3::zeros(c, out_h, out_w)?;
+    let pad = padding as isize;
+    for ci in 0..c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let base_y = (oy * stride) as isize - pad;
+                let base_x = (ox * stride) as isize - pad;
+                let v = match kind {
+                    PoolKind::Max => {
+                        let mut best = i32::MIN;
+                        for ky in 0..window {
+                            for kx in 0..window {
+                                best = best.max(fmap.get_padded(
+                                    ci,
+                                    base_y + ky as isize,
+                                    base_x + kx as isize,
+                                ));
+                            }
+                        }
+                        best
+                    }
+                    PoolKind::Average => {
+                        let mut sum = 0i64;
+                        for ky in 0..window {
+                            for kx in 0..window {
+                                sum +=
+                                    fmap.get_padded(ci, base_y + ky as isize, base_x + kx as isize)
+                                        as i64;
+                            }
+                        }
+                        (sum / (window * window) as i64) as i32
+                    }
+                };
+                out.set(ci, oy, ox, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: collapses each channel to one value, the final
+/// spatial reduction of GoogLeNet/ResNet-style networks.
+pub fn global_average_pool(fmap: &Tensor3) -> Tensor3 {
+    let (c, h, w) = fmap.shape();
+    let n = (h * w) as i64;
+    let mut out = Tensor3::zeros(c, 1, 1).expect("non-empty channels");
+    for ci in 0..c {
+        let sum: i64 = fmap.channel(ci).iter().map(|&v| v as i64).sum();
+        out.set(ci, 0, 0, (sum / n) as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2_stride2() {
+        let t = Tensor3::from_vec(1, 4, 4, (1..=16).collect()).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 2, 2, 0).unwrap();
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.as_slice(), &[6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn avg_pool_truncates_toward_zero() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![1, 2, 3, 5]).unwrap();
+        let p = pool2d(&t, PoolKind::Average, 2, 2, 0).unwrap();
+        assert_eq!(p.as_slice(), &[2]); // 11 / 4 = 2
+    }
+
+    #[test]
+    fn overlapping_pool_3x3_stride2() {
+        // AlexNet-style overlapping max pool.
+        let t = Tensor3::from_fn(1, 5, 5, |_, y, x| (y * 5 + x) as i32).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 3, 2, 0).unwrap();
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.get(0, 1, 1), 24);
+    }
+
+    #[test]
+    fn padded_pool_counts_zeros() {
+        let t = Tensor3::from_vec(1, 1, 1, vec![-8]).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 3, 1, 1).unwrap();
+        // Window contains the -8 plus 8 padding zeros -> max is 0.
+        assert_eq!(p.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn per_channel_independence() {
+        let t = Tensor3::from_vec(2, 2, 2, vec![1, 2, 3, 4, 40, 30, 20, 10]).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 2, 2, 0).unwrap();
+        assert_eq!(p.as_slice(), &[4, 40]);
+    }
+
+    #[test]
+    fn global_average() {
+        let t = Tensor3::from_vec(2, 2, 2, vec![1, 2, 3, 4, 10, 10, 10, 10]).unwrap();
+        let g = global_average_pool(&t);
+        assert_eq!(g.shape(), (2, 1, 1));
+        assert_eq!(g.as_slice(), &[2, 10]);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![0; 4]).unwrap();
+        assert!(pool2d(&t, PoolKind::Max, 2, 0, 0).is_err());
+        assert!(pool2d(&t, PoolKind::Max, 5, 1, 0).is_err());
+    }
+}

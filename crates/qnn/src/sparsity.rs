@@ -1,0 +1,199 @@
+//! Value- and atom-level sparsity statistics.
+//!
+//! The paper distinguishes *value* sparsity (fraction of zero weights or
+//! activations) from *atom* (bit-level) sparsity (fraction of zero N-bit
+//! atoms inside the non-zero values). Both feed the condensed streaming
+//! computation's closed-form latency (paper §III-B) and the load balancer.
+
+use crate::tensor::{Tensor3, Tensor4};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of non-zero entries in a slice (the paper's α_v / β_v).
+pub fn value_density(values: &[i32]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v != 0).count() as f64 / values.len() as f64
+}
+
+/// Number of non-zero `atom_bits`-wide atoms in the magnitude of `v`.
+///
+/// ```
+/// use qnn::sparsity::nonzero_atoms;
+/// // 29 = 0b01_11_01 -> atoms {1, 3, 1} under 2-bit granularity.
+/// assert_eq!(nonzero_atoms(29, 2), 3);
+/// // 0b0100_0001 has two non-zero 2-bit atoms (shifts 0 and 6).
+/// assert_eq!(nonzero_atoms(0b0100_0001, 2), 2);
+/// assert_eq!(nonzero_atoms(0, 2), 0);
+/// ```
+///
+/// # Panics
+/// Panics if `atom_bits` is 0 or greater than 8.
+pub fn nonzero_atoms(v: i32, atom_bits: u8) -> u32 {
+    assert!(
+        (1..=8).contains(&atom_bits),
+        "atom granularity must be 1..=8 bits"
+    );
+    let mut m = v.unsigned_abs();
+    let mask = (1u32 << atom_bits) - 1;
+    let mut count = 0;
+    while m != 0 {
+        if m & mask != 0 {
+            count += 1;
+        }
+        m >>= atom_bits;
+    }
+    count
+}
+
+/// Average fraction of non-zero atoms per *non-zero* value (the paper's
+/// α_a / β_a), for values quantized to `value_bits` and atomized at
+/// `atom_bits` granularity.
+///
+/// Returns 0 when the slice contains no non-zero values.
+pub fn atom_density(values: &[i32], value_bits: u8, atom_bits: u8) -> f64 {
+    let atoms_per_value = value_bits.div_ceil(atom_bits) as f64;
+    let (mut total, mut nonzero_values) = (0u64, 0u64);
+    for &v in values {
+        if v != 0 {
+            nonzero_values += 1;
+            total += nonzero_atoms(v, atom_bits) as u64;
+        }
+    }
+    if nonzero_values == 0 {
+        0.0
+    } else {
+        total as f64 / (nonzero_values as f64 * atoms_per_value)
+    }
+}
+
+/// Total count of non-zero atoms over all values in a slice (zero values
+/// contribute nothing). This is the `t`/`S`/`T` quantity of Eq 3–5.
+pub fn total_nonzero_atoms(values: &[i32], atom_bits: u8) -> u64 {
+    values
+        .iter()
+        .map(|&v| nonzero_atoms(v, atom_bits) as u64)
+        .sum()
+}
+
+/// Aggregate sparsity statistics for a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsityStats {
+    /// Total number of values.
+    pub len: usize,
+    /// Number of non-zero values.
+    pub nonzero_values: usize,
+    /// Total non-zero atoms across all values.
+    pub nonzero_atoms: u64,
+    /// Fraction of non-zero values (α_v / β_v).
+    pub value_density: f64,
+    /// Fraction of non-zero atoms within non-zero values (α_a / β_a).
+    pub atom_density: f64,
+}
+
+impl SparsityStats {
+    /// Computes statistics for a flat slice quantized to `value_bits`, under
+    /// `atom_bits` atom granularity.
+    pub fn from_values(values: &[i32], value_bits: u8, atom_bits: u8) -> Self {
+        Self {
+            len: values.len(),
+            nonzero_values: values.iter().filter(|&&v| v != 0).count(),
+            nonzero_atoms: total_nonzero_atoms(values, atom_bits),
+            value_density: value_density(values),
+            atom_density: atom_density(values, value_bits, atom_bits),
+        }
+    }
+
+    /// Statistics of a feature map.
+    pub fn from_tensor3(t: &Tensor3, value_bits: u8, atom_bits: u8) -> Self {
+        Self::from_values(t.as_slice(), value_bits, atom_bits)
+    }
+
+    /// Statistics of a kernel tensor.
+    pub fn from_tensor4(t: &Tensor4, value_bits: u8, atom_bits: u8) -> Self {
+        Self::from_values(t.as_slice(), value_bits, atom_bits)
+    }
+
+    /// Value *sparsity* (1 − density), as the paper reports it.
+    pub fn value_sparsity(&self) -> f64 {
+        1.0 - self.value_density
+    }
+
+    /// Effective combined density of the compressed atom stream relative to
+    /// the dense atom count: α_v·α_a (or β_v·β_a).
+    pub fn combined_density(&self) -> f64 {
+        self.value_density * self.atom_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_density_basics() {
+        assert_eq!(value_density(&[]), 0.0);
+        assert_eq!(value_density(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(value_density(&[1, 0, -2, 0]), 0.5);
+    }
+
+    #[test]
+    fn nonzero_atoms_examples_from_paper() {
+        // §III-A: 29 = 01_11_01 has terms {1·2^4, 3·2^2, 1·2^0}.
+        assert_eq!(nonzero_atoms(29, 2), 3);
+        // Fig 5 operands: -11 (mag 1011) has atoms 3,2; 13 (1101) has 1,3.
+        assert_eq!(nonzero_atoms(-11, 2), 2);
+        assert_eq!(nonzero_atoms(13, 2), 2);
+    }
+
+    #[test]
+    fn nonzero_atoms_across_granularities() {
+        let v = 0b0101_0001;
+        assert_eq!(nonzero_atoms(v, 1), 3);
+        assert_eq!(nonzero_atoms(v, 2), 3); // 01 01 00 01
+        assert_eq!(nonzero_atoms(v, 3), 3); // 0b1010001 -> atoms 001, 010, 1
+        assert_eq!(nonzero_atoms(v, 4), 2);
+        assert_eq!(nonzero_atoms(v, 8), 1);
+    }
+
+    #[test]
+    fn atom_density_ignores_zero_values() {
+        // Two values: 3 (0b11 -> one 2b atom of two possible under 4-bit) and 0.
+        let values = [3, 0];
+        let d = atom_density(&values, 4, 2);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atom_density_full_when_all_atoms_set() {
+        // 15 = 0b1111: both 2-bit atoms non-zero under 4-bit values.
+        assert_eq!(atom_density(&[15, 15], 4, 2), 1.0);
+        assert_eq!(atom_density(&[0], 4, 2), 0.0);
+    }
+
+    #[test]
+    fn stats_combined_density() {
+        // Values 4-bit: [5 (0b0101: atoms 1,1), 0, 0, 8 (0b1000: atom hi only)]
+        let s = SparsityStats::from_values(&[5, 0, 0, 8], 4, 2);
+        assert_eq!(s.nonzero_values, 2);
+        assert_eq!(s.nonzero_atoms, 3);
+        assert!((s.value_density - 0.5).abs() < 1e-12);
+        assert!((s.atom_density - 0.75).abs() < 1e-12);
+        assert!((s.combined_density() - 0.375).abs() < 1e-12);
+        assert!((s.value_sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values_use_magnitude() {
+        assert_eq!(nonzero_atoms(-128, 2), 1); // 1000_0000 -> single atom at shift 6
+        assert_eq!(
+            nonzero_atoms(i32::MIN + 1, 1),
+            31 - (i32::MAX.count_zeros() - 1)
+        );
+    }
+
+    #[test]
+    fn total_atoms_sums() {
+        assert_eq!(total_nonzero_atoms(&[29, 0, -11], 2), 5);
+    }
+}

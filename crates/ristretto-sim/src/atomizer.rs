@@ -1,0 +1,193 @@
+//! The Atomizer (§IV-C1): on-the-fly zero-atom squeezing of activation
+//! words.
+//!
+//! Each cycle the Atomizer scans the current 8-bit activation word with a
+//! leading-one detector and emits one non-zero atom (magnitude, shift
+//! offset, last flag) plus the word's `(x, y)` coordinate. A word holding
+//! `k` non-zero atoms occupies the Atomizer for exactly `k` cycles — since
+//! zero *values* were squeezed out beforehand, every word contains at
+//! least one non-zero atom under 8-bit quantization (at least two/four
+//! under 4/2-bit packing), so the Atomizer never starves the Atomputer.
+
+use atomstream::atom::{Atom, AtomBits};
+use atomstream::decompose::atomize_unsigned;
+use atomstream::error::AtomError;
+use atomstream::flatten::FlatActivation;
+use atomstream::stream::{ActEntry, ActivationStream};
+use serde::{Deserialize, Serialize};
+
+/// One Atomizer output: the atom plus its source coordinate — what flows
+/// to the Atomputer (atom) and the Atomulator (coordinate) each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomizerOutput {
+    /// Cycle at which this atom pops out.
+    pub cycle: u64,
+    /// The emitted atom.
+    pub atom: Atom,
+    /// Source column within the tile.
+    pub x: u16,
+    /// Source row within the tile.
+    pub y: u16,
+}
+
+/// Counters from one Atomizer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomizerReport {
+    /// Total cycles (equals atoms emitted: one per cycle, never idle).
+    pub cycles: u64,
+    /// Words consumed from the input buffer.
+    pub words_read: u64,
+    /// Maximum cycles any word was held (≤ 4 by §IV-C1).
+    pub max_hold: u64,
+}
+
+/// Cycle model of one Atomizer.
+#[derive(Debug, Clone, Copy)]
+pub struct Atomizer {
+    atom_bits: AtomBits,
+    a_bits: u8,
+}
+
+impl Atomizer {
+    /// An Atomizer for the given activation bit-width and atom granularity.
+    pub fn new(a_bits: u8, atom_bits: AtomBits) -> Self {
+        Self { atom_bits, a_bits }
+    }
+
+    /// Scans a sequence of compressed non-zero activation values (the
+    /// flattened tile stream), emitting the per-cycle outputs and a report.
+    ///
+    /// # Errors
+    /// Propagates atomization failures (value outside the declared width).
+    pub fn scan(
+        &self,
+        words: &[FlatActivation],
+    ) -> Result<(Vec<AtomizerOutput>, AtomizerReport), AtomError> {
+        let mut outputs = Vec::new();
+        let mut report = AtomizerReport::default();
+        let mut cycle = 0u64;
+        for w in words {
+            report.words_read += 1;
+            let atoms = atomize_unsigned(w.value, self.a_bits, self.atom_bits)?;
+            debug_assert!(
+                !atoms.is_empty(),
+                "zero values are removed before the Atomizer"
+            );
+            report.max_hold = report.max_hold.max(atoms.len() as u64);
+            for atom in atoms {
+                outputs.push(AtomizerOutput {
+                    cycle,
+                    atom,
+                    x: w.x,
+                    y: w.y,
+                });
+                cycle += 1;
+            }
+        }
+        report.cycles = cycle;
+        Ok((outputs, report))
+    }
+
+    /// Convenience: the emitted atoms as an [`ActivationStream`] — the
+    /// Atomizer is exactly the online implementation of
+    /// [`atomstream::compress::compress_activations`].
+    ///
+    /// # Errors
+    /// Propagates atomization failures.
+    pub fn to_stream(&self, words: &[FlatActivation]) -> Result<ActivationStream, AtomError> {
+        let (outputs, _) = self.scan(words)?;
+        Ok(ActivationStream::from_entries(
+            outputs
+                .into_iter()
+                .map(|o| ActEntry {
+                    atom: o.atom,
+                    x: o.x,
+                    y: o.y,
+                })
+                .collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomstream::compress::compress_activations;
+
+    fn words(values: &[i32]) -> Vec<FlatActivation> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| FlatActivation {
+                value,
+                x: i as u16,
+                y: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_atom_per_cycle_never_idle() {
+        let az = Atomizer::new(8, AtomBits::B2);
+        let (outputs, report) = az.scan(&words(&[29, 3, 65])).unwrap();
+        // 29 -> 3 atoms, 3 -> 1, 65 -> 2: six consecutive cycles.
+        assert_eq!(report.cycles, 6);
+        assert_eq!(outputs.len(), 6);
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(o.cycle, i as u64);
+        }
+        assert_eq!(report.words_read, 3);
+    }
+
+    #[test]
+    fn word_hold_bounded_by_four_at_2bit_atoms() {
+        let az = Atomizer::new(8, AtomBits::B2);
+        let (_, report) = az.scan(&words(&[255, 85, 1])).unwrap();
+        assert!(report.max_hold <= 4, "hold {}", report.max_hold);
+        assert_eq!(report.max_hold, 4); // 255 = four non-zero atoms
+    }
+
+    #[test]
+    fn coordinates_latch_across_a_words_atoms() {
+        let az = Atomizer::new(8, AtomBits::B2);
+        let (outputs, _) = az.scan(&words(&[29])).unwrap();
+        assert!(outputs.iter().all(|o| o.x == 0 && o.y == 0));
+        assert!(outputs.last().unwrap().atom.last);
+        assert!(!outputs[0].atom.last);
+    }
+
+    #[test]
+    fn matches_offline_compression() {
+        let az = Atomizer::new(8, AtomBits::B2);
+        let flat = words(&[29, 3, 65, 128, 7]);
+        let online = az.to_stream(&flat).unwrap();
+        let offline = compress_activations(&flat, 8, AtomBits::B2).unwrap();
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn constant_input_bandwidth_across_precisions() {
+        // §III-B characteristic 1: the Atomizer feeds the Atomputer at a
+        // constant `atom_bits` per cycle regardless of the values'
+        // quantized width — one 8-bit value (4 atoms), two 4-bit values
+        // (2 atoms each) and four 2-bit values (1 atom each) all occupy
+        // the same four cycles.
+        let az8 = Atomizer::new(8, AtomBits::B2);
+        let az4 = Atomizer::new(4, AtomBits::B2);
+        let az2 = Atomizer::new(2, AtomBits::B2);
+        let (_, r8) = az8.scan(&words(&[0b1111_1111])).unwrap();
+        let (_, r4) = az4.scan(&words(&[0b1111, 0b1111])).unwrap();
+        let (_, r2) = az2.scan(&words(&[0b11, 0b11, 0b11, 0b11])).unwrap();
+        assert_eq!(r8.cycles, 4);
+        assert_eq!(r4.cycles, 4);
+        assert_eq!(r2.cycles, 4);
+    }
+
+    #[test]
+    fn shift_offsets_follow_table_iv() {
+        let az = Atomizer::new(8, AtomBits::B2);
+        let (outputs, _) = az.scan(&words(&[255])).unwrap();
+        let shifts: Vec<u8> = outputs.iter().map(|o| o.atom.shift).collect();
+        assert_eq!(shifts, vec![0, 2, 4, 6]);
+    }
+}

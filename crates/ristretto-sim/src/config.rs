@@ -1,0 +1,205 @@
+//! Ristretto architecture configuration and the paper's experiment presets.
+
+use atomstream::atom::AtomBits;
+use serde::{Deserialize, Serialize};
+
+/// Architecture parameters of a single-core Ristretto.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RistrettoConfig {
+    /// Number of compute tiles (`M`).
+    pub tiles: usize,
+    /// Atom multipliers per compute tile (`N`, the static stream length;
+    /// also the number of accumulate-buffer banks, §IV-C4).
+    pub multipliers: usize,
+    /// Atom granularity (2-bit default).
+    pub atom_bits: AtomBits,
+    /// Feature-map tile height used by the block COO-2D partitioning.
+    pub tile_h: usize,
+    /// Feature-map tile width.
+    pub tile_w: usize,
+    /// Input buffer capacity (KiB).
+    pub input_buf_kb: usize,
+    /// Weight buffer capacity (KiB).
+    pub weight_buf_kb: usize,
+    /// Output buffer capacity (KiB).
+    pub output_buf_kb: usize,
+    /// Accumulator width in bits (partial-sum precision).
+    pub acc_bits: u8,
+    /// Accumulate-buffer entries per bank (each of the `N` banks caches a
+    /// slice of one output channel's tile; larger planes take multiple
+    /// passes). The Table VI calibration point is 24 entries.
+    pub accu_entries_per_bank: usize,
+    /// Crossbar FIFO depth in the Atomulator.
+    pub fifo_depth: usize,
+    /// Whether sparse computation is enabled; `false` gives Ristretto-ns,
+    /// the non-sparse variant used in the Bit Fusion comparison (§V-B).
+    pub sparse: bool,
+    /// Whether the w/a load balancer is enabled (§IV-E); the input layer is
+    /// never balanced regardless.
+    pub balancing: crate::balance::BalanceStrategy,
+}
+
+impl RistrettoConfig {
+    /// The paper's default single-core configuration (Table VI): 32 tiles,
+    /// each with 32 2-bit multipliers; 1024 2-bit multipliers total.
+    pub fn paper_default() -> Self {
+        Self {
+            tiles: 32,
+            multipliers: 32,
+            atom_bits: AtomBits::B2,
+            tile_h: 8,
+            tile_w: 8,
+            input_buf_kb: 64,
+            weight_buf_kb: 192,
+            output_buf_kb: 96,
+            acc_bits: 24,
+            accu_entries_per_bank: 24,
+            fifo_depth: 4,
+            sparse: true,
+            balancing: crate::balance::BalanceStrategy::WeightActivation,
+        }
+    }
+
+    /// The equal-compute-area configuration used against Laconic and the
+    /// equal-peak-BitOps configuration used against SparTen (§V-C/V-D):
+    /// 32 tiles × 16 2-bit multipliers.
+    pub fn half_width() -> Self {
+        Self {
+            multipliers: 16,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The non-sparse variant Ristretto-ns (§V-B).
+    pub fn non_sparse(self) -> Self {
+        Self {
+            sparse: false,
+            ..self
+        }
+    }
+
+    /// Fig 19 granularity ablation presets: same BitOps/cycle across
+    /// 1/2/3-bit atoms via 64/16/7 multipliers per tile.
+    ///
+    /// # Panics
+    /// Panics for granularities other than 1, 2 or 3 bits.
+    pub fn granularity(bits: u8) -> Self {
+        let (atom_bits, multipliers) = match bits {
+            1 => (AtomBits::B1, 64),
+            2 => (AtomBits::B2, 16),
+            3 => (AtomBits::B3, 7),
+            other => panic!("Fig 19 evaluates 1/2/3-bit atoms, not {other}"),
+        };
+        Self {
+            atom_bits,
+            multipliers,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Total atom multipliers in the core.
+    pub fn total_multipliers(&self) -> usize {
+        self.tiles * self.multipliers
+    }
+
+    /// Peak BitOps per cycle: each multiplier does `atom_bits²` bit
+    /// operations per cycle.
+    pub fn peak_bitops_per_cycle(&self) -> u64 {
+        let b = self.atom_bits.bits() as u64;
+        (self.total_multipliers() as u64) * b * b
+    }
+
+    /// Returns a copy with a different tile count.
+    pub fn with_tiles(mut self, tiles: usize) -> Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// Returns a copy with a different per-tile multiplier count.
+    pub fn with_multipliers(mut self, multipliers: usize) -> Self {
+        self.multipliers = multipliers;
+        self
+    }
+
+    /// Returns a copy with a different balancing strategy.
+    pub fn with_balancing(mut self, balancing: crate::balance::BalanceStrategy) -> Self {
+        self.balancing = balancing;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Never panics; returns an explanatory string on inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiles == 0 {
+            return Err("tile count must be non-zero".into());
+        }
+        if self.multipliers == 0 {
+            return Err("multiplier count must be non-zero".into());
+        }
+        if self.tile_h == 0 || self.tile_w == 0 {
+            return Err("feature-map tile extents must be non-zero".into());
+        }
+        if self.acc_bits < 16 || self.acc_bits > 48 {
+            return Err(format!(
+                "accumulator width {} outside 16..=48",
+                self.acc_bits
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RistrettoConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_1024_multipliers() {
+        let c = RistrettoConfig::paper_default();
+        assert_eq!(c.total_multipliers(), 1024);
+        assert_eq!(c.peak_bitops_per_cycle(), 4096);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn granularity_presets_match_bitops() {
+        let b1 = RistrettoConfig::granularity(1);
+        let b2 = RistrettoConfig::granularity(2);
+        let b3 = RistrettoConfig::granularity(3);
+        assert_eq!(b1.peak_bitops_per_cycle(), 32 * 64);
+        assert_eq!(b2.peak_bitops_per_cycle(), 32 * 64);
+        assert_eq!(b3.peak_bitops_per_cycle(), 32 * 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig 19")]
+    fn granularity_rejects_other_widths() {
+        let _ = RistrettoConfig::granularity(4);
+    }
+
+    #[test]
+    fn non_sparse_flag() {
+        let c = RistrettoConfig::paper_default().non_sparse();
+        assert!(!c.sparse);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        assert!(RistrettoConfig::paper_default()
+            .with_tiles(0)
+            .validate()
+            .is_err());
+        assert!(RistrettoConfig::paper_default()
+            .with_multipliers(0)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Event pricing for the Ristretto simulators.
+//!
+//! Precomputes per-event energies from the configuration and the component
+//! library so the analytic and cycle-level models can price their counters
+//! consistently.
+
+use crate::area::AreaBreakdown;
+use crate::config::RistrettoConfig;
+use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
+use serde::{Deserialize, Serialize};
+
+/// Metadata bits carried per compressed activation value in the block
+/// COO-2D format: an (x, y) coordinate within the default 8×8 feature-map
+/// tile (Fig 8). Kernel entries carry `2·⌈log2 k⌉` bits instead.
+pub const COO_META_BITS: u64 = 6;
+
+/// Coordinate metadata bits for one compressed kernel value of extent `k`.
+pub fn kernel_meta_bits(k: usize) -> u64 {
+    if k <= 1 {
+        0
+    } else {
+        2 * (usize::BITS - (k - 1).leading_zeros()) as u64
+    }
+}
+
+/// Per-event energy prices (pJ) for one Ristretto configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RistrettoEnergyModel {
+    /// One atom multiplication (multiplier + decoupled shift + accumulate).
+    pub atom_mult_pj: f64,
+    /// One delivery through the Atomulator (address generation + crossbar +
+    /// FIFO + accumulate-buffer write).
+    pub delivery_pj: f64,
+    /// One aggregation event (accumulate-buffer read + slice shift + output
+    /// buffer write of one partial).
+    pub aggregate_pj: f64,
+    /// One Atomizer scan cycle.
+    pub atomizer_pj: f64,
+    /// Input-buffer read per bit.
+    pub input_read_per_bit_pj: f64,
+    /// Weight-buffer read per bit.
+    pub weight_read_per_bit_pj: f64,
+    /// Output-buffer write per bit.
+    pub output_write_per_bit_pj: f64,
+    /// Total core area (mm²), for leakage.
+    pub area_mm2: f64,
+    /// Technology node.
+    pub tech: TechNode,
+    /// Leakage power density copied from the library.
+    leakage_mw_per_mm2: f64,
+}
+
+impl RistrettoEnergyModel {
+    /// Builds the price table for `cfg`.
+    pub fn new(cfg: &RistrettoConfig, lib: &ComponentLib, tech: TechNode) -> Self {
+        let g = cfg.atom_bits.bits();
+        let act_shift_options = cfg.atom_bits.slots(8);
+        let prod_width = (2 * g + (act_shift_options - 1) * g).min(24);
+        let acc_width = (prod_width + 2).min(cfg.acc_bits);
+
+        // Deliveries and aggregations touch one small per-channel bank, not
+        // the whole accumulate-buffer macro.
+        let bank_bytes = (cfg.accu_entries_per_bank * cfg.acc_bits as usize * 2 / 8).max(1);
+        let accu_bank = SramMacro::regfile(bank_bytes, cfg.acc_bits as u32);
+        let input = SramMacro::new(cfg.input_buf_kb << 10, 128);
+        let weight = SramMacro::new(cfg.weight_buf_kb << 10, 128);
+        let output = SramMacro::new(cfg.output_buf_kb << 10, 128);
+
+        Self {
+            atom_mult_pj: lib.multiplier_energy(g)
+                + lib.shifter_energy(prod_width, act_shift_options)
+                + lib.accumulator_energy(acc_width),
+            delivery_pj: lib.addr_gen_energy
+                + lib.crossbar_energy(cfg.multipliers, cfg.acc_bits)
+                + lib.fifo_energy(cfg.acc_bits)
+                + accu_bank.write_energy_pj(cfg.acc_bits as u64),
+            aggregate_pj: accu_bank.read_energy_pj(cfg.acc_bits as u64)
+                + lib.shifter_energy(cfg.acc_bits, act_shift_options)
+                // Aggregation writes are sequential, so the 128-bit output
+                // port amortizes across partials: charge per bit.
+                + output.write_energy_pj(128) / 128.0 * cfg.acc_bits as f64,
+            atomizer_pj: lib.atomizer_energy,
+            input_read_per_bit_pj: input.read_energy_pj(128) / 128.0,
+            weight_read_per_bit_pj: weight.read_energy_pj(128) / 128.0,
+            output_write_per_bit_pj: output.write_energy_pj(128) / 128.0,
+            area_mm2: AreaBreakdown::from_config(cfg, lib).total(),
+            tech,
+            leakage_mw_per_mm2: lib.leakage_mw_per_mm2,
+        }
+    }
+
+    /// Leakage energy (pJ) over `cycles` cycles of the whole core.
+    pub fn leakage_pj(&self, cycles: u64) -> f64 {
+        let watts = self.leakage_mw_per_mm2 * self.area_mm2 * 1e-3;
+        let secs = cycles as f64 / (self.tech.freq_mhz as f64 * 1e6);
+        watts * secs * 1e12
+    }
+
+    /// Prices a layer's event counts into a counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn price_layer(
+        &self,
+        counter: &mut EnergyCounter,
+        atom_mults: u64,
+        deliveries: u64,
+        aggregations: u64,
+        atomizer_cycles: u64,
+        input_bits: u64,
+        weight_bits: u64,
+        output_bits: u64,
+        dram_bits: u64,
+        cycles: u64,
+    ) {
+        counter.compute(atom_mults, self.atom_mult_pj);
+        counter.compute(deliveries, self.delivery_pj);
+        counter.compute(aggregations, self.aggregate_pj);
+        counter.compute(atomizer_cycles, self.atomizer_pj);
+        counter.buffer(input_bits, self.input_read_per_bit_pj);
+        counter.buffer(weight_bits, self.weight_read_per_bit_pj);
+        counter.buffer(output_bits, self.output_write_per_bit_pj);
+        counter.dram_bits(dram_bits);
+        counter.leakage(self.leakage_pj(cycles));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RistrettoEnergyModel {
+        RistrettoEnergyModel::new(
+            &RistrettoConfig::paper_default(),
+            &ComponentLib::n28(),
+            TechNode::N28,
+        )
+    }
+
+    #[test]
+    fn atom_mult_is_cheap() {
+        let m = model();
+        // A 2-bit atom op should cost a small fraction of an 8-bit MAC.
+        let mac8 = ComponentLib::n28().scalar_mac8_energy();
+        assert!(
+            m.atom_mult_pj < mac8 / 2.0,
+            "{} vs {}",
+            m.atom_mult_pj,
+            mac8
+        );
+        assert!(m.atom_mult_pj > 0.0);
+    }
+
+    #[test]
+    fn buffer_reads_cost_more_per_bit_than_atom_ops() {
+        let m = model();
+        assert!(m.input_read_per_bit_pj > 0.0);
+        assert!(m.weight_read_per_bit_pj > 0.0);
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles() {
+        let m = model();
+        assert!((m.leakage_pj(2000) / m.leakage_pj(1000) - 2.0).abs() < 1e-9);
+        assert_eq!(m.leakage_pj(0), 0.0);
+    }
+
+    #[test]
+    fn price_layer_populates_all_categories() {
+        let m = model();
+        let mut c = EnergyCounter::new();
+        m.price_layer(&mut c, 100, 10, 5, 50, 1000, 2000, 500, 4000, 1000);
+        let b = c.breakdown();
+        assert!(b.compute_pj > 0.0);
+        assert!(b.buffer_pj > 0.0);
+        assert!(b.dram_pj > 0.0);
+        assert!(b.leakage_pj > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ristretto-sim — the Ristretto accelerator model
+//!
+//! Models the accelerator of §IV of the paper at two fidelity levels:
+//!
+//! * [`tile`] — a cycle-level simulation of one compute tile (Atomizer →
+//!   Atomputer → Atomulator → accumulate buffer), including systolic fill,
+//!   ping-pong weight updates and crossbar FIFO backpressure;
+//! * [`analytic`] — the closed-form layer/network model built on the
+//!   paper's Eq 3–5, cross-validated against the cycle-level tile.
+//!
+//! Supporting modules: [`config`] (architecture parameters and the paper's
+//! experiment presets), [`area`] (Table VI assembly from the `hwmodel`
+//! component library), [`balance`] (the greedy w/a load balancer of §IV-E),
+//! [`energy`] (event pricing) and [`report`] (result types).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytic;
+pub mod area;
+pub mod atomizer;
+pub mod balance;
+pub mod config;
+pub mod core;
+pub mod energy;
+pub mod multicore;
+pub mod pipeline;
+pub mod ppu;
+pub mod report;
+pub mod tile;
+pub mod weightbuf;
+
+/// Glob import of the commonly used items.
+pub mod prelude {
+    pub use crate::analytic::{simulate_layer, simulate_network, RistrettoSim};
+    pub use crate::area::AreaBreakdown;
+    pub use crate::atomizer::Atomizer;
+    pub use crate::balance::{balance, BalanceStrategy, ChannelWorkload};
+    pub use crate::config::RistrettoConfig;
+    pub use crate::core::{CoreReport, CoreSim};
+    pub use crate::energy::RistrettoEnergyModel;
+    pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
+    pub use crate::ppu::{PostProcessor, PpuOutput};
+    pub use crate::report::{LayerReport, NetworkReport};
+    pub use crate::tile::{TileReport, TileSim};
+}

@@ -1,0 +1,158 @@
+//! Multi-core scaling (Fig 7 shows the accelerator as an array of compute
+//! cores sharing an I/O interface).
+//!
+//! Cores are coarse-grained: each runs whole layers independently, so the
+//! natural parallelism axes are *batch* (different images per core) and
+//! *output-channel groups* (kernels split across cores within one image,
+//! with activations broadcast). Both are modelled analytically on top of
+//! the single-core simulator.
+
+use crate::analytic::RistrettoSim;
+use crate::config::RistrettoConfig;
+use crate::report::NetworkReport;
+use qnn::workload::NetworkStats;
+use serde::{Deserialize, Serialize};
+
+/// How layers are spread across cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MulticoreMode {
+    /// Each core processes a different input image; throughput scales with
+    /// cores, single-image latency does not.
+    Batch,
+    /// Kernels (output channels) split across cores per layer; activations
+    /// are broadcast over the I/O interface. Latency improves, at the cost
+    /// of duplicated activation traffic.
+    OutputChannels,
+}
+
+/// A multi-core Ristretto.
+#[derive(Debug, Clone)]
+pub struct Multicore {
+    cores: usize,
+    mode: MulticoreMode,
+    sim: RistrettoSim,
+}
+
+/// Multi-core simulation summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticoreReport {
+    /// Cores configured.
+    pub cores: usize,
+    /// Mode used.
+    pub mode: MulticoreMode,
+    /// Latency of one inference (cycles).
+    pub latency_cycles: u64,
+    /// Throughput in inferences per mega-cycle.
+    pub throughput_per_mcycle: f64,
+    /// Total DRAM traffic per inference (bits), including broadcast
+    /// duplication in output-channel mode.
+    pub dram_bits_per_inference: u64,
+}
+
+impl Multicore {
+    /// Builds an `cores`-core accelerator from a per-core configuration.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0` or the configuration is invalid.
+    pub fn new(cores: usize, mode: MulticoreMode, cfg: RistrettoConfig) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Self {
+            cores,
+            mode,
+            sim: RistrettoSim::new(cfg),
+        }
+    }
+
+    /// Simulates one network.
+    pub fn simulate_network(&self, net: &NetworkStats) -> MulticoreReport {
+        let single: NetworkReport = self.sim.simulate_network(net);
+        let single_cycles = single.total_cycles();
+        let single_dram: u64 = single.layers.iter().map(|l| l.dram_bits).sum();
+        match self.mode {
+            MulticoreMode::Batch => MulticoreReport {
+                cores: self.cores,
+                mode: self.mode,
+                latency_cycles: single_cycles,
+                throughput_per_mcycle: self.cores as f64 / single_cycles as f64 * 1e6,
+                dram_bits_per_inference: single_dram,
+            },
+            MulticoreMode::OutputChannels => {
+                // Per layer, kernels split across cores: each core holds
+                // out_c / cores kernels, so the per-channel static stream
+                // shrinks ~cores-fold and the layer's cycles divide, floored
+                // by the activation streaming time (t atoms must still pass
+                // through once).
+                let mut latency = 0u64;
+                let mut dram = 0u64;
+                for layer in &single.layers {
+                    let floor = layer.atom_mults / layer.deliveries.max(1); // ~atoms per pass
+                    let split = (layer.cycles / self.cores as u64).max(floor).max(1);
+                    latency += split;
+                    dram += layer.dram_bits;
+                }
+                // Activations are broadcast to every core: duplicate the
+                // activation share of traffic (approximate as half).
+                let broadcast_overhead = single_dram / 2 * (self.cores as u64 - 1);
+                MulticoreReport {
+                    cores: self.cores,
+                    mode: self.mode,
+                    latency_cycles: latency,
+                    throughput_per_mcycle: 1e6 / latency as f64,
+                    dram_bits_per_inference: dram + broadcast_overhead,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::models::NetworkId;
+    use qnn::quant::BitWidth;
+    use qnn::workload::PrecisionPolicy;
+
+    fn net() -> NetworkStats {
+        NetworkStats::generate(
+            NetworkId::AlexNet,
+            PrecisionPolicy::Uniform(BitWidth::W4),
+            2,
+            31,
+        )
+    }
+
+    #[test]
+    fn batch_mode_scales_throughput_not_latency() {
+        let n = net();
+        let one = Multicore::new(1, MulticoreMode::Batch, RistrettoConfig::paper_default())
+            .simulate_network(&n);
+        let four = Multicore::new(4, MulticoreMode::Batch, RistrettoConfig::paper_default())
+            .simulate_network(&n);
+        assert_eq!(one.latency_cycles, four.latency_cycles);
+        assert!((four.throughput_per_mcycle / one.throughput_per_mcycle - 4.0).abs() < 1e-9);
+        assert_eq!(one.dram_bits_per_inference, four.dram_bits_per_inference);
+    }
+
+    #[test]
+    fn output_channel_mode_cuts_latency_but_adds_traffic() {
+        let n = net();
+        let one = Multicore::new(
+            1,
+            MulticoreMode::OutputChannels,
+            RistrettoConfig::paper_default(),
+        )
+        .simulate_network(&n);
+        let four = Multicore::new(
+            4,
+            MulticoreMode::OutputChannels,
+            RistrettoConfig::paper_default(),
+        )
+        .simulate_network(&n);
+        assert!(four.latency_cycles < one.latency_cycles);
+        assert!(
+            four.latency_cycles * 4 >= one.latency_cycles,
+            "sub-linear due to floors"
+        );
+        assert!(four.dram_bits_per_inference > one.dram_bits_per_inference);
+    }
+}

@@ -1,0 +1,108 @@
+//! Result types for layer- and network-level simulation.
+
+use hwmodel::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one layer on Ristretto.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Inference cycles (makespan across compute tiles).
+    pub cycles: u64,
+    /// Compute-tile utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Effectual atom multiplications performed.
+    pub atom_mults: u64,
+    /// Accumulator deliveries routed through the Atomulators.
+    pub deliveries: u64,
+    /// Off-chip traffic in bits (compressed).
+    pub dram_bits: u64,
+    /// On-chip buffer traffic in bits.
+    pub buffer_bits: u64,
+    /// Priced energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// Result of simulating a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Precision label ("8b", "mixed 2/4b", …).
+    pub precision: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl NetworkReport {
+    /// Total cycles across layers (layers run sequentially).
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total energy across layers.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.layers
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, l| acc + l.energy)
+    }
+
+    /// Mean utilization weighted by cycles.
+    pub fn mean_utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 1.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.utilization * l.cycles as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cycles: u64, util: f64, compute_pj: f64) -> LayerReport {
+        LayerReport {
+            name: "l".into(),
+            cycles,
+            utilization: util,
+            atom_mults: 0,
+            deliveries: 0,
+            dram_bits: 0,
+            buffer_bits: 0,
+            energy: EnergyBreakdown {
+                compute_pj,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let r = NetworkReport {
+            network: "net".into(),
+            precision: "8b".into(),
+            layers: vec![layer(100, 0.5, 10.0), layer(300, 1.0, 20.0)],
+        };
+        assert_eq!(r.total_cycles(), 400);
+        assert!((r.total_energy().compute_pj - 30.0).abs() < 1e-12);
+        let u = r.mean_utilization();
+        assert!((u - (0.5 * 100.0 + 300.0) / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_is_well_behaved() {
+        let r = NetworkReport {
+            network: "n".into(),
+            precision: "2b".into(),
+            layers: vec![],
+        };
+        assert_eq!(r.total_cycles(), 0);
+        assert_eq!(r.mean_utilization(), 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Cycle-level simulation of one Ristretto compute tile (§IV-C).
+//!
+//! Models the Atomizer → Atomputer → Atomulator → accumulate-buffer
+//! pipeline per cycle:
+//!
+//! * the Atomizer emits one non-zero activation atom per cycle (zero values
+//!   never reach it, so it never starves);
+//! * the Atomputer is a systolic chain of `N` multipliers holding one
+//!   static weight atom each; an activation atom enters at the left and
+//!   shifts right one lane per cycle, so lane `j` processes atom `s − j`
+//!   in step `s`; ping-pong weight registers overlap a segment's drain
+//!   with the next segment's fill (only the final drain is exposed);
+//! * on an activation's last atom, each lane delivers its accumulated
+//!   partial to the Atomulator, which routes it through a crossbar to the
+//!   accumulate-buffer bank of the weight atom's output channel; each bank
+//!   retires one write per cycle, excess queues in a FIFO of configurable
+//!   depth, and a full FIFO stalls the pipeline.
+//!
+//! The channel-first stream shuffle (§IV-C2) makes concurrent deliveries
+//! target distinct banks, which is why the shuffled order shows (near-)zero
+//! stalls while a naive order backs up — the test suite demonstrates both.
+
+use crate::config::RistrettoConfig;
+use atomstream::cycles::ideal_steps;
+use atomstream::stream::{ActivationStream, WeightStream};
+use serde::{Deserialize, Serialize};
+
+/// Counters produced by a cycle-level tile run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileReport {
+    /// Total cycles including stalls.
+    pub cycles: u64,
+    /// Cycles lost to crossbar/FIFO backpressure.
+    pub stall_cycles: u64,
+    /// Effectual atom multiplications.
+    pub atom_mults: u64,
+    /// Deliveries routed to the accumulate buffer.
+    pub deliveries: u64,
+    /// Deepest FIFO occupancy observed.
+    pub max_queue: usize,
+}
+
+impl TileReport {
+    /// Ideal (stall-free) cycles.
+    pub fn ideal_cycles(&self) -> u64 {
+        self.cycles - self.stall_cycles
+    }
+}
+
+/// A cycle-level compute-tile simulator.
+#[derive(Debug, Clone)]
+pub struct TileSim {
+    multipliers: usize,
+    fifo_depth: usize,
+    banks: usize,
+}
+
+impl TileSim {
+    /// Builds a tile simulator from an architecture configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: &RistrettoConfig) -> Self {
+        cfg.validate().expect("valid Ristretto configuration");
+        Self {
+            multipliers: cfg.multipliers,
+            fifo_depth: cfg.fifo_depth,
+            banks: cfg.multipliers, // §IV-C4: bank count = static stream length
+        }
+    }
+
+    /// Runs one channel's static weight stream against one tile's
+    /// activation stream, cycle by cycle.
+    pub fn run(&self, weights: &WeightStream, acts: &ActivationStream) -> TileReport {
+        let mut report = TileReport::default();
+        let t = acts.len();
+        let s = weights.len();
+        if t == 0 || s == 0 {
+            return report;
+        }
+
+        let mut queues = vec![0usize; self.banks];
+        let segments: Vec<_> = weights.entries().chunks(self.multipliers).collect();
+        let last_seg = segments.len() - 1;
+
+        // Every segment runs its full t + L - 1 systolic steps, but the
+        // drain of segment i overlaps the fill of segment i+1 (ping-pong
+        // weight registers), so only the last segment's drain costs time.
+        let mut overlapped: u64 = 0;
+        for (seg_idx, segment) in segments.iter().enumerate() {
+            if seg_idx != last_seg {
+                overlapped += segment.len() as u64 - 1;
+            }
+            for step in 0..(t + segment.len() - 1) {
+                report.cycles += 1;
+                // Lane j processes activation atom (step - j).
+                let mut delivered_this_cycle: Vec<usize> = Vec::new();
+                for (j, w) in segment.iter().enumerate() {
+                    let Some(ai) = step.checked_sub(j) else { break };
+                    if ai >= t {
+                        continue;
+                    }
+                    let a = &acts.entries()[ai];
+                    report.atom_mults += 1;
+                    if a.atom.last {
+                        let bank = w.out_ch as usize % self.banks;
+                        delivered_this_cycle.push(bank);
+                        report.deliveries += 1;
+                    }
+                }
+                // Crossbar + banks: each bank retires one write per cycle;
+                // surplus sits in FIFOs; overflow stalls the pipe until the
+                // deepest queue drains back to the FIFO depth.
+                for q in queues.iter_mut() {
+                    *q = q.saturating_sub(1);
+                }
+                for bank in delivered_this_cycle {
+                    queues[bank] += 1;
+                }
+                let deepest = queues.iter().copied().max().unwrap_or(0);
+                report.max_queue = report.max_queue.max(deepest);
+                if deepest > self.fifo_depth {
+                    let stall = (deepest - self.fifo_depth) as u64;
+                    report.stall_cycles += stall;
+                    report.cycles += stall;
+                    for q in queues.iter_mut() {
+                        *q = q.saturating_sub(stall as usize);
+                    }
+                }
+            }
+        }
+        // Account the trailing drain of in-flight FIFO entries, then credit
+        // the overlapped segment drains back.
+        let residue = queues.iter().copied().max().unwrap_or(0) as u64;
+        report.cycles += residue;
+        report.cycles -= overlapped;
+        report
+    }
+
+    /// Ideal step count for this tile per the paper's Eq 3.
+    pub fn ideal(&self, t: u64, s: u64) -> u64 {
+        ideal_steps(t, s, self.multipliers as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomstream::atom::AtomBits;
+    use atomstream::compress::{compress_activations, compress_weights, compress_weights_naive};
+    use atomstream::flatten::{FlatActivation, FlatWeight};
+    use qnn::rng::SeededRng;
+
+    fn random_streams(
+        seed: u64,
+        n_acts: usize,
+        n_weights: usize,
+        out_chans: u16,
+        shuffled: bool,
+    ) -> (WeightStream, ActivationStream) {
+        let mut rng = SeededRng::new(seed);
+        let mut fa = Vec::new();
+        for i in 0..n_acts {
+            let v = 1 + rng.below(255) as i32;
+            fa.push(FlatActivation {
+                value: v,
+                x: (i % 8) as u16,
+                y: (i / 8 % 8) as u16,
+            });
+        }
+        let mut fw = Vec::new();
+        for _ in 0..n_weights {
+            let m = 1 + rng.below(127) as i32;
+            let v = if rng.bernoulli(0.5) { -m } else { m };
+            fw.push(FlatWeight {
+                value: v,
+                x: rng.below(3) as u16,
+                y: rng.below(3) as u16,
+                out_ch: rng.below(out_chans as usize) as u16,
+            });
+        }
+        let acts = compress_activations(&fa, 8, AtomBits::B2).unwrap();
+        let weights = if shuffled {
+            compress_weights(&fw, 8, AtomBits::B2).unwrap()
+        } else {
+            compress_weights_naive(&fw, 8, AtomBits::B2).unwrap()
+        };
+        (weights, acts)
+    }
+
+    fn cfg(multipliers: usize) -> RistrettoConfig {
+        RistrettoConfig {
+            multipliers,
+            ..RistrettoConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn matches_eq3_when_stall_free() {
+        let (w, a) = random_streams(3, 20, 40, 32, true);
+        let sim = TileSim::new(&cfg(32));
+        let r = sim.run(&w, &a);
+        let ideal = sim.ideal(a.len() as u64, w.len() as u64);
+        assert_eq!(r.atom_mults, a.len() as u64 * w.len() as u64);
+        // Stall-free cycles equal Eq 3 up to the FIFO residue drain.
+        assert!(r.ideal_cycles() >= ideal);
+        assert!(
+            r.ideal_cycles() <= ideal + sim.banks as u64,
+            "{} vs {ideal}",
+            r.ideal_cycles()
+        );
+    }
+
+    #[test]
+    fn shuffled_stream_stalls_no_more_than_naive() {
+        // Many weight atoms on few output channels maximize contention.
+        let (w_shuf, a) = random_streams(7, 24, 64, 4, true);
+        let (w_naive, _) = random_streams(7, 24, 64, 4, false);
+        let sim = TileSim::new(&cfg(16));
+        let rs = sim.run(&w_shuf, &a);
+        let rn = sim.run(&w_naive, &a);
+        assert_eq!(rs.atom_mults, rn.atom_mults);
+        assert_eq!(rs.deliveries, rn.deliveries);
+        assert!(
+            rs.stall_cycles <= rn.stall_cycles,
+            "{} vs {}",
+            rs.stall_cycles,
+            rn.stall_cycles
+        );
+    }
+
+    #[test]
+    fn empty_streams_cost_nothing() {
+        let sim = TileSim::new(&cfg(8));
+        let (w, _) = random_streams(1, 4, 4, 2, true);
+        let empty_a = ActivationStream::default();
+        assert_eq!(sim.run(&w, &empty_a), TileReport::default());
+        let (_, a) = random_streams(1, 4, 4, 2, true);
+        let empty_w = WeightStream::default();
+        assert_eq!(sim.run(&empty_w, &a), TileReport::default());
+    }
+
+    #[test]
+    fn deliveries_equal_values_times_weight_atoms() {
+        let (w, a) = random_streams(11, 16, 24, 32, true);
+        let sim = TileSim::new(&cfg(32));
+        let r = sim.run(&w, &a);
+        assert_eq!(r.deliveries, a.value_count() as u64 * w.len() as u64);
+    }
+
+    #[test]
+    fn deeper_fifo_never_hurts() {
+        let (w, a) = random_streams(13, 32, 48, 2, true);
+        let mut shallow_cfg = cfg(16);
+        shallow_cfg.fifo_depth = 1;
+        let mut deep_cfg = cfg(16);
+        deep_cfg.fifo_depth = 64;
+        let shallow = TileSim::new(&shallow_cfg).run(&w, &a);
+        let deep = TileSim::new(&deep_cfg).run(&w, &a);
+        assert!(deep.stall_cycles <= shallow.stall_cycles);
+        assert!(deep.cycles <= shallow.cycles);
+    }
+}

@@ -1,0 +1,254 @@
+//! Weight-buffer image: the byte-exact offline format of §IV-B.
+//!
+//! Kernels are flattened, zero values *and* zero atoms removed offline, and
+//! the surviving atoms packed with their metadata into the image the weight
+//! buffer holds — per input channel a header plus a dense array of packed
+//! atom records. The loader reconstructs exactly the shuffled
+//! [`WeightStream`]s the Atomputer consumes, so encode→decode is bit-exact
+//! against the online compression path.
+//!
+//! Record layout (32 bits per atom):
+//!
+//! ```text
+//! [ 7:0]  atom magnitude (up to 8-bit granularity)
+//! [11:8]  shift offset (0..15, covers 16-bit weights at 1-bit atoms)
+//! [12]    sign
+//! [13]    last-atom flag
+//! [17:14] kernel x
+//! [21:18] kernel y
+//! [31:22] output channel (up to 1024 kernels per group)
+//! ```
+
+use atomstream::atom::{Atom, AtomBits};
+use atomstream::compress::compress_weights;
+use atomstream::error::AtomError;
+use atomstream::flatten::flatten_kernel_channel;
+use atomstream::stream::{WeightEntry, WeightStream};
+use qnn::tensor::Tensor4;
+use serde::{Deserialize, Serialize};
+
+/// Bits per packed atom record.
+pub const RECORD_BITS: usize = 32;
+
+fn pack(e: &WeightEntry) -> u32 {
+    debug_assert!(e.atom.shift < 16 && e.x < 16 && e.y < 16 && e.out_ch < 1024);
+    (e.atom.mag as u32)
+        | ((e.atom.shift as u32) << 8)
+        | ((e.atom.negative as u32) << 12)
+        | ((e.atom.last as u32) << 13)
+        | ((e.x as u32) << 14)
+        | ((e.y as u32) << 18)
+        | ((e.out_ch as u32) << 22)
+}
+
+fn unpack(w: u32) -> WeightEntry {
+    WeightEntry {
+        atom: Atom {
+            mag: (w & 0xFF) as u8,
+            shift: ((w >> 8) & 0xF) as u8,
+            negative: (w >> 12) & 1 == 1,
+            last: (w >> 13) & 1 == 1,
+        },
+        x: ((w >> 14) & 0xF) as u16,
+        y: ((w >> 18) & 0xF) as u16,
+        out_ch: ((w >> 22) & 0x3FF) as u16,
+    }
+}
+
+/// The offline-compressed weight image for one layer's kernels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightBufferImage {
+    /// Per-input-channel atom record arrays.
+    channels: Vec<Vec<u32>>,
+}
+
+impl WeightBufferImage {
+    /// Encodes a kernel tensor offline: flatten, squeeze zeros, atomize,
+    /// shuffle (§IV-C2 order), pack.
+    ///
+    /// # Errors
+    /// Propagates atomization errors (weights exceeding `w_bits`).
+    pub fn encode(kernels: &Tensor4, w_bits: u8, atom_bits: AtomBits) -> Result<Self, AtomError> {
+        let (o, i, kh, kw) = kernels.shape();
+        if o > 1024 || kh > 16 || kw > 16 {
+            return Err(AtomError::TileShapeMismatch {
+                expected: (1024, 16),
+                actual: (o, kh),
+            });
+        }
+        let mut channels = Vec::with_capacity(i);
+        for ci in 0..i {
+            let flat = flatten_kernel_channel(kernels, ci)?;
+            let stream = compress_weights(&flat, w_bits, atom_bits)?;
+            channels.push(stream.entries().iter().map(pack).collect());
+        }
+        Ok(Self { channels })
+    }
+
+    /// Number of input channels in the image.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Non-zero atom count for one channel (the balancer's `S_i`, readable
+    /// straight from the header).
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn atoms(&self, channel: usize) -> usize {
+        self.channels[channel].len()
+    }
+
+    /// Total image size in bits (records plus one 32-bit length header per
+    /// channel).
+    pub fn storage_bits(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|c| 32 + c.len() * RECORD_BITS)
+            .sum()
+    }
+
+    /// Reconstructs the stream for one channel, exactly as the online
+    /// compression path would produce it.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn stream(&self, channel: usize) -> WeightStream {
+        WeightStream::from_entries(self.channels[channel].iter().map(|&w| unpack(w)).collect())
+    }
+
+    /// Serializes the image into raw little-endian bytes (what DRAM holds).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.storage_bits() / 8);
+        for ch in &self.channels {
+            out.extend_from_slice(&(ch.len() as u32).to_le_bytes());
+            for &rec in ch {
+                out.extend_from_slice(&rec.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses an image back from raw bytes.
+    ///
+    /// # Errors
+    /// Returns a descriptive error on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut channels = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            if pos + 4 > bytes.len() {
+                return Err(format!("truncated channel header at byte {pos}"));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + 4 * len > bytes.len() {
+                return Err(format!(
+                    "truncated channel body at byte {pos} (need {len} records)"
+                ));
+            }
+            let mut ch = Vec::with_capacity(len);
+            for r in 0..len {
+                let off = pos + 4 * r;
+                ch.push(u32::from_le_bytes(
+                    bytes[off..off + 4].try_into().expect("4 bytes"),
+                ));
+            }
+            pos += 4 * len;
+            channels.push(ch);
+        }
+        Ok(Self { channels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::quant::BitWidth;
+    use qnn::workload::{WeightProfile, WorkloadGen};
+
+    fn kernels(seed: u64) -> Tensor4 {
+        let mut gen = WorkloadGen::new(seed);
+        gen.weights(16, 8, 3, 3, &WeightProfile::benchmark(BitWidth::W4))
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_matches_online_compression() {
+        let k = kernels(3);
+        let img = WeightBufferImage::encode(&k, 4, AtomBits::B2).unwrap();
+        assert_eq!(img.channel_count(), 8);
+        for ci in 0..8 {
+            let flat = flatten_kernel_channel(&k, ci).unwrap();
+            let online = compress_weights(&flat, 4, AtomBits::B2).unwrap();
+            assert_eq!(img.stream(ci), online, "channel {ci}");
+            assert_eq!(img.atoms(ci), online.len());
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let k = kernels(7);
+        let img = WeightBufferImage::encode(&k, 4, AtomBits::B2).unwrap();
+        let bytes = img.to_bytes();
+        assert_eq!(bytes.len() * 8, img.storage_bits());
+        let back = WeightBufferImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let img = WeightBufferImage::encode(&kernels(9), 4, AtomBits::B2).unwrap();
+        let bytes = img.to_bytes();
+        assert!(WeightBufferImage::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(WeightBufferImage::from_bytes(&bytes[..2]).is_err());
+    }
+
+    #[test]
+    fn sparser_kernels_make_smaller_images() {
+        let mut gen = WorkloadGen::new(5);
+        let dense = gen
+            .weights(
+                16,
+                8,
+                3,
+                3,
+                &WeightProfile::benchmark(BitWidth::W4).with_prune(0.1),
+            )
+            .unwrap();
+        let sparse = gen
+            .weights(
+                16,
+                8,
+                3,
+                3,
+                &WeightProfile::benchmark(BitWidth::W4).with_prune(0.8),
+            )
+            .unwrap();
+        let di = WeightBufferImage::encode(&dense, 4, AtomBits::B2).unwrap();
+        let si = WeightBufferImage::encode(&sparse, 4, AtomBits::B2).unwrap();
+        assert!(si.storage_bits() < di.storage_bits());
+    }
+
+    #[test]
+    fn pack_unpack_all_fields() {
+        let e = WeightEntry {
+            atom: Atom {
+                mag: 255,
+                shift: 14,
+                negative: true,
+                last: true,
+            },
+            x: 15,
+            y: 13,
+            out_ch: 1023,
+        };
+        assert_eq!(unpack(pack(&e)), e);
+    }
+
+    #[test]
+    fn oversized_kernels_rejected() {
+        let big = Tensor4::zeros(2000, 1, 1, 1).unwrap();
+        assert!(WeightBufferImage::encode(&big, 4, AtomBits::B2).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Demonstrates the greedy w/a load balancer (§IV-E, Fig 18): because the
+//! condensed streaming computation's latency is the closed form
+//! `C_T = T·⌈S/N⌉`, the per-channel workload is known before execution and
+//! can be balanced on *both* weight and activation statistics.
+//!
+//! ```text
+//! cargo run --release --example load_balancing
+//! ```
+
+use ristretto::qnn::models::NetworkId;
+use ristretto::qnn::quant::BitWidth;
+use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto::ristretto_sim::balance::{balance, BalanceStrategy, ChannelWorkload};
+
+fn main() {
+    // The paper's Fig 18 layer: conv3_2 of 4-bit ResNet-18.
+    let stats = NetworkStats::generate(
+        NetworkId::ResNet18,
+        PrecisionPolicy::Uniform(BitWidth::W4),
+        2,
+        20220101,
+    );
+    let layer = stats
+        .layers
+        .iter()
+        .find(|l| l.layer.name == "conv3_2")
+        .expect("conv3_2");
+    let workloads: Vec<ChannelWorkload> = (0..layer.layer.in_channels)
+        .map(|i| ChannelWorkload {
+            channel: i,
+            act_atoms: layer.act_atoms_per_channel[i],
+            weight_atoms: layer.weight_atoms_per_channel[i],
+        })
+        .collect();
+
+    println!(
+        "conv3_2: {} input feature maps onto 32 compute tiles (16 multipliers each)\n",
+        workloads.len()
+    );
+    for strategy in [
+        BalanceStrategy::None,
+        BalanceStrategy::WeightOnly,
+        BalanceStrategy::WeightActivation,
+    ] {
+        let a = balance(&workloads, 32, 16, strategy);
+        let max = *a.tile_cycles.iter().max().unwrap();
+        let min = *a.tile_cycles.iter().min().unwrap();
+        println!(
+            "{strategy:>16}: makespan {max}, min tile {min}, utilization {:.1}%",
+            a.utilization() * 100.0
+        );
+        print!("{:>16}  ", "profile:");
+        let mean = a.tile_cycles.iter().sum::<u64>() as f64 / a.tile_cycles.len() as f64;
+        for &c in &a.tile_cycles {
+            // A crude bar: how far each tile sits from the mean.
+            let r = c as f64 / mean;
+            let ch = if r > 1.15 {
+                '#'
+            } else if r > 1.05 {
+                '+'
+            } else if r > 0.95 {
+                '='
+            } else if r > 0.85 {
+                '-'
+            } else {
+                '.'
+            };
+            print!("{ch}");
+        }
+        println!("\n");
+    }
+    println!("(= near mean, # >15% over, . >15% under — w/a balancing flattens the profile)");
+}

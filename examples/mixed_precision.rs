@@ -1,0 +1,59 @@
+//! EdMIPS-style mixed 2/4-bit inference: every layer independently draws
+//! weight and activation bit-widths from {2, 4}, and Ristretto's constant
+//! input-bandwidth atom streams absorb the mix with no datapath
+//! reconfiguration — the property §III-B calls "constant input data
+//! bandwidth".
+//!
+//! ```text
+//! cargo run --release --example mixed_precision
+//! ```
+
+use ristretto::baselines::prelude::*;
+use ristretto::qnn::models::NetworkId;
+use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto::ristretto_sim::analytic::RistrettoSim;
+use ristretto::ristretto_sim::config::RistrettoConfig;
+
+fn main() {
+    let net = NetworkStats::generate(NetworkId::GoogLeNet, PrecisionPolicy::Mixed24, 2, 7);
+
+    // Show the per-layer precision assignment EdMIPS would produce.
+    println!(
+        "{:<16} {:>6} {:>6} {:>14} {:>14}",
+        "layer", "w", "a", "act sparsity", "w sparsity"
+    );
+    for l in net.layers.iter().take(12) {
+        println!(
+            "{:<16} {:>6} {:>6} {:>13.1}% {:>13.1}%",
+            l.layer.name,
+            l.w_bits.to_string(),
+            l.a_bits.to_string(),
+            l.activation.value_sparsity() * 100.0,
+            l.weight.value_sparsity() * 100.0,
+        );
+    }
+    println!("... ({} layers total)\n", net.layers.len());
+
+    let sim = RistrettoSim::new(RistrettoConfig::paper_default());
+    let r = sim.simulate_network(&net);
+    let bf = BitFusion::paper_default().simulate_network(&net);
+    let sp = SparTen::paper_default().simulate_network(&net);
+
+    println!("mixed 2/4-bit GoogLeNet:");
+    println!("  Ristretto:  {:>12} cycles", r.total_cycles());
+    println!(
+        "  Bit Fusion: {:>12} cycles ({:.2}x slower)",
+        bf.total_cycles(),
+        bf.total_cycles() as f64 / r.total_cycles() as f64
+    );
+    println!(
+        "  SparTen:    {:>12} cycles ({:.2}x slower)",
+        sp.total_cycles(),
+        sp.total_cycles() as f64 / r.total_cycles() as f64
+    );
+    println!(
+        "  energy: {:.1}% of Bit Fusion, {:.1}% of SparTen",
+        r.total_energy().relative_to(&bf.total_energy()) * 100.0,
+        r.total_energy().relative_to(&sp.total_energy()) * 100.0,
+    );
+}

@@ -1,0 +1,77 @@
+//! Simulate 4-bit ResNet-18 inference on Ristretto and all four baseline
+//! accelerators, printing a per-layer cycle table and network totals.
+//!
+//! ```text
+//! cargo run --release --example resnet_inference
+//! ```
+
+use ristretto::baselines::prelude::*;
+use ristretto::qnn::models::NetworkId;
+use ristretto::qnn::quant::BitWidth;
+use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto::ristretto_sim::analytic::RistrettoSim;
+use ristretto::ristretto_sim::config::RistrettoConfig;
+
+fn main() {
+    let net = NetworkStats::generate(
+        NetworkId::ResNet18,
+        PrecisionPolicy::Uniform(BitWidth::W4),
+        2,
+        2022,
+    );
+
+    let sim = RistrettoSim::new(RistrettoConfig::half_width());
+    let ristretto = sim.simulate_network(&net);
+    let bitfusion = BitFusion::paper_default().simulate_network(&net);
+    let laconic = Laconic::paper_default().simulate_network(&net);
+    let sparten = SparTen::paper_default().simulate_network(&net);
+    let sparten_mp = SparTenMp::paper_default().simulate_network(&net);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "layer", "Ristretto", "Bit Fusion", "Laconic", "SparTen", "SparTen-mp"
+    );
+    for (i, layer) in ristretto.layers.iter().enumerate() {
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            layer.name,
+            layer.cycles,
+            bitfusion.layers[i].cycles,
+            laconic.layers[i].cycles,
+            sparten.layers[i].cycles,
+            sparten_mp.layers[i].cycles,
+        );
+    }
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "TOTAL",
+        ristretto.total_cycles(),
+        bitfusion.total_cycles(),
+        laconic.total_cycles(),
+        sparten.total_cycles(),
+        sparten_mp.total_cycles(),
+    );
+    println!();
+    println!(
+        "Ristretto mean tile utilization: {:.1}%",
+        ristretto.mean_utilization() * 100.0
+    );
+    println!(
+        "raw cycle speedups: vs Bit Fusion {:.2}x, vs Laconic {:.2}x, vs SparTen {:.2}x, vs SparTen-mp {:.2}x",
+        bitfusion.total_cycles() as f64 / ristretto.total_cycles() as f64,
+        laconic.total_cycles() as f64 / ristretto.total_cycles() as f64,
+        sparten.total_cycles() as f64 / ristretto.total_cycles() as f64,
+        sparten_mp.total_cycles() as f64 / ristretto.total_cycles() as f64,
+    );
+    println!(
+        "energy vs Bit Fusion: {:.1}%  (compute/buffer/DRAM/leakage = {:.0}/{:.0}/{:.0}/{:.0} uJ)",
+        ristretto
+            .total_energy()
+            .relative_to(&bitfusion.total_energy())
+            * 100.0,
+        ristretto.total_energy().compute_pj * 1e-6,
+        ristretto.total_energy().buffer_pj * 1e-6,
+        ristretto.total_energy().dram_pj * 1e-6,
+        ristretto.total_energy().leakage_pj * 1e-6,
+    );
+}

@@ -1,0 +1,21 @@
+//! # Ristretto — reproduction of "Ristretto: An Atomized Processing
+//! Architecture for Sparsity-Condensed Stream Flow in CNN" (MICRO 2022)
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`qnn`] — quantized CNN substrate (tensors, quantization, sparse
+//!   formats, reference convolution, model zoo, synthetic workloads),
+//! * [`atomstream`] — the paper's core contribution: condensed streaming
+//!   computation (atom decomposition, stream compression, intersection),
+//! * [`ristretto_sim`] — the Ristretto accelerator model (Atomizer /
+//!   Atomputer / Atomulator compute tiles, load balancing, energy),
+//! * [`baselines`] — Bit Fusion, Laconic, SparTen and SparTen-mp models,
+//! * [`hwmodel`] — 28nm area / power / energy component library.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use atomstream;
+pub use baselines;
+pub use hwmodel;
+pub use qnn;
+pub use ristretto_sim;

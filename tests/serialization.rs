@@ -1,0 +1,121 @@
+//! Serde round-trips: every report and workload type the harness persists
+//! (`repro --json`) must survive JSON serialization unchanged, so saved
+//! experiment results can be reloaded and compared across runs.
+
+use ristretto::baselines::prelude::*;
+use ristretto::qnn::models::NetworkId;
+use ristretto::qnn::quant::BitWidth;
+use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
+use ristretto::ristretto_sim::analytic::RistrettoSim;
+use ristretto::ristretto_sim::config::RistrettoConfig;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+/// For float-bearing types, JSON equality after one round-trip is the
+/// stable property (f64 text rendering can normalize e.g. `1e300` forms):
+/// serialize → deserialize → serialize must be a fixed point.
+fn json_fixed_point<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let once = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&once).expect("deserialize");
+    let twice = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(once, twice, "JSON round-trip must be a fixed point");
+}
+
+fn small_net() -> NetworkStats {
+    NetworkStats::generate(
+        NetworkId::AlexNet,
+        PrecisionPolicy::Uniform(BitWidth::W4),
+        2,
+        5,
+    )
+}
+
+#[test]
+fn network_stats_roundtrip() {
+    let stats = small_net();
+    json_fixed_point(&stats);
+    let back = roundtrip(&stats);
+    // Integer-valued fields are exact.
+    assert_eq!(back.id, stats.id);
+    assert_eq!(back.layers.len(), stats.layers.len());
+    for (a, b) in back.layers.iter().zip(&stats.layers) {
+        assert_eq!(a.act_atoms_per_channel, b.act_atoms_per_channel);
+        assert_eq!(a.weight_sample, b.weight_sample);
+    }
+}
+
+#[test]
+fn ristretto_report_roundtrip() {
+    let report = RistrettoSim::new(RistrettoConfig::paper_default()).simulate_network(&small_net());
+    json_fixed_point(&report);
+    let back = roundtrip(&report);
+    assert_eq!(back.total_cycles(), report.total_cycles());
+    for (a, b) in back.layers.iter().zip(&report.layers) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.atom_mults, b.atom_mults);
+        assert_eq!(a.dram_bits, b.dram_bits);
+    }
+}
+
+#[test]
+fn baseline_reports_roundtrip() {
+    let net = small_net();
+    for report in [
+        BitFusion::paper_default().simulate_network(&net),
+        SparTen::paper_default().simulate_network(&net),
+    ] {
+        json_fixed_point(&report);
+        let back = roundtrip(&report);
+        assert_eq!(back.total_cycles(), report.total_cycles());
+        assert_eq!(back.accelerator, report.accelerator);
+    }
+}
+
+#[test]
+fn configs_roundtrip() {
+    let cfg = RistrettoConfig::paper_default();
+    assert_eq!(roundtrip(&cfg), cfg);
+    let bf = BitFusion::paper_default();
+    assert_eq!(roundtrip(&bf), bf);
+    let lac = Laconic::paper_default();
+    assert_eq!(roundtrip(&lac), lac);
+}
+
+#[test]
+fn tensors_roundtrip() {
+    use ristretto::qnn::tensor::{Tensor3, Tensor4};
+    let t = Tensor3::from_vec(2, 3, 4, (0..24).collect()).unwrap();
+    assert_eq!(roundtrip(&t), t);
+    let k = Tensor4::from_vec(2, 2, 2, 2, (0..16).map(|v| v - 8).collect()).unwrap();
+    assert_eq!(roundtrip(&k), k);
+}
+
+#[test]
+fn streams_roundtrip() {
+    use ristretto::atomstream::atom::AtomBits;
+    use ristretto::atomstream::compress::compress_activations;
+    use ristretto::atomstream::flatten::FlatActivation;
+    let flat = vec![
+        FlatActivation {
+            value: 29,
+            x: 1,
+            y: 2,
+        },
+        FlatActivation {
+            value: 200,
+            x: 3,
+            y: 0,
+        },
+    ];
+    let stream = compress_activations(&flat, 8, AtomBits::B2).unwrap();
+    assert_eq!(roundtrip(&stream), stream);
+}
