@@ -17,6 +17,7 @@ use qnn::conv::ConvGeometry;
 use qnn::error::QnnError;
 use qnn::quant::BitWidth;
 use qnn::tensor::{AccTensor3, Tensor3, Tensor4};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a CSC convolution.
@@ -57,6 +58,17 @@ pub struct CscStats {
     pub weight_atoms: u64,
     /// Number of `(channel, tile)` intersections executed.
     pub tiles_processed: u64,
+}
+
+impl CscStats {
+    /// Accumulates another convolution's counters into this one.
+    pub fn merge(&mut self, other: &CscStats) {
+        self.intersect.merge(&other.intersect);
+        self.act_values += other.act_values;
+        self.act_atoms += other.act_atoms;
+        self.weight_atoms += other.weight_atoms;
+        self.tiles_processed += other.tiles_processed;
+    }
 }
 
 /// Result of a CSC convolution: the output accumulator plus work counters.
@@ -120,38 +132,57 @@ pub fn conv2d_csc(
         return Err(QnnError::EmptyDimension("tile extent").into());
     }
 
-    let mut acc = FullConvAcc::new(o, h, w, k)?;
     let icfg = IntersectConfig {
         multipliers: cfg.multipliers,
     };
-    let mut stats = CscStats::default();
 
-    for ci in 0..c {
-        // Offline phase: flatten + compress this channel's kernel slices
-        // across all output channels (the static stream).
-        let w_flat = flatten_kernel_channel(kernels, ci)?;
-        let w_stream = compress_weights(&w_flat, w_bits.bits(), cfg.atom_bits)?;
-        stats.weight_atoms += w_stream.len() as u64;
-        if w_stream.is_empty() {
-            continue;
-        }
-
-        // Online phase: tile the channel; the Atomizer squeezes zero atoms
-        // out of each tile's non-zero activations on the fly.
-        for y0 in (0..h).step_by(cfg.tile_h) {
-            for x0 in (0..w).step_by(cfg.tile_w) {
-                let a_flat = flatten_tile(fmap, ci, y0, x0, cfg.tile_h, cfg.tile_w);
-                if a_flat.is_empty() {
-                    continue;
-                }
-                let a_stream = compress_activations(&a_flat, a_bits.bits(), cfg.atom_bits)?;
-                stats.act_values += a_stream.value_count() as u64;
-                stats.act_atoms += a_stream.len() as u64;
-                stats.tiles_processed += 1;
-                let s = intersect(&w_stream, &a_stream, icfg, &mut acc, y0, x0);
-                stats.intersect.merge(&s);
+    // Input channels are independent until the final accumulation, so fan
+    // them out: each channel intersects into its own full-conv accumulator,
+    // merged afterwards in channel order. i64 plane addition commutes, so
+    // the merged result is bit-identical to the sequential single-
+    // accumulator path regardless of the thread count.
+    let per_channel: Vec<Result<(Option<FullConvAcc>, CscStats), AtomError>> = (0..c)
+        .into_par_iter()
+        .map(|ci| {
+            let mut stats = CscStats::default();
+            // Offline phase: flatten + compress this channel's kernel
+            // slices across all output channels (the static stream).
+            let w_flat = flatten_kernel_channel(kernels, ci)?;
+            let w_stream = compress_weights(&w_flat, w_bits.bits(), cfg.atom_bits)?;
+            stats.weight_atoms += w_stream.len() as u64;
+            if w_stream.is_empty() {
+                return Ok((None, stats));
             }
+
+            let mut acc = FullConvAcc::new(o, h, w, k)?;
+            // Online phase: tile the channel; the Atomizer squeezes zero
+            // atoms out of each tile's non-zero activations on the fly.
+            for y0 in (0..h).step_by(cfg.tile_h) {
+                for x0 in (0..w).step_by(cfg.tile_w) {
+                    let a_flat = flatten_tile(fmap, ci, y0, x0, cfg.tile_h, cfg.tile_w);
+                    if a_flat.is_empty() {
+                        continue;
+                    }
+                    let a_stream = compress_activations(&a_flat, a_bits.bits(), cfg.atom_bits)?;
+                    stats.act_values += a_stream.value_count() as u64;
+                    stats.act_atoms += a_stream.len() as u64;
+                    stats.tiles_processed += 1;
+                    let s = intersect(&w_stream, &a_stream, icfg, &mut acc, y0, x0);
+                    stats.intersect.merge(&s);
+                }
+            }
+            Ok((Some(acc), stats))
+        })
+        .collect();
+
+    let mut acc = FullConvAcc::new(o, h, w, k)?;
+    let mut stats = CscStats::default();
+    for result in per_channel {
+        let (channel_acc, channel_stats) = result?;
+        if let Some(channel_acc) = channel_acc {
+            acc.merge(&channel_acc);
         }
+        stats.merge(&channel_stats);
     }
 
     let output = acc.extract(geom, out_h, out_w)?;

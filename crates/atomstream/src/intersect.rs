@@ -134,6 +134,23 @@ impl FullConvAcc {
         self.data[(out_ch * self.fh + fy) * self.fw + fx]
     }
 
+    /// Adds another accumulator plane-wise (`self += other`). Used to merge
+    /// per-channel (or per-thread) partial accumulators: i64 addition
+    /// commutes, so any merge order reproduces the sequential result
+    /// bit-exactly.
+    ///
+    /// # Panics
+    /// Panics if the two accumulators were built for different shapes.
+    pub fn merge(&mut self, other: &FullConvAcc) {
+        assert!(
+            self.out_c == other.out_c && self.fh == other.fh && self.fw == other.fw,
+            "accumulator shape mismatch"
+        );
+        for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            *dst += src;
+        }
+    }
+
     /// Extracts the strided, padded convolution output:
     /// `out[oy][ox] = fc[oy·s + k−1−p][ox·s + k−1−p]` (paper §IV-C3 — the
     /// stride access is realized at the accumulate buffer). Full-conv
@@ -165,12 +182,49 @@ impl FullConvAcc {
     }
 }
 
+/// One condensed activation value: the pre-shifted sum of its atoms
+/// (`Σ mag << shift`, i.e. the value's magnitude) plus its tile coordinate.
+struct ValueRun {
+    vsum: i64,
+    y: u16,
+    x: u16,
+}
+
+/// Left-shifts with an overflow guard: in debug builds, verifies the shift
+/// is in range and loses no significant bits (a silent wrap here would
+/// corrupt results on wide-precision extensions, e.g. 16-bit operands
+/// whose aligned partial sums approach the top of `i64`). Plain `<<` does
+/// not trap on value overflow even with debug assertions on, unlike `+`
+/// and `*`, so the guard must be explicit.
+#[inline]
+pub(crate) fn shl_guarded(v: i64, shift: u32) -> i64 {
+    debug_assert!(shift < i64::BITS, "shift {shift} out of range for i64");
+    let r = v << shift;
+    debug_assert_eq!(
+        r >> shift,
+        v,
+        "i64 overflow in shifted accumulation ({v} << {shift})"
+    );
+    r
+}
+
 /// Intersects a static weight stream with a sliding activation stream,
 /// accumulating partial products into `acc` at tile origin
 /// `(origin_y, origin_x)` (both in *input* coordinates).
 ///
 /// Returns the work counters; `acc` is updated in place. The computation is
 /// exact for any atom order in either stream.
+///
+/// The loop is activation-value–major: each activation value's atoms are
+/// folded once into a pre-shifted sum (`Σ mag_a << shift_a`), then every
+/// weight atom delivers `±(mag_w · vsum) << shift_w` per value. This is
+/// bit-identical to the hardware's segment-major schedule — per weight atom
+/// the delivered quantity `Σ (mag_w·mag_a) << shift_a` factors as
+/// `mag_w · Σ mag_a << shift_a` by distributivity (exact in `i64`), and
+/// deliveries land in the same stream order — but rescans the activation
+/// stream once per weight atom *value count* instead of once per atom. The
+/// hardware-schedule counters (`steps`, `atom_mults`, `segments`) follow
+/// arithmetically from the stream lengths and are unchanged.
 ///
 /// # Panics
 /// Panics if a generated address falls outside `acc` — which cannot happen
@@ -191,45 +245,68 @@ pub fn intersect(
         return IntersectStats::default();
     }
 
-    let mut stats = IntersectStats::default();
-    for segment in weights.entries().chunks(cfg.multipliers) {
-        stats.segments += 1;
-        // One pass of the activation stream through this segment. Each
-        // multiplier holds one weight atom; per activation *value* it
-        // accumulates Σ mag_w·mag_a << shift_a (decoupled shift), then
-        // delivers on the last flag with the weight shift and sign applied
-        // at aggregation.
-        for w in segment {
-            let mut value_acc: i64 = 0;
-            for a in acts.entries() {
-                let prod = (w.atom.mag as i64) * (a.atom.mag as i64);
-                value_acc += prod << a.atom.shift;
-                stats.atom_mults += 1;
-                if a.atom.last {
-                    // Deliver: apply the weight-slice shift and sign (Eq 1
-                    // coordinates, full-convolution space).
-                    let fy = origin_y + (k - 1 - w.y as usize) + a.y as usize;
-                    let fx = origin_x + (k - 1 - w.x as usize) + a.x as usize;
-                    let aligned = value_acc << w.atom.shift;
-                    acc.add(
-                        w.out_ch as usize,
-                        fy,
-                        fx,
-                        if w.atom.negative { -aligned } else { aligned },
-                    );
-                    stats.deliveries += 1;
-                    value_acc = 0;
-                }
-            }
-            debug_assert_eq!(value_acc, 0, "activation stream must end on a last flag");
+    // Fold each activation value's atoms into one pre-shifted sum (the
+    // decoupled shift of §IV-C2: only the activation shift is applied per
+    // atom; the weight shift and sign are applied once at delivery).
+    let mut values = Vec::with_capacity(acts.value_count());
+    let mut vsum: i64 = 0;
+    for a in acts.entries() {
+        vsum += shl_guarded(a.atom.mag as i64, a.atom.shift as u32);
+        if a.atom.last {
+            values.push(ValueRun {
+                vsum,
+                y: a.y,
+                x: a.x,
+            });
+            vsum = 0;
         }
     }
-    // Steps per the paper's Eq 3/4: the ping-pong weight registers overlap
-    // segment drain with the next segment's fill, so only the final
-    // segment's drain is exposed.
-    stats.steps = t_total * stats.segments
-        + crate::cycles::intersect_epsilon(s_total, cfg.multipliers as u64);
-    stats
+    debug_assert_eq!(vsum, 0, "activation stream must end on a last flag");
+
+    for w in weights.entries() {
+        // Eq 1 coordinates, full-convolution space; hoisted per weight atom.
+        let base_y = origin_y + (k - 1 - w.y as usize);
+        let base_x = origin_x + (k - 1 - w.x as usize);
+        let mag = w.atom.mag as i64;
+        let shift = w.atom.shift as u32;
+        let out_ch = w.out_ch as usize;
+        if w.atom.negative {
+            for v in &values {
+                let aligned = shl_guarded(mag * v.vsum, shift);
+                acc.add(
+                    out_ch,
+                    base_y + v.y as usize,
+                    base_x + v.x as usize,
+                    -aligned,
+                );
+            }
+        } else {
+            for v in &values {
+                let aligned = shl_guarded(mag * v.vsum, shift);
+                acc.add(
+                    out_ch,
+                    base_y + v.y as usize,
+                    base_x + v.x as usize,
+                    aligned,
+                );
+            }
+        }
+    }
+
+    // Hardware-schedule counters, derived arithmetically: every activation
+    // atom meets every weight atom (t·S multiplications), each weight atom
+    // delivers once per activation value, and the static stream splits into
+    // ⌈S/N⌉ segments. Steps per the paper's Eq 3/4: the ping-pong weight
+    // registers overlap segment drain with the next segment's fill, so only
+    // the final segment's drain is exposed.
+    let segments = s_total.div_ceil(cfg.multipliers as u64);
+    IntersectStats {
+        steps: t_total * segments
+            + crate::cycles::intersect_epsilon(s_total, cfg.multipliers as u64),
+        atom_mults: t_total * s_total,
+        deliveries: s_total * values.len() as u64,
+        segments,
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +435,33 @@ mod tests {
         let outp = acc.extract(gp, 4, 4).unwrap();
         assert_eq!(outp.get(0, 0, 0), 0);
         assert_eq!(outp.get(0, 1, 1), 11);
+    }
+
+    #[test]
+    fn merge_reproduces_single_accumulator() {
+        let a1 = acts(&[(9, 0, 0)], 4);
+        let a2 = acts(&[(6, 1, 1)], 4);
+        let w = weights(&[(7, 0, 0, 0), (-5, 1, 1, 1)], 4);
+        let cfg = IntersectConfig::default();
+        // Sequential: both intersections into one accumulator.
+        let mut whole = FullConvAcc::new(2, 2, 2, 2).unwrap();
+        intersect(&w, &a1, cfg, &mut whole, 0, 0);
+        intersect(&w, &a2, cfg, &mut whole, 0, 0);
+        // Split: one accumulator each, merged afterwards.
+        let mut p1 = FullConvAcc::new(2, 2, 2, 2).unwrap();
+        let mut p2 = FullConvAcc::new(2, 2, 2, 2).unwrap();
+        intersect(&w, &a1, cfg, &mut p1, 0, 0);
+        intersect(&w, &a2, cfg, &mut p2, 0, 0);
+        p1.merge(&p2);
+        assert_eq!(p1, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = FullConvAcc::new(1, 2, 2, 2).unwrap();
+        let b = FullConvAcc::new(1, 3, 3, 2).unwrap();
+        a.merge(&b);
     }
 
     #[test]

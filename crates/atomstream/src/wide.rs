@@ -13,6 +13,7 @@
 
 use crate::conv_csc::{conv2d_csc, CscConfig, CscOutput, CscStats};
 use crate::error::AtomError;
+use crate::intersect::shl_guarded;
 use qnn::conv::ConvGeometry;
 use qnn::quant::BitWidth;
 use qnn::tensor::{AccTensor3, Tensor3, Tensor4};
@@ -90,15 +91,15 @@ pub fn conv2d_csc_temporal16(
     for (a_part, a_shift) in &a_parts {
         for (w_part, w_shift) in &w_parts {
             let sub = conv2d_csc(a_part, w_part, geom, BitWidth::W8, BitWidth::W8, cfg)?;
+            // Realigning the hi sub-planes shifts partial sums that already
+            // carry the full per-cell accumulation, so this is the widest
+            // shift of the whole pipeline — guard it against silent i64
+            // overflow like every shift in the intersect kernel.
             let shift = a_shift + w_shift;
             for (c, y, x, _) in sub_iter(&sub.output) {
-                total.add(c, y, x, sub.output.get(c, y, x) << shift);
+                total.add(c, y, x, shl_guarded(sub.output.get(c, y, x), shift));
             }
-            stats.intersect.merge(&sub.stats.intersect);
-            stats.act_values += sub.stats.act_values;
-            stats.act_atoms += sub.stats.act_atoms;
-            stats.weight_atoms += sub.stats.weight_atoms;
-            stats.tiles_processed += sub.stats.tiles_processed;
+            stats.merge(&sub.stats);
         }
     }
     Ok(CscOutput {
@@ -117,8 +118,63 @@ fn sub_iter(t: &AccTensor3) -> impl Iterator<Item = (usize, usize, usize, i64)> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use qnn::conv::conv2d;
     use qnn::rng::SeededRng;
+
+    /// Activation magnitudes biased hard toward the unsigned 16-bit
+    /// maximum, the operands that stress the accumulation shifts most.
+    fn extreme_act() -> impl Strategy<Value = i32> {
+        prop_oneof![
+            3 => Just(0xFFFFi32),
+            1 => Just(0i32),
+            1 => 0i32..=0xFFFF,
+        ]
+    }
+
+    /// Weight magnitudes biased toward ±(2^16 − 1), the widest operands the
+    /// spatial extension accepts.
+    fn extreme_weight() -> impl Strategy<Value = i32> {
+        prop_oneof![
+            2 => Just(0xFFFFi32),
+            2 => Just(-0xFFFFi32),
+            1 => Just(0i32),
+            1 => -0xFFFFi32..=0xFFFF,
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite audit: maximal-magnitude 16-bit operands through both
+        /// 16-bit paths. Every partial sum runs through the guarded shifts
+        /// (`shl_guarded`), so a silent i64 overflow would abort the debug
+        /// build rather than corrupt the comparison against the dense
+        /// reference.
+        #[test]
+        fn maximal_magnitude_16bit_matches_dense(
+            acts in proptest::collection::vec(extreme_act(), 2 * 4 * 4),
+            wts in proptest::collection::vec(extreme_weight(), 2 * 2 * 3 * 3),
+        ) {
+            let fmap = Tensor3::from_vec(2, 4, 4, acts).unwrap();
+            let kernels = Tensor4::from_vec(2, 2, 3, 3, wts).unwrap();
+            let geom = ConvGeometry::unit_stride(1);
+            let dense = conv2d(&fmap, &kernels, geom).unwrap();
+            let spatial = conv2d_csc(
+                &fmap,
+                &kernels,
+                geom,
+                BitWidth::W16,
+                BitWidth::W16,
+                &CscConfig::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(&spatial.output, &dense);
+            let temporal =
+                conv2d_csc_temporal16(&fmap, &kernels, geom, &CscConfig::default()).unwrap();
+            prop_assert_eq!(&temporal.output, &dense);
+        }
+    }
 
     #[test]
     fn split_roundtrips() {

@@ -2,6 +2,7 @@
 
 use hwmodel::EnergyBreakdown;
 use qnn::workload::{LayerStats, NetworkStats};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of simulating one layer on a baseline accelerator.
@@ -58,13 +59,22 @@ pub trait Accelerator {
     /// Simulates one layer from its statistics.
     fn simulate_layer(&self, stats: &LayerStats) -> BaselineLayerReport;
 
-    /// Simulates a whole network.
-    fn simulate_network(&self, net: &NetworkStats) -> BaselineNetworkReport {
+    /// Simulates a whole network. Layers are independent, so they run in
+    /// parallel; results are collected back in layer order, keeping the
+    /// report identical to a sequential sweep.
+    fn simulate_network(&self, net: &NetworkStats) -> BaselineNetworkReport
+    where
+        Self: Sync,
+    {
         BaselineNetworkReport {
             accelerator: self.name().to_string(),
             network: net.id.name().to_string(),
             precision: net.policy.label(),
-            layers: net.layers.iter().map(|l| self.simulate_layer(l)).collect(),
+            layers: net
+                .layers
+                .par_iter()
+                .map(|l| self.simulate_layer(l))
+                .collect(),
         }
     }
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick] [--json <path>]
+//! repro <experiment> [--quick] [--json <path>] [--threads <n>]
 //! experiments: fig1 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!              table6 motivation multicore ablations all
 //! ```
@@ -12,6 +12,13 @@
 //! as `fig12` / `fig14`. `--quick` trims the benchmark to three networks
 //! and coarser sweeps. With `--json`, the structured rows are also written
 //! to the given path.
+//!
+//! `--threads <n>` caps the worker threads of the parallel execution layer
+//! (default: all hardware threads; `--threads 1` forces the serial path).
+//! Every parallel fan-out in the harness collects results in deterministic
+//! input order, so stdout and the `--json` file are byte-identical at any
+//! thread count. Per-experiment wall times go to stderr only, keeping
+//! stdout reproducible.
 
 use bench::cache::StatsCache;
 use bench::experiments::{
@@ -19,54 +26,109 @@ use bench::experiments::{
     multicore_scaling, table6,
 };
 use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref());
-    let Some(which) = which else {
-        eprintln!(
-            "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>]"
-        );
-        return ExitCode::FAILURE;
-    };
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>] [--threads <n>]";
 
-    let mut cache = StatsCache::new();
-    let mut json = serde_json::Map::new();
-    let mut emit = |name: &str, text: String, value: serde_json::Value| {
-        println!("{text}");
-        json.insert(name.to_string(), value);
-    };
+/// Canonical experiment order of `repro all`.
+const ALL: [&str; 12] = [
+    "fig1",
+    "fig4",
+    "table6",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig17",
+    "fig18",
+    "fig19",
+    "motivation",
+    "multicore",
+    "ablations",
+];
 
-    let run_fig1 = |emit: &mut dyn FnMut(&str, String, serde_json::Value)| {
-        let rows = fig01::run(quick);
-        emit(
-            "fig1",
-            fig01::render(&rows),
-            serde_json::to_value(&rows).unwrap(),
-        );
-    };
-    let run_fig4 = |emit: &mut dyn FnMut(&str, String, serde_json::Value)| {
-        let rows = fig04::run(quick);
-        emit(
-            "fig4",
-            fig04::render(&rows),
-            serde_json::to_value(&rows).unwrap(),
-        );
-    };
+/// Parsed command line.
+struct Cli {
+    which: String,
+    quick: bool,
+    json_path: Option<String>,
+    threads: Option<usize>,
+}
 
-    match which.as_str() {
-        "fig1" => run_fig1(&mut emit),
-        "fig4" => run_fig4(&mut emit),
+/// Parses arguments; option values (`--json`, `--threads`) are consumed and
+/// can never be mistaken for the experiment name.
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut quick = false;
+    let mut json_path = None;
+    let mut threads = None;
+    let mut which = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--json requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads requires a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if which.replace(other.to_string()).is_some() {
+                    return Err("more than one experiment given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Cli {
+        which: which.ok_or_else(|| "no experiment given".to_string())?,
+        quick,
+        json_path,
+        threads,
+    })
+}
+
+/// Runs one experiment by canonical name, emitting its rendered text and
+/// JSON rows. Returns `false` for an unknown name.
+fn run_one(
+    which: &str,
+    quick: bool,
+    cache: &mut StatsCache,
+    emit: &mut dyn FnMut(&str, String, serde_json::Value),
+) -> bool {
+    match which {
+        "fig1" => {
+            let rows = fig01::run(quick);
+            emit(
+                "fig1",
+                fig01::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
+        "fig4" => {
+            let rows = fig04::run(quick);
+            emit(
+                "fig4",
+                fig04::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
         "fig12" | "fig13" => {
-            let rows = fig12::run(quick, &mut cache);
+            let rows = fig12::run(quick, cache);
             emit(
                 "fig12_13",
                 fig12::render(&rows),
@@ -74,7 +136,7 @@ fn main() -> ExitCode {
             );
         }
         "fig14" | "fig16" => {
-            let rows = fig14::run(quick, &mut cache);
+            let rows = fig14::run(quick, cache);
             emit(
                 "fig14_16",
                 fig14::render(&rows),
@@ -90,7 +152,7 @@ fn main() -> ExitCode {
             );
         }
         "fig17" => {
-            let rows = fig17::run(quick, &mut cache);
+            let rows = fig17::run(quick, cache);
             emit(
                 "fig17",
                 fig17::render(&rows),
@@ -107,7 +169,7 @@ fn main() -> ExitCode {
         }
         "fig19" => {
             let cost = fig19::run_cost();
-            let perf = fig19::run_perf(quick, &mut cache);
+            let perf = fig19::run_perf(quick, cache);
             emit(
                 "fig19",
                 fig19::render(&cost, &perf),
@@ -123,7 +185,7 @@ fn main() -> ExitCode {
             );
         }
         "motivation" => {
-            let rows = motivation::run(quick, &mut cache);
+            let rows = motivation::run(quick, cache);
             emit(
                 "motivation",
                 motivation::render(&rows),
@@ -131,7 +193,7 @@ fn main() -> ExitCode {
             );
         }
         "multicore" => {
-            let rows = multicore_scaling::run(&mut cache);
+            let rows = multicore_scaling::run(cache);
             emit(
                 "multicore",
                 multicore_scaling::render(&rows),
@@ -141,87 +203,69 @@ fn main() -> ExitCode {
         "ablations" => {
             let tiles = ablations::run_tile_size(quick);
             let fifos = ablations::run_fifo_depth(quick);
-            let bals = ablations::run_balance_networks(quick, &mut cache);
+            let bals = ablations::run_balance_networks(quick, cache);
             emit(
                 "ablations",
                 ablations::render(&tiles, &fifos, &bals),
                 serde_json::json!({"tile_size": tiles, "fifo_depth": fifos, "balance": bals}),
             );
         }
-        "all" => {
-            run_fig1(&mut emit);
-            run_fig4(&mut emit);
-            let rows = table6::run();
-            emit(
-                "table6",
-                table6::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = fig12::run(quick, &mut cache);
-            emit(
-                "fig12_13",
-                fig12::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = fig14::run(quick, &mut cache);
-            emit(
-                "fig14_16",
-                fig14::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = fig15::run(quick);
-            emit(
-                "fig15",
-                fig15::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = fig17::run(quick, &mut cache);
-            emit(
-                "fig17",
-                fig17::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = fig18::run(quick);
-            emit(
-                "fig18",
-                fig18::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let cost = fig19::run_cost();
-            let perf = fig19::run_perf(quick, &mut cache);
-            emit(
-                "fig19",
-                fig19::render(&cost, &perf),
-                serde_json::json!({"cost": cost, "perf": perf}),
-            );
-            let rows = motivation::run(quick, &mut cache);
-            emit(
-                "motivation",
-                motivation::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let rows = multicore_scaling::run(&mut cache);
-            emit(
-                "multicore",
-                multicore_scaling::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
-            let tiles = ablations::run_tile_size(quick);
-            let fifos = ablations::run_fifo_depth(quick);
-            let bals = ablations::run_balance_networks(quick, &mut cache);
-            emit(
-                "ablations",
-                ablations::render(&tiles, &fifos, &bals),
-                serde_json::json!({"tile_size": tiles, "fifo_depth": fifos, "balance": bals}),
-            );
-        }
-        other => {
-            eprintln!("unknown experiment `{other}`");
+        _ => return false,
+    }
+    true
+}
+
+/// Runs one experiment and reports its wall time on stderr (stderr only:
+/// stdout stays byte-identical across thread counts and machines).
+fn run_timed(
+    which: &str,
+    quick: bool,
+    cache: &mut StatsCache,
+    emit: &mut dyn FnMut(&str, String, serde_json::Value),
+) -> bool {
+    let start = Instant::now();
+    let known = run_one(which, quick, cache, emit);
+    if known {
+        eprintln!("[repro] {which}: {:.2}s", start.elapsed().as_secs_f64());
+    }
+    known
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    if let Some(n) = cli.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("thread pool not yet initialized");
     }
 
-    if let Some(path) = json_path {
+    let mut cache = StatsCache::new();
+    let mut json = serde_json::Map::new();
+    let mut emit = |name: &str, text: String, value: serde_json::Value| {
+        println!("{text}");
+        json.insert(name.to_string(), value);
+    };
+
+    let start = Instant::now();
+    if cli.which == "all" {
+        for which in ALL {
+            run_timed(which, cli.quick, &mut cache, &mut emit);
+        }
+        eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
+    } else if !run_timed(&cli.which, cli.quick, &mut cache, &mut emit) {
+        eprintln!("unknown experiment `{}`\n{USAGE}", cli.which);
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = cli.json_path {
         match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
             Ok(()) => eprintln!("wrote JSON results to {path}"),
             Err(e) => {

@@ -3,6 +3,7 @@
 
 use qnn::models::NetworkId;
 use qnn::workload::{NetworkStats, PrecisionPolicy};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Keyed cache of [`NetworkStats`].
@@ -28,6 +29,57 @@ impl StatsCache {
         self.map
             .entry((id, policy.label(), atom_bits))
             .or_insert_with(|| NetworkStats::generate(id, policy, atom_bits, seed))
+    }
+
+    /// Generates every missing workload in `keys` in parallel and inserts
+    /// the results. Generation is keyed only by `(id, policy, atom_bits,
+    /// seed)` — never by thread scheduling — so the cache contents are
+    /// identical to a sequence of [`StatsCache::get`] calls. After a
+    /// prefill, experiments can read the cache through a shared reference
+    /// with [`StatsCache::peek`], which is what makes their own parallel
+    /// fan-outs borrow-checkable.
+    pub fn prefill(&mut self, keys: &[(NetworkId, PrecisionPolicy, u8)], seed: u64) {
+        let mut missing: Vec<(NetworkId, PrecisionPolicy, u8)> = Vec::new();
+        for &(id, policy, atom_bits) in keys {
+            if !self.map.contains_key(&(id, policy.label(), atom_bits))
+                && !missing
+                    .iter()
+                    .any(|&(i, p, b)| i == id && p.label() == policy.label() && b == atom_bits)
+            {
+                missing.push((id, policy, atom_bits));
+            }
+        }
+        let generated: Vec<((NetworkId, String, u8), NetworkStats)> = missing
+            .into_par_iter()
+            .map(|(id, policy, atom_bits)| {
+                (
+                    (id, policy.label(), atom_bits),
+                    NetworkStats::generate(id, policy, atom_bits, seed),
+                )
+            })
+            .collect();
+        for (key, stats) in generated {
+            self.map.insert(key, stats);
+        }
+    }
+
+    /// Returns the stats for an already-generated workload. Unlike
+    /// [`StatsCache::get`] this takes `&self`, so parallel experiment loops
+    /// can read a prefilled cache concurrently.
+    ///
+    /// # Panics
+    /// Panics if the workload was never generated — experiments must
+    /// [`StatsCache::prefill`] before fanning out.
+    pub fn peek(&self, id: NetworkId, policy: PrecisionPolicy, atom_bits: u8) -> &NetworkStats {
+        self.map
+            .get(&(id, policy.label(), atom_bits))
+            .unwrap_or_else(|| {
+                panic!(
+                    "workload ({}, {}, {atom_bits}-bit atoms) was not prefilled",
+                    id.name(),
+                    policy.label()
+                )
+            })
     }
 
     /// Number of cached workloads.
@@ -56,5 +108,29 @@ mod tests {
         let _ = c.get(NetworkId::AlexNet, p, 3, 1);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn prefill_matches_get() {
+        let p = PrecisionPolicy::Uniform(BitWidth::W4);
+        let mut on_demand = StatsCache::new();
+        let expected = on_demand.get(NetworkId::AlexNet, p, 2, 1).clone();
+
+        let mut prefilled = StatsCache::new();
+        // Duplicate keys collapse to one generation.
+        prefilled.prefill(&[(NetworkId::AlexNet, p, 2), (NetworkId::AlexNet, p, 2)], 1);
+        assert_eq!(prefilled.len(), 1);
+        assert_eq!(*prefilled.peek(NetworkId::AlexNet, p, 2), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "not prefilled")]
+    fn peek_panics_on_missing_workload() {
+        let c = StatsCache::new();
+        let _ = c.peek(
+            NetworkId::AlexNet,
+            PrecisionPolicy::Uniform(BitWidth::W4),
+            2,
+        );
     }
 }

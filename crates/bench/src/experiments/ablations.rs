@@ -19,6 +19,7 @@ use qnn::quant::BitWidth;
 use qnn::workload::{
     ActivationProfile, PrecisionPolicy, SyntheticLayer, WeightProfile, WorkloadGen,
 };
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::balance::BalanceStrategy;
 use ristretto_sim::config::RistrettoConfig;
@@ -162,14 +163,21 @@ pub fn run_fifo_depth(quick: bool) -> Vec<FifoRow> {
 /// Compares balancing strategies across whole networks at 4-bit.
 pub fn run_balance_networks(quick: bool, cache: &mut StatsCache) -> Vec<BalanceRow> {
     let policy = PrecisionPolicy::Uniform(BitWidth::W4);
-    benchmark_networks(quick)
-        .iter()
+    let nets = benchmark_networks(quick);
+    // Prefill the per-network workloads, then evaluate the three balancing
+    // strategies for each network in parallel (order-preserving collect).
+    cache.prefill(
+        &nets.iter().map(|&n| (n, policy, 2)).collect::<Vec<_>>(),
+        SEED,
+    );
+    let cache = &*cache;
+    nets.par_iter()
         .map(|&net| {
-            let stats = cache.get(net, policy, 2, SEED).clone();
+            let stats = cache.peek(net, policy, 2);
             let cycles = |strategy| {
                 let cfg = RistrettoConfig::paper_default().with_balancing(strategy);
                 RistrettoSim::new(cfg)
-                    .simulate_network(&stats)
+                    .simulate_network(stats)
                     .total_cycles()
             };
             BalanceRow {

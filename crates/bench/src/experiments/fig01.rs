@@ -10,6 +10,7 @@ use qnn::models::NetworkId;
 use qnn::quant::BitWidth;
 use qnn::sparsity::value_density;
 use qnn::workload::{network_flavor, ActivationProfile, WeightProfile, WorkloadGen};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One sparsity measurement.
@@ -31,10 +32,17 @@ pub const WIDTHS: [BitWidth; 4] = [BitWidth::W8, BitWidth::W6, BitWidth::W4, Bit
 /// Runs the sparsity study.
 pub fn run(quick: bool) -> Vec<Row> {
     let samples = if quick { 20_000 } else { 200_000 };
-    let mut rows = Vec::new();
-    for &net in &NetworkId::FIG1 {
-        let (shift, clip, _) = network_flavor(net);
-        for &bits in &WIDTHS {
+    // Each (network, width) measurement owns a generator seeded purely by
+    // its key, so the points are independent; fan out over all of them
+    // (order-preserving collect keeps the rows in nested-loop order).
+    let items: Vec<(NetworkId, BitWidth)> = NetworkId::FIG1
+        .iter()
+        .flat_map(|&net| WIDTHS.iter().map(move |&bits| (net, bits)))
+        .collect();
+    items
+        .into_par_iter()
+        .map(|(net, bits)| {
+            let (shift, clip, _) = network_flavor(net);
             let mut gen = WorkloadGen::new(SEED ^ (net as u64) << 8 ^ bits.bits() as u64);
             // Figure 1 is explicitly *without pruning*.
             let wp = WeightProfile {
@@ -48,15 +56,14 @@ pub fn run(quick: bool) -> Vec<Row> {
             };
             let w = gen.weight_values(samples, &wp);
             let a = gen.activation_values(samples, &ap);
-            rows.push(Row {
+            Row {
                 network: net.name().to_string(),
                 bits: bits.bits(),
                 weight_sparsity: 1.0 - value_density(&w),
                 activation_sparsity: 1.0 - value_density(&a),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Average sparsity across networks at one width.

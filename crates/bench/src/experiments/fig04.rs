@@ -11,6 +11,7 @@ use crate::{table, SEED};
 use baselines::laconic::Laconic;
 use qnn::quant::BitWidth;
 use qnn::workload::WorkloadGen;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One sweep point.
@@ -35,9 +36,16 @@ pub const TILE_SIZES: [usize; 4] = [4, 16, 48, 64];
 pub fn run(quick: bool) -> Vec<Row> {
     let runs = if quick { 100 } else { 1000 };
     let lanes = 16;
-    let mut rows = Vec::new();
-    for &pes in &TILE_SIZES {
-        for step in 0..=8 {
+    // Each (tile size, sparsity step) point owns a generator seeded purely
+    // by its key, so the points are independent; fan out over all of them
+    // (order-preserving collect keeps the rows in nested-loop order).
+    let items: Vec<(usize, u64)> = TILE_SIZES
+        .iter()
+        .flat_map(|&pes| (0u64..=8).map(move |step| (pes, step)))
+        .collect();
+    items
+        .into_par_iter()
+        .map(|(pes, step)| {
             let sparsity = step as f64 * 0.1;
             let density = 1.0 - sparsity;
             let mut gen = WorkloadGen::new(SEED ^ (pes as u64) << 16 ^ step);
@@ -51,16 +59,15 @@ pub fn run(quick: bool) -> Vec<Row> {
                 sa += p;
                 sm += m;
             }
-            rows.push(Row {
+            Row {
                 tile_pes: pes,
                 sparsity,
                 theoretical: st / runs as f64,
                 average_pe: sa / runs as f64,
                 tile: sm as f64 / runs as f64,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders the result table.

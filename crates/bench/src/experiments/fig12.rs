@@ -10,6 +10,7 @@ use crate::{area_norm_speedup, benchmark_networks, benchmark_policies, table, SE
 use baselines::bitfusion::BitFusion;
 use baselines::report::Accelerator;
 use hwmodel::ComponentLib;
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
@@ -44,14 +45,29 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let bf = BitFusion::paper_default();
     let bf_area = bf.area_mm2();
 
-    let mut rows = Vec::new();
-    for &net in benchmark_networks(quick) {
-        for policy in benchmark_policies() {
-            let stats = cache.get(net, policy, 2, SEED).clone();
-            let r = sim.simulate_network(&stats);
-            let rns = sim_ns.simulate_network(&stats);
-            let b = bf.simulate_network(&stats);
-            rows.push(Row {
+    // Every (network, precision) cell is independent: prefill the workload
+    // cache, then fan the cells out. Cells collect back in input order, so
+    // the rows match the nested sequential loops exactly.
+    let items: Vec<_> = benchmark_networks(quick)
+        .iter()
+        .flat_map(|&net| benchmark_policies().into_iter().map(move |p| (net, p)))
+        .collect();
+    cache.prefill(
+        &items
+            .iter()
+            .map(|&(net, p)| (net, p, 2))
+            .collect::<Vec<_>>(),
+        SEED,
+    );
+    let cache = &*cache;
+    items
+        .into_par_iter()
+        .map(|(net, policy)| {
+            let stats = cache.peek(net, policy, 2);
+            let r = sim.simulate_network(stats);
+            let rns = sim_ns.simulate_network(stats);
+            let b = bf.simulate_network(stats);
+            Row {
                 network: net.name().to_string(),
                 precision: policy.label(),
                 speedup: area_norm_speedup(r.total_cycles(), r_area, b.total_cycles(), bf_area),
@@ -63,10 +79,9 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
                 ),
                 raw_speedup_ns: b.total_cycles() as f64 / rns.total_cycles() as f64,
                 energy_ratio: r.total_energy().relative_to(&b.total_energy()),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Mean over networks at one precision: `(speedup, speedup_ns, energy)`.

@@ -10,6 +10,7 @@ use crate::{area_norm_speedup, benchmark_networks, benchmark_policies, table, SE
 use baselines::laconic::Laconic;
 use baselines::report::Accelerator;
 use hwmodel::ComponentLib;
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
@@ -37,21 +38,35 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let lac = Laconic::paper_default();
     let lac_area = lac.area_mm2();
 
-    let mut rows = Vec::new();
-    for &net in benchmark_networks(quick) {
-        for policy in benchmark_policies() {
-            let stats = cache.get(net, policy, 2, SEED).clone();
-            let r = sim.simulate_network(&stats);
-            let l = lac.simulate_network(&stats);
-            rows.push(Row {
+    // Independent (network, precision) cells: prefill, then fan out (see
+    // fig12 for the pattern); order-preserving collect keeps rows identical
+    // to the sequential loops.
+    let items: Vec<_> = benchmark_networks(quick)
+        .iter()
+        .flat_map(|&net| benchmark_policies().into_iter().map(move |p| (net, p)))
+        .collect();
+    cache.prefill(
+        &items
+            .iter()
+            .map(|&(net, p)| (net, p, 2))
+            .collect::<Vec<_>>(),
+        SEED,
+    );
+    let cache = &*cache;
+    items
+        .into_par_iter()
+        .map(|(net, policy)| {
+            let stats = cache.peek(net, policy, 2);
+            let r = sim.simulate_network(stats);
+            let l = lac.simulate_network(stats);
+            Row {
                 network: net.name().to_string(),
                 precision: policy.label(),
                 speedup: area_norm_speedup(r.total_cycles(), r_area, l.total_cycles(), lac_area),
                 energy_ratio: r.total_energy().relative_to(&l.total_energy()),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Mean speedup and energy ratio at one precision.

@@ -12,6 +12,7 @@ use atomstream::compress::{compress_activations, compress_weights};
 use atomstream::flatten::{FlatActivation, FlatWeight};
 use qnn::quant::BitWidth;
 use qnn::workload::WorkloadGen;
+use rayon::prelude::*;
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::tile::TileSim;
 use serde::{Deserialize, Serialize};
@@ -34,46 +35,51 @@ pub fn run(quick: bool) -> Vec<Row> {
     let n_weights = if quick { 64 } else { 256 };
     let cfg = RistrettoConfig::half_width();
     let sim = TileSim::new(&cfg);
-    let mut rows = Vec::new();
-    let mut dense_cycles = 0u64;
-    for step in 0..=7 {
-        let sparsity = step as f64 * 0.1;
-        let density = 1.0 - sparsity;
-        let mut gen = WorkloadGen::new(SEED ^ 0xf15 ^ step);
-        let a_vals = gen.values_with_atom_density(n_acts, BitWidth::W8, 2, density, false);
-        let w_vals = gen.values_with_atom_density(n_weights, BitWidth::W8, 2, density, true);
-        let fa: Vec<FlatActivation> = a_vals
-            .iter()
-            .enumerate()
-            .map(|(i, &value)| FlatActivation {
-                value,
-                x: (i % 32) as u16,
-                y: (i / 32) as u16,
-            })
-            .collect();
-        let fw: Vec<FlatWeight> = w_vals
-            .iter()
-            .enumerate()
-            .map(|(i, &value)| FlatWeight {
-                value,
-                x: (i % 3) as u16,
-                y: (i / 3 % 3) as u16,
-                out_ch: (i % 16) as u16,
-            })
-            .collect();
-        let acts = compress_activations(&fa, 8, AtomBits::B2).expect("8-bit values");
-        let weights = compress_weights(&fw, 8, AtomBits::B2).expect("8-bit values");
-        let report = sim.run(&weights, &acts);
-        if step == 0 {
-            dense_cycles = report.cycles;
-        }
-        rows.push(Row {
-            atom_sparsity: sparsity,
-            cycles: report.cycles,
-            speedup: dense_cycles as f64 / report.cycles.max(1) as f64,
-        });
-    }
-    rows
+    // Each sweep point owns a generator seeded by its step, so the cycle
+    // counts are independent; only the speedup normalization references the
+    // dense (step 0) point, which we apply after the parallel sweep.
+    let cycles_per_step: Vec<u64> = (0u64..=7)
+        .into_par_iter()
+        .map(|step| {
+            let sparsity = step as f64 * 0.1;
+            let density = 1.0 - sparsity;
+            let mut gen = WorkloadGen::new(SEED ^ 0xf15 ^ step);
+            let a_vals = gen.values_with_atom_density(n_acts, BitWidth::W8, 2, density, false);
+            let w_vals = gen.values_with_atom_density(n_weights, BitWidth::W8, 2, density, true);
+            let fa: Vec<FlatActivation> = a_vals
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| FlatActivation {
+                    value,
+                    x: (i % 32) as u16,
+                    y: (i / 32) as u16,
+                })
+                .collect();
+            let fw: Vec<FlatWeight> = w_vals
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| FlatWeight {
+                    value,
+                    x: (i % 3) as u16,
+                    y: (i / 3 % 3) as u16,
+                    out_ch: (i % 16) as u16,
+                })
+                .collect();
+            let acts = compress_activations(&fa, 8, AtomBits::B2).expect("8-bit values");
+            let weights = compress_weights(&fw, 8, AtomBits::B2).expect("8-bit values");
+            sim.run(&weights, &acts).cycles
+        })
+        .collect();
+    let dense_cycles = cycles_per_step[0];
+    cycles_per_step
+        .into_iter()
+        .enumerate()
+        .map(|(step, cycles)| Row {
+            atom_sparsity: step as f64 * 0.1,
+            cycles,
+            speedup: dense_cycles as f64 / cycles.max(1) as f64,
+        })
+        .collect()
 }
 
 /// Renders the result table.

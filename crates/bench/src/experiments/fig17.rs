@@ -12,6 +12,7 @@ use baselines::report::Accelerator;
 use baselines::sparten::SparTen;
 use baselines::sparten_mp::SparTenMp;
 use hwmodel::ComponentLib;
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
@@ -42,25 +43,39 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let mp = SparTenMp::paper_default();
     let mp_area = mp.area_mm2();
 
-    let mut rows = Vec::new();
-    for &net in benchmark_networks(quick) {
-        for policy in benchmark_policies() {
-            let stats = cache.get(net, policy, 2, SEED).clone();
-            let r = sim.simulate_network(&stats);
-            let s = sp.simulate_network(&stats);
-            let m = mp.simulate_network(&stats);
+    // Independent (network, precision) cells: prefill, then fan out (see
+    // fig12 for the pattern); order-preserving collect keeps rows identical
+    // to the sequential loops.
+    let items: Vec<_> = benchmark_networks(quick)
+        .iter()
+        .flat_map(|&net| benchmark_policies().into_iter().map(move |p| (net, p)))
+        .collect();
+    cache.prefill(
+        &items
+            .iter()
+            .map(|&(net, p)| (net, p, 2))
+            .collect::<Vec<_>>(),
+        SEED,
+    );
+    let cache = &*cache;
+    items
+        .into_par_iter()
+        .map(|(net, policy)| {
+            let stats = cache.peek(net, policy, 2);
+            let r = sim.simulate_network(stats);
+            let s = sp.simulate_network(stats);
+            let m = mp.simulate_network(stats);
             let r_vs_s = area_norm_speedup(r.total_cycles(), r_area, s.total_cycles(), sp_area);
             let m_vs_s = area_norm_speedup(m.total_cycles(), mp_area, s.total_cycles(), sp_area);
-            rows.push(Row {
+            Row {
                 network: net.name().to_string(),
                 precision: policy.label(),
                 speedup_vs_sparten: r_vs_s,
                 sparten_mp_vs_sparten: m_vs_s,
                 speedup_vs_sparten_mp: r_vs_s / m_vs_s,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Mean speedups at one precision: `(ristretto, sparten_mp)` over SparTen.

@@ -9,6 +9,7 @@
 use crate::cache::StatsCache;
 use crate::{benchmark_networks, benchmark_policies, table, SEED};
 use hwmodel::{ComponentLib, TechNode};
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::area::{compute_unit_power_mw, AreaBreakdown};
 use ristretto_sim::config::RistrettoConfig;
@@ -61,28 +62,42 @@ pub fn run_cost() -> Vec<CostRow> {
 /// Runs Fig 19b.
 pub fn run_perf(quick: bool, cache: &mut StatsCache) -> Vec<PerfRow> {
     let lib = ComponentLib::n28();
-    let mut rows = Vec::new();
-    for bits in [1u8, 2, 3] {
-        let cfg = RistrettoConfig::granularity(bits);
-        let sim = RistrettoSim::new(cfg);
-        let area = AreaBreakdown::from_config(&cfg, &lib).compute_units();
-        for policy in benchmark_policies() {
+    let nets = benchmark_networks(quick);
+    // Each (granularity, precision) point averages over the same networks;
+    // prefill every workload, then fan the points out. The inner sum stays
+    // sequential in network order, so each point's float accumulation is
+    // identical to the serial version.
+    let items: Vec<(u8, _)> = [1u8, 2, 3]
+        .into_iter()
+        .flat_map(|bits| benchmark_policies().into_iter().map(move |p| (bits, p)))
+        .collect();
+    let keys: Vec<_> = items
+        .iter()
+        .flat_map(|&(bits, p)| nets.iter().map(move |&net| (net, p, bits)))
+        .collect();
+    cache.prefill(&keys, SEED);
+    let cache = &*cache;
+    items
+        .into_par_iter()
+        .map(|(bits, policy)| {
+            let cfg = RistrettoConfig::granularity(bits);
+            let sim = RistrettoSim::new(cfg);
+            let area = AreaBreakdown::from_config(&cfg, &lib).compute_units();
             let mut inv_cycles_sum = 0.0;
             let mut n = 0.0;
-            for &net in benchmark_networks(quick) {
-                let stats = cache.get(net, policy, bits, SEED).clone();
-                let r = sim.simulate_network(&stats);
+            for &net in nets {
+                let stats = cache.peek(net, policy, bits);
+                let r = sim.simulate_network(stats);
                 inv_cycles_sum += 1.0 / r.total_cycles().max(1) as f64;
                 n += 1.0;
             }
-            rows.push(PerfRow {
+            PerfRow {
                 atom_bits: bits,
                 precision: policy.label(),
                 perf: inv_cycles_sum / n / area,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders Fig 19a + 19b.

@@ -14,6 +14,7 @@ use baselines::prelude::*;
 use hwmodel::ComponentLib;
 use qnn::quant::BitWidth;
 use qnn::workload::PrecisionPolicy;
+use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
 use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
@@ -42,52 +43,67 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let r_sim = RistrettoSim::new(r_cfg);
     let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
 
-    let total = |f: &dyn Fn(&qnn::workload::NetworkStats) -> u64, cache: &mut StatsCache| -> u64 {
-        nets.iter().map(|&n| f(cache.get(n, policy, 2, SEED))).sum()
+    // Prefill the shared workloads once, then evaluate the seven machines
+    // in parallel (each sums over the networks sequentially). The machines
+    // are heterogeneous types, so they fan out as boxed closures; collect
+    // preserves the fixed accelerator order.
+    cache.prefill(
+        &nets.iter().map(|&n| (n, policy, 2)).collect::<Vec<_>>(),
+        SEED,
+    );
+    let cache = &*cache;
+    let total = |f: &(dyn Fn(&qnn::workload::NetworkStats) -> u64 + Sync)| -> u64 {
+        nets.iter().map(|&n| f(cache.peek(n, policy, 2))).sum()
     };
 
-    let mut rows: Vec<(String, u64, f64)> = Vec::new();
     let sparten = SparTen::paper_default();
-    rows.push((
-        "SparTen".into(),
-        total(&|s| sparten.simulate_network(s).total_cycles(), cache),
-        sparten.area_mm2(),
-    ));
     let mp = SparTenMp::paper_default();
-    rows.push((
-        "SparTen-mp".into(),
-        total(&|s| mp.simulate_network(s).total_cycles(), cache),
-        mp.area_mm2(),
-    ));
     let lac = Laconic::paper_default();
-    rows.push((
-        "Laconic".into(),
-        total(&|s| lac.simulate_network(s).total_cycles(), cache),
-        lac.area_mm2(),
-    ));
     let ls = LaconicSnap::paper_default();
-    rows.push((
-        "Laconic+SNAP".into(),
-        total(&|s| ls.simulate_network(s).total_cycles(), cache),
-        ls.area_mm2(),
-    ));
     let scnn = Scnn::paper_default();
-    rows.push((
-        "SCNN".into(),
-        total(&|s| scnn.simulate_network(s).total_cycles(), cache),
-        scnn.area_mm2(),
-    ));
     let snap = Snap::paper_default();
-    rows.push((
-        "SNAP".into(),
-        total(&|s| snap.simulate_network(s).total_cycles(), cache),
-        snap.area_mm2(),
-    ));
-    rows.push((
-        "Ristretto".into(),
-        total(&|s| r_sim.simulate_network(s).total_cycles(), cache),
-        r_area,
-    ));
+    type CycleFn<'a> = Box<dyn Fn(&qnn::workload::NetworkStats) -> u64 + Sync + 'a>;
+    let machines: Vec<(&str, CycleFn, f64)> = vec![
+        (
+            "SparTen",
+            Box::new(|s| sparten.simulate_network(s).total_cycles()),
+            sparten.area_mm2(),
+        ),
+        (
+            "SparTen-mp",
+            Box::new(|s| mp.simulate_network(s).total_cycles()),
+            mp.area_mm2(),
+        ),
+        (
+            "Laconic",
+            Box::new(|s| lac.simulate_network(s).total_cycles()),
+            lac.area_mm2(),
+        ),
+        (
+            "Laconic+SNAP",
+            Box::new(|s| ls.simulate_network(s).total_cycles()),
+            ls.area_mm2(),
+        ),
+        (
+            "SCNN",
+            Box::new(|s| scnn.simulate_network(s).total_cycles()),
+            scnn.area_mm2(),
+        ),
+        (
+            "SNAP",
+            Box::new(|s| snap.simulate_network(s).total_cycles()),
+            snap.area_mm2(),
+        ),
+        (
+            "Ristretto",
+            Box::new(|s| r_sim.simulate_network(s).total_cycles()),
+            r_area,
+        ),
+    ];
+    let rows: Vec<(String, u64, f64)> = machines
+        .par_iter()
+        .map(|(name, f, area)| (name.to_string(), total(f.as_ref()), *area))
+        .collect();
 
     let (base_cycles, base_area) = (rows[0].1, rows[0].2);
     rows.into_iter()

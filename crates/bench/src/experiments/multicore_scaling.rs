@@ -7,6 +7,7 @@ use crate::{table, SEED};
 use qnn::models::NetworkId;
 use qnn::quant::BitWidth;
 use qnn::workload::PrecisionPolicy;
+use rayon::prelude::*;
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::multicore::{Multicore, MulticoreMode, MulticoreReport};
 use serde::{Deserialize, Serialize};
@@ -39,9 +40,15 @@ pub fn run(cache: &mut StatsCache) -> Vec<Row> {
             SEED,
         )
         .clone();
-    let mut rows = Vec::new();
-    for mode in [MulticoreMode::Batch, MulticoreMode::OutputChannels] {
-        for &cores in &CORE_COUNTS {
+    // Every (mode, core count) point is an independent simulation; fan them
+    // out and collect in nested-loop order.
+    let items: Vec<(MulticoreMode, usize)> = [MulticoreMode::Batch, MulticoreMode::OutputChannels]
+        .into_iter()
+        .flat_map(|mode| CORE_COUNTS.iter().map(move |&cores| (mode, cores)))
+        .collect();
+    items
+        .into_par_iter()
+        .map(|(mode, cores)| {
             let mc = Multicore::new(cores, mode, RistrettoConfig::paper_default());
             let MulticoreReport {
                 latency_cycles,
@@ -49,16 +56,15 @@ pub fn run(cache: &mut StatsCache) -> Vec<Row> {
                 dram_bits_per_inference,
                 ..
             } = mc.simulate_network(&stats);
-            rows.push(Row {
+            Row {
                 mode: format!("{mode:?}"),
                 cores,
                 latency: latency_cycles,
                 throughput: throughput_per_mcycle,
                 dram_bits: dram_bits_per_inference,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders the study.

@@ -71,3 +71,53 @@ fn fig15_runs_quick() {
     assert!(text.contains("atom sparsity"));
     assert!(text.contains("speedup"));
 }
+
+#[test]
+fn thread_count_does_not_change_any_output_byte() {
+    // The tentpole determinism guarantee: `repro all --quick` emits
+    // byte-identical stdout and JSON at any worker-thread count, because
+    // every parallel fan-out collects its results in input order.
+    let dir = std::env::temp_dir().join(format!("repro_threads_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p1 = dir.join("t1.json");
+    let p4 = dir.join("t4.json");
+    let serial = repro(&[
+        "all",
+        "--quick",
+        "--threads",
+        "1",
+        "--json",
+        p1.to_str().unwrap(),
+    ]);
+    let parallel = repro(&[
+        "all",
+        "--quick",
+        "--threads",
+        "4",
+        "--json",
+        p4.to_str().unwrap(),
+    ]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(parallel.status.success(), "parallel run failed");
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "stdout differs by thread count"
+    );
+    let j1 = std::fs::read(&p1).unwrap();
+    let j4 = std::fs::read(&p4).unwrap();
+    assert_eq!(j1, j4, "JSON results differ by thread count");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_thread_counts_are_rejected() {
+    let out = repro(&["table6", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+    let out = repro(&["table6", "--threads", "many"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid thread count"));
+    // The option value must not be mistaken for an experiment name.
+    let out = repro(&["--threads", "2", "table6"]);
+    assert!(out.status.success());
+}

@@ -16,6 +16,7 @@ use atomstream::error::AtomError;
 use atomstream::flatten::{flatten_kernel_channel, flatten_tile};
 use atomstream::stream::{ActivationStream, WeightStream};
 use qnn::tensor::{Tensor3, Tensor4};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of a cycle-level core run.
@@ -78,23 +79,26 @@ impl CoreSim {
         w_bits: u8,
     ) -> Result<Vec<(WeightStream, Vec<ActivationStream>)>, AtomError> {
         let (c, h, w) = fmap.shape();
-        let mut out = Vec::with_capacity(c);
-        for ci in 0..c {
-            let wf = flatten_kernel_channel(kernels, ci)?;
-            let ws = compress_weights(&wf, w_bits, self.cfg.atom_bits)?;
-            let mut tiles = Vec::new();
-            for y0 in (0..h).step_by(self.cfg.tile_h) {
-                for x0 in (0..w).step_by(self.cfg.tile_w) {
-                    let af = flatten_tile(fmap, ci, y0, x0, self.cfg.tile_h, self.cfg.tile_w);
-                    if af.is_empty() {
-                        continue;
+        // Channels are independent; build them in parallel, collected back in
+        // channel order so every downstream consumer sees the serial layout.
+        (0..c)
+            .into_par_iter()
+            .map(|ci| {
+                let wf = flatten_kernel_channel(kernels, ci)?;
+                let ws = compress_weights(&wf, w_bits, self.cfg.atom_bits)?;
+                let mut tiles = Vec::new();
+                for y0 in (0..h).step_by(self.cfg.tile_h) {
+                    for x0 in (0..w).step_by(self.cfg.tile_w) {
+                        let af = flatten_tile(fmap, ci, y0, x0, self.cfg.tile_h, self.cfg.tile_w);
+                        if af.is_empty() {
+                            continue;
+                        }
+                        tiles.push(compress_activations(&af, a_bits, self.cfg.atom_bits)?);
                     }
-                    tiles.push(compress_activations(&af, a_bits, self.cfg.atom_bits)?);
                 }
-            }
-            out.push((ws, tiles));
-        }
-        Ok(out)
+                Ok((ws, tiles))
+            })
+            .collect()
     }
 
     /// Runs one layer cycle-level across all tiles.
@@ -128,24 +132,29 @@ impl CoreSim {
         );
 
         let tile_sim = TileSim::new(&self.cfg);
-        let mut tiles = Vec::with_capacity(self.cfg.tiles);
-        let mut tile_cycles = Vec::with_capacity(self.cfg.tiles);
-        for group in &assignment.groups {
-            let mut agg = TileReport::default();
-            for &ci in group {
-                let (ws, act_tiles) = &streams[ci];
-                for acts in act_tiles {
-                    let r = tile_sim.run(ws, acts);
-                    agg.cycles += r.cycles;
-                    agg.stall_cycles += r.stall_cycles;
-                    agg.atom_mults += r.atom_mults;
-                    agg.deliveries += r.deliveries;
-                    agg.max_queue = agg.max_queue.max(r.max_queue);
+        // One simulated tile per group; tiles never interact, so they run in
+        // parallel. Results come back in group order, so the report is
+        // byte-identical to the serial loop.
+        let tiles: Vec<TileReport> = assignment
+            .groups
+            .par_iter()
+            .map(|group| {
+                let mut agg = TileReport::default();
+                for &ci in group {
+                    let (ws, act_tiles) = &streams[ci];
+                    for acts in act_tiles {
+                        let r = tile_sim.run(ws, acts);
+                        agg.cycles += r.cycles;
+                        agg.stall_cycles += r.stall_cycles;
+                        agg.atom_mults += r.atom_mults;
+                        agg.deliveries += r.deliveries;
+                        agg.max_queue = agg.max_queue.max(r.max_queue);
+                    }
                 }
-            }
-            tile_cycles.push(agg.cycles);
-            tiles.push(agg);
-        }
+                agg
+            })
+            .collect();
+        let tile_cycles: Vec<u64> = tiles.iter().map(|t| t.cycles).collect();
         Ok(CoreReport {
             makespan: tile_cycles.iter().copied().max().unwrap_or(0),
             tile_cycles,

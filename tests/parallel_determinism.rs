@@ -1,0 +1,83 @@
+//! Determinism regression tests for the parallel execution layer: the
+//! functional CSC convolution and the cycle-level core simulator must
+//! produce results equal to the serial baseline at every thread count.
+//!
+//! The parallel fan-outs merge per-channel `FullConvAcc` planes by `i64`
+//! addition (commutative) and collect per-tile reports in group order, so
+//! equality here is exact — not approximate.
+
+use atomstream::conv_csc::{conv2d_csc, CscConfig, CscOutput};
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
+use rayon::ThreadPoolBuilder;
+use ristretto_sim::balance::BalanceStrategy;
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::core::{CoreReport, CoreSim};
+
+fn materialized(seed: u64) -> SyntheticLayer {
+    let layer = qnn::layers::ConvLayer::conv("det", 12, 8, 3, 1, 1, 14, 14).unwrap();
+    let mut gen = WorkloadGen::new(seed);
+    SyntheticLayer::generate(
+        &layer,
+        &WeightProfile::benchmark(BitWidth::W4),
+        &ActivationProfile::new(BitWidth::W8),
+        &mut gen,
+    )
+}
+
+/// Runs `f` under an explicit worker-thread count.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("build thread pool")
+        .install(f)
+}
+
+#[test]
+fn conv2d_csc_is_thread_count_invariant() {
+    let s = materialized(41);
+    let cfg = CscConfig::default();
+    let run = || -> CscOutput {
+        conv2d_csc(
+            &s.fmap,
+            &s.kernels,
+            s.layer.geometry(),
+            BitWidth::W8,
+            BitWidth::W4,
+            &cfg,
+        )
+        .unwrap()
+    };
+    let serial = with_threads(1, run);
+    for threads in [2, 4, 8] {
+        let parallel = with_threads(threads, run);
+        assert_eq!(
+            serial.output, parallel.output,
+            "output differs at {threads} threads"
+        );
+        assert_eq!(
+            serial.stats, parallel.stats,
+            "stats differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn core_sim_is_thread_count_invariant() {
+    let s = materialized(43);
+    let core = CoreSim::new(RistrettoConfig {
+        tiles: 4,
+        multipliers: 8,
+        tile_h: 7,
+        tile_w: 7,
+        balancing: BalanceStrategy::WeightActivation,
+        ..RistrettoConfig::paper_default()
+    });
+    let run = || -> CoreReport { core.run_layer(&s.fmap, &s.kernels, 8, 4).unwrap() };
+    let serial = with_threads(1, run);
+    for threads in [2, 4, 8] {
+        let parallel = with_threads(threads, run);
+        assert_eq!(serial, parallel, "core report differs at {threads} threads");
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for `rayon`, vendored because this build environment has
+//! no network access to crates.io.
+//!
+//! Implements the subset this workspace uses: `par_iter`/`into_par_iter`
+//! over slices, vectors and integer ranges, `map`/`for_each`/`collect`, and
+//! a [`ThreadPoolBuilder`] supporting both `build_global` (process-wide
+//! thread count) and `build` + [`ThreadPool::install`] (scoped override,
+//! used by determinism tests to compare serial and parallel runs in one
+//! process).
+//!
+//! The execution engine is a shared work queue drained by
+//! `std::thread::scope` workers. Results are reassembled **in input order**,
+//! so `collect` is deterministic regardless of which worker ran which item —
+//! callers get bit-exact equality with the sequential path whenever each
+//! per-item computation is itself deterministic and the reduction is
+//! order-insensitive or order-restored (as here, by index).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread count set by `build_global` (0 = hardware default).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations will use on this thread:
+/// an installed pool override, else the global setting, else the number of
+/// available hardware threads.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error type mirroring rayon's; the shim never actually fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures thread counts, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the hardware-default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the process-wide thread count.
+    ///
+    /// Unlike real rayon this may be called more than once (later calls
+    /// win); the shim keeps rayon's signature so call sites match.
+    ///
+    /// # Errors
+    /// Never fails in the shim.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a pool handle whose thread count applies inside
+    /// [`ThreadPool::install`].
+    ///
+    /// # Errors
+    /// Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override (the shim spawns threads per operation
+/// rather than keeping a persistent pool).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count active on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = LOCAL_THREADS.with(Cell::get);
+        LOCAL_THREADS.with(|c| c.set(self.num_threads));
+        // Restore on unwind as well, so a panicking closure does not leak
+        // the override into later tests on the same thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LOCAL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's configured thread count (0 = hardware default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs `f` over `items` on the active thread count, returning results in
+/// input order. Sequential when one thread is active or there is at most
+/// one item.
+fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(len).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let next = queue.lock().unwrap().next();
+                        match next {
+                            Some((index, item)) => done.push((index, f(item))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A panic in `f` propagates here and unwinds the scope.
+            for (index, value) in handle.join().unwrap() {
+                slots[index] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.unwrap()).collect()
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to each item in parallel (lazily; runs at the terminal
+    /// operation).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items, f);
+    }
+
+    /// Collects the items (identity terminal, for symmetry with rayon).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; terminal operations run the map in parallel.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Composes another map stage.
+    pub fn map<V, G>(self, g: G) -> ParMap<T, impl Fn(T) -> V + Sync>
+    where
+        V: Send,
+        G: Fn(U) -> V + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |x| g(f(x)),
+        }
+    }
+
+    /// Runs the pipeline and collects results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_ordered(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        run_ordered(self.items, move |x| g(f(x)));
+    }
+
+    /// Runs the pipeline and reduces results **in input order** (stable
+    /// regardless of scheduling, unlike rayon's tree reduce).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        run_ordered(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Converts a collection into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Borrows a collection as a parallel iterator over `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send + 'a;
+
+    /// Materializes the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The glob import rayon users start with.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> =
+            pool.install(|| (0..1000usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let data: Vec<u64> = (0..257).collect();
+        let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let parallel_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let serial: Vec<u64> = serial_pool.install(|| data.par_iter().map(|&x| x * x).collect());
+        let parallel: Vec<u64> =
+            parallel_pool.install(|| data.par_iter().map(|&x| x * x).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn install_restores_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn ordered_reduce_is_sequential_order() {
+        let strings: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let joined = pool.install(|| {
+            strings
+                .par_iter()
+                .map(String::clone)
+                .reduce(String::new, |a, b| a + &b)
+        });
+        assert_eq!(joined, "0123456789");
+    }
+}

@@ -1,0 +1,299 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Parses the item with the bare `proc_macro` API (no syn/quote — this
+//! build environment is offline) and supports exactly the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs with a single field (newtypes),
+//! * enums whose variants are unit or single-field (newtype) — serialized
+//!   in serde's externally-tagged form (`"Variant"` / `{"Variant": value}`).
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported and rejected
+//! with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    NewtypeStruct,
+    Enum { variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas. Brackets/parens/braces arrive
+/// as single `Group` trees, so any comma we see at this level is a field or
+/// variant separator — except commas inside generic angle brackets, which
+/// we track by `<`/`>` depth.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field in split_commas(&inner) {
+                    let mut j = skip_attrs(&field, 0);
+                    j = skip_vis(&field, j);
+                    match field.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        None => {} // trailing comma
+                        _ => return Err(format!("unsupported field in `{name}`")),
+                    }
+                }
+                Ok(Item {
+                    name,
+                    shape: Shape::NamedStruct { fields },
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_commas(&inner).len();
+                if arity != 1 {
+                    return Err(format!(
+                        "serde shim derive supports only 1-field tuple structs (`{name}` has {arity})"
+                    ));
+                }
+                Ok(Item {
+                    name,
+                    shape: Shape::NewtypeStruct,
+                })
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for var in split_commas(&inner) {
+                    let j = skip_attrs(&var, 0);
+                    let vname = match var.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => continue, // trailing comma
+                        _ => return Err(format!("unsupported variant in `{name}`")),
+                    };
+                    match var.get(j + 1) {
+                        None => variants.push((vname, false)),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                            if split_commas(&payload).len() != 1 {
+                                return Err(format!(
+                                    "variant `{name}::{vname}` must carry exactly one field"
+                                ));
+                            }
+                            variants.push((vname, true));
+                        }
+                        _ => {
+                            return Err(format!(
+                                "unsupported payload on variant `{name}::{vname}` \
+                                 (only unit and newtype variants are supported)"
+                            ))
+                        }
+                    }
+                }
+                Ok(Item {
+                    name,
+                    shape: Shape::Enum { variants },
+                })
+            }
+            _ => Err(format!("unsupported enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return err(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!("let mut m = ::serde::Map::new();\n{inserts}::serde::Value::Object(m)")
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(inner) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({v:?}.to_string(), ::serde::Serialize::to_value(inner));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return err(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| ::serde::Error::custom(\
+                         format!(\"{name}.{f}: {{e}}\")))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "if let Some(inner) = obj.get({v:?}) {{\n\
+                         return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?));\n}}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}_ => {{}}\n}}\n\
+                 return Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{s:?}}\")));\n}}\n\
+                 if let Some(obj) = v.as_object() {{\n{payload_arms}}}\n\
+                 Err(::serde::Error::custom(concat!(\"cannot deserialize \", {name:?})))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}

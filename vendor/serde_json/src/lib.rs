@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_json`, vendored because this build
+//! environment has no network access to crates.io.
+//!
+//! Provides the subset of the real API this workspace uses: `Value`, `Map`,
+//! `to_value`, `to_string`, `to_string_pretty`, `from_str` and the `json!`
+//! macro. Serialization is a fixed point: `to_string ∘ from_str ∘
+//! to_string` always reproduces the same bytes (floats render with
+//! shortest-round-trip digits and a `.0` marker when integral, so their
+//! text form re-parses to the identical bit pattern).
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+mod read;
+mod write;
+
+pub use read::from_str_value;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+/// Infallible for the shim's value-tree model; the `Result` mirrors the
+/// real API.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+/// Infallible for the shim's value-tree model; the `Result` mirrors the
+/// real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to a pretty-printed JSON string (2-space indent).
+///
+/// # Errors
+/// Infallible for the shim's value-tree model; the `Result` mirrors the
+/// real API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+/// Returns a parse error on malformed JSON, or a shape error when the JSON
+/// does not match `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = read::from_str_value(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_fixed_point() {
+        let src =
+            r#"{"a":[1,2.5,-3],"b":{"c":"x\n","d":null,"e":true},"big":18446744073709551615}"#;
+        let v: Value = from_str(src).unwrap();
+        let once = to_string(&v).unwrap();
+        let again: Value = from_str(&once).unwrap();
+        assert_eq!(to_string(&again).unwrap(), once);
+    }
+
+    #[test]
+    fn floats_keep_type_markers() {
+        let v = to_value(2.0f64).unwrap();
+        assert_eq!(to_string(&v).unwrap(), "2.0");
+        let back: f64 = from_str("2.0").unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"a": 1u32, "b": [true, null]});
+        assert_eq!(v["a"], 1u64);
+        assert!(v["b"][1].is_null());
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let v = json!({"a": [1, 2], "b": {}});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! JSON writers: compact and pretty (2-space indent, serde_json layout).
+
+use serde::value::{Number, Value};
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::PosInt(u) => out.push_str(&u.to_string()),
+        Number::NegInt(i) => out.push_str(&i.to_string()),
+        Number::Float(f) => {
+            if !f.is_finite() {
+                // serde_json cannot represent non-finite floats; it emits
+                // null at the Value layer.
+                out.push_str("null");
+                return;
+            }
+            // Rust's `{}` prints the shortest digits that round-trip; add a
+            // `.0` marker when the text would otherwise look integral so the
+            // value re-parses as a float (fixed-point serialization).
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+pub fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+pub fn pretty(v: &Value, out: &mut String, level: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, level + 1);
+                pretty(item, out, level + 1);
+            }
+            out.push('\n');
+            indent(out, level);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, level + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                pretty(val, out, level + 1);
+            }
+            out.push('\n');
+            indent(out, level);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
