@@ -31,6 +31,15 @@ pub fn compress_activations(
             });
         }
     }
+    // Squeeze statistics: every value occupies `slots` atom positions in
+    // the dense layout; whatever compression did not emit was a zero atom.
+    let slots_total = flat.len() as u64 * atom_bits.slots(a_bits) as u64;
+    obs::record(obs::Event::CompressActValues, flat.len() as u64);
+    obs::record(obs::Event::CompressActAtoms, entries.len() as u64);
+    obs::record(
+        obs::Event::CompressActZeroAtomsSqueezed,
+        slots_total.saturating_sub(entries.len() as u64),
+    );
     Ok(ActivationStream::from_entries(entries))
 }
 
@@ -80,6 +89,13 @@ fn weight_entries(
             });
         }
     }
+    let slots_total = flat.len() as u64 * atom_bits.slots(w_bits) as u64;
+    obs::record(obs::Event::CompressWeightValues, flat.len() as u64);
+    obs::record(obs::Event::CompressWeightAtoms, entries.len() as u64);
+    obs::record(
+        obs::Event::CompressWeightZeroAtomsSqueezed,
+        slots_total.saturating_sub(entries.len() as u64),
+    );
     Ok(entries)
 }
 

@@ -114,6 +114,7 @@ pub fn conv2d_csc(
     w_bits: BitWidth,
     cfg: &CscConfig,
 ) -> Result<CscOutput, AtomError> {
+    let _span = obs::span("csc.conv2d");
     let (c, h, w) = fmap.shape();
     let (o, i, kh, kw) = kernels.shape();
     if c != i {

@@ -300,13 +300,22 @@ pub fn intersect(
     // registers overlap segment drain with the next segment's fill, so only
     // the final segment's drain is exposed.
     let segments = s_total.div_ceil(cfg.multipliers as u64);
-    IntersectStats {
+    let stats = IntersectStats {
         steps: t_total * segments
             + crate::cycles::intersect_epsilon(s_total, cfg.multipliers as u64),
         atom_mults: t_total * s_total,
         deliveries: s_total * values.len() as u64,
         segments,
-    }
+    };
+    // Observability: one bulk record per intersection, not per inner-loop
+    // iteration — the hot loops above stay untouched.
+    obs::record(obs::Event::IntersectCalls, 1);
+    obs::record(obs::Event::IntersectSteps, stats.steps);
+    obs::record(obs::Event::IntersectSegments, stats.segments);
+    obs::record(obs::Event::IntersectAtomMults, stats.atom_mults);
+    obs::record(obs::Event::IntersectDeliveries, stats.deliveries);
+    obs::record(obs::Event::IntersectValueRuns, values.len() as u64);
+    stats
 }
 
 #[cfg(test)]

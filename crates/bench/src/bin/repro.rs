@@ -3,7 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick] [--json <path>] [--threads <n>]
+//! repro <experiment> [--quick] [--json <path>] [--metrics <path>]
+//!                    [--threads <n>] [--trace]
+//! repro stats-check --golden <path> [--metrics <path>] [--update]
+//!                    [--threads <n>]
 //! experiments: fig1 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!              table6 motivation multicore ablations all
 //! ```
@@ -13,22 +16,33 @@
 //! and coarser sweeps. With `--json`, the structured rows are also written
 //! to the given path.
 //!
+//! `--metrics` additionally enables the observability counters and writes
+//! their snapshot (sorted, schema-stable JSON; see `OBSERVABILITY.md`) to
+//! the given path. `--trace` prints wall-clock span timings to stderr.
+//!
+//! `stats-check` runs the quick suite with counters enabled and diffs the
+//! snapshot against a checked-in golden file, exiting non-zero on drift —
+//! the CI stats-regression gate. `--update` rewrites the golden from the
+//! live run instead (preserving its tolerance section).
+//!
 //! `--threads <n>` caps the worker threads of the parallel execution layer
 //! (default: all hardware threads; `--threads 1` forces the serial path).
 //! Every parallel fan-out in the harness collects results in deterministic
-//! input order, so stdout and the `--json` file are byte-identical at any
-//! thread count. Per-experiment wall times go to stderr only, keeping
-//! stdout reproducible.
+//! input order, so stdout, the `--json` file and the `--metrics` file are
+//! byte-identical at any thread count. Per-experiment wall times go to
+//! stderr only, keeping stdout reproducible.
 
 use bench::cache::StatsCache;
 use bench::experiments::{
     ablations, fig01, fig04, fig12, fig14, fig15, fig17, fig18, fig19, motivation,
     multicore_scaling, table6,
 };
+use bench::stats_gate;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>] [--threads <n>]";
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace]
+       repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 12] = [
@@ -51,24 +65,49 @@ struct Cli {
     which: String,
     quick: bool,
     json_path: Option<String>,
+    metrics_path: Option<String>,
+    golden_path: Option<String>,
+    update_golden: bool,
+    trace: bool,
     threads: Option<usize>,
 }
 
-/// Parses arguments; option values (`--json`, `--threads`) are consumed and
-/// can never be mistaken for the experiment name.
+/// Parses arguments; option values (`--json`, `--metrics`, `--golden`,
+/// `--threads`) are consumed and can never be mistaken for the experiment
+/// name.
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut quick = false;
     let mut json_path = None;
+    let mut metrics_path = None;
+    let mut golden_path = None;
+    let mut update_golden = false;
+    let mut trace = false;
     let mut threads = None;
     let mut which = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--update" => update_golden = true,
+            "--trace" => trace = true,
             "--json" => {
                 json_path = Some(
                     it.next()
                         .ok_or_else(|| "--json requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                metrics_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--golden" => {
+                golden_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--golden requires a path".to_string())?
                         .clone(),
                 );
             }
@@ -94,10 +133,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
+    let which = which.ok_or_else(|| "no experiment given".to_string())?;
+    if golden_path.is_some() && which != "stats-check" {
+        return Err("--golden only applies to `stats-check`".to_string());
+    }
+    if update_golden && which != "stats-check" {
+        return Err("--update only applies to `stats-check`".to_string());
+    }
+    if which == "stats-check" && golden_path.is_none() {
+        return Err("stats-check requires --golden <path>".to_string());
+    }
     Ok(Cli {
-        which: which.ok_or_else(|| "no experiment given".to_string())?,
+        which,
         quick,
         json_path,
+        metrics_path,
+        golden_path,
+        update_golden,
+        trace,
         threads,
     })
 }
@@ -246,9 +299,20 @@ fn main() -> ExitCode {
             .build_global()
             .expect("thread pool not yet initialized");
     }
+    obs::set_tracing(cli.trace);
+    // Counters stay a single disabled-branch check unless this run actually
+    // consumes them.
+    if cli.metrics_path.is_some() || cli.which == "stats-check" {
+        obs::enable(true);
+    }
 
     let mut cache = StatsCache::new();
     let mut json = serde_json::Map::new();
+
+    if cli.which == "stats-check" {
+        return stats_check(&cli, &mut cache);
+    }
+
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
         println!("{text}");
         json.insert(name.to_string(), value);
@@ -274,5 +338,87 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = cli.metrics_path {
+        match std::fs::write(&path, stats_gate::metrics_json(&obs::snapshot())) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// The `stats-check` subcommand: run the quick suite with counters on and
+/// diff the snapshot against the golden file (or rewrite it with
+/// `--update`). Tables are suppressed — only counters matter here.
+fn stats_check(cli: &Cli, cache: &mut StatsCache) -> ExitCode {
+    let start = Instant::now();
+    let mut emit = |_: &str, _: String, _: serde_json::Value| {};
+    for which in ALL {
+        run_timed(which, true, cache, &mut emit);
+    }
+    eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
+    let snap = obs::snapshot();
+
+    if let Some(path) = &cli.metrics_path {
+        match std::fs::write(path, stats_gate::metrics_json(&snap)) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let golden_path = cli.golden_path.as_deref().expect("validated in parse_args");
+    if cli.update_golden {
+        // Keep any hand-tuned tolerances from the existing golden.
+        let prior = std::fs::read_to_string(golden_path)
+            .ok()
+            .and_then(|t| stats_gate::parse_golden(&t).ok());
+        return match std::fs::write(golden_path, stats_gate::golden_json(&snap, prior.as_ref())) {
+            Ok(()) => {
+                println!("updated golden stats at {golden_path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {golden_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let golden = match std::fs::read_to_string(golden_path) {
+        Ok(text) => match stats_gate::parse_golden(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("malformed golden file {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot read golden file {golden_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let drifts = stats_gate::compare(&snap, &golden);
+    if drifts.is_empty() {
+        println!(
+            "stats-check OK: {} counters within tolerance of {golden_path}",
+            golden.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "stats-check FAILED: {} counter(s) drifted from {golden_path}",
+            drifts.len()
+        );
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        eprintln!("(run `repro stats-check --golden {golden_path} --update` to accept)");
+        ExitCode::FAILURE
+    }
 }

@@ -39,6 +39,7 @@ impl StatsCache {
     /// with [`StatsCache::peek`], which is what makes their own parallel
     /// fan-outs borrow-checkable.
     pub fn prefill(&mut self, keys: &[(NetworkId, PrecisionPolicy, u8)], seed: u64) {
+        let _span = obs::span("cache.prefill");
         let mut missing: Vec<(NetworkId, PrecisionPolicy, u8)> = Vec::new();
         for &(id, policy, atom_bits) in keys {
             if !self.map.contains_key(&(id, policy.label(), atom_bits))

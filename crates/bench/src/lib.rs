@@ -15,6 +15,7 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod stats_gate;
 pub mod table;
 
 /// The global experiment seed; change it to re-roll every synthetic model.

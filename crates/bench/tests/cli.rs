@@ -75,12 +75,15 @@ fn fig15_runs_quick() {
 #[test]
 fn thread_count_does_not_change_any_output_byte() {
     // The tentpole determinism guarantee: `repro all --quick` emits
-    // byte-identical stdout and JSON at any worker-thread count, because
-    // every parallel fan-out collects its results in input order.
+    // byte-identical stdout, JSON and metrics at any worker-thread count —
+    // every parallel fan-out collects results in input order, and the
+    // observability counters use only commutative integer accumulation.
     let dir = std::env::temp_dir().join(format!("repro_threads_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let p1 = dir.join("t1.json");
     let p4 = dir.join("t4.json");
+    let m1 = dir.join("m1.json");
+    let m4 = dir.join("m4.json");
     let serial = repro(&[
         "all",
         "--quick",
@@ -88,6 +91,8 @@ fn thread_count_does_not_change_any_output_byte() {
         "1",
         "--json",
         p1.to_str().unwrap(),
+        "--metrics",
+        m1.to_str().unwrap(),
     ]);
     let parallel = repro(&[
         "all",
@@ -96,6 +101,8 @@ fn thread_count_does_not_change_any_output_byte() {
         "4",
         "--json",
         p4.to_str().unwrap(),
+        "--metrics",
+        m4.to_str().unwrap(),
     ]);
     assert!(serial.status.success(), "serial run failed");
     assert!(parallel.status.success(), "parallel run failed");
@@ -106,7 +113,140 @@ fn thread_count_does_not_change_any_output_byte() {
     let j1 = std::fs::read(&p1).unwrap();
     let j4 = std::fs::read(&p4).unwrap();
     assert_eq!(j1, j4, "JSON results differ by thread count");
+    let b1 = std::fs::read(&m1).unwrap();
+    let b4 = std::fs::read(&m4).unwrap();
+    assert_eq!(b1, b4, "metrics differ by thread count");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_schema_is_stable_and_counters_populate() {
+    // Any single experiment writes the full sorted counter schema, with
+    // the counters its simulators touch non-zero and everything else zero.
+    let dir = std::env::temp_dir().join(format!("repro_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig15.json");
+    let out = repro(&["fig15", "--quick", "--metrics", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let counters = parsed
+        .get("counters")
+        .and_then(|v| v.as_object())
+        .expect("counters object");
+    assert_eq!(counters.len(), obs::Event::COUNT);
+    let keys: Vec<&String> = counters.keys().collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "counters must be emitted in sorted order");
+    // fig15 sweeps the cycle-level tile simulator.
+    assert!(
+        counters
+            .get("atomputer.atom_mults")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(
+        counters
+            .get("atomulator.deliveries")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    // ...and never touches the analytic model.
+    assert_eq!(counters.get("analytic.layers").unwrap().as_u64(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The golden file checked into the repository root.
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../golden_stats.json");
+
+#[test]
+fn stats_check_passes_against_checked_in_golden() {
+    let dir = std::env::temp_dir().join(format!("repro_gate_ok_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("live.json");
+    let out = repro(&[
+        "stats-check",
+        "--golden",
+        GOLDEN,
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--threads",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "stats-check failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stats-check OK"));
+    // The live metrics must agree with the golden's counters exactly where
+    // tolerance is zero; spot-check one counter.
+    let live: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let golden: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(GOLDEN).unwrap()).unwrap();
+    assert_eq!(
+        live["counters"]["intersect.calls"],
+        golden["counters"]["intersect.calls"]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_check_fails_on_perturbed_golden() {
+    // Copy the checked-in golden, bump one zero-tolerance counter by one,
+    // and confirm the gate exits non-zero naming the drifted counter.
+    let dir = std::env::temp_dir().join(format!("repro_gate_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = std::fs::read_to_string(GOLDEN).unwrap();
+    let mut root: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let serde_json::Value::Object(ref mut obj) = root else {
+        panic!("golden root is not an object")
+    };
+    let serde_json::Value::Object(mut counters) = obj.remove("counters").unwrap() else {
+        panic!("counters is not an object")
+    };
+    let old = counters.get("intersect.calls").unwrap().as_u64().unwrap();
+    counters.insert(
+        "intersect.calls".to_string(),
+        serde_json::Value::Number(serde_json::Number::PosInt(old + 1)),
+    );
+    obj.insert("counters".to_string(), serde_json::Value::Object(counters));
+    let bad = dir.join("bad_golden.json");
+    std::fs::write(&bad, serde_json::to_string_pretty(&root).unwrap()).unwrap();
+
+    let out = repro(&[
+        "stats-check",
+        "--golden",
+        bad.to_str().unwrap(),
+        "--threads",
+        "4",
+    ]);
+    assert!(!out.status.success(), "perturbed golden must fail the gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stats-check FAILED"), "{err}");
+    assert!(err.contains("intersect.calls"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_options_are_validated() {
+    let out = repro(&["stats-check"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --golden"));
+    let out = repro(&["table6", "--golden", "x.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only applies to `stats-check`"));
+    let out = repro(&["table6", "--update"]);
+    assert!(!out.status.success());
+    let out = repro(&["table6", "--metrics"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics requires a path"));
 }
 
 #[test]

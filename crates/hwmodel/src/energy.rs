@@ -82,18 +82,21 @@ impl EnergyCounter {
     pub fn compute(&mut self, count: u64, pj_each: f64) {
         self.breakdown.compute_pj += count as f64 * pj_each;
         self.events += count;
+        obs::record(obs::Event::HwmodelComputeEvents, count);
     }
 
     /// Records `count` buffer accesses of `pj_each` picojoules.
     pub fn buffer(&mut self, count: u64, pj_each: f64) {
         self.breakdown.buffer_pj += count as f64 * pj_each;
         self.events += count;
+        obs::record(obs::Event::HwmodelBufferEvents, count);
     }
 
     /// Records DRAM traffic of `bits` bits.
     pub fn dram_bits(&mut self, bits: u64) {
         self.breakdown.dram_pj += crate::dram::dram_energy_pj(bits);
         self.events += 1;
+        obs::record(obs::Event::HwmodelDramRequests, 1);
     }
 
     /// Records leakage energy directly (pJ).

@@ -1,0 +1,222 @@
+//! The counter taxonomy: every event the simulators can record.
+//!
+//! Each [`Event`] names one machine-checked signal of the paper's
+//! evaluation — atom multiplications, squeezed zero atoms, balancer stall
+//! cycles (Eq 3–5), per-component energy (Table VI / Fig 13/16) — so a
+//! counter value is meaningful on its own and stable across refactors.
+//! OBSERVABILITY.md documents the full table (name, unit, paper anchor).
+//!
+//! Counters are `u64` only. Energy is recorded in integer femtojoules,
+//! converted from `f64` picojoules *at the recording site* (where the
+//! value is a pure function of that call's inputs): integer addition
+//! commutes, so parallel accumulation is bit-identical at any thread
+//! count — the property the `repro --metrics` regression gate relies on.
+
+/// How a counter aggregates concurrent contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Contributions add up (`fetch_add`).
+    Sum,
+    /// Contributions take the maximum (`fetch_max`) — highwater marks.
+    Max,
+}
+
+macro_rules! events {
+    ($(($variant:ident, $name:literal, $kind:ident, $unit:literal, $paper:literal, $doc:literal),)+) => {
+        /// One observable simulator event (see module docs).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Event {
+            $(#[doc = $doc] $variant,)+
+        }
+
+        impl Event {
+            /// Number of defined events.
+            pub const COUNT: usize = [$(Event::$variant,)+].len();
+
+            /// Every event, in declaration order.
+            pub const ALL: [Event; Event::COUNT] = [$(Event::$variant,)+];
+
+            /// Stable dotted counter name (`stage.metric`).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Event::$variant => $name,)+
+                }
+            }
+
+            /// Aggregation kind.
+            pub fn kind(self) -> Kind {
+                match self {
+                    $(Event::$variant => Kind::$kind,)+
+                }
+            }
+
+            /// Unit of the counter value.
+            pub fn unit(self) -> &'static str {
+                match self {
+                    $(Event::$variant => $unit,)+
+                }
+            }
+
+            /// The paper equation/figure/section the counter maps to.
+            pub fn paper_ref(self) -> &'static str {
+                match self {
+                    $(Event::$variant => $paper,)+
+                }
+            }
+
+            /// One-line description (same text as the rustdoc).
+            pub fn describe(self) -> &'static str {
+                match self {
+                    $(Event::$variant => $doc,)+
+                }
+            }
+
+            /// Dense index in `[0, COUNT)`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+        }
+    };
+}
+
+events! {
+    // Atomizer (on-the-fly zero-atom squeezing, §IV-C1).
+    (AtomizerCycles, "atomizer.cycles", Sum, "cycles", "§IV-C1",
+     "Atomizer scan cycles (one non-zero atom emitted per cycle)."),
+    (AtomizerWords, "atomizer.words", Sum, "words", "§IV-C1",
+     "Activation words consumed by the Atomizer."),
+    (AtomizerMaxHold, "atomizer.max_hold", Max, "cycles", "§IV-C1",
+     "Longest any word occupied the Atomizer (bounded by the slot count)."),
+
+    // Stream compression (zero-atom squeeze, §III-B / Fig 6 phase 2).
+    (CompressActValues, "compress.act_values", Sum, "values", "Fig 6",
+     "Non-zero activation values compressed into atom streams."),
+    (CompressActAtoms, "compress.act_atoms", Sum, "atoms", "Fig 6",
+     "Non-zero activation atoms emitted by compression."),
+    (CompressActZeroAtomsSqueezed, "compress.act_zero_atoms_squeezed", Sum, "atoms", "Fig 2",
+     "Zero activation atoms squeezed out (bit-level sparsity exploited)."),
+    (CompressWeightValues, "compress.weight_values", Sum, "values", "Fig 6",
+     "Non-zero weight values compressed into atom streams."),
+    (CompressWeightAtoms, "compress.weight_atoms", Sum, "atoms", "Fig 6",
+     "Non-zero weight atoms emitted by compression."),
+    (CompressWeightZeroAtomsSqueezed, "compress.weight_zero_atoms_squeezed", Sum, "atoms", "Fig 2",
+     "Zero weight atoms squeezed out (bit-level sparsity exploited)."),
+
+    // Functional intersection kernel (Eq 1–4, §III-B phase 3).
+    (IntersectCalls, "intersect.calls", Sum, "calls", "§III-B",
+     "Non-empty stream intersections executed."),
+    (IntersectSteps, "intersect.steps", Sum, "steps", "Eq 3/4",
+     "Systolic pipeline steps (t x ceil(S/N) + epsilon summed over intersections)."),
+    (IntersectSegments, "intersect.segments", Sum, "segments", "Eq 3",
+     "Static-stream segments processed (ceil(S/N) summed)."),
+    (IntersectAtomMults, "intersect.atom_mults", Sum, "multiplications", "Fig 6",
+     "Effectual atom multiplications in the functional kernel (t x S summed)."),
+    (IntersectDeliveries, "intersect.deliveries", Sum, "deliveries", "§IV-C2",
+     "Partial-sum deliveries on last-atom flags (S x values summed)."),
+    (IntersectValueRuns, "intersect.value_runs", Sum, "values", "§IV-C2",
+     "Activation value runs folded into pre-shifted sums."),
+
+    // Cycle-level Atomputer (systolic multiplier chain, §IV-C2).
+    (AtomputerCycles, "atomputer.cycles", Sum, "cycles", "Eq 3",
+     "Cycle-level tile cycles including stalls."),
+    (AtomputerAtomMults, "atomputer.atom_mults", Sum, "multiplications", "Fig 6",
+     "Effectual atom multiplications in the cycle-level tile."),
+
+    // Cycle-level Atomulator (crossbar + FIFO + accumulate banks, §IV-C4).
+    (AtomulatorDeliveries, "atomulator.deliveries", Sum, "deliveries", "§IV-C4",
+     "Partials routed through the crossbar to accumulate-buffer banks."),
+    (AtomulatorCrossbarConflicts, "atomulator.crossbar_conflicts", Sum, "conflicts", "§IV-C4",
+     "Same-cycle deliveries colliding on one accumulate-buffer bank."),
+    (AtomulatorFifoHighwater, "atomulator.fifo_highwater", Max, "entries", "§IV-C4",
+     "Deepest FIFO occupancy observed in any cycle-level tile run."),
+    (AtomulatorStallCycles, "atomulator.stall_cycles", Sum, "cycles", "§IV-C4",
+     "Pipeline stalls from FIFO backpressure."),
+
+    // Load balancer (§IV-E, Eq 5, Fig 18).
+    (BalanceInvocations, "balance.invocations", Sum, "calls", "§IV-E",
+     "Balancer invocations (one per simulated layer)."),
+    (BalanceMakespanCycles, "balance.makespan_cycles", Sum, "cycles", "Eq 5",
+     "Slowest-tile cycles summed over balanced layers."),
+    (BalanceTotalCycles, "balance.total_cycles", Sum, "cycles", "Eq 5",
+     "Total tile work summed over balanced layers."),
+    (BalanceIdleCycles, "balance.idle_cycles", Sum, "cycles", "Fig 18",
+     "Tile idle (stall) cycles from residual workload imbalance."),
+
+    // Analytic layer model (Eq 3–5).
+    (AnalyticLayers, "analytic.layers", Sum, "layers", "Eq 5",
+     "Layers simulated by the analytic model."),
+    (AnalyticCycles, "analytic.cycles", Sum, "cycles", "Eq 5",
+     "Analytic layer makespans summed."),
+    (AnalyticAtomMults, "analytic.atom_mults", Sum, "multiplications", "Eq 5",
+     "Effectual atom multiplications in the analytic model."),
+    (AnalyticDeliveries, "analytic.deliveries", Sum, "deliveries", "§IV-C2",
+     "Accumulator deliveries in the analytic model."),
+    (AnalyticDramBits, "analytic.dram_bits", Sum, "bits", "Fig 8",
+     "Off-chip traffic (compressed block COO-2D) in the analytic model."),
+    (AnalyticBufferBits, "analytic.buffer_bits", Sum, "bits", "Fig 13/16",
+     "On-chip buffer traffic in the analytic model."),
+
+    // Per-component energy attribution (integer femtojoules; Table VI names).
+    (EnergyAtomMultFj, "energy.atom_mult_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to atom multiplications (multiplier + shift + accumulate)."),
+    (EnergyDeliveryFj, "energy.delivery_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to Atomulator deliveries (addr-gen + crossbar + FIFO + bank write)."),
+    (EnergyAggregateFj, "energy.aggregate_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to accumulate-buffer aggregation."),
+    (EnergyAtomizerFj, "energy.atomizer_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to Atomizer scan cycles."),
+    (EnergyInputReadFj, "energy.input_read_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to input-buffer reads."),
+    (EnergyWeightReadFj, "energy.weight_read_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to weight-buffer reads."),
+    (EnergyOutputWriteFj, "energy.output_write_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to output-buffer writes."),
+    (EnergyDramFj, "energy.dram_fj", Sum, "fJ", "Fig 13/16",
+     "Energy attributed to off-chip DRAM traffic."),
+    (EnergyLeakageFj, "energy.leakage_fj", Sum, "fJ", "Fig 13/16",
+     "Leakage energy over the simulated cycles."),
+
+    // hwmodel event-counter activity (all simulators, incl. baselines).
+    (HwmodelComputeEvents, "hwmodel.compute_events", Sum, "events", "Table VI",
+     "Compute events priced by any simulator's energy counter."),
+    (HwmodelBufferEvents, "hwmodel.buffer_events", Sum, "events", "Table VI",
+     "Buffer accesses priced by any simulator's energy counter."),
+    (HwmodelDramRequests, "hwmodel.dram_requests", Sum, "requests", "Table VI",
+     "DRAM traffic batches priced by any simulator's energy counter."),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate counter name");
+        for e in Event::ALL {
+            assert!(e.name().contains('.'), "{} is not stage.metric", e.name());
+            assert!(!e.unit().is_empty() && !e.paper_ref().is_empty());
+            assert!(!e.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        assert_eq!(Event::COUNT, Event::ALL.len());
+    }
+
+    #[test]
+    fn highwater_counters_are_max_kind() {
+        assert_eq!(Event::AtomulatorFifoHighwater.kind(), Kind::Max);
+        assert_eq!(Event::AtomizerMaxHold.kind(), Kind::Max);
+        assert_eq!(Event::IntersectAtomMults.kind(), Kind::Sum);
+    }
+}

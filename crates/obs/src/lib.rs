@@ -1,0 +1,92 @@
+//! # obs — zero-cost-when-disabled simulator observability
+//!
+//! A process-global event-counter registry, stats snapshots and scoped
+//! tracing spans, threaded through `atomstream`, `ristretto-sim`,
+//! `hwmodel` and the `repro` harness. Three design rules make the
+//! collected metrics usable as a CI regression gate:
+//!
+//! 1. **Zero-cost when disabled.** Recording is gated on one relaxed
+//!    atomic load; the default is off, so instrumented hot loops pay a
+//!    predictable branch and nothing else. `repro --metrics` /
+//!    `repro stats-check` flip the gate on.
+//! 2. **Integers only.** Counters are `u64` sums or highwater maxima —
+//!    both commutative — and floating-point quantities (energy) are
+//!    converted to fixed point *at the recording site*, where they are a
+//!    pure function of one call's inputs. The snapshot is therefore
+//!    bit-identical at any worker-thread count.
+//! 3. **Stable schema.** Every counter of the [`Event`] taxonomy appears
+//!    in every snapshot (zeros included), sorted by name, so golden files
+//!    diff cleanly. OBSERVABILITY.md documents the taxonomy and which
+//!    paper equation/figure each counter maps to.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod registry;
+mod span;
+
+pub use event::{Event, Kind};
+pub use registry::{Registry, Snapshot};
+pub use span::{set_tracing, span, tracing_enabled, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Registry = Registry::new();
+
+/// Globally enables or disables counter recording.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether counter recording is enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records `n` occurrences of `event` into the global registry
+/// (no-op while disabled).
+#[inline]
+pub fn record(event: Event, n: u64) {
+    if enabled() {
+        GLOBAL.record(event, n);
+    }
+}
+
+/// Zeroes the global registry.
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> Snapshot {
+    GLOBAL.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry and flag are process-wide; this is the only test
+    // that touches them, so it cannot race with the Registry unit tests
+    // (which all use local instances).
+    #[test]
+    fn global_gate_roundtrip() {
+        assert!(!enabled(), "recording must default to off");
+        record(Event::IntersectCalls, 5);
+        assert_eq!(snapshot().get(Event::IntersectCalls), 0);
+
+        enable(true);
+        record(Event::IntersectCalls, 5);
+        record(Event::AtomulatorFifoHighwater, 3);
+        let snap = snapshot();
+        assert_eq!(snap.get(Event::IntersectCalls), 5);
+        assert_eq!(snap.get(Event::AtomulatorFifoHighwater), 3);
+
+        reset();
+        assert!(snapshot().is_zero());
+        enable(false);
+    }
+}

@@ -1,0 +1,99 @@
+//! Scoped tracing spans: opt-in wall-clock timing on stderr.
+//!
+//! Spans are deliberately **not** counters: wall time is nondeterministic,
+//! so it must never leak into the `--metrics` JSON the regression gate
+//! byte-compares. When tracing is off (the default), [`span`] performs one
+//! relaxed load and allocates nothing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Globally enables or disables span tracing.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether span tracing is enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// A scoped timing span. Reports its wall time on stderr when dropped
+/// (only if tracing was enabled at entry); nested spans indent by depth.
+#[must_use = "a span measures the scope it is bound to"]
+#[derive(Debug)]
+pub struct Span {
+    name: Option<String>,
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name`. No-op (no allocation, no clock read) unless
+/// tracing is enabled.
+pub fn span(name: &str) -> Span {
+    if !tracing_enabled() {
+        return Span {
+            name: None,
+            start: None,
+        };
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    Span {
+        name: Some(name.to_string()),
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(name), Some(start)) = (self.name.take(), self.start) else {
+            return;
+        };
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth.saturating_sub(1));
+            depth
+        });
+        let indent = "  ".repeat(depth.saturating_sub(1));
+        eprintln!(
+            "[trace] {indent}{name}: {:.3}ms",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers both flag states: tests run concurrently in one
+    // process, and TRACING is global — splitting this in two would race.
+    #[test]
+    fn span_state_follows_the_tracing_flag() {
+        // Tracing defaults to off; the span must carry no state.
+        let s = span("test.disabled");
+        assert!(s.start.is_none() && s.name.is_none());
+        drop(s); // must not print or adjust depth
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+
+        set_tracing(true);
+        {
+            let _outer = span("test.outer");
+            DEPTH.with(|d| assert_eq!(d.get(), 1));
+            {
+                let _inner = span("test.inner");
+                DEPTH.with(|d| assert_eq!(d.get(), 2));
+            }
+            DEPTH.with(|d| assert_eq!(d.get(), 1));
+        }
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+        set_tracing(false);
+    }
+}

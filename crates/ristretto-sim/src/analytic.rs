@@ -220,6 +220,13 @@ impl RistrettoSim {
             cycles,
         );
 
+        obs::record(obs::Event::AnalyticLayers, 1);
+        obs::record(obs::Event::AnalyticCycles, cycles);
+        obs::record(obs::Event::AnalyticAtomMults, atom_mults);
+        obs::record(obs::Event::AnalyticDeliveries, deliveries);
+        obs::record(obs::Event::AnalyticDramBits, dram_bits);
+        obs::record(obs::Event::AnalyticBufferBits, buffer_bits);
+
         LayerReport {
             name: layer.name.clone(),
             cycles,

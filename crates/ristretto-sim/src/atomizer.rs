@@ -85,6 +85,9 @@ impl Atomizer {
             }
         }
         report.cycles = cycle;
+        obs::record(obs::Event::AtomizerCycles, report.cycles);
+        obs::record(obs::Event::AtomizerWords, report.words_read);
+        obs::record(obs::Event::AtomizerMaxHold, report.max_hold);
         Ok((outputs, report))
     }
 

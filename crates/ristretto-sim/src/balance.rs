@@ -99,11 +99,24 @@ pub fn balance(
 ) -> Assignment {
     assert!(tiles > 0, "tile count must be non-zero");
     assert!(n > 0, "multiplier count must be non-zero");
-    match strategy {
+    let assignment = match strategy {
         BalanceStrategy::None => cyclic(workloads, tiles, n),
         BalanceStrategy::WeightOnly => greedy(workloads, tiles, n, |w| w.weight_atoms),
         BalanceStrategy::WeightActivation => greedy(workloads, tiles, n, |w| w.cycles(n)),
-    }
+    };
+    // Observability: residual imbalance is the per-layer stall budget of
+    // Fig 18 — tiles finishing early idle until the slowest tile's Eq 5
+    // makespan.
+    let makespan = assignment.makespan();
+    let total = assignment.total_cycles();
+    obs::record(obs::Event::BalanceInvocations, 1);
+    obs::record(obs::Event::BalanceMakespanCycles, makespan);
+    obs::record(obs::Event::BalanceTotalCycles, total);
+    obs::record(
+        obs::Event::BalanceIdleCycles,
+        (makespan * tiles as u64).saturating_sub(total),
+    );
+    assignment
 }
 
 fn cyclic(workloads: &[ChannelWorkload], tiles: usize, n: u64) -> Assignment {

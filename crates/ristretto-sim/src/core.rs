@@ -38,6 +38,16 @@ impl CoreReport {
         self.tiles.iter().map(|t| t.atom_mults).sum()
     }
 
+    /// Total stall cycles (FIFO backpressure) across tiles.
+    pub fn stall_cycles(&self) -> u64 {
+        self.tiles.iter().map(|t| t.stall_cycles).sum()
+    }
+
+    /// Total crossbar bank collisions across tiles.
+    pub fn crossbar_conflicts(&self) -> u64 {
+        self.tiles.iter().map(|t| t.crossbar_conflicts).sum()
+    }
+
     /// Compute utilization: mean tile work over makespan.
     pub fn utilization(&self) -> f64 {
         if self.makespan == 0 || self.tile_cycles.is_empty() {
@@ -112,6 +122,7 @@ impl CoreSim {
         a_bits: u8,
         w_bits: u8,
     ) -> Result<CoreReport, AtomError> {
+        let _span = obs::span("core.run_layer");
         let streams = self.channel_streams(fmap, kernels, a_bits, w_bits)?;
         // Balance on the measured per-channel statistics, as the hardware
         // would (§IV-E).
@@ -148,6 +159,7 @@ impl CoreSim {
                         agg.stall_cycles += r.stall_cycles;
                         agg.atom_mults += r.atom_mults;
                         agg.deliveries += r.deliveries;
+                        agg.crossbar_conflicts += r.crossbar_conflicts;
                         agg.max_queue = agg.max_queue.max(r.max_queue);
                     }
                 }

@@ -120,6 +120,44 @@ impl RistrettoEnergyModel {
         counter.buffer(output_bits, self.output_write_per_bit_pj);
         counter.dram_bits(dram_bits);
         counter.leakage(self.leakage_pj(cycles));
+        // Observability: attribute energy per component in integer
+        // femtojoules. Each value is a pure function of this call's
+        // arguments (no cross-call accumulation in floating point), so the
+        // global counters stay bit-identical at any thread count.
+        let fj = |pj: f64| (pj * 1000.0).round() as u64;
+        obs::record(
+            obs::Event::EnergyAtomMultFj,
+            fj(atom_mults as f64 * self.atom_mult_pj),
+        );
+        obs::record(
+            obs::Event::EnergyDeliveryFj,
+            fj(deliveries as f64 * self.delivery_pj),
+        );
+        obs::record(
+            obs::Event::EnergyAggregateFj,
+            fj(aggregations as f64 * self.aggregate_pj),
+        );
+        obs::record(
+            obs::Event::EnergyAtomizerFj,
+            fj(atomizer_cycles as f64 * self.atomizer_pj),
+        );
+        obs::record(
+            obs::Event::EnergyInputReadFj,
+            fj(input_bits as f64 * self.input_read_per_bit_pj),
+        );
+        obs::record(
+            obs::Event::EnergyWeightReadFj,
+            fj(weight_bits as f64 * self.weight_read_per_bit_pj),
+        );
+        obs::record(
+            obs::Event::EnergyOutputWriteFj,
+            fj(output_bits as f64 * self.output_write_per_bit_pj),
+        );
+        obs::record(
+            obs::Event::EnergyDramFj,
+            fj(hwmodel::dram::dram_energy_pj(dram_bits)),
+        );
+        obs::record(obs::Event::EnergyLeakageFj, fj(self.leakage_pj(cycles)));
     }
 }
 

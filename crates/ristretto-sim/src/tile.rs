@@ -36,6 +36,9 @@ pub struct TileReport {
     pub atom_mults: u64,
     /// Deliveries routed to the accumulate buffer.
     pub deliveries: u64,
+    /// Same-cycle deliveries that collided on one accumulate-buffer bank
+    /// (each collision queues one entry in that bank's FIFO).
+    pub crossbar_conflicts: u64,
     /// Deepest FIFO occupancy observed.
     pub max_queue: usize,
 }
@@ -80,6 +83,11 @@ impl TileSim {
         }
 
         let mut queues = vec![0usize; self.banks];
+        // Per-cycle bank-collision detection without clearing a bitmap
+        // every step: a bank "has a delivery this cycle" iff its stamp
+        // equals the current step's stamp.
+        let mut bank_stamp = vec![0u64; self.banks];
+        let mut stamp = 0u64;
         let segments: Vec<_> = weights.entries().chunks(self.multipliers).collect();
         let last_seg = segments.len() - 1;
 
@@ -93,6 +101,7 @@ impl TileSim {
             }
             for step in 0..(t + segment.len() - 1) {
                 report.cycles += 1;
+                stamp += 1;
                 // Lane j processes activation atom (step - j).
                 let mut delivered_this_cycle: Vec<usize> = Vec::new();
                 for (j, w) in segment.iter().enumerate() {
@@ -104,6 +113,11 @@ impl TileSim {
                     report.atom_mults += 1;
                     if a.atom.last {
                         let bank = w.out_ch as usize % self.banks;
+                        if bank_stamp[bank] == stamp {
+                            report.crossbar_conflicts += 1;
+                        } else {
+                            bank_stamp[bank] = stamp;
+                        }
                         delivered_this_cycle.push(bank);
                         report.deliveries += 1;
                     }
@@ -134,6 +148,15 @@ impl TileSim {
         let residue = queues.iter().copied().max().unwrap_or(0) as u64;
         report.cycles += residue;
         report.cycles -= overlapped;
+        obs::record(obs::Event::AtomputerCycles, report.cycles);
+        obs::record(obs::Event::AtomputerAtomMults, report.atom_mults);
+        obs::record(obs::Event::AtomulatorDeliveries, report.deliveries);
+        obs::record(
+            obs::Event::AtomulatorCrossbarConflicts,
+            report.crossbar_conflicts,
+        );
+        obs::record(obs::Event::AtomulatorStallCycles, report.stall_cycles);
+        obs::record(obs::Event::AtomulatorFifoHighwater, report.max_queue as u64);
         report
     }
 
@@ -227,6 +250,26 @@ mod tests {
             rs.stall_cycles,
             rn.stall_cycles
         );
+        // The channel-first shuffle spreads same-cycle deliveries across
+        // banks, so it can only reduce crossbar collisions.
+        assert!(
+            rs.crossbar_conflicts <= rn.crossbar_conflicts,
+            "{} vs {}",
+            rs.crossbar_conflicts,
+            rn.crossbar_conflicts
+        );
+    }
+
+    #[test]
+    fn contended_banks_report_crossbar_conflicts() {
+        // A single output channel forces every delivery into one bank, so
+        // any cycle with two deliveries is a conflict.
+        let (w, a) = random_streams(17, 24, 48, 1, true);
+        let sim = TileSim::new(&cfg(16));
+        let r = sim.run(&w, &a);
+        assert!(r.crossbar_conflicts > 0, "expected bank collisions");
+        // Each conflict queues one entry; none can exceed the delivery count.
+        assert!(r.crossbar_conflicts < r.deliveries);
     }
 
     #[test]
