@@ -13,6 +13,7 @@ use crate::compress::{compress_activations, compress_weights};
 use crate::error::AtomError;
 use crate::flatten::{flatten_kernel_channel, flatten_tile};
 use crate::intersect::{intersect, FullConvAcc, IntersectConfig, IntersectStats};
+use crate::stream::WeightStream;
 use qnn::conv::ConvGeometry;
 use qnn::error::QnnError;
 use qnn::quant::BitWidth;
@@ -80,6 +81,120 @@ pub struct CscOutput {
     pub stats: CscStats,
 }
 
+/// A layer's static weight side, compiled once and shared across inputs.
+///
+/// The paper's weight stream is *static* (§III, Fig 5): kernels are
+/// flattened and compressed offline, then intersected against each input's
+/// sliding activation stream. This type captures exactly that offline
+/// artifact — one shuffled [`WeightStream`] per input channel — so repeated
+/// inference amortizes the flatten + compress + shuffle work.
+///
+/// ```
+/// use atomstream::atom::AtomBits;
+/// use atomstream::conv_csc::WeightStreamSet;
+/// use qnn::quant::BitWidth;
+/// use qnn::tensor::Tensor4;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = Tensor4::from_vec(1, 1, 2, 2, vec![1, -2, 0, 3])?;
+/// let set = WeightStreamSet::compile(&k, BitWidth::W4, AtomBits::B2)?;
+/// assert_eq!(set.in_channels(), 1);
+/// assert!(set.total_atoms() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightStreamSet {
+    streams: Vec<WeightStream>,
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    w_bits: BitWidth,
+    atom_bits: AtomBits,
+}
+
+impl WeightStreamSet {
+    /// Flattens and compresses every input channel's kernel slices into
+    /// static shuffled weight streams (the compile phase).
+    ///
+    /// # Errors
+    /// Rejects non-square kernels ([`AtomError::TileShapeMismatch`]) and
+    /// weights that do not fit the declared `w_bits`.
+    pub fn compile(
+        kernels: &Tensor4,
+        w_bits: BitWidth,
+        atom_bits: AtomBits,
+    ) -> Result<Self, AtomError> {
+        let (o, i, kh, kw) = kernels.shape();
+        if kh != kw {
+            return Err(AtomError::TileShapeMismatch {
+                expected: (kh, kh),
+                actual: (kh, kw),
+            });
+        }
+        let streams: Vec<WeightStream> = (0..i)
+            .into_par_iter()
+            .map(|ci| {
+                let w_flat = flatten_kernel_channel(kernels, ci)?;
+                compress_weights(&w_flat, w_bits.bits(), atom_bits)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            streams,
+            out_channels: o,
+            in_channels: i,
+            kernel: kh,
+            w_bits,
+            atom_bits,
+        })
+    }
+
+    /// The per-input-channel static streams, in channel order.
+    pub fn streams(&self) -> &[WeightStream] {
+        &self.streams
+    }
+
+    /// The static stream for one input channel.
+    pub fn stream(&self, channel: usize) -> &WeightStream {
+        &self.streams[channel]
+    }
+
+    /// Output channels covered by each stream.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Number of input channels (= number of streams).
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Square kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Declared weight bit-width the streams were compiled with.
+    pub fn w_bits(&self) -> BitWidth {
+        self.w_bits
+    }
+
+    /// Atom granularity the streams were compiled with.
+    pub fn atom_bits(&self) -> AtomBits {
+        self.atom_bits
+    }
+
+    /// Total non-zero weight atoms across all channels (`S` summed).
+    pub fn total_atoms(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Non-zero weight atoms in one channel's stream.
+    pub fn atoms(&self, channel: usize) -> u64 {
+        self.streams[channel].len() as u64
+    }
+}
+
 /// Runs a sparse mixed-precision convolution through the CSC pipeline.
 ///
 /// `a_bits`/`w_bits` declare the quantized widths of activations and
@@ -114,19 +229,64 @@ pub fn conv2d_csc(
     w_bits: BitWidth,
     cfg: &CscConfig,
 ) -> Result<CscOutput, AtomError> {
+    let weights = WeightStreamSet::compile(kernels, w_bits, cfg.atom_bits)?;
+    conv2d_csc_streams(fmap, &weights, geom, a_bits, cfg)
+}
+
+/// Runs the per-input half of a CSC convolution against precompiled weight
+/// streams (the run phase of the compile/run split).
+///
+/// Only activation-side work happens here — tiling, flattening, zero-atom
+/// squeezing and the stream intersections. [`conv2d_csc`] is exactly
+/// [`WeightStreamSet::compile`] followed by this function, so both paths
+/// produce byte-identical outputs and [`CscStats`].
+///
+/// ```
+/// use atomstream::atom::AtomBits;
+/// use atomstream::conv_csc::{conv2d_csc, conv2d_csc_streams, CscConfig, WeightStreamSet};
+/// use qnn::conv::ConvGeometry;
+/// use qnn::quant::BitWidth;
+/// use qnn::tensor::{Tensor3, Tensor4};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmap = Tensor3::from_vec(1, 3, 3, vec![1, 0, 2, 0, 3, 0, 4, 0, 5])?;
+/// let k = Tensor4::from_vec(1, 1, 2, 2, vec![1, -2, 0, 3])?;
+/// let (geom, cfg) = (ConvGeometry::default(), CscConfig::default());
+/// let weights = WeightStreamSet::compile(&k, BitWidth::W4, cfg.atom_bits)?;
+/// let run = conv2d_csc_streams(&fmap, &weights, geom, BitWidth::W4, &cfg)?;
+/// let direct = conv2d_csc(&fmap, &k, geom, BitWidth::W4, BitWidth::W4, &cfg)?;
+/// assert_eq!(run, direct);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns [`AtomError::GranularityMismatch`] when `cfg.atom_bits` differs
+/// from the granularity the streams were compiled with, plus the geometry
+/// and atomization errors of [`conv2d_csc`].
+pub fn conv2d_csc_streams(
+    fmap: &Tensor3,
+    weights: &WeightStreamSet,
+    geom: ConvGeometry,
+    a_bits: BitWidth,
+    cfg: &CscConfig,
+) -> Result<CscOutput, AtomError> {
     let _span = obs::span("csc.conv2d");
     let (c, h, w) = fmap.shape();
-    let (o, i, kh, kw) = kernels.shape();
+    let (o, i, k) = (
+        weights.out_channels(),
+        weights.in_channels(),
+        weights.kernel(),
+    );
     if c != i {
         return Err(QnnError::ChannelMismatch { fmap: c, kernel: i }.into());
     }
-    if kh != kw {
-        return Err(AtomError::TileShapeMismatch {
-            expected: (kh, kh),
-            actual: (kh, kw),
+    if cfg.atom_bits != weights.atom_bits() {
+        return Err(AtomError::GranularityMismatch {
+            compiled: weights.atom_bits().bits(),
+            requested: cfg.atom_bits.bits(),
         });
     }
-    let k = kh;
     let out_h = geom.out_extent(h, k)?;
     let out_w = geom.out_extent(w, k)?;
     if cfg.tile_h == 0 || cfg.tile_w == 0 {
@@ -146,10 +306,9 @@ pub fn conv2d_csc(
         .into_par_iter()
         .map(|ci| {
             let mut stats = CscStats::default();
-            // Offline phase: flatten + compress this channel's kernel
-            // slices across all output channels (the static stream).
-            let w_flat = flatten_kernel_channel(kernels, ci)?;
-            let w_stream = compress_weights(&w_flat, w_bits.bits(), cfg.atom_bits)?;
+            // The static stream was compiled offline; only its size is
+            // accounted here so stats match the compile-inline path.
+            let w_stream = weights.stream(ci);
             stats.weight_atoms += w_stream.len() as u64;
             if w_stream.is_empty() {
                 return Ok((None, stats));
@@ -168,7 +327,7 @@ pub fn conv2d_csc(
                     stats.act_values += a_stream.value_count() as u64;
                     stats.act_atoms += a_stream.len() as u64;
                     stats.tiles_processed += 1;
-                    let s = intersect(&w_stream, &a_stream, icfg, &mut acc, y0, x0);
+                    let s = intersect(w_stream, &a_stream, icfg, &mut acc, y0, x0);
                     stats.intersect.merge(&s);
                 }
             }
@@ -353,6 +512,49 @@ mod tests {
             csc.stats.intersect.steps,
             crate::cycles::ideal_steps(t, s, 2)
         );
+    }
+
+    #[test]
+    fn precompiled_streams_match_direct_path() {
+        let fmap = Tensor3::from_fn(2, 5, 5, |c, y, x| ((c + y * 2 + x) % 4) as i32).unwrap();
+        let kernels = Tensor4::from_fn(3, 2, 3, 3, |o, i, ky, kx| {
+            ((o + i + ky + kx) % 5) as i32 - 2
+        })
+        .unwrap();
+        let geom = ConvGeometry::unit_stride(1);
+        let cfg = CscConfig {
+            tile_h: 3,
+            tile_w: 3,
+            ..CscConfig::default()
+        };
+        let weights = WeightStreamSet::compile(&kernels, BitWidth::W4, cfg.atom_bits).unwrap();
+        assert_eq!(weights.in_channels(), 2);
+        assert_eq!(weights.out_channels(), 3);
+        assert_eq!(weights.kernel(), 3);
+        assert_eq!(weights.w_bits(), BitWidth::W4);
+        let direct = conv2d_csc(&fmap, &kernels, geom, BitWidth::W8, BitWidth::W4, &cfg).unwrap();
+        let via_streams = conv2d_csc_streams(&fmap, &weights, geom, BitWidth::W8, &cfg).unwrap();
+        assert_eq!(via_streams, direct);
+        assert_eq!(weights.total_atoms(), direct.stats.weight_atoms);
+        assert_eq!(
+            weights.atoms(0) + weights.atoms(1),
+            direct.stats.weight_atoms
+        );
+    }
+
+    #[test]
+    fn granularity_mismatch_is_rejected() {
+        let fmap = Tensor3::from_vec(1, 2, 2, vec![1, 0, 2, 3]).unwrap();
+        let kernels = Tensor4::from_vec(1, 1, 2, 2, vec![1, -1, 0, 2]).unwrap();
+        let weights = WeightStreamSet::compile(&kernels, BitWidth::W4, AtomBits::B1).unwrap();
+        let cfg = CscConfig::default(); // B2 atoms
+        assert!(matches!(
+            conv2d_csc_streams(&fmap, &weights, ConvGeometry::default(), BitWidth::W4, &cfg),
+            Err(AtomError::GranularityMismatch {
+                compiled: 1,
+                requested: 2
+            })
+        ));
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub enum AtomError {
         /// Provided shape.
         actual: (usize, usize),
     },
+    /// A precompiled weight stream was executed under a different atom
+    /// granularity than it was compiled with.
+    GranularityMismatch {
+        /// Granularity the stream was compiled with (bits).
+        compiled: u8,
+        /// Granularity requested at run time (bits).
+        requested: u8,
+    },
     /// An error bubbled up from the `qnn` substrate.
     Qnn(qnn::error::QnnError),
 }
@@ -45,6 +53,15 @@ impl fmt::Display for AtomError {
                 write!(
                     f,
                     "tile shape {actual:?} does not match expected {expected:?}"
+                )
+            }
+            AtomError::GranularityMismatch {
+                compiled,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "stream compiled at {compiled}-bit atoms run at {requested}-bit atoms"
                 )
             }
             AtomError::Qnn(e) => write!(f, "substrate error: {e}"),

@@ -43,7 +43,9 @@ pub mod wide;
 pub mod prelude {
     pub use crate::atom::{shift_range, Atom, AtomBits};
     pub use crate::compress::{compress_activations, compress_weights};
-    pub use crate::conv_csc::{conv2d_csc, CscConfig, CscOutput, CscStats};
+    pub use crate::conv_csc::{
+        conv2d_csc, conv2d_csc_streams, CscConfig, CscOutput, CscStats, WeightStreamSet,
+    };
     pub use crate::cycles::{ideal_steps, intersect_epsilon, tile_cycles};
     pub use crate::decompose::{atomize_signed, atomize_unsigned, recompose};
     pub use crate::error::AtomError;

@@ -8,7 +8,7 @@
 //! This matches the open-source simulator's first-order behaviour the paper
 //! references.
 
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::workload::LayerStats;
 use serde::{Deserialize, Serialize};
@@ -69,7 +69,7 @@ impl Default for BitFusion {
     }
 }
 
-impl Accelerator for BitFusion {
+impl Backend for BitFusion {
     fn name(&self) -> &'static str {
         "Bit Fusion"
     }
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn network_report_has_all_layers() {
-        use crate::report::Accelerator as _;
+        use crate::report::Backend as _;
         use qnn::models::NetworkId;
         use qnn::workload::{NetworkStats, PrecisionPolicy};
         let net = NetworkStats::generate(

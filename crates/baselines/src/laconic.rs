@@ -10,7 +10,7 @@
 //! the slowest pair still gates the PE.
 
 use crate::booth::{booth_terms, term_histogram};
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use crate::stats::{expectation, expected_max, product_pmf};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::workload::LayerStats;
@@ -113,7 +113,7 @@ impl Laconic {
         }
     }
 
-    /// Simulates a layer under a chosen latency mode (the [`Accelerator`]
+    /// Simulates a layer under a chosen latency mode (the [`Backend`]
     /// impl uses [`LaconicLatency::Tile`], the machine's real behaviour).
     pub fn simulate_layer_mode(
         &self,
@@ -181,7 +181,7 @@ impl Default for Laconic {
     }
 }
 
-impl Accelerator for Laconic {
+impl Backend for Laconic {
     fn name(&self) -> &'static str {
         "Laconic"
     }

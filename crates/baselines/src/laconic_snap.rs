@@ -14,7 +14,7 @@
 
 use crate::booth::term_histogram;
 use crate::laconic::Laconic;
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use crate::stats::{expected_max, product_pmf};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::workload::LayerStats;
@@ -45,7 +45,7 @@ impl Default for LaconicSnap {
     }
 }
 
-impl Accelerator for LaconicSnap {
+impl Backend for LaconicSnap {
     fn name(&self) -> &'static str {
         "Laconic+SNAP"
     }

@@ -48,7 +48,7 @@ pub mod prelude {
     pub use crate::booth::booth_terms;
     pub use crate::laconic::{Laconic, LaconicLatency};
     pub use crate::laconic_snap::LaconicSnap;
-    pub use crate::report::{Accelerator, BaselineLayerReport, BaselineNetworkReport};
+    pub use crate::report::{Backend, BaselineLayerReport, BaselineNetworkReport};
     pub use crate::scnn::Scnn;
     pub use crate::snap::Snap;
     pub use crate::sparten::SparTen;

@@ -1,4 +1,4 @@
-//! Shared report types and the accelerator model interface.
+//! Shared report types and the workspace-wide backend interface.
 
 use hwmodel::EnergyBreakdown;
 use qnn::workload::{LayerStats, NetworkStats};
@@ -48,9 +48,14 @@ impl BaselineNetworkReport {
     }
 }
 
-/// Interface every baseline model implements.
-pub trait Accelerator {
-    /// Human-readable accelerator name.
+/// Workspace-wide simulation backend interface.
+///
+/// Every machine that can price a layer from its statistics — the six
+/// baseline accelerators as well as the analytic Ristretto model — exposes
+/// this interface, so experiments and examples can sweep heterogeneous
+/// machine sets as `&dyn Backend`.
+pub trait Backend: Sync {
+    /// Human-readable backend name.
     fn name(&self) -> &'static str;
 
     /// Total accelerator area in mm² (used for area normalization).
@@ -62,10 +67,7 @@ pub trait Accelerator {
     /// Simulates a whole network. Layers are independent, so they run in
     /// parallel; results are collected back in layer order, keeping the
     /// report identical to a sequential sweep.
-    fn simulate_network(&self, net: &NetworkStats) -> BaselineNetworkReport
-    where
-        Self: Sync,
-    {
+    fn simulate_network(&self, net: &NetworkStats) -> BaselineNetworkReport {
         BaselineNetworkReport {
             accelerator: self.name().to_string(),
             network: net.id.name().to_string(),
@@ -78,6 +80,9 @@ pub trait Accelerator {
         }
     }
 }
+
+/// Former name of [`Backend`], kept as an alias for downstream code.
+pub use self::Backend as Accelerator;
 
 #[cfg(test)]
 mod tests {

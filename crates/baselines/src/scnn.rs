@@ -9,7 +9,7 @@
 //! level; like Ristretto it computes stride-1 coordinates only (the paper
 //! cites SCNN for that compromise in §IV-C3).
 
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::workload::LayerStats;
 use serde::{Deserialize, Serialize};
@@ -77,7 +77,7 @@ impl Default for Scnn {
     }
 }
 
-impl Accelerator for Scnn {
+impl Backend for Scnn {
     fn name(&self) -> &'static str {
         "SCNN"
     }

@@ -9,7 +9,7 @@
 //! random sparse vectors the expected match count per comparison window
 //! drops with density, idling the MACs.
 
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::workload::LayerStats;
 use serde::{Deserialize, Serialize};
@@ -72,7 +72,7 @@ impl Default for Snap {
     }
 }
 
-impl Accelerator for Snap {
+impl Backend for Snap {
     fn name(&self) -> &'static str {
         "SNAP"
     }

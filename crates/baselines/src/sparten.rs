@@ -10,7 +10,7 @@
 //! fixed at 8 bits: low-precision models run no faster, which is what
 //! Ristretto exploits in Fig 17.
 
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
 use qnn::rng::SeededRng;
 use qnn::workload::LayerStats;
@@ -96,7 +96,7 @@ fn seed_for(name: &str) -> u64 {
     })
 }
 
-impl Accelerator for SparTen {
+impl Backend for SparTen {
     fn name(&self) -> &'static str {
         "SparTen"
     }

@@ -13,7 +13,7 @@
 //!    already >60% of a SparTen CU), hurting area-normalized performance.
 
 use crate::bitfusion::BitFusion;
-use crate::report::{Accelerator, BaselineLayerReport};
+use crate::report::{Backend, BaselineLayerReport};
 use crate::sparten::SparTen;
 use crate::stats::{binomial_pmf, expected_max};
 use hwmodel::{ComponentLib, EnergyCounter, SramMacro, TechNode};
@@ -75,7 +75,7 @@ impl Default for SparTenMp {
     }
 }
 
-impl Accelerator for SparTenMp {
+impl Backend for SparTenMp {
     fn name(&self) -> &'static str {
         "SparTen-mp"
     }

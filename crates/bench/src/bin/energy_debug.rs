@@ -2,7 +2,7 @@
 //! Bit Fusion per component for one network.
 
 use baselines::bitfusion::BitFusion;
-use baselines::report::Accelerator;
+use baselines::report::Backend;
 use qnn::models::NetworkId;
 use qnn::quant::BitWidth;
 use qnn::workload::{NetworkStats, PrecisionPolicy};

@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--json <path>] [--metrics <path>]
-//!                    [--threads <n>] [--trace]
+//!                    [--threads <n>] [--trace] [--batch <n>]
 //! repro stats-check --golden <path> [--metrics <path>] [--update]
 //!                    [--threads <n>]
 //! experiments: fig1 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//!              table6 motivation multicore ablations all
+//!              table6 motivation multicore ablations batch all
 //! ```
 //!
 //! `fig13` and `fig16` are energy companions produced by the same runners
@@ -31,21 +31,26 @@
 //! input order, so stdout, the `--json` file and the `--metrics` file are
 //! byte-identical at any thread count. Per-experiment wall times go to
 //! stderr only, keeping stdout reproducible.
+//!
+//! `--batch <n>` sets the images served per compiled network by the
+//! `batch` experiment (default 1; implies `batch` when no experiment is
+//! named) — per-image wall time falls as the batch grows because the
+//! engine compiles each network's static weight artifacts once.
 
 use bench::cache::StatsCache;
 use bench::experiments::{
-    ablations, fig01, fig04, fig12, fig14, fig15, fig17, fig18, fig19, motivation,
+    ablations, engine_batch, fig01, fig04, fig12, fig14, fig15, fig17, fig18, fig19, motivation,
     multicore_scaling, table6,
 };
 use bench::stats_gate;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace]
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>]
        repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]";
 
 /// Canonical experiment order of `repro all`.
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "fig1",
     "fig4",
     "table6",
@@ -58,6 +63,7 @@ const ALL: [&str; 12] = [
     "motivation",
     "multicore",
     "ablations",
+    "batch",
 ];
 
 /// Parsed command line.
@@ -70,6 +76,7 @@ struct Cli {
     update_golden: bool,
     trace: bool,
     threads: Option<usize>,
+    batch: usize,
 }
 
 /// Parses arguments; option values (`--json`, `--metrics`, `--golden`,
@@ -83,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut update_golden = false;
     let mut trace = false;
     let mut threads = None;
+    let mut batch = None;
     let mut which = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -123,6 +131,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 threads = Some(n);
             }
+            "--batch" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--batch requires a count".to_string())?;
+                let n: usize = v.parse().map_err(|_| format!("invalid batch size `{v}`"))?;
+                if n == 0 {
+                    return Err("--batch must be at least 1".to_string());
+                }
+                batch = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -133,7 +151,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
-    let which = which.ok_or_else(|| "no experiment given".to_string())?;
+    // `repro --batch 8` alone means "run the batch experiment".
+    let which = match which {
+        Some(w) => w,
+        None if batch.is_some() => "batch".to_string(),
+        None => return Err("no experiment given".to_string()),
+    };
     if golden_path.is_some() && which != "stats-check" {
         return Err("--golden only applies to `stats-check`".to_string());
     }
@@ -142,6 +165,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if which == "stats-check" && golden_path.is_none() {
         return Err("stats-check requires --golden <path>".to_string());
+    }
+    if batch.is_some() && which != "batch" && which != "all" {
+        return Err("--batch only applies to `batch` or `all`".to_string());
     }
     Ok(Cli {
         which,
@@ -152,6 +178,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         update_golden,
         trace,
         threads,
+        batch: batch.unwrap_or(1),
     })
 }
 
@@ -160,6 +187,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 fn run_one(
     which: &str,
     quick: bool,
+    batch: usize,
     cache: &mut StatsCache,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
 ) -> bool {
@@ -253,6 +281,14 @@ fn run_one(
                 serde_json::to_value(&rows).unwrap(),
             );
         }
+        "batch" => {
+            let rows = engine_batch::run(quick, batch);
+            emit(
+                "batch",
+                engine_batch::render(&rows),
+                serde_json::to_value(&rows).unwrap(),
+            );
+        }
         "ablations" => {
             let tiles = ablations::run_tile_size(quick);
             let fifos = ablations::run_fifo_depth(quick);
@@ -273,11 +309,12 @@ fn run_one(
 fn run_timed(
     which: &str,
     quick: bool,
+    batch: usize,
     cache: &mut StatsCache,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
 ) -> bool {
     let start = Instant::now();
-    let known = run_one(which, quick, cache, emit);
+    let known = run_one(which, quick, batch, cache, emit);
     if known {
         eprintln!("[repro] {which}: {:.2}s", start.elapsed().as_secs_f64());
     }
@@ -321,10 +358,10 @@ fn main() -> ExitCode {
     let start = Instant::now();
     if cli.which == "all" {
         for which in ALL {
-            run_timed(which, cli.quick, &mut cache, &mut emit);
+            run_timed(which, cli.quick, cli.batch, &mut cache, &mut emit);
         }
         eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
-    } else if !run_timed(&cli.which, cli.quick, &mut cache, &mut emit) {
+    } else if !run_timed(&cli.which, cli.quick, cli.batch, &mut cache, &mut emit) {
         eprintln!("unknown experiment `{}`\n{USAGE}", cli.which);
         return ExitCode::FAILURE;
     }
@@ -357,7 +394,8 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache) -> ExitCode {
     let start = Instant::now();
     let mut emit = |_: &str, _: String, _: serde_json::Value| {};
     for which in ALL {
-        run_timed(which, true, cache, &mut emit);
+        // Batch stays 1 so the counter snapshot matches the golden file.
+        run_timed(which, true, 1, cache, &mut emit);
     }
     eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
     let snap = obs::snapshot();

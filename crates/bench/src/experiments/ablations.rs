@@ -13,7 +13,7 @@ use crate::cache::StatsCache;
 use crate::{benchmark_networks, table, SEED};
 use atomstream::atom::AtomBits;
 use atomstream::compress::{compress_activations, compress_weights, compress_weights_naive};
-use atomstream::conv_csc::{conv2d_csc, CscConfig};
+use atomstream::conv_csc::{conv2d_csc_streams, CscConfig, WeightStreamSet};
 use atomstream::flatten::{FlatActivation, FlatWeight};
 use qnn::quant::BitWidth;
 use qnn::workload::{
@@ -81,6 +81,10 @@ pub fn run_tile_size(quick: bool) -> Vec<TileSizeRow> {
         &ActivationProfile::new(BitWidth::W8),
         &mut gen,
     );
+    // The static weight streams are tile-size independent: compile them
+    // once and sweep only the activation-side tiling.
+    let weights = WeightStreamSet::compile(&s.kernels, BitWidth::W8, AtomBits::B2)
+        .expect("probe weights compile");
     [2usize, 4, 8, 16]
         .into_iter()
         .map(|tile| {
@@ -89,15 +93,8 @@ pub fn run_tile_size(quick: bool) -> Vec<TileSizeRow> {
                 tile_w: tile,
                 ..CscConfig::default()
             };
-            let out = conv2d_csc(
-                &s.fmap,
-                &s.kernels,
-                layer.geometry(),
-                BitWidth::W8,
-                BitWidth::W8,
-                &cfg,
-            )
-            .expect("probe conv");
+            let out = conv2d_csc_streams(&s.fmap, &weights, layer.geometry(), BitWidth::W8, &cfg)
+                .expect("probe conv");
             // Coordinate metadata: 2·log2(tile) bits per non-zero value.
             let coord_bits = 2 * (tile as u64).ilog2() as u64;
             let compressed_bits = out.stats.act_values * (8 + coord_bits);

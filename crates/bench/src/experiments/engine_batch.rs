@@ -1,0 +1,148 @@
+//! Compile-once/run-many demonstration: the engine's static/per-input
+//! split amortized over a batch.
+//!
+//! For each quick-suite network, the miniature functional variant is
+//! compiled once ([`ristretto_sim::engine::compile`] — weight flattening,
+//! compression, shuffling, per-channel statistics and the weight-only
+//! balancer grouping) and a [`Session`] then serves `batch` distinct
+//! images. The static work is paid once regardless of the batch size, so
+//! per-image wall time falls as the batch grows; wall times go to stderr
+//! only (stdout stays byte-identical across machines and thread counts).
+
+use crate::{benchmark_networks, table, SEED};
+use qnn::mini::MiniNetwork;
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::engine::{compile, NetworkModel, Session};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One network's compile-once/run-many accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Network name.
+    pub network: String,
+    /// Images served by the session.
+    pub images: usize,
+    /// Layers in the compiled network.
+    pub layers: usize,
+    /// Static weight atoms — compiled once, shared by every image.
+    pub weight_atoms: u64,
+    /// Activation atoms streamed for the first image — per-input work that
+    /// repeats for every image.
+    pub act_atoms_per_image: u64,
+}
+
+/// Runs the quick-suite networks through one compiled session each,
+/// serving `batch` images per network.
+pub fn run(quick: bool, batch: usize) -> Vec<Row> {
+    let batch = batch.max(1);
+    let cfg = RistrettoConfig::paper_default();
+    let mut rows = Vec::new();
+    let mut total_elapsed = 0.0f64;
+    for (idx, &net) in benchmark_networks(quick).iter().enumerate() {
+        let mini = MiniNetwork::try_new(net).expect("builtin mini network");
+        let mut gen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8));
+        let model =
+            NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
+                .expect("mini network materializes");
+
+        let t0 = Instant::now();
+        let compiled = compile(&model, &cfg).expect("mini network compiles");
+        let compile_s = t0.elapsed().as_secs_f64();
+
+        let session = Session::new(compiled.clone());
+        let (c, h, w) = compiled.input();
+        let mut act_atoms_per_image = 0;
+        let mut run_s = 0.0f64;
+        for image in 0..batch {
+            let mut igen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8) ^ (image as u64 + 1));
+            let input = igen
+                .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+                .expect("input materializes");
+            let t1 = Instant::now();
+            let out = session.run(&input).expect("session inference");
+            run_s += t1.elapsed().as_secs_f64();
+            if image == 0 {
+                act_atoms_per_image = out.traces.iter().map(|t| t.stats.act_atoms).sum();
+            }
+        }
+        let per_image_ms = (compile_s + run_s) * 1e3 / batch as f64;
+        eprintln!(
+            "[batch] {}: compile {:.2}ms once, {batch} image(s), {per_image_ms:.2}ms/image \
+             (compile amortized)",
+            net.name(),
+            compile_s * 1e3,
+        );
+        total_elapsed += compile_s + run_s;
+        rows.push(Row {
+            network: net.name().to_string(),
+            images: batch,
+            layers: compiled.layers().len(),
+            weight_atoms: compiled.weight_atoms(),
+            act_atoms_per_image,
+        });
+    }
+    eprintln!(
+        "[batch] per-image wall time: {:.3}ms ({batch} image(s) per network)",
+        total_elapsed * 1e3 / (rows.len().max(1) * batch) as f64
+    );
+    rows
+}
+
+/// Renders the static-vs-per-input accounting.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = vec![vec![
+        "network".to_string(),
+        "layers".to_string(),
+        "images".to_string(),
+        "static weight atoms (once)".to_string(),
+        "act atoms / image".to_string(),
+    ]];
+    for r in rows {
+        t.push(vec![
+            r.network.clone(),
+            r.layers.to_string(),
+            r.images.to_string(),
+            r.weight_atoms.to_string(),
+            r.act_atoms_per_image.to_string(),
+        ]);
+    }
+    table::render(
+        "Engine: compile-once/run-many (static weight work amortized over the batch)",
+        &t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_work_is_batch_invariant() {
+        let one = run(true, 1);
+        let four = run(true, 4);
+        assert_eq!(one.len(), 3);
+        assert_eq!(four.len(), 3);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.weight_atoms, b.weight_atoms, "{}", a.network);
+            assert_eq!(
+                a.act_atoms_per_image, b.act_atoms_per_image,
+                "{}",
+                a.network
+            );
+            assert!(a.weight_atoms > 0 && a.act_atoms_per_image > 0);
+        }
+    }
+
+    #[test]
+    fn render_lists_every_network() {
+        let rows = run(true, 1);
+        let s = render(&rows);
+        for r in &rows {
+            assert!(s.contains(&r.network));
+        }
+    }
+}

@@ -8,11 +8,9 @@
 use crate::cache::StatsCache;
 use crate::{area_norm_speedup, benchmark_networks, benchmark_policies, table, SEED};
 use baselines::bitfusion::BitFusion;
-use baselines::report::Accelerator;
-use hwmodel::ComponentLib;
+use baselines::report::Backend;
 use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
-use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
 use serde::{Deserialize, Serialize};
 
@@ -41,7 +39,7 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let r_cfg = RistrettoConfig::paper_default();
     let sim = RistrettoSim::new(r_cfg);
     let sim_ns = RistrettoSim::new(r_cfg.non_sparse());
-    let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
+    let r_area = Backend::area_mm2(&sim);
     let bf = BitFusion::paper_default();
     let bf_area = bf.area_mm2();
 

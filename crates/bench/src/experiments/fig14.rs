@@ -8,11 +8,9 @@
 use crate::cache::StatsCache;
 use crate::{area_norm_speedup, benchmark_networks, benchmark_policies, table, SEED};
 use baselines::laconic::Laconic;
-use baselines::report::Accelerator;
-use hwmodel::ComponentLib;
+use baselines::report::Backend;
 use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
-use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
 use serde::{Deserialize, Serialize};
 
@@ -34,7 +32,7 @@ pub struct Row {
 pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let r_cfg = RistrettoConfig::half_width();
     let sim = RistrettoSim::new(r_cfg);
-    let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
+    let r_area = Backend::area_mm2(&sim);
     let lac = Laconic::paper_default();
     let lac_area = lac.area_mm2();
 

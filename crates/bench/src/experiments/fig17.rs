@@ -8,13 +8,11 @@
 
 use crate::cache::StatsCache;
 use crate::{area_norm_speedup, benchmark_networks, benchmark_policies, table, SEED};
-use baselines::report::Accelerator;
+use baselines::report::Backend;
 use baselines::sparten::SparTen;
 use baselines::sparten_mp::SparTenMp;
-use hwmodel::ComponentLib;
 use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
-use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +35,7 @@ pub struct Row {
 pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let r_cfg = RistrettoConfig::half_width();
     let sim = RistrettoSim::new(r_cfg);
-    let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
+    let r_area = Backend::area_mm2(&sim);
     let sp = SparTen::paper_default();
     let sp_area = sp.area_mm2();
     let mp = SparTenMp::paper_default();

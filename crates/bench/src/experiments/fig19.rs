@@ -48,7 +48,7 @@ pub fn run_cost() -> Vec<CostRow> {
     [1u8, 2, 3]
         .into_iter()
         .map(|bits| {
-            let cfg = RistrettoConfig::granularity(bits);
+            let cfg = RistrettoConfig::try_granularity(bits).expect("Fig 19 granularity");
             CostRow {
                 atom_bits: bits,
                 multipliers: cfg.multipliers,
@@ -80,8 +80,8 @@ pub fn run_perf(quick: bool, cache: &mut StatsCache) -> Vec<PerfRow> {
     items
         .into_par_iter()
         .map(|(bits, policy)| {
-            let cfg = RistrettoConfig::granularity(bits);
-            let sim = RistrettoSim::new(cfg);
+            let cfg = RistrettoConfig::try_granularity(bits).expect("Fig 19 granularity");
+            let sim = RistrettoSim::try_new(cfg).expect("Fig 19 configuration");
             let area = AreaBreakdown::from_config(&cfg, &lib).compute_units();
             let mut inv_cycles_sum = 0.0;
             let mut n = 0.0;

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure (see DESIGN.md §4 for the index).
 
 pub mod ablations;
+pub mod engine_batch;
 pub mod fig01;
 pub mod fig04;
 pub mod fig12;

@@ -11,12 +11,10 @@
 use crate::cache::StatsCache;
 use crate::{area_norm_speedup, benchmark_networks, table, SEED};
 use baselines::prelude::*;
-use hwmodel::ComponentLib;
 use qnn::quant::BitWidth;
 use qnn::workload::PrecisionPolicy;
 use rayon::prelude::*;
 use ristretto_sim::analytic::RistrettoSim;
-use ristretto_sim::area::AreaBreakdown;
 use ristretto_sim::config::RistrettoConfig;
 use serde::{Deserialize, Serialize};
 
@@ -39,22 +37,17 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let policy = PrecisionPolicy::Uniform(BitWidth::W4);
     let nets: Vec<_> = benchmark_networks(quick).to_vec();
 
-    let r_cfg = RistrettoConfig::half_width();
-    let r_sim = RistrettoSim::new(r_cfg);
-    let r_area = AreaBreakdown::from_config(&r_cfg, &ComponentLib::n28()).total();
+    let r_sim = RistrettoSim::new(RistrettoConfig::half_width());
 
     // Prefill the shared workloads once, then evaluate the seven machines
     // in parallel (each sums over the networks sequentially). The machines
-    // are heterogeneous types, so they fan out as boxed closures; collect
-    // preserves the fixed accelerator order.
+    // are heterogeneous types, unified behind the workspace-wide `Backend`
+    // trait; collect preserves the fixed accelerator order.
     cache.prefill(
         &nets.iter().map(|&n| (n, policy, 2)).collect::<Vec<_>>(),
         SEED,
     );
     let cache = &*cache;
-    let total = |f: &(dyn Fn(&qnn::workload::NetworkStats) -> u64 + Sync)| -> u64 {
-        nets.iter().map(|&n| f(cache.peek(n, policy, 2))).sum()
-    };
 
     let sparten = SparTen::paper_default();
     let mp = SparTenMp::paper_default();
@@ -62,47 +55,16 @@ pub fn run(quick: bool, cache: &mut StatsCache) -> Vec<Row> {
     let ls = LaconicSnap::paper_default();
     let scnn = Scnn::paper_default();
     let snap = Snap::paper_default();
-    type CycleFn<'a> = Box<dyn Fn(&qnn::workload::NetworkStats) -> u64 + Sync + 'a>;
-    let machines: Vec<(&str, CycleFn, f64)> = vec![
-        (
-            "SparTen",
-            Box::new(|s| sparten.simulate_network(s).total_cycles()),
-            sparten.area_mm2(),
-        ),
-        (
-            "SparTen-mp",
-            Box::new(|s| mp.simulate_network(s).total_cycles()),
-            mp.area_mm2(),
-        ),
-        (
-            "Laconic",
-            Box::new(|s| lac.simulate_network(s).total_cycles()),
-            lac.area_mm2(),
-        ),
-        (
-            "Laconic+SNAP",
-            Box::new(|s| ls.simulate_network(s).total_cycles()),
-            ls.area_mm2(),
-        ),
-        (
-            "SCNN",
-            Box::new(|s| scnn.simulate_network(s).total_cycles()),
-            scnn.area_mm2(),
-        ),
-        (
-            "SNAP",
-            Box::new(|s| snap.simulate_network(s).total_cycles()),
-            snap.area_mm2(),
-        ),
-        (
-            "Ristretto",
-            Box::new(|s| r_sim.simulate_network(s).total_cycles()),
-            r_area,
-        ),
-    ];
+    let machines: Vec<&dyn Backend> = vec![&sparten, &mp, &lac, &ls, &scnn, &snap, &r_sim];
     let rows: Vec<(String, u64, f64)> = machines
         .par_iter()
-        .map(|(name, f, area)| (name.to_string(), total(f.as_ref()), *area))
+        .map(|m| {
+            let cycles = nets
+                .iter()
+                .map(|&n| m.simulate_network(cache.peek(n, policy, 2)).total_cycles())
+                .sum();
+            (m.name().to_string(), cycles, m.area_mm2())
+        })
         .collect();
 
     let (base_cycles, base_area) = (rows[0].1, rows[0].2);

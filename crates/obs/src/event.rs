@@ -185,6 +185,20 @@ events! {
      "Buffer accesses priced by any simulator's energy counter."),
     (HwmodelDramRequests, "hwmodel.dram_requests", Sum, "requests", "Table VI",
      "DRAM traffic batches priced by any simulator's energy counter."),
+
+    // Compile-once/run-many engine (static weight side vs per-input work).
+    (EngineCompileNetworks, "engine.compile.networks", Sum, "networks", "§III/Fig 5",
+     "Networks compiled into static per-layer artifacts."),
+    (EngineCompileLayers, "engine.compile.layers", Sum, "layers", "§III/Fig 5",
+     "Layers whose weight side was flattened, compressed and shuffled."),
+    (EngineCompileWeightAtoms, "engine.compile.weight_atoms", Sum, "atoms", "§III/Fig 5",
+     "Static weight atoms produced by the compile phase."),
+    (EngineSessions, "engine.run.sessions", Sum, "sessions", "§III/Fig 5",
+     "Inference sessions opened against a compiled network."),
+    (EngineRunLayers, "engine.run.layers", Sum, "layers", "§III/Fig 5",
+     "Per-input layer executions served from compiled artifacts."),
+    (EngineRunActAtoms, "engine.run.act_atoms", Sum, "atoms", "§III/Fig 5",
+     "Activation atoms streamed during session runs."),
 }
 
 #[cfg(test)]

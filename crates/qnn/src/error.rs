@@ -41,6 +41,12 @@ pub enum QnnError {
         /// Number of bits available.
         bits: u8,
     },
+    /// A layer is too large to materialize as dense tensors (use the
+    /// statistical [`crate::workload::LayerStats`] path instead).
+    LayerTooLarge {
+        /// Total elements (weights + activations) the layer would need.
+        elements: usize,
+    },
 }
 
 impl fmt::Display for QnnError {
@@ -71,6 +77,9 @@ impl fmt::Display for QnnError {
             }
             QnnError::ValueOutOfRange { value, bits } => {
                 write!(f, "value {value} does not fit in {bits} bits")
+            }
+            QnnError::LayerTooLarge { elements } => {
+                write!(f, "layer too large to materialize ({elements} elements)")
             }
         }
     }

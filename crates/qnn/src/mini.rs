@@ -41,7 +41,14 @@ impl MiniNetwork {
     /// # Panics
     /// Never panics — the built-in tables are valid by construction.
     pub fn new(id: NetworkId) -> Self {
-        build(id).expect("builtin mini tables are valid")
+        Self::try_new(id).expect("builtin mini tables are valid")
+    }
+
+    /// Fallible variant of [`MiniNetwork::new`]; the built-in tables never
+    /// actually fail, but callers threading typed errors can use this to
+    /// avoid the panic path entirely.
+    pub fn try_new(id: NetworkId) -> Result<Self, QnnError> {
+        build(id)
     }
 
     /// Checks that consecutive stages' shapes chain (conv + pool output of

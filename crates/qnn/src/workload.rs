@@ -18,6 +18,7 @@
 //! [`LayerStats`], which samples per input channel and scales, so simulating
 //! ResNet-50 never allocates a 100M-element tensor.
 
+use crate::error::QnnError;
 use crate::layers::ConvLayer;
 use crate::models::{Network, NetworkId};
 use crate::prune::magnitude_prune;
@@ -671,6 +672,7 @@ impl SyntheticLayer {
     ///
     /// # Panics
     /// Panics if the layer would require more than 64M elements — use
+    /// [`SyntheticLayer::try_generate`] for a fallible variant and
     /// [`LayerStats`] for large layers.
     pub fn generate(
         layer: &ConvLayer,
@@ -678,28 +680,37 @@ impl SyntheticLayer {
         ap: &ActivationProfile,
         gen: &mut WorkloadGen,
     ) -> Self {
+        Self::try_generate(layer, wp, ap, gen).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SyntheticLayer::generate`].
+    ///
+    /// # Errors
+    /// Returns [`QnnError::LayerTooLarge`] beyond 64M elements, and
+    /// propagates tensor-construction errors.
+    pub fn try_generate(
+        layer: &ConvLayer,
+        wp: &WeightProfile,
+        ap: &ActivationProfile,
+        gen: &mut WorkloadGen,
+    ) -> Result<Self, QnnError> {
         let elems = layer.weight_count() + layer.activation_count();
-        assert!(
-            elems <= 64 << 20,
-            "layer too large to materialize ({elems} elements)"
-        );
-        let fmap = gen
-            .activations(layer.in_channels, layer.in_h, layer.in_w, ap)
-            .expect("layer geometry validated");
-        let kernels = gen
-            .weights(
-                layer.out_channels,
-                layer.in_channels,
-                layer.kernel,
-                layer.kernel,
-                wp,
-            )
-            .expect("layer geometry validated");
-        Self {
+        if elems > 64 << 20 {
+            return Err(QnnError::LayerTooLarge { elements: elems });
+        }
+        let fmap = gen.activations(layer.in_channels, layer.in_h, layer.in_w, ap)?;
+        let kernels = gen.weights(
+            layer.out_channels,
+            layer.in_channels,
+            layer.kernel,
+            layer.kernel,
+            wp,
+        )?;
+        Ok(Self {
             layer: layer.clone(),
             fmap,
             kernels,
-        }
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! simulator by the integration tests.
 
 use crate::balance::{balance, BalanceStrategy, ChannelWorkload};
-use crate::config::RistrettoConfig;
+use crate::config::{ConfigError, RistrettoConfig};
 use crate::energy::{RistrettoEnergyModel, COO_META_BITS};
 use crate::report::{LayerReport, NetworkReport};
 use hwmodel::{ComponentLib, EnergyCounter, TechNode};
@@ -25,11 +25,20 @@ impl RistrettoSim {
     /// Builds a simulator with the default 28nm component library.
     ///
     /// # Panics
-    /// Panics if the configuration is internally inconsistent.
+    /// Panics if the configuration is internally inconsistent; use
+    /// [`RistrettoSim::try_new`] for a fallible variant.
     pub fn new(cfg: RistrettoConfig) -> Self {
-        cfg.validate().expect("valid Ristretto configuration");
+        Self::try_new(cfg).expect("valid Ristretto configuration")
+    }
+
+    /// Fallible variant of [`RistrettoSim::new`].
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] describing the inconsistency.
+    pub fn try_new(cfg: RistrettoConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let energy = RistrettoEnergyModel::new(&cfg, &ComponentLib::n28(), TechNode::N28);
-        Self { cfg, energy }
+        Ok(Self { cfg, energy })
     }
 
     /// The configuration in use.

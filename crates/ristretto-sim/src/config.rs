@@ -2,6 +2,49 @@
 
 use atomstream::atom::AtomBits;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A structural inconsistency in a [`RistrettoConfig`].
+///
+/// Produced by [`RistrettoConfig::validate`] and surfaced by every fallible
+/// simulator constructor (`try_new`) in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The tile count (`M`) is zero.
+    ZeroTiles,
+    /// The per-tile multiplier count (`N`) is zero.
+    ZeroMultipliers,
+    /// A feature-map tile extent is zero.
+    ZeroTileExtent,
+    /// The accumulator width lies outside the supported 16..=48 range.
+    AccumulatorWidth(u8),
+    /// An atom granularity outside the Fig 19 sweep (1/2/3 bits).
+    UnsupportedGranularity(u8),
+    /// A multi-core configuration with zero cores.
+    ZeroCores,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTiles => write!(f, "tile count must be non-zero"),
+            ConfigError::ZeroMultipliers => write!(f, "multiplier count must be non-zero"),
+            ConfigError::ZeroTileExtent => {
+                write!(f, "feature-map tile extents must be non-zero")
+            }
+            ConfigError::AccumulatorWidth(bits) => {
+                write!(f, "accumulator width {bits} outside 16..=48")
+            }
+            ConfigError::UnsupportedGranularity(bits) => {
+                write!(f, "Fig 19 evaluates 1/2/3-bit atoms, not {bits}")
+            }
+            ConfigError::ZeroCores => write!(f, "need at least one core"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Architecture parameters of a single-core Ristretto.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,19 +125,28 @@ impl RistrettoConfig {
     /// 1/2/3-bit atoms via 64/16/7 multipliers per tile.
     ///
     /// # Panics
-    /// Panics for granularities other than 1, 2 or 3 bits.
+    /// Panics for granularities other than 1, 2 or 3 bits; use
+    /// [`RistrettoConfig::try_granularity`] for a fallible variant.
     pub fn granularity(bits: u8) -> Self {
+        match Self::try_granularity(bits) {
+            Ok(cfg) => cfg,
+            Err(_) => panic!("Fig 19 evaluates 1/2/3-bit atoms, not {bits}"),
+        }
+    }
+
+    /// Fallible variant of [`RistrettoConfig::granularity`].
+    pub fn try_granularity(bits: u8) -> Result<Self, ConfigError> {
         let (atom_bits, multipliers) = match bits {
             1 => (AtomBits::B1, 64),
             2 => (AtomBits::B2, 16),
             3 => (AtomBits::B3, 7),
-            other => panic!("Fig 19 evaluates 1/2/3-bit atoms, not {other}"),
+            other => return Err(ConfigError::UnsupportedGranularity(other)),
         };
-        Self {
+        Ok(Self {
             atom_bits,
             multipliers,
             ..Self::paper_default()
-        }
+        })
     }
 
     /// Total atom multipliers in the core.
@@ -130,22 +182,19 @@ impl RistrettoConfig {
     /// Validates internal consistency.
     ///
     /// # Panics
-    /// Never panics; returns an explanatory string on inconsistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Never panics; returns a typed [`ConfigError`] on inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.tiles == 0 {
-            return Err("tile count must be non-zero".into());
+            return Err(ConfigError::ZeroTiles);
         }
         if self.multipliers == 0 {
-            return Err("multiplier count must be non-zero".into());
+            return Err(ConfigError::ZeroMultipliers);
         }
         if self.tile_h == 0 || self.tile_w == 0 {
-            return Err("feature-map tile extents must be non-zero".into());
+            return Err(ConfigError::ZeroTileExtent);
         }
         if self.acc_bits < 16 || self.acc_bits > 48 {
-            return Err(format!(
-                "accumulator width {} outside 16..=48",
-                self.acc_bits
-            ));
+            return Err(ConfigError::AccumulatorWidth(self.acc_bits));
         }
         Ok(())
     }
@@ -189,6 +238,31 @@ mod tests {
     fn non_sparse_flag() {
         let c = RistrettoConfig::paper_default().non_sparse();
         assert!(!c.sparse);
+    }
+
+    #[test]
+    fn validation_yields_typed_errors() {
+        assert_eq!(
+            RistrettoConfig::paper_default().with_tiles(0).validate(),
+            Err(ConfigError::ZeroTiles)
+        );
+        assert_eq!(
+            RistrettoConfig::paper_default()
+                .with_multipliers(0)
+                .validate(),
+            Err(ConfigError::ZeroMultipliers)
+        );
+        let mut wide = RistrettoConfig::paper_default();
+        wide.acc_bits = 64;
+        assert_eq!(wide.validate(), Err(ConfigError::AccumulatorWidth(64)));
+        assert_eq!(
+            RistrettoConfig::try_granularity(4).unwrap_err(),
+            ConfigError::UnsupportedGranularity(4)
+        );
+        assert_eq!(
+            ConfigError::UnsupportedGranularity(4).to_string(),
+            "Fig 19 evaluates 1/2/3-bit atoms, not 4"
+        );
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! drops.
 
 use crate::balance::{balance, ChannelWorkload};
-use crate::config::RistrettoConfig;
+use crate::config::{ConfigError, RistrettoConfig};
 use crate::tile::{TileReport, TileSim};
-use atomstream::compress::{compress_activations, compress_weights};
+use atomstream::compress::compress_activations;
+use atomstream::conv_csc::WeightStreamSet;
 use atomstream::error::AtomError;
-use atomstream::flatten::{flatten_kernel_channel, flatten_tile};
-use atomstream::stream::{ActivationStream, WeightStream};
+use atomstream::flatten::flatten_tile;
+use atomstream::stream::ActivationStream;
+use qnn::error::QnnError;
 use qnn::tensor::{Tensor3, Tensor4};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -65,37 +67,42 @@ pub struct CoreSim {
 }
 
 impl CoreSim {
-    /// Builds a core simulator.
+    /// Builds a core simulator, rejecting inconsistent configurations.
     ///
-    /// # Panics
-    /// Panics on an invalid configuration.
-    pub fn new(cfg: RistrettoConfig) -> Self {
-        cfg.validate().expect("valid Ristretto configuration");
-        Self { cfg }
+    /// ```
+    /// use ristretto_sim::config::{ConfigError, RistrettoConfig};
+    /// use ristretto_sim::core::CoreSim;
+    ///
+    /// assert!(CoreSim::try_new(RistrettoConfig::paper_default()).is_ok());
+    /// assert_eq!(
+    ///     CoreSim::try_new(RistrettoConfig::paper_default().with_tiles(0)).unwrap_err(),
+    ///     ConfigError::ZeroTiles
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] describing the inconsistency.
+    pub fn try_new(cfg: RistrettoConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
     }
 
-    /// Builds the per-channel streams for a materialized layer: the static
-    /// weight stream (across all kernels) and the activation streams of
-    /// each feature-map tile, per input channel.
+    /// Builds the per-tile activation streams of every input channel (the
+    /// Atomizer's per-input work).
     ///
     /// # Errors
     /// Propagates atomization errors.
-    #[allow(clippy::type_complexity)]
-    fn channel_streams(
+    fn activation_streams(
         &self,
         fmap: &Tensor3,
-        kernels: &Tensor4,
         a_bits: u8,
-        w_bits: u8,
-    ) -> Result<Vec<(WeightStream, Vec<ActivationStream>)>, AtomError> {
+    ) -> Result<Vec<Vec<ActivationStream>>, AtomError> {
         let (c, h, w) = fmap.shape();
         // Channels are independent; build them in parallel, collected back in
         // channel order so every downstream consumer sees the serial layout.
         (0..c)
             .into_par_iter()
             .map(|ci| {
-                let wf = flatten_kernel_channel(kernels, ci)?;
-                let ws = compress_weights(&wf, w_bits, self.cfg.atom_bits)?;
                 let mut tiles = Vec::new();
                 for y0 in (0..h).step_by(self.cfg.tile_h) {
                     for x0 in (0..w).step_by(self.cfg.tile_w) {
@@ -106,12 +113,17 @@ impl CoreSim {
                         tiles.push(compress_activations(&af, a_bits, self.cfg.atom_bits)?);
                     }
                 }
-                Ok((ws, tiles))
+                Ok(tiles)
             })
             .collect()
     }
 
     /// Runs one layer cycle-level across all tiles.
+    ///
+    /// Compiles the static weight side inline; equivalent to
+    /// [`WeightStreamSet::compile`] followed by
+    /// [`CoreSim::run_layer_streams`], which amortizes that work across
+    /// inputs.
     ///
     /// # Errors
     /// Propagates atomization errors from stream construction.
@@ -122,17 +134,56 @@ impl CoreSim {
         a_bits: u8,
         w_bits: u8,
     ) -> Result<CoreReport, AtomError> {
+        let weights = WeightStreamSet::compile(
+            kernels,
+            qnn::quant::BitWidth::new(w_bits)?,
+            self.cfg.atom_bits,
+        )?;
+        self.run_layer_streams(&weights, fmap, a_bits)
+    }
+
+    /// Runs one layer cycle-level against precompiled weight streams (the
+    /// run phase of the compile/run split).
+    ///
+    /// Balancing happens here, not at compile time: the §IV-E balancer
+    /// weighs *measured* per-input activation atom counts against the
+    /// static weight atom counts, so groups legitimately differ per input.
+    ///
+    /// # Errors
+    /// Propagates atomization errors, a channel-count mismatch between the
+    /// feature map and the compiled streams, and a granularity mismatch
+    /// against the core configuration.
+    pub fn run_layer_streams(
+        &self,
+        weights: &WeightStreamSet,
+        fmap: &Tensor3,
+        a_bits: u8,
+    ) -> Result<CoreReport, AtomError> {
         let _span = obs::span("core.run_layer");
-        let streams = self.channel_streams(fmap, kernels, a_bits, w_bits)?;
+        let (c, _, _) = fmap.shape();
+        if c != weights.in_channels() {
+            return Err(QnnError::ChannelMismatch {
+                fmap: c,
+                kernel: weights.in_channels(),
+            }
+            .into());
+        }
+        if weights.atom_bits() != self.cfg.atom_bits {
+            return Err(AtomError::GranularityMismatch {
+                compiled: weights.atom_bits().bits(),
+                requested: self.cfg.atom_bits.bits(),
+            });
+        }
+        let act_streams = self.activation_streams(fmap, a_bits)?;
         // Balance on the measured per-channel statistics, as the hardware
         // would (§IV-E).
-        let workloads: Vec<ChannelWorkload> = streams
+        let workloads: Vec<ChannelWorkload> = act_streams
             .iter()
             .enumerate()
-            .map(|(i, (ws, tiles))| ChannelWorkload {
+            .map(|(i, tiles)| ChannelWorkload {
                 channel: i,
                 act_atoms: tiles.iter().map(|t| t.len() as u64).sum(),
-                weight_atoms: ws.len() as u64,
+                weight_atoms: weights.atoms(i),
             })
             .collect();
         let assignment = balance(
@@ -152,8 +203,8 @@ impl CoreSim {
             .map(|group| {
                 let mut agg = TileReport::default();
                 for &ci in group {
-                    let (ws, act_tiles) = &streams[ci];
-                    for acts in act_tiles {
+                    let ws = weights.stream(ci);
+                    for acts in &act_streams[ci] {
                         let r = tile_sim.run(ws, acts);
                         agg.cycles += r.cycles;
                         agg.stall_cycles += r.stall_cycles;
@@ -173,6 +224,11 @@ impl CoreSim {
             tiles,
             groups: assignment.groups,
         })
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &RistrettoConfig {
+        &self.cfg
     }
 }
 
@@ -208,7 +264,7 @@ mod tests {
     #[test]
     fn core_counters_match_functional_csc() {
         let s = materialized(5);
-        let core = CoreSim::new(small_cfg(BalanceStrategy::WeightActivation));
+        let core = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation)).unwrap();
         let report = core.run_layer(&s.fmap, &s.kernels, 8, 4).unwrap();
         let cfg = atomstream::conv_csc::CscConfig {
             multipliers: 8,
@@ -231,10 +287,12 @@ mod tests {
     #[test]
     fn balanced_core_beats_or_matches_cyclic() {
         let s = materialized(9);
-        let wa = CoreSim::new(small_cfg(BalanceStrategy::WeightActivation))
+        let wa = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation))
+            .unwrap()
             .run_layer(&s.fmap, &s.kernels, 8, 4)
             .unwrap();
-        let none = CoreSim::new(small_cfg(BalanceStrategy::None))
+        let none = CoreSim::try_new(small_cfg(BalanceStrategy::None))
+            .unwrap()
             .run_layer(&s.fmap, &s.kernels, 8, 4)
             .unwrap();
         assert!(
@@ -250,7 +308,7 @@ mod tests {
     #[test]
     fn groups_partition_all_channels() {
         let s = materialized(11);
-        let core = CoreSim::new(small_cfg(BalanceStrategy::WeightActivation));
+        let core = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation)).unwrap();
         let report = core.run_layer(&s.fmap, &s.kernels, 8, 4).unwrap();
         let mut all: Vec<usize> = report.groups.iter().flatten().copied().collect();
         all.sort_unstable();

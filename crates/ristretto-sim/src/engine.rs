@@ -1,0 +1,604 @@
+//! Compile-once/run-many inference engine.
+//!
+//! Ristretto's weight side is *static*: the CSC flow intersects a static
+//! weight atom stream with a sliding activation stream (§III, Fig 5), so
+//! everything derived from the trained network — flattened kernels,
+//! compressed + shuffled weight atom streams, per-channel weight atom
+//! statistics, the weight-only balancer grouping and the weight-buffer
+//! layout — can be produced once and shared. [`compile`] builds those
+//! artifacts into a [`CompiledNetwork`] held behind an [`Arc`];
+//! [`Session`]s then perform only per-input work (activation tiling and
+//! compression, stream intersection, PPU, pooling), amortizing the compile
+//! cost across a batch.
+
+use crate::config::{ConfigError, RistrettoConfig};
+use crate::core::{CoreReport, CoreSim};
+use crate::pipeline::{LayerTrace, PipelineLayer};
+use crate::ppu::{PostProcessor, PpuOutput};
+use crate::weightbuf::WeightBufferImage;
+use atomstream::conv_csc::{conv2d_csc_streams, CscConfig, WeightStreamSet};
+use atomstream::error::AtomError;
+use qnn::conv::ConvGeometry;
+use qnn::error::QnnError;
+use qnn::mini::MiniNetwork;
+use qnn::pool::{pool2d, PoolKind};
+use qnn::quant::BitWidth;
+use qnn::tensor::Tensor3;
+use qnn::workload::{WeightProfile, WorkloadGen};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the compile/run engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The architecture configuration is inconsistent.
+    Config(ConfigError),
+    /// Stream construction or geometry failed.
+    Atom(AtomError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "configuration error: {e}"),
+            EngineError::Atom(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::Atom(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<AtomError> for EngineError {
+    fn from(e: AtomError) -> Self {
+        EngineError::Atom(e)
+    }
+}
+
+impl From<QnnError> for EngineError {
+    fn from(e: QnnError) -> Self {
+        EngineError::Atom(AtomError::Qnn(e))
+    }
+}
+
+/// A trained network as the engine sees it: named layer plan plus the
+/// declared input shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Network name for reporting.
+    pub name: String,
+    /// Input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// The layer plan in execution order.
+    pub layers: Vec<PipelineLayer>,
+}
+
+impl NetworkModel {
+    /// Builds a model from an explicit layer plan.
+    pub fn new(
+        name: impl Into<String>,
+        input: (usize, usize, usize),
+        layers: Vec<PipelineLayer>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers,
+        }
+    }
+
+    /// Builds a model from a miniature benchmark network, materializing
+    /// 4-bit benchmark-sparsity weights with the given generator.
+    ///
+    /// # Errors
+    /// Propagates geometry errors from weight materialization.
+    pub fn from_mini(
+        mini: &MiniNetwork,
+        gen: &mut WorkloadGen,
+        wp: &WeightProfile,
+    ) -> Result<Self, QnnError> {
+        let layers = mini
+            .stages
+            .iter()
+            .map(|stage| {
+                let l = &stage.layer;
+                Ok(PipelineLayer {
+                    name: l.name.clone(),
+                    kernels: gen.weights(l.out_channels, l.in_channels, l.kernel, l.kernel, wp)?,
+                    geom: l.geometry(),
+                    w_bits: wp.bits,
+                    a_bits: BitWidth::W8,
+                    requant_shift: 5,
+                    out_bits: 8,
+                    pool: stage.pool,
+                })
+            })
+            .collect::<Result<_, QnnError>>()?;
+        Ok(Self {
+            name: mini.id.name().to_string(),
+            input: mini.input,
+            layers,
+        })
+    }
+}
+
+/// One layer's static artifacts: everything derivable from the trained
+/// weights alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledLayer {
+    name: String,
+    weights: WeightStreamSet,
+    geom: ConvGeometry,
+    a_bits: BitWidth,
+    requant_shift: u32,
+    out_bits: u8,
+    pool: Option<(PoolKind, usize, usize, usize)>,
+    weight_atoms_per_channel: Vec<u64>,
+    weight_buffer_bits: Option<usize>,
+    static_groups: Vec<Vec<usize>>,
+}
+
+impl CompiledLayer {
+    /// Compiles one pipeline layer's static side under a core
+    /// configuration.
+    fn compile(layer: &PipelineLayer, cfg: &RistrettoConfig) -> Result<Self, AtomError> {
+        let weights = WeightStreamSet::compile(&layer.kernels, layer.w_bits, cfg.atom_bits)?;
+        let weight_atoms_per_channel: Vec<u64> = (0..weights.in_channels())
+            .map(|c| weights.atoms(c))
+            .collect();
+        // SRAM layout of the compressed weights; `None` when the layer
+        // exceeds the weight buffer's header limits (it would stream from
+        // DRAM instead of residing on-chip).
+        let weight_buffer_bits =
+            WeightBufferImage::encode(&layer.kernels, layer.w_bits.bits(), cfg.atom_bits)
+                .ok()
+                .map(|img| img.storage_bits());
+        // The weight-side half of the §IV-E balancer is input-independent,
+        // so its grouping is a compile-time artifact. The joint w/a
+        // grouping still happens per input (it needs measured activation
+        // atom counts).
+        let workloads: Vec<crate::balance::ChannelWorkload> = weight_atoms_per_channel
+            .iter()
+            .enumerate()
+            .map(|(channel, &weight_atoms)| crate::balance::ChannelWorkload {
+                channel,
+                act_atoms: 1,
+                weight_atoms,
+            })
+            .collect();
+        let static_groups = crate::balance::balance(
+            &workloads,
+            cfg.tiles,
+            cfg.multipliers as u64,
+            crate::balance::BalanceStrategy::WeightOnly,
+        )
+        .groups;
+        Ok(Self {
+            name: layer.name.clone(),
+            weights,
+            geom: layer.geom,
+            a_bits: layer.a_bits,
+            requant_shift: layer.requant_shift,
+            out_bits: layer.out_bits,
+            pool: layer.pool,
+            weight_atoms_per_channel,
+            weight_buffer_bits,
+            static_groups,
+        })
+    }
+
+    /// Runs this layer's per-input work: activation compression, stream
+    /// intersection, PPU and optional pooling.
+    fn execute(&self, csc: &CscConfig, act: &Tensor3) -> Result<(Tensor3, LayerTrace), AtomError> {
+        let out = conv2d_csc_streams(act, &self.weights, self.geom, self.a_bits, csc)?;
+        let ppu = PostProcessor {
+            requant_shift: self.requant_shift,
+            out_bits: self.out_bits,
+            atom_bits: csc.atom_bits,
+            tile_h: csc.tile_h,
+            tile_w: csc.tile_w,
+        };
+        let PpuOutput {
+            activations,
+            values_per_channel,
+            atoms_per_channel,
+            ..
+        } = ppu.try_process(&out.output)?;
+        let next = match self.pool {
+            Some((kind, window, stride, padding)) => {
+                pool2d(&activations, kind, window, stride, padding)?
+            }
+            None => activations,
+        };
+        Ok((
+            next,
+            LayerTrace {
+                name: self.name.clone(),
+                stats: out.stats,
+                out_values_per_channel: values_per_channel,
+                out_atoms_per_channel: atoms_per_channel,
+            },
+        ))
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled static weight streams.
+    pub fn weights(&self) -> &WeightStreamSet {
+        &self.weights
+    }
+
+    /// Static weight atoms per input channel (the balancer's `S_i`).
+    pub fn weight_atoms_per_channel(&self) -> &[u64] {
+        &self.weight_atoms_per_channel
+    }
+
+    /// Total static weight atoms in the layer.
+    pub fn weight_atoms(&self) -> u64 {
+        self.weight_atoms_per_channel.iter().sum()
+    }
+
+    /// Compressed weight-buffer footprint in bits, or `None` when the
+    /// layer exceeds the on-chip buffer's addressing limits.
+    pub fn weight_buffer_bits(&self) -> Option<usize> {
+        self.weight_buffer_bits
+    }
+
+    /// The weight-only balancer grouping (the input-independent half of
+    /// §IV-E, precomputed at compile time).
+    pub fn static_groups(&self) -> &[Vec<usize>] {
+        &self.static_groups
+    }
+}
+
+/// A network compiled into per-layer static artifacts, shared by sessions
+/// behind an [`Arc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNetwork {
+    name: String,
+    input: (usize, usize, usize),
+    cfg: RistrettoConfig,
+    csc: CscConfig,
+    layers: Vec<CompiledLayer>,
+}
+
+impl CompiledNetwork {
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared input shape `(channels, height, width)`.
+    pub fn input(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// The architecture configuration the network was compiled for.
+    pub fn config(&self) -> &RistrettoConfig {
+        &self.cfg
+    }
+
+    /// The CSC configuration derived from the architecture.
+    pub fn csc_config(&self) -> &CscConfig {
+        &self.csc
+    }
+
+    /// Per-layer compiled artifacts, in execution order.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// Total static weight atoms across all layers.
+    pub fn weight_atoms(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_atoms()).sum()
+    }
+}
+
+/// Compiles a network's static artifacts once, for any number of sessions.
+///
+/// ```
+/// use qnn::mini::MiniNetwork;
+/// use qnn::models::NetworkId;
+/// use qnn::quant::BitWidth;
+/// use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+/// use ristretto_sim::config::RistrettoConfig;
+/// use ristretto_sim::engine::{compile, NetworkModel, Session};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mini = MiniNetwork::try_new(NetworkId::ResNet18)?;
+/// let mut gen = WorkloadGen::new(7);
+/// let wp = WeightProfile::benchmark(BitWidth::W4);
+/// let model = NetworkModel::from_mini(&mini, &mut gen, &wp)?;
+///
+/// // Compile once; the Arc'd artifacts are shared by every session.
+/// let compiled = compile(&model, &RistrettoConfig::paper_default())?;
+/// let session = Session::new(compiled.clone());
+///
+/// let (c, h, w) = compiled.input();
+/// let input = gen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))?;
+/// let run = session.run(&input)?;
+/// assert_eq!(run.traces.len(), compiled.layers().len());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns [`EngineError::Config`] for inconsistent architecture
+/// configurations and [`EngineError::Atom`] when weight streams cannot be
+/// built (non-square kernels, overwide values).
+pub fn compile(
+    model: &NetworkModel,
+    cfg: &RistrettoConfig,
+) -> Result<Arc<CompiledNetwork>, EngineError> {
+    let _span = obs::span("engine.compile");
+    cfg.validate()?;
+    let csc = CscConfig {
+        atom_bits: cfg.atom_bits,
+        multipliers: cfg.multipliers,
+        tile_h: cfg.tile_h,
+        tile_w: cfg.tile_w,
+    };
+    let layers = model
+        .layers
+        .iter()
+        .map(|l| CompiledLayer::compile(l, cfg))
+        .collect::<Result<Vec<_>, AtomError>>()?;
+    obs::record(obs::Event::EngineCompileNetworks, 1);
+    obs::record(obs::Event::EngineCompileLayers, layers.len() as u64);
+    obs::record(
+        obs::Event::EngineCompileWeightAtoms,
+        layers.iter().map(|l| l.weight_atoms()).sum(),
+    );
+    Ok(Arc::new(CompiledNetwork {
+        name: model.name.clone(),
+        input: model.input,
+        cfg: *cfg,
+        csc,
+        layers,
+    }))
+}
+
+/// Result of one functional inference through a [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRun {
+    /// Final activation tensor.
+    pub output: Tensor3,
+    /// Per-layer execution traces (byte-identical to the per-call
+    /// [`crate::pipeline::FunctionalPipeline::run`] path).
+    pub traces: Vec<LayerTrace>,
+}
+
+/// Result of one cycle-level inference through a [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCycleRun {
+    /// Functional result (used to advance activations between layers).
+    pub functional: SessionRun,
+    /// Per-layer cycle-level core reports (byte-identical to
+    /// [`CoreSim::run_layer`] on the same tensors).
+    pub core_reports: Vec<CoreReport>,
+}
+
+/// A per-client handle over a shared [`CompiledNetwork`]: only per-input
+/// work happens here.
+#[derive(Debug, Clone)]
+pub struct Session {
+    net: Arc<CompiledNetwork>,
+}
+
+impl Session {
+    /// Opens a session over compiled artifacts (cheap — the artifacts are
+    /// shared, not copied).
+    pub fn new(net: Arc<CompiledNetwork>) -> Self {
+        obs::record(obs::Event::EngineSessions, 1);
+        Self { net }
+    }
+
+    /// The compiled network this session serves.
+    pub fn network(&self) -> &CompiledNetwork {
+        &self.net
+    }
+
+    /// Runs one functional inference: activation compression,
+    /// intersection, PPU and pooling per layer, against the shared static
+    /// weight streams.
+    ///
+    /// ```
+    /// use qnn::mini::MiniNetwork;
+    /// use qnn::models::NetworkId;
+    /// use qnn::quant::BitWidth;
+    /// use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+    /// use ristretto_sim::config::RistrettoConfig;
+    /// use ristretto_sim::engine::{compile, NetworkModel, Session};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mini = MiniNetwork::try_new(NetworkId::Vgg16)?;
+    /// let mut gen = WorkloadGen::new(3);
+    /// let model =
+    ///     NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))?;
+    /// let compiled = compile(&model, &RistrettoConfig::paper_default())?;
+    /// let session = Session::new(compiled);
+    ///
+    /// // One compile, many inputs: per-image cost excludes weight work.
+    /// for seed in 0..3u64 {
+    ///     let mut igen = WorkloadGen::new(100 + seed);
+    ///     let (c, h, w) = session.network().input();
+    ///     let input = igen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))?;
+    ///     let run = session.run(&input)?;
+    ///     assert!(run.traces.iter().all(|t| t.stats.weight_atoms > 0));
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates activation-side atomization and geometry errors.
+    pub fn run(&self, input: &Tensor3) -> Result<SessionRun, AtomError> {
+        let _span = obs::span("engine.run");
+        let mut act = input.clone();
+        let mut traces = Vec::with_capacity(self.net.layers.len());
+        for layer in &self.net.layers {
+            let (next, trace) = layer.execute(&self.net.csc, &act)?;
+            obs::record(obs::Event::EngineRunLayers, 1);
+            obs::record(obs::Event::EngineRunActAtoms, trace.stats.act_atoms);
+            act = next;
+            traces.push(trace);
+        }
+        Ok(SessionRun {
+            output: act,
+            traces,
+        })
+    }
+
+    /// Runs one cycle-level inference: every layer additionally goes
+    /// through the multi-tile core simulator against the compiled weight
+    /// streams, with per-input w/a balancing (§IV-E).
+    ///
+    /// # Errors
+    /// Propagates atomization and geometry errors.
+    pub fn run_cycle_level(&self, input: &Tensor3) -> Result<SessionCycleRun, AtomError> {
+        let _span = obs::span("engine.run_cycle_level");
+        let core =
+            CoreSim::try_new(self.net.cfg).expect("configuration was validated at compile time");
+        let mut act = input.clone();
+        let mut traces = Vec::with_capacity(self.net.layers.len());
+        let mut core_reports = Vec::with_capacity(self.net.layers.len());
+        for layer in &self.net.layers {
+            core_reports.push(core.run_layer_streams(&layer.weights, &act, layer.a_bits.bits())?);
+            let (next, trace) = layer.execute(&self.net.csc, &act)?;
+            obs::record(obs::Event::EngineRunLayers, 1);
+            obs::record(obs::Event::EngineRunActAtoms, trace.stats.act_atoms);
+            act = next;
+            traces.push(trace);
+        }
+        Ok(SessionCycleRun {
+            functional: SessionRun {
+                output: act,
+                traces,
+            },
+            core_reports,
+        })
+    }
+}
+
+/// Crate-internal bridge for [`crate::pipeline::FunctionalPipeline`]: one
+/// layer compiled transiently and executed immediately (the pre-engine
+/// behavior, kept byte-identical).
+pub(crate) fn compile_and_execute_layer(
+    layer: &PipelineLayer,
+    csc: &CscConfig,
+    act: &Tensor3,
+) -> Result<(Tensor3, LayerTrace), AtomError> {
+    let weights = WeightStreamSet::compile(&layer.kernels, layer.w_bits, csc.atom_bits)?;
+    let compiled = CompiledLayer {
+        name: layer.name.clone(),
+        weights,
+        geom: layer.geom,
+        a_bits: layer.a_bits,
+        requant_shift: layer.requant_shift,
+        out_bits: layer.out_bits,
+        pool: layer.pool,
+        weight_atoms_per_channel: Vec::new(),
+        weight_buffer_bits: None,
+        static_groups: Vec::new(),
+    };
+    compiled.execute(csc, act)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FunctionalPipeline;
+    use qnn::models::NetworkId;
+    use qnn::workload::ActivationProfile;
+
+    fn model_and_input(seed: u64) -> (NetworkModel, Tensor3) {
+        let mini = MiniNetwork::try_new(NetworkId::GoogLeNet).unwrap();
+        let mut gen = WorkloadGen::new(seed);
+        let wp = WeightProfile::benchmark(BitWidth::W4);
+        let model = NetworkModel::from_mini(&mini, &mut gen, &wp).unwrap();
+        let (c, h, w) = model.input;
+        let input = gen
+            .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+            .unwrap();
+        (model, input)
+    }
+
+    #[test]
+    fn compile_produces_static_artifacts() {
+        let (model, _) = model_and_input(5);
+        let cfg = RistrettoConfig::paper_default();
+        let compiled = compile(&model, &cfg).unwrap();
+        assert_eq!(compiled.layers().len(), model.layers.len());
+        assert!(compiled.weight_atoms() > 0);
+        for (cl, pl) in compiled.layers().iter().zip(&model.layers) {
+            assert_eq!(cl.name(), pl.name);
+            assert_eq!(
+                cl.weight_atoms(),
+                cl.weights().total_atoms(),
+                "per-channel stats must sum to the stream total"
+            );
+            assert!(cl.weight_buffer_bits().unwrap() > 0);
+            let grouped: usize = cl.static_groups().iter().map(Vec::len).sum();
+            assert_eq!(grouped, cl.weights().in_channels());
+        }
+    }
+
+    #[test]
+    fn sessions_share_compiled_artifacts() {
+        let (model, input) = model_and_input(8);
+        let compiled = compile(&model, &RistrettoConfig::paper_default()).unwrap();
+        let a = Session::new(compiled.clone());
+        let b = Session::new(compiled.clone());
+        assert_eq!(Arc::strong_count(&compiled), 3);
+        let ra = a.run(&input).unwrap();
+        let rb = b.run(&input).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn session_matches_functional_pipeline() {
+        let (model, input) = model_and_input(13);
+        let cfg = RistrettoConfig::paper_default();
+        let compiled = compile(&model, &cfg).unwrap();
+        let run = Session::new(compiled).run(&input).unwrap();
+
+        let pipeline = FunctionalPipeline::new(
+            model.layers.clone(),
+            CscConfig {
+                atom_bits: cfg.atom_bits,
+                multipliers: cfg.multipliers,
+                tile_h: cfg.tile_h,
+                tile_w: cfg.tile_w,
+            },
+        );
+        let (out, traces) = pipeline.run(&input).unwrap();
+        assert_eq!(run.output, out);
+        assert_eq!(run.traces, traces);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let (model, _) = model_and_input(2);
+        let bad = RistrettoConfig::paper_default().with_tiles(0);
+        assert_eq!(
+            compile(&model, &bad).unwrap_err(),
+            EngineError::Config(ConfigError::ZeroTiles)
+        );
+    }
+}

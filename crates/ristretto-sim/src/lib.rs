@@ -8,6 +8,14 @@
 //! * [`analytic`] — the closed-form layer/network model built on the
 //!   paper's Eq 3–5, cross-validated against the cycle-level tile.
 //!
+//! The [`engine`] module splits those models into a compile-once/run-many
+//! workflow: [`engine::compile`] produces every *static* artifact (weight
+//! streams, per-channel statistics, buffer layout, the weight-only balancer
+//! grouping) once per network, and [`engine::Session`]s perform only the
+//! per-input work. [`backend`] plugs both Ristretto models into the
+//! workspace-wide [`baselines::report::Backend`] trait alongside the six
+//! baseline machines.
+//!
 //! Supporting modules: [`config`] (architecture parameters and the paper's
 //! experiment presets), [`area`] (Table VI assembly from the `hwmodel`
 //! component library), [`balance`] (the greedy w/a load balancer of §IV-E),
@@ -19,10 +27,12 @@
 pub mod analytic;
 pub mod area;
 pub mod atomizer;
+pub mod backend;
 pub mod balance;
 pub mod config;
 pub mod core;
 pub mod energy;
+pub mod engine;
 pub mod multicore;
 pub mod pipeline;
 pub mod ppu;
@@ -35,12 +45,17 @@ pub mod prelude {
     pub use crate::analytic::{simulate_layer, simulate_network, RistrettoSim};
     pub use crate::area::AreaBreakdown;
     pub use crate::atomizer::Atomizer;
+    pub use crate::backend::CycleRistretto;
     pub use crate::balance::{balance, BalanceStrategy, ChannelWorkload};
-    pub use crate::config::RistrettoConfig;
+    pub use crate::config::{ConfigError, RistrettoConfig};
     pub use crate::core::{CoreReport, CoreSim};
     pub use crate::energy::RistrettoEnergyModel;
+    pub use crate::engine::{
+        compile, CompiledLayer, CompiledNetwork, EngineError, NetworkModel, Session, SessionRun,
+    };
     pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
     pub use crate::ppu::{PostProcessor, PpuOutput};
     pub use crate::report::{LayerReport, NetworkReport};
     pub use crate::tile::{TileReport, TileSim};
+    pub use baselines::report::Backend;
 }

@@ -8,7 +8,7 @@
 //! the single-core simulator.
 
 use crate::analytic::RistrettoSim;
-use crate::config::RistrettoConfig;
+use crate::config::{ConfigError, RistrettoConfig};
 use crate::report::NetworkReport;
 use qnn::workload::NetworkStats;
 use serde::{Deserialize, Serialize};
@@ -53,14 +53,30 @@ impl Multicore {
     /// Builds an `cores`-core accelerator from a per-core configuration.
     ///
     /// # Panics
-    /// Panics if `cores == 0` or the configuration is invalid.
+    /// Panics if `cores == 0` or the configuration is invalid; use
+    /// [`Multicore::try_new`] for a fallible variant.
     pub fn new(cores: usize, mode: MulticoreMode, cfg: RistrettoConfig) -> Self {
-        assert!(cores > 0, "need at least one core");
-        Self {
+        Self::try_new(cores, mode, cfg).expect("valid multi-core configuration")
+    }
+
+    /// Fallible variant of [`Multicore::new`].
+    ///
+    /// # Errors
+    /// Returns [`ConfigError::ZeroCores`] when `cores == 0`, or the
+    /// per-core configuration's own [`ConfigError`].
+    pub fn try_new(
+        cores: usize,
+        mode: MulticoreMode,
+        cfg: RistrettoConfig,
+    ) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        Ok(Self {
             cores,
             mode,
-            sim: RistrettoSim::new(cfg),
-        }
+            sim: RistrettoSim::try_new(cfg)?,
+        })
     }
 
     /// Simulates one network.

@@ -7,8 +7,7 @@
 //! dense reference in the test suite; the collected per-layer traces carry
 //! exactly the statistics the hardware's balancer would see.
 
-use crate::ppu::{PostProcessor, PpuOutput};
-use atomstream::conv_csc::{conv2d_csc, CscConfig, CscStats};
+use atomstream::conv_csc::{CscConfig, CscStats};
 use atomstream::error::AtomError;
 use qnn::conv::ConvGeometry;
 use qnn::pool::{pool2d, PoolKind};
@@ -73,45 +72,20 @@ impl FunctionalPipeline {
     /// Runs inference, returning the final activation tensor and per-layer
     /// traces.
     ///
+    /// Each call compiles every layer's static weight stream transiently
+    /// and discards it afterwards; [`crate::engine::compile`] hoists that
+    /// work out of the loop and amortizes it across inputs — both paths
+    /// share one layer executor, so their results are identical.
+    ///
     /// # Errors
     /// Propagates CSC and geometry errors from any stage.
     pub fn run(&self, input: &Tensor3) -> Result<(Tensor3, Vec<LayerTrace>), AtomError> {
         let mut act = input.clone();
         let mut traces = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            let csc = conv2d_csc(
-                &act,
-                &layer.kernels,
-                layer.geom,
-                layer.a_bits,
-                layer.w_bits,
-                &self.cfg,
-            )?;
-            let ppu = PostProcessor {
-                requant_shift: layer.requant_shift,
-                out_bits: layer.out_bits,
-                atom_bits: self.cfg.atom_bits,
-                tile_h: self.cfg.tile_h,
-                tile_w: self.cfg.tile_w,
-            };
-            let PpuOutput {
-                activations,
-                values_per_channel,
-                atoms_per_channel,
-                ..
-            } = ppu.process(&csc.output);
-            act = match layer.pool {
-                Some((kind, window, stride, padding)) => {
-                    pool2d(&activations, kind, window, stride, padding)?
-                }
-                None => activations,
-            };
-            traces.push(LayerTrace {
-                name: layer.name.clone(),
-                stats: csc.stats,
-                out_values_per_channel: values_per_channel,
-                out_atoms_per_channel: atoms_per_channel,
-            });
+            let (next, trace) = crate::engine::compile_and_execute_layer(layer, &self.cfg, &act)?;
+            act = next;
+            traces.push(trace);
         }
         Ok((act, traces))
     }

@@ -70,8 +70,17 @@ impl PostProcessor {
     /// Processes one layer's accumulated outputs.
     ///
     /// # Panics
-    /// Panics only if internal compression invariants are violated.
+    /// Panics when the configured tile extents are zero; use
+    /// [`PostProcessor::try_process`] for a fallible variant.
     pub fn process(&self, acc: &AccTensor3) -> PpuOutput {
+        self.try_process(acc).expect("non-zero tile extents")
+    }
+
+    /// Fallible variant of [`PostProcessor::process`].
+    ///
+    /// # Errors
+    /// Returns an error when the configured COO-2D tile extents are zero.
+    pub fn try_process(&self, acc: &AccTensor3) -> Result<PpuOutput, qnn::error::QnnError> {
         let activations = acc.requantize_relu(self.requant_shift, self.out_bits);
         let (c, _, _) = activations.shape();
         let mut values_per_channel = vec![0u64; c];
@@ -84,14 +93,13 @@ impl PostProcessor {
                 }
             }
         }
-        let compressed = CooFeatureMap::from_tensor(&activations, self.tile_h, self.tile_w)
-            .expect("non-zero tile extents");
-        PpuOutput {
+        let compressed = CooFeatureMap::from_tensor(&activations, self.tile_h, self.tile_w)?;
+        Ok(PpuOutput {
             activations,
             compressed,
             values_per_channel,
             atoms_per_channel,
-        }
+        })
     }
 }
 

@@ -20,7 +20,7 @@
 //! target distinct banks, which is why the shuffled order shows (near-)zero
 //! stalls while a naive order backs up — the test suite demonstrates both.
 
-use crate::config::RistrettoConfig;
+use crate::config::{ConfigError, RistrettoConfig};
 use atomstream::cycles::ideal_steps;
 use atomstream::stream::{ActivationStream, WeightStream};
 use serde::{Deserialize, Serialize};
@@ -62,14 +62,23 @@ impl TileSim {
     /// Builds a tile simulator from an architecture configuration.
     ///
     /// # Panics
-    /// Panics on an invalid configuration.
+    /// Panics on an invalid configuration; use [`TileSim::try_new`] for a
+    /// fallible variant.
     pub fn new(cfg: &RistrettoConfig) -> Self {
-        cfg.validate().expect("valid Ristretto configuration");
-        Self {
+        Self::try_new(cfg).expect("valid Ristretto configuration")
+    }
+
+    /// Fallible variant of [`TileSim::new`].
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] describing the inconsistency.
+    pub fn try_new(cfg: &RistrettoConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             multipliers: cfg.multipliers,
             fifo_depth: cfg.fifo_depth,
             banks: cfg.multipliers, // §IV-C4: bank count = static stream length
-        }
+        })
     }
 
     /// Runs one channel's static weight stream against one tile's

@@ -1,19 +1,22 @@
 //! Run miniature versions of all six benchmark networks end-to-end through
-//! the condensed streaming computation — functional inference with the PPU
-//! between layers — and report the effectual work each one did.
+//! the compile-once/run-many engine — each network is compiled to its
+//! static weight artifacts once, then a session performs the functional
+//! inference — and report the effectual work each one did.
 //!
 //! ```text
 //! cargo run --release --example mini_networks
 //! ```
 
-use ristretto::atomstream::conv_csc::CscConfig;
 use ristretto::qnn::mini::MiniNetwork;
 use ristretto::qnn::models::NetworkId;
 use ristretto::qnn::quant::BitWidth;
 use ristretto::qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
-use ristretto::ristretto_sim::pipeline::{FunctionalPipeline, PipelineLayer};
+use ristretto::ristretto_sim::config::RistrettoConfig;
+use ristretto::ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto::ristretto_sim::pipeline::FunctionalPipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = RistrettoConfig::paper_default();
     println!(
         "{:<14} {:>7} {:>12} {:>12} {:>12} {:>10}",
         "network", "stages", "atom mults", "steps", "dense atoms", "saved"
@@ -24,41 +27,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (c, h, w) = mini.input;
         let input = gen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))?;
         let wp = WeightProfile::benchmark(BitWidth::W4);
-        let layers: Vec<PipelineLayer> = mini
-            .stages
-            .iter()
-            .map(|stage| {
-                let l = &stage.layer;
-                Ok(PipelineLayer {
-                    name: l.name.clone(),
-                    kernels: gen.weights(l.out_channels, l.in_channels, l.kernel, l.kernel, &wp)?,
-                    geom: l.geometry(),
-                    w_bits: BitWidth::W4,
-                    a_bits: BitWidth::W8,
-                    requant_shift: 5,
-                    out_bits: 8,
-                    pool: stage.pool,
-                })
-            })
-            .collect::<Result<_, qnn::error::QnnError>>()?;
-        let pipeline = FunctionalPipeline::new(
-            layers,
-            CscConfig {
-                tile_h: 4,
-                tile_w: 4,
-                ..CscConfig::default()
-            },
-        );
+        let model = NetworkModel::from_mini(&mini, &mut gen, &wp)?;
 
-        let (out, traces) = pipeline.run(&input)?;
+        // All static weight work happens here, once per network …
+        let compiled = compile(&model, &cfg)?;
+        // … and the session only pays the activation-side cost per image.
+        let session = Session::new(compiled.clone());
+        let run = session.run(&input)?;
+
+        let reference = FunctionalPipeline::new(model.layers.clone(), *compiled.csc_config());
         assert_eq!(
-            out,
-            pipeline.run_dense_reference(&input)?,
+            run.output,
+            reference.run_dense_reference(&input)?,
             "CSC must match dense"
         );
 
-        let mults: u64 = traces.iter().map(|t| t.stats.intersect.atom_mults).sum();
-        let steps: u64 = traces.iter().map(|t| t.stats.intersect.steps).sum();
+        let mults: u64 = run
+            .traces
+            .iter()
+            .map(|t| t.stats.intersect.atom_mults)
+            .sum();
+        let steps: u64 = run.traces.iter().map(|t| t.stats.intersect.steps).sum();
         // Dense equivalent: every (value, value) pair at full atom counts.
         let dense: u64 = mini
             .stages
@@ -74,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<14} {:>7} {:>12} {:>12} {:>12} {:>9.1}x",
             id.name(),
-            traces.len(),
+            run.traces.len(),
             mults,
             steps,
             dense,

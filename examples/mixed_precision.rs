@@ -14,7 +14,7 @@ use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
 use ristretto::ristretto_sim::analytic::RistrettoSim;
 use ristretto::ristretto_sim::config::RistrettoConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = NetworkStats::generate(NetworkId::GoogLeNet, PrecisionPolicy::Mixed24, 2, 7);
 
     // Show the per-layer precision assignment EdMIPS would produce.
@@ -34,26 +34,30 @@ fn main() {
     }
     println!("... ({} layers total)\n", net.layers.len());
 
-    let sim = RistrettoSim::new(RistrettoConfig::paper_default());
-    let r = sim.simulate_network(&net);
-    let bf = BitFusion::paper_default().simulate_network(&net);
-    let sp = SparTen::paper_default().simulate_network(&net);
+    // One trait, one sweep: the analytic Ristretto model and the
+    // baselines all answer through [`Backend`].
+    let sim = RistrettoSim::try_new(RistrettoConfig::paper_default())?;
+    let bitfusion = BitFusion::paper_default();
+    let sparten = SparTen::paper_default();
+    let machines: Vec<&dyn Backend> = vec![&sim, &bitfusion, &sparten];
+    let reports: Vec<BaselineNetworkReport> =
+        machines.iter().map(|m| m.simulate_network(&net)).collect();
+    let r = &reports[0];
 
     println!("mixed 2/4-bit GoogLeNet:");
-    println!("  Ristretto:  {:>12} cycles", r.total_cycles());
-    println!(
-        "  Bit Fusion: {:>12} cycles ({:.2}x slower)",
-        bf.total_cycles(),
-        bf.total_cycles() as f64 / r.total_cycles() as f64
-    );
-    println!(
-        "  SparTen:    {:>12} cycles ({:.2}x slower)",
-        sp.total_cycles(),
-        sp.total_cycles() as f64 / r.total_cycles() as f64
-    );
+    println!("  {:<11} {:>12} cycles", "Ristretto:", r.total_cycles());
+    for rep in &reports[1..] {
+        println!(
+            "  {:<11} {:>12} cycles ({:.2}x slower)",
+            format!("{}:", rep.accelerator),
+            rep.total_cycles(),
+            rep.total_cycles() as f64 / r.total_cycles() as f64
+        );
+    }
     println!(
         "  energy: {:.1}% of Bit Fusion, {:.1}% of SparTen",
-        r.total_energy().relative_to(&bf.total_energy()) * 100.0,
-        r.total_energy().relative_to(&sp.total_energy()) * 100.0,
+        r.total_energy().relative_to(&reports[1].total_energy()) * 100.0,
+        r.total_energy().relative_to(&reports[2].total_energy()) * 100.0,
     );
+    Ok(())
 }

@@ -1,5 +1,7 @@
-//! Simulate 4-bit ResNet-18 inference on Ristretto and all four baseline
-//! accelerators, printing a per-layer cycle table and network totals.
+//! Simulate 4-bit ResNet-18 inference on Ristretto and four baseline
+//! accelerators, sweeping every machine through the workspace-wide
+//! [`Backend`] trait and printing a per-layer cycle table plus network
+//! totals.
 //!
 //! ```text
 //! cargo run --release --example resnet_inference
@@ -12,7 +14,7 @@ use ristretto::qnn::workload::{NetworkStats, PrecisionPolicy};
 use ristretto::ristretto_sim::analytic::RistrettoSim;
 use ristretto::ristretto_sim::config::RistrettoConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = NetworkStats::generate(
         NetworkId::ResNet18,
         PrecisionPolicy::Uniform(BitWidth::W4),
@@ -20,58 +22,63 @@ fn main() {
         2022,
     );
 
-    let sim = RistrettoSim::new(RistrettoConfig::half_width());
-    let ristretto = sim.simulate_network(&net);
-    let bitfusion = BitFusion::paper_default().simulate_network(&net);
-    let laconic = Laconic::paper_default().simulate_network(&net);
-    let sparten = SparTen::paper_default().simulate_network(&net);
-    let sparten_mp = SparTenMp::paper_default().simulate_network(&net);
+    // Every machine — the analytic Ristretto model and the baselines —
+    // sits behind the same trait, so the sweep is one loop over trait
+    // objects instead of one hand-written call per accelerator.
+    let sim = RistrettoSim::try_new(RistrettoConfig::half_width())?;
+    let bitfusion = BitFusion::paper_default();
+    let laconic = Laconic::paper_default();
+    let sparten = SparTen::paper_default();
+    let sparten_mp = SparTenMp::paper_default();
+    let machines: Vec<&dyn Backend> = vec![&sim, &bitfusion, &laconic, &sparten, &sparten_mp];
+    let reports: Vec<BaselineNetworkReport> =
+        machines.iter().map(|m| m.simulate_network(&net)).collect();
+    let ristretto = &reports[0];
+
+    print!("{:<14}", "layer");
+    for r in &reports {
+        print!(" {:>12}", r.accelerator);
+    }
+    println!();
+    for (i, layer) in ristretto.layers.iter().enumerate() {
+        print!("{:<14}", layer.name);
+        for r in &reports {
+            print!(" {:>12}", r.layers[i].cycles);
+        }
+        println!();
+    }
+    print!("{:<14}", "TOTAL");
+    for r in &reports {
+        print!(" {:>12}", r.total_cycles());
+    }
+    println!();
+    println!();
 
     println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "layer", "Ristretto", "Bit Fusion", "Laconic", "SparTen", "SparTen-mp"
-    );
-    for (i, layer) in ristretto.layers.iter().enumerate() {
-        println!(
-            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            layer.name,
-            layer.cycles,
-            bitfusion.layers[i].cycles,
-            laconic.layers[i].cycles,
-            sparten.layers[i].cycles,
-            sparten_mp.layers[i].cycles,
-        );
-    }
-    println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "TOTAL",
-        ristretto.total_cycles(),
-        bitfusion.total_cycles(),
-        laconic.total_cycles(),
-        sparten.total_cycles(),
-        sparten_mp.total_cycles(),
-    );
-    println!();
-    println!(
         "Ristretto mean tile utilization: {:.1}%",
-        ristretto.mean_utilization() * 100.0
+        sim.simulate_network(&net).mean_utilization() * 100.0
     );
-    println!(
-        "raw cycle speedups: vs Bit Fusion {:.2}x, vs Laconic {:.2}x, vs SparTen {:.2}x, vs SparTen-mp {:.2}x",
-        bitfusion.total_cycles() as f64 / ristretto.total_cycles() as f64,
-        laconic.total_cycles() as f64 / ristretto.total_cycles() as f64,
-        sparten.total_cycles() as f64 / ristretto.total_cycles() as f64,
-        sparten_mp.total_cycles() as f64 / ristretto.total_cycles() as f64,
-    );
+    let speedups: Vec<String> = machines
+        .iter()
+        .zip(&reports)
+        .skip(1)
+        .map(|(m, r)| {
+            let raw = r.total_cycles() as f64 / ristretto.total_cycles() as f64;
+            let per_area = raw * (m.area_mm2() / machines[0].area_mm2());
+            format!("vs {} {raw:.2}x ({per_area:.2}x/mm2)", m.name())
+        })
+        .collect();
+    println!("cycle speedups: {}", speedups.join(", "));
     println!(
         "energy vs Bit Fusion: {:.1}%  (compute/buffer/DRAM/leakage = {:.0}/{:.0}/{:.0}/{:.0} uJ)",
         ristretto
             .total_energy()
-            .relative_to(&bitfusion.total_energy())
+            .relative_to(&reports[1].total_energy())
             * 100.0,
         ristretto.total_energy().compute_pj * 1e-6,
         ristretto.total_energy().buffer_pj * 1e-6,
         ristretto.total_energy().dram_pj * 1e-6,
         ristretto.total_energy().leakage_pj * 1e-6,
     );
+    Ok(())
 }

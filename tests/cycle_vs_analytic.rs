@@ -119,7 +119,8 @@ fn analytic_model_on_measured_stats_tracks_cycle_level_core() {
     };
     let stats = LayerStats::measure(&layer, &s.fmap, &s.kernels, BitWidth::W8, BitWidth::W4, 2);
     let analytic = RistrettoSim::new(cfg).simulate_layer(&stats, false);
-    let core = CoreSim::new(cfg)
+    let core = CoreSim::try_new(cfg)
+        .unwrap()
         .run_layer(&s.fmap, &s.kernels, 8, 4)
         .unwrap();
     let (a, c) = (analytic.cycles as f64, core.makespan as f64);

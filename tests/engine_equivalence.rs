@@ -1,0 +1,114 @@
+//! Compile-once/run-many equivalence: precompiling the static weight
+//! artifacts and running against the compiled streams must be
+//! byte-identical to the direct (compile-inline) paths, for the
+//! functional CSC convolution, the cycle-level core, and a whole mini
+//! network — at one worker thread and at many.
+
+use atomstream::conv_csc::{conv2d_csc, conv2d_csc_streams, CscConfig, WeightStreamSet};
+use qnn::mini::MiniNetwork;
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
+use rayon::ThreadPoolBuilder;
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::core::CoreSim;
+use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::pipeline::FunctionalPipeline;
+
+fn materialized(seed: u64) -> SyntheticLayer {
+    let layer = qnn::layers::ConvLayer::conv("eq", 10, 12, 3, 1, 1, 13, 13).unwrap();
+    let mut gen = WorkloadGen::new(seed);
+    SyntheticLayer::generate(
+        &layer,
+        &WeightProfile::benchmark(BitWidth::W4),
+        &ActivationProfile::new(BitWidth::W8),
+        &mut gen,
+    )
+}
+
+/// Runs `f` under an explicit worker-thread count.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("build thread pool")
+        .install(f)
+}
+
+#[test]
+fn precompiled_streams_match_direct_csc() {
+    let s = materialized(101);
+    let cfg = CscConfig::default();
+    for threads in [1, 4] {
+        with_threads(threads, || {
+            let direct = conv2d_csc(
+                &s.fmap,
+                &s.kernels,
+                s.layer.geometry(),
+                BitWidth::W8,
+                BitWidth::W4,
+                &cfg,
+            )
+            .unwrap();
+            let weights =
+                WeightStreamSet::compile(&s.kernels, BitWidth::W4, cfg.atom_bits).unwrap();
+            let streamed =
+                conv2d_csc_streams(&s.fmap, &weights, s.layer.geometry(), BitWidth::W8, &cfg)
+                    .unwrap();
+            assert_eq!(
+                direct.output, streamed.output,
+                "output differs at {threads} threads"
+            );
+            assert_eq!(
+                direct.stats, streamed.stats,
+                "CscStats differ at {threads} threads"
+            );
+        });
+    }
+}
+
+#[test]
+fn precompiled_streams_match_direct_core_report() {
+    let s = materialized(103);
+    let cfg = RistrettoConfig::paper_default();
+    let core = CoreSim::try_new(cfg).unwrap();
+    for threads in [1, 4] {
+        with_threads(threads, || {
+            let direct = core.run_layer(&s.fmap, &s.kernels, 8, 4).unwrap();
+            let weights =
+                WeightStreamSet::compile(&s.kernels, BitWidth::W4, cfg.atom_bits).unwrap();
+            let streamed = core.run_layer_streams(&weights, &s.fmap, 8).unwrap();
+            assert_eq!(direct, streamed, "CoreReport differs at {threads} threads");
+        });
+    }
+}
+
+#[test]
+fn compiled_session_matches_functional_pipeline() {
+    let mini = MiniNetwork::try_new(NetworkId::ResNet18).unwrap();
+    let mut gen = WorkloadGen::new(107);
+    let (c, h, w) = mini.input;
+    let input = gen
+        .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+        .unwrap();
+    let model =
+        NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4)).unwrap();
+    let cfg = RistrettoConfig::paper_default();
+    let compiled = compile(&model, &cfg).unwrap();
+    let pipeline = FunctionalPipeline::new(model.layers.clone(), *compiled.csc_config());
+    for threads in [1, 4] {
+        with_threads(threads, || {
+            let session = Session::new(compiled.clone());
+            let run = session.run(&input).unwrap();
+            let (direct_out, direct_traces) = pipeline.run(&input).unwrap();
+            assert_eq!(
+                run.output, direct_out,
+                "output differs at {threads} threads"
+            );
+            assert_eq!(
+                run.traces, direct_traces,
+                "traces differ at {threads} threads"
+            );
+        });
+    }
+}

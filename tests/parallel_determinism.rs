@@ -66,14 +66,15 @@ fn conv2d_csc_is_thread_count_invariant() {
 #[test]
 fn core_sim_is_thread_count_invariant() {
     let s = materialized(43);
-    let core = CoreSim::new(RistrettoConfig {
+    let core = CoreSim::try_new(RistrettoConfig {
         tiles: 4,
         multipliers: 8,
         tile_h: 7,
         tile_w: 7,
         balancing: BalanceStrategy::WeightActivation,
         ..RistrettoConfig::paper_default()
-    });
+    })
+    .unwrap();
     let run = || -> CoreReport { core.run_layer(&s.fmap, &s.kernels, 8, 4).unwrap() };
     let serial = with_threads(1, run);
     for threads in [2, 4, 8] {
