@@ -28,22 +28,30 @@ pub fn intersect_epsilon(s: u64, n: u64) -> u64 {
 }
 
 /// Ideal intersection step count for one tile (Eq 3).
+///
+/// Saturates at `u64::MAX` instead of overflowing, mirroring the
+/// `shl_guarded` treatment in `wide.rs` — the estimate stays a valid lower
+/// bound even for degenerate atom counts.
 pub fn ideal_steps(t: u64, s: u64, n: u64) -> u64 {
     assert!(n > 0, "multiplier count must be non-zero");
     if t == 0 || s == 0 {
         return 0;
     }
-    t * s.div_ceil(n) + intersect_epsilon(s, n)
+    t.checked_mul(s.div_ceil(n))
+        .and_then(|c| c.checked_add(intersect_epsilon(s, n)))
+        .unwrap_or(u64::MAX)
 }
 
 /// Whole-feature-map cycle estimate (Eq 5): `T · ⌈S/N⌉`, where `T` sums the
 /// non-zero atoms over all tiles of the input feature map.
+///
+/// Saturates at `u64::MAX` instead of overflowing (see [`ideal_steps`]).
 pub fn tile_cycles(total_act_atoms: u64, weight_atoms: u64, n: u64) -> u64 {
     assert!(n > 0, "multiplier count must be non-zero");
     if total_act_atoms == 0 || weight_atoms == 0 {
         return 0;
     }
-    total_act_atoms * weight_atoms.div_ceil(n)
+    total_act_atoms.saturating_mul(weight_atoms.div_ceil(n))
 }
 
 #[cfg(test)]
@@ -83,5 +91,26 @@ mod tests {
         assert_eq!(tile_cycles(100, 64, 32), 100 * 2);
         assert_eq!(tile_cycles(100, 65, 32), 100 * 3);
         assert_eq!(tile_cycles(0, 64, 32), 0);
+    }
+
+    #[test]
+    fn tile_cycles_saturates_instead_of_overflowing() {
+        // Exactly representable boundary: u64::MAX · ⌈1/1⌉ fits.
+        assert_eq!(tile_cycles(u64::MAX, 1, 1), u64::MAX);
+        // 2^32 · 2^32 overflows u64 — must saturate, not wrap to 0.
+        assert_eq!(tile_cycles(1 << 32, 1 << 32, 1), u64::MAX);
+        assert_eq!(tile_cycles(u64::MAX, 2, 1), u64::MAX);
+    }
+
+    #[test]
+    fn ideal_steps_saturates_instead_of_overflowing() {
+        // Product fits but adding ε would overflow: saturate.
+        assert_eq!(ideal_steps(u64::MAX, 1, 1), u64::MAX);
+        // Product itself overflows: saturate.
+        assert_eq!(ideal_steps(1 << 32, 1 << 32, 1), u64::MAX);
+        assert_eq!(ideal_steps(u64::MAX, 3, 2), u64::MAX);
+        // Near the boundary but representable: exact value, no saturation.
+        let t = (u64::MAX - 1) / 3;
+        assert_eq!(ideal_steps(t, 3, 1), t * 3 + intersect_epsilon(3, 1));
     }
 }

@@ -32,6 +32,17 @@ pub enum AtomError {
         /// Granularity requested at run time (bits).
         requested: u8,
     },
+    /// A weight-buffer image field does not fit its packed bit allocation
+    /// (e.g. an atom shift beyond 4 bits or a kernel coordinate beyond 4
+    /// bits); packing would silently truncate high bits.
+    PackFieldOverflow {
+        /// Name of the packed field that overflowed.
+        field: &'static str,
+        /// Value that was asked to be packed.
+        value: u32,
+        /// Largest value the field's bit allocation can hold.
+        max: u32,
+    },
     /// An error bubbled up from the `qnn` substrate.
     Qnn(qnn::error::QnnError),
 }
@@ -62,6 +73,12 @@ impl fmt::Display for AtomError {
                 write!(
                     f,
                     "stream compiled at {compiled}-bit atoms run at {requested}-bit atoms"
+                )
+            }
+            AtomError::PackFieldOverflow { field, value, max } => {
+                write!(
+                    f,
+                    "weight-buffer field `{field}` value {value} exceeds packed maximum {max}"
                 )
             }
             AtomError::Qnn(e) => write!(f, "substrate error: {e}"),
@@ -95,6 +112,20 @@ mod tests {
         let e: AtomError = qnn::error::QnnError::ZeroStride.into();
         assert!(e.to_string().contains("stride"));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn pack_field_overflow_names_the_field() {
+        let e = AtomError::PackFieldOverflow {
+            field: "shift",
+            value: 19,
+            max: 15,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("shift") && s.contains("19") && s.contains("15"),
+            "{s}"
+        );
     }
 
     #[test]

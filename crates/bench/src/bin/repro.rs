@@ -25,6 +25,14 @@
 //! the CI stats-regression gate. `--update` rewrites the golden from the
 //! live run instead (preserving its tolerance section).
 //!
+//! `diffcheck` draws `--cases` seeded random (layer, config) cases and runs
+//! the differential oracle of `bench::diffcheck` on each — cross-path
+//! output equality at 1 and 4 threads, lossless compression round-trips,
+//! and cycle-model invariants. Any divergence fails the run; `--shrink`
+//! additionally minimizes each failing case, and every divergence is
+//! dumped as a JSON repro under `--repro-dir` (default
+//! `diffcheck_repros/`).
+//!
 //! `--threads <n>` caps the worker threads of the parallel execution layer
 //! (default: all hardware threads; `--threads 1` forces the serial path).
 //! Every parallel fan-out in the harness collects results in deterministic
@@ -47,7 +55,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>]
-       repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]";
+       repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]
+       repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 13] = [
@@ -77,6 +86,10 @@ struct Cli {
     trace: bool,
     threads: Option<usize>,
     batch: usize,
+    cases: u64,
+    diff_seed: u64,
+    shrink: bool,
+    repro_dir: String,
 }
 
 /// Parses arguments; option values (`--json`, `--metrics`, `--golden`,
@@ -91,6 +104,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut trace = false;
     let mut threads = None;
     let mut batch = None;
+    let mut cases = None;
+    let mut diff_seed = None;
+    let mut shrink = false;
+    let mut repro_dir = None;
     let mut which = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -141,6 +158,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 batch = Some(n);
             }
+            "--shrink" => shrink = true,
+            "--cases" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--cases requires a count".to_string())?;
+                let n: u64 = v.parse().map_err(|_| format!("invalid case count `{v}`"))?;
+                cases = Some(n);
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                let n: u64 = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+                diff_seed = Some(n);
+            }
+            "--repro-dir" => {
+                repro_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--repro-dir requires a path".to_string())?
+                        .clone(),
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -169,6 +208,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if batch.is_some() && which != "batch" && which != "all" {
         return Err("--batch only applies to `batch` or `all`".to_string());
     }
+    if which != "diffcheck" {
+        if cases.is_some() {
+            return Err("--cases only applies to `diffcheck`".to_string());
+        }
+        if diff_seed.is_some() {
+            return Err("--seed only applies to `diffcheck`".to_string());
+        }
+        if shrink {
+            return Err("--shrink only applies to `diffcheck`".to_string());
+        }
+        if repro_dir.is_some() {
+            return Err("--repro-dir only applies to `diffcheck`".to_string());
+        }
+    }
     Ok(Cli {
         which,
         quick,
@@ -179,6 +232,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace,
         threads,
         batch: batch.unwrap_or(1),
+        cases: cases.unwrap_or(500),
+        diff_seed: diff_seed.unwrap_or(1),
+        shrink,
+        repro_dir: repro_dir.unwrap_or_else(|| "diffcheck_repros".to_string()),
     })
 }
 
@@ -339,7 +396,7 @@ fn main() -> ExitCode {
     obs::set_tracing(cli.trace);
     // Counters stay a single disabled-branch check unless this run actually
     // consumes them.
-    if cli.metrics_path.is_some() || cli.which == "stats-check" {
+    if cli.metrics_path.is_some() || cli.which == "stats-check" || cli.which == "diffcheck" {
         obs::enable(true);
     }
 
@@ -348,6 +405,9 @@ fn main() -> ExitCode {
 
     if cli.which == "stats-check" {
         return stats_check(&cli, &mut cache);
+    }
+    if cli.which == "diffcheck" {
+        return diffcheck_cmd(&cli);
     }
 
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
@@ -384,6 +444,56 @@ fn main() -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// The `diffcheck` subcommand: drive the differential oracle over a seeded
+/// case budget, dumping each divergence as a JSON repro and failing the
+/// run if any case diverges.
+fn diffcheck_cmd(cli: &Cli) -> ExitCode {
+    use bench::diffcheck;
+    let start = Instant::now();
+    let mut divergences = Vec::new();
+    for index in 0..cli.cases {
+        if index > 0 && index % 100 == 0 {
+            eprintln!(
+                "[diffcheck] {index}/{} cases, {} divergence(s), {:.2}s",
+                cli.cases,
+                divergences.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+        if let Some(d) = diffcheck::check_one(cli.diff_seed, index, cli.shrink) {
+            eprintln!("[diffcheck] case {index} DIVERGED: {}", d.failure);
+            divergences.push(d);
+        }
+    }
+    eprintln!("[repro] diffcheck: {:.2}s", start.elapsed().as_secs_f64());
+
+    if !divergences.is_empty() {
+        if let Err(e) = std::fs::create_dir_all(&cli.repro_dir) {
+            eprintln!("cannot create repro dir {}: {e}", cli.repro_dir);
+            return ExitCode::FAILURE;
+        }
+        for d in &divergences {
+            let path = format!("{}/case_{}_{}.json", cli.repro_dir, cli.diff_seed, d.index);
+            match std::fs::write(&path, serde_json::to_string_pretty(d).unwrap()) {
+                Ok(()) => eprintln!("wrote repro to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        println!(
+            "diffcheck: {} cases, {} divergence(s) (seed {})",
+            cli.cases,
+            divergences.len(),
+            cli.diff_seed
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "diffcheck: {} cases, 0 divergences (seed {})",
+        cli.cases, cli.diff_seed
+    );
     ExitCode::SUCCESS
 }
 

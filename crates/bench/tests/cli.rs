@@ -250,6 +250,55 @@ fn gate_options_are_validated() {
 }
 
 #[test]
+fn diffcheck_quick_budget_finds_no_divergences() {
+    let dir = std::env::temp_dir().join(format!("repro_diffcheck_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let repros = dir.join("repros");
+    let out = repro(&[
+        "diffcheck",
+        "--cases",
+        "60",
+        "--seed",
+        "1",
+        "--repro-dir",
+        repros.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "diffcheck found divergences:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("60 cases, 0 divergences (seed 1)"), "{text}");
+    // No divergences means no repro directory is created.
+    assert!(!repros.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diffcheck_is_deterministic_across_runs() {
+    let a = repro(&["diffcheck", "--cases", "25", "--seed", "7"]);
+    let b = repro(&["diffcheck", "--cases", "25", "--seed", "7"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn diffcheck_options_are_validated() {
+    let out = repro(&["table6", "--cases", "10"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only applies to `diffcheck`"));
+    let out = repro(&["table6", "--shrink"]);
+    assert!(!out.status.success());
+    let out = repro(&["diffcheck", "--cases"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cases requires a count"));
+    let out = repro(&["diffcheck", "--cases", "zero"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid case count"));
+}
+
+#[test]
 fn invalid_thread_counts_are_rejected() {
     let out = repro(&["table6", "--threads", "0"]);
     assert!(!out.status.success());

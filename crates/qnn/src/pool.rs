@@ -23,6 +23,18 @@ pub enum PoolKind {
 /// zero padding `padding` (padding cells count as zero for both kinds,
 /// matching the common inference-runtime convention).
 ///
+/// Pinned edge-case conventions (relied on by the benchmark networks and
+/// the differential harness):
+///
+/// - **Padding cells read as literal zeros for both kinds.** A Max window
+///   that overlaps padding can therefore never go below 0, and a window
+///   lying *entirely* in padding produces exactly 0 — not `i32::MIN`.
+/// - **Average divides by the full window area** (`window²`), not by the
+///   count of valid (non-padding) cells, and the division truncates toward
+///   zero — the same convention as the PPU's requantization shift.
+/// - **Max over all-negative inputs with no padding overlap** stays
+///   negative (the true maximum); zeros are only introduced by padding.
+///
 /// ```
 /// use qnn::pool::{pool2d, PoolKind};
 /// use qnn::tensor::Tensor3;
@@ -136,6 +148,55 @@ mod tests {
         let p = pool2d(&t, PoolKind::Max, 3, 1, 1).unwrap();
         // Window contains the -8 plus 8 padding zeros -> max is 0.
         assert_eq!(p.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn fully_padding_windows_produce_zero() {
+        // 1×1 input, window 1, stride 2, padding 1 -> 2×2 output where all
+        // four 1×1 windows land on padding coordinates (±1 offsets around
+        // the single data cell); every window lies entirely in padding and
+        // must read 0 for both kinds (never i32::MIN for Max).
+        let t = Tensor3::from_vec(1, 1, 1, vec![-7]).unwrap();
+        let max = pool2d(&t, PoolKind::Max, 1, 2, 1).unwrap();
+        assert_eq!(max.shape(), (1, 2, 2));
+        assert_eq!(max.as_slice(), &[0, 0, 0, 0]);
+        let avg = pool2d(&t, PoolKind::Average, 1, 2, 1).unwrap();
+        assert_eq!(avg.as_slice(), &[0, 0, 0, 0]);
+        // Stride 1 keeps the centre window on the data cell: the -7
+        // survives, so padding zeros are genuinely per-window.
+        let center = pool2d(&t, PoolKind::Max, 1, 1, 1).unwrap();
+        assert_eq!(center.shape(), (1, 3, 3));
+        assert_eq!(center.get(0, 1, 1), -7);
+        assert_eq!(center.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn average_divides_by_window_area_not_valid_cells() {
+        // Corner window covers one real cell (4) and three padding zeros:
+        // the divisor is the window area 4, giving 4/4 = 1 — not 4/1 = 4 as
+        // a valid-cell-count convention would.
+        let t = Tensor3::from_vec(1, 2, 2, vec![4, 4, 4, 4]).unwrap();
+        let p = pool2d(&t, PoolKind::Average, 2, 2, 1).unwrap();
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.as_slice(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn max_over_all_negative_inputs_without_padding_stays_negative() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![-9, -3, -5, -7]).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 2, 2, 0).unwrap();
+        assert_eq!(p.as_slice(), &[-3]);
+        // With padding, the zeros win — padding is a real 0, not ignored.
+        let padded = pool2d(&t, PoolKind::Max, 2, 2, 1).unwrap();
+        assert_eq!(padded.as_slice(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn negative_average_truncates_toward_zero() {
+        // Sum -11 over area 4: trunc(-11/4) = -2, not floor(-11/4) = -3.
+        let t = Tensor3::from_vec(1, 2, 2, vec![-1, -2, -3, -5]).unwrap();
+        let p = pool2d(&t, PoolKind::Average, 2, 2, 0).unwrap();
+        assert_eq!(p.as_slice(), &[-2]);
     }
 
     #[test]

@@ -504,13 +504,19 @@ impl AccTensor3 {
     /// for the next layer.
     ///
     /// This is the functional model of Ristretto's post-processing unit.
+    ///
+    /// The shift divides by `2^shift` rounding **toward zero**, matching
+    /// `pool2d`'s Average divisor semantics (Rust integer division). A plain
+    /// arithmetic right shift would instead round negative accumulators
+    /// toward −∞; the distinction is masked by the subsequent ReLU here, but
+    /// the convention is pinned so every consumer of the shift helper agrees.
     pub fn requantize_relu(&self, shift: u32, bits: u8) -> Tensor3 {
-        let max = (1i64 << bits) - 1;
+        let max = (1i64 << bits.min(32)) - 1;
         let data = self
             .data
             .iter()
             .map(|&v| {
-                let v = (v >> shift).max(0).min(max);
+                let v = shift_toward_zero(v, shift).max(0).min(max);
                 v as i32
             })
             .collect();
@@ -520,6 +526,27 @@ impl AccTensor3 {
             w: self.w,
             data,
         }
+    }
+}
+
+/// Divides `v` by `2^shift` rounding toward zero (truncating division, the
+/// same convention as `pool2d` Average). An arithmetic right shift alone
+/// rounds negative values toward −∞; this compensates by adding one when a
+/// negative value had any dropped low bits. Shifts ≥ 64 saturate to 0 / −1
+/// semantics-free: every magnitude shifts out, so the result is 0.
+#[inline]
+fn shift_toward_zero(v: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return v;
+    }
+    if shift >= 64 {
+        return 0;
+    }
+    let q = v >> shift;
+    if v < 0 && (v & (((1u64 << shift) - 1) as i64)) != 0 {
+        q + 1
+    } else {
+        q
     }
 }
 
@@ -591,6 +618,47 @@ mod tests {
         a.set(0, 0, 3, 3);
         let q = a.requantize_relu(2, 4);
         assert_eq!(q.as_slice(), &[0, 15, 3, 0]);
+    }
+
+    #[test]
+    fn shift_toward_zero_matches_truncating_division() {
+        // The pinned convention: v / 2^shift with Rust (truncating) division.
+        for &v in &[-17i64, -16, -8, -7, -5, -1, 0, 1, 5, 7, 8, 16, 17] {
+            for shift in 0..8u32 {
+                assert_eq!(
+                    shift_toward_zero(v, shift),
+                    v / (1i64 << shift),
+                    "v={v} shift={shift}"
+                );
+            }
+        }
+        // -5 >> 2 == -2 (toward -inf); the convention demands -1.
+        assert_eq!(shift_toward_zero(-5, 2), -1);
+        // Exact multiples are unaffected by the rounding compensation.
+        assert_eq!(shift_toward_zero(-8, 2), -2);
+    }
+
+    #[test]
+    fn shift_toward_zero_extreme_shifts() {
+        assert_eq!(shift_toward_zero(i64::MIN, 63), -1);
+        assert_eq!(shift_toward_zero(i64::MIN + 1, 63), 0);
+        assert_eq!(shift_toward_zero(i64::MAX, 63), 0);
+        assert_eq!(shift_toward_zero(-1, 1), 0);
+        assert_eq!(shift_toward_zero(i64::MIN, 64), 0);
+        assert_eq!(shift_toward_zero(42, u32::MAX), 0);
+    }
+
+    #[test]
+    fn requantize_relu_negative_accumulators_clamp_to_zero() {
+        // Negative accumulators must hit exactly 0 after the shift+ReLU; the
+        // old toward−∞ shift produced the same output only because ReLU
+        // masks it — this pins the composed behaviour regardless.
+        let mut a = AccTensor3::zeros(1, 1, 3).unwrap();
+        a.set(0, 0, 0, -1);
+        a.set(0, 0, 1, -1024);
+        a.set(0, 0, 2, 7);
+        let q = a.requantize_relu(3, 8);
+        assert_eq!(q.as_slice(), &[0, 0, 0]);
     }
 
     #[test]

@@ -313,6 +313,107 @@ impl WorkloadGen {
         }
         out
     }
+
+    /// Draws one channel's worth of adversarial values: a per-channel
+    /// pattern chosen from all-zero, dense-maximal, dense-random, sparse,
+    /// and very-sparse-extreme — the corner distributions a differential
+    /// harness needs (empty streams, all-dense tiles, maximal magnitudes).
+    fn adversarial_plane(&mut self, n: usize, max_mag: i32, signed: bool) -> Vec<i32> {
+        debug_assert!(max_mag >= 1);
+        let value = |rng: &mut SeededRng, mag: i32| {
+            if signed && rng.bernoulli(0.5) {
+                -mag
+            } else {
+                mag
+            }
+        };
+        match self.rng.below(5) {
+            // Empty channel: exercises empty-stream handling end to end.
+            0 => vec![0; n],
+            // All-dense at the maximal magnitude: worst-case atom counts.
+            1 => (0..n).map(|_| value(&mut self.rng, max_mag)).collect(),
+            // Dense random.
+            2 => (0..n)
+                .map(|_| {
+                    let mag = 1 + self.rng.below(max_mag as usize) as i32;
+                    value(&mut self.rng, mag)
+                })
+                .collect(),
+            // Moderately sparse random.
+            3 => (0..n)
+                .map(|_| {
+                    if self.rng.bernoulli(0.6) {
+                        0
+                    } else {
+                        let mag = 1 + self.rng.below(max_mag as usize) as i32;
+                        value(&mut self.rng, mag)
+                    }
+                })
+                .collect(),
+            // Very sparse, extreme magnitudes only (1 or max).
+            _ => (0..n)
+                .map(|_| {
+                    if self.rng.bernoulli(0.9) {
+                        0
+                    } else {
+                        let mag = if self.rng.bernoulli(0.5) { 1 } else { max_mag };
+                        value(&mut self.rng, mag)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Generates an adversarial activation tensor for differential testing:
+    /// each channel independently draws one of the corner patterns
+    /// (all-zero, dense-maximal, dense-random, sparse, very-sparse with
+    /// maximal magnitudes). Values are unsigned and bounded by
+    /// `bits.unsigned_max()` (the full atomizable range).
+    ///
+    /// # Errors
+    /// Propagates shape validation from [`Tensor3::from_vec`].
+    pub fn adversarial_activations(
+        &mut self,
+        c: usize,
+        h: usize,
+        w: usize,
+        bits: BitWidth,
+    ) -> Result<Tensor3, QnnError> {
+        let mut data = Vec::with_capacity(c * h * w);
+        for _ in 0..c {
+            data.extend(self.adversarial_plane(h * w, bits.unsigned_max(), false));
+        }
+        Tensor3::from_vec(c, h, w, data)
+    }
+
+    /// Generates an adversarial kernel tensor for differential testing.
+    /// Patterns are drawn per **input** channel (across all kernels), so
+    /// whole weight streams come out empty; weights are signed with
+    /// magnitudes up to `bits.unsigned_max()` — the full range the signed
+    /// atomizer accepts, beyond the symmetric-quantizer maximum.
+    ///
+    /// # Errors
+    /// Propagates shape validation from [`Tensor4::from_vec`].
+    pub fn adversarial_weights(
+        &mut self,
+        o: usize,
+        i: usize,
+        kh: usize,
+        kw: usize,
+        bits: BitWidth,
+    ) -> Result<Tensor4, QnnError> {
+        let mut data = vec![0i32; o * i * kh * kw];
+        let per_kernel = kh * kw;
+        for ic in 0..i {
+            let plane = self.adversarial_plane(o * per_kernel, bits.unsigned_max(), true);
+            for oc in 0..o {
+                let dst = ((oc * i) + ic) * per_kernel;
+                let src = oc * per_kernel;
+                data[dst..dst + per_kernel].copy_from_slice(&plane[src..src + per_kernel]);
+            }
+        }
+        Tensor4::from_vec(o, i, kh, kw, data)
+    }
 }
 
 /// Per-layer statistics: everything the analytic accelerator models need,
@@ -861,6 +962,47 @@ mod tests {
         assert_eq!(
             m.weight_values_per_channel.iter().sum::<u64>() as usize,
             s.kernels.count_nonzero()
+        );
+    }
+
+    #[test]
+    fn adversarial_activations_stay_in_unsigned_range() {
+        let mut gen = WorkloadGen::new(21);
+        for bits in [BitWidth::W2, BitWidth::W8, BitWidth::W16] {
+            let t = gen.adversarial_activations(6, 5, 5, bits).unwrap();
+            let max = bits.unsigned_max();
+            assert!(t.as_slice().iter().all(|&v| (0..=max).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn adversarial_weights_cover_corners() {
+        // Over enough channels the generator must produce at least one
+        // empty input-channel plane, one maximal-magnitude value, and one
+        // negative value — the corners the differential harness relies on.
+        let mut gen = WorkloadGen::new(1);
+        let bits = BitWidth::W4;
+        let k = gen.adversarial_weights(3, 40, 3, 3, bits).unwrap();
+        let max = bits.unsigned_max();
+        assert!(k.as_slice().iter().all(|&v| v.abs() <= max));
+        let empty_plane =
+            (0..40).any(|ic| (0..3).all(|oc| k.kernel_slice(oc, ic).iter().all(|&v| v == 0)));
+        assert!(empty_plane, "no empty input-channel plane in 40 draws");
+        assert!(k.as_slice().iter().any(|&v| v.abs() == max));
+        assert!(k.as_slice().iter().any(|&v| v < 0));
+    }
+
+    #[test]
+    fn adversarial_generation_is_deterministic() {
+        let mut a = WorkloadGen::new(77);
+        let mut b = WorkloadGen::new(77);
+        assert_eq!(
+            a.adversarial_activations(4, 6, 6, BitWidth::W8).unwrap(),
+            b.adversarial_activations(4, 6, 6, BitWidth::W8).unwrap()
+        );
+        assert_eq!(
+            a.adversarial_weights(4, 4, 3, 3, BitWidth::W8).unwrap(),
+            b.adversarial_weights(4, 4, 3, 3, BitWidth::W8).unwrap()
         );
     }
 

@@ -138,6 +138,25 @@ mod tests {
     }
 
     #[test]
+    fn negative_accumulators_round_toward_zero_then_relu_to_zero() {
+        // The requantization shift divides rounding toward zero (same
+        // convention as pool2d Average); combined with ReLU every negative
+        // accumulator lands exactly at 0, never at a wrapped or −∞-rounded
+        // value. -7 >> 1 would be -4 under arithmetic shift; the PPU
+        // computes trunc(-7 / 2) = -3, and ReLU clamps both to 0.
+        let acc = acc_from(&[-7, -1, -1024, i64::MIN, 6, 0, 9, 64], 2, 2, 2);
+        let ppu = PostProcessor {
+            requant_shift: 1,
+            out_bits: 4,
+            ..PostProcessor::new(1, 4)
+        };
+        let out = ppu.process(&acc);
+        assert_eq!(out.activations.channel(0), &[0, 0, 0, 0]);
+        assert_eq!(out.activations.channel(1), &[3, 0, 4, 15]);
+        assert_eq!(out.values_per_channel, vec![0, 3]);
+    }
+
+    #[test]
     fn compressed_roundtrips() {
         let acc = acc_from(&[0, 12, 0, 300, 0, 0, 5, 0], 2, 2, 2);
         let ppu = PostProcessor::new(0, 8);

@@ -30,15 +30,28 @@ use serde::{Deserialize, Serialize};
 /// Bits per packed atom record.
 pub const RECORD_BITS: usize = 32;
 
-fn pack(e: &WeightEntry) -> u32 {
-    debug_assert!(e.atom.shift < 16 && e.x < 16 && e.y < 16 && e.out_ch < 1024);
-    (e.atom.mag as u32)
+fn check_field(field: &'static str, value: u32, max: u32) -> Result<(), AtomError> {
+    if value > max {
+        return Err(AtomError::PackFieldOverflow { field, value, max });
+    }
+    Ok(())
+}
+
+fn pack(e: &WeightEntry) -> Result<u32, AtomError> {
+    // Validated at runtime (not just debug-asserted): a 16-bit weight at
+    // 1-bit atoms already needs shift 15, so any wider combination would
+    // silently truncate the high bits of the shift/coordinate fields.
+    check_field("shift", e.atom.shift as u32, 15)?;
+    check_field("x", e.x as u32, 15)?;
+    check_field("y", e.y as u32, 15)?;
+    check_field("out_ch", e.out_ch as u32, 1023)?;
+    Ok((e.atom.mag as u32)
         | ((e.atom.shift as u32) << 8)
         | ((e.atom.negative as u32) << 12)
         | ((e.atom.last as u32) << 13)
         | ((e.x as u32) << 14)
         | ((e.y as u32) << 18)
-        | ((e.out_ch as u32) << 22)
+        | ((e.out_ch as u32) << 22))
 }
 
 fn unpack(w: u32) -> WeightEntry {
@@ -67,7 +80,10 @@ impl WeightBufferImage {
     /// shuffle (§IV-C2 order), pack.
     ///
     /// # Errors
-    /// Propagates atomization errors (weights exceeding `w_bits`).
+    /// Propagates atomization errors (weights exceeding `w_bits`) and
+    /// returns [`AtomError::PackFieldOverflow`] when an atom's metadata does
+    /// not fit the 32-bit record layout (e.g. `w_bits > 16` at 1-bit atoms
+    /// produces shifts beyond the 4-bit shift field).
     pub fn encode(kernels: &Tensor4, w_bits: u8, atom_bits: AtomBits) -> Result<Self, AtomError> {
         let (o, i, kh, kw) = kernels.shape();
         if o > 1024 || kh > 16 || kw > 16 {
@@ -80,7 +96,13 @@ impl WeightBufferImage {
         for ci in 0..i {
             let flat = flatten_kernel_channel(kernels, ci)?;
             let stream = compress_weights(&flat, w_bits, atom_bits)?;
-            channels.push(stream.entries().iter().map(pack).collect());
+            channels.push(
+                stream
+                    .entries()
+                    .iter()
+                    .map(pack)
+                    .collect::<Result<Vec<u32>, AtomError>>()?,
+            );
         }
         Ok(Self { channels })
     }
@@ -243,7 +265,73 @@ mod tests {
             y: 13,
             out_ch: 1023,
         };
-        assert_eq!(unpack(pack(&e)), e);
+        assert_eq!(unpack(pack(&e).unwrap()), e);
+    }
+
+    #[test]
+    fn pack_rejects_out_of_range_fields() {
+        let base = WeightEntry {
+            atom: Atom {
+                mag: 1,
+                shift: 0,
+                negative: false,
+                last: true,
+            },
+            x: 0,
+            y: 0,
+            out_ch: 0,
+        };
+        let mut e = base;
+        e.atom.shift = 16;
+        assert_eq!(
+            pack(&e),
+            Err(AtomError::PackFieldOverflow {
+                field: "shift",
+                value: 16,
+                max: 15
+            })
+        );
+        let mut e = base;
+        e.x = 16;
+        assert!(matches!(
+            pack(&e),
+            Err(AtomError::PackFieldOverflow { field: "x", .. })
+        ));
+        let mut e = base;
+        e.y = 31;
+        assert!(matches!(
+            pack(&e),
+            Err(AtomError::PackFieldOverflow { field: "y", .. })
+        ));
+        let mut e = base;
+        e.out_ch = 1024;
+        assert!(matches!(
+            pack(&e),
+            Err(AtomError::PackFieldOverflow {
+                field: "out_ch",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_wide_weights_instead_of_truncating() {
+        // A 20-bit weight at 1-bit atoms needs a shift of 19, which the
+        // 4-bit shift field cannot hold. Before validation this silently
+        // corrupted the image; now it is a typed error.
+        let k = Tensor4::from_vec(1, 1, 1, 1, vec![1 << 19]).unwrap();
+        let err = WeightBufferImage::encode(&k, 20, AtomBits::B1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AtomError::PackFieldOverflow {
+                    field: "shift",
+                    value: 19,
+                    max: 15
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
