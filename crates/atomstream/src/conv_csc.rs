@@ -106,6 +106,10 @@ pub struct CscOutput {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WeightStreamSet {
     streams: Vec<WeightStream>,
+    /// Per-channel FNV-1a digests recorded at compile time; the online
+    /// detection layer re-hashes each stream before intersection and
+    /// rejects any channel whose bits changed since compilation.
+    checksums: Vec<u64>,
     out_channels: usize,
     in_channels: usize,
     kernel: usize,
@@ -139,8 +143,10 @@ impl WeightStreamSet {
                 compress_weights(&w_flat, w_bits.bits(), atom_bits)
             })
             .collect::<Result<_, _>>()?;
+        let checksums = streams.iter().map(WeightStream::checksum).collect();
         Ok(Self {
             streams,
+            checksums,
             out_channels: o,
             in_channels: i,
             kernel: kh,
@@ -192,6 +198,37 @@ impl WeightStreamSet {
     /// Non-zero weight atoms in one channel's stream.
     pub fn atoms(&self, channel: usize) -> u64 {
         self.streams[channel].len() as u64
+    }
+
+    /// The compile-time FNV-1a digest for one channel's stream.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn checksum(&self, channel: usize) -> u64 {
+        self.checksums[channel]
+    }
+
+    /// Re-hashes one channel's stream and compares it against the digest
+    /// recorded at compile time — the always-on integrity monitor the run
+    /// paths invoke before intersecting a channel.
+    ///
+    /// # Errors
+    /// Returns [`AtomError::StreamChecksumMismatch`] naming the channel and
+    /// both digests when the stream's bits changed since compilation.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn verify_channel(&self, channel: usize) -> Result<(), AtomError> {
+        let actual = self.streams[channel].checksum();
+        let expected = self.checksums[channel];
+        if actual != expected {
+            return Err(AtomError::StreamChecksumMismatch {
+                channel,
+                expected,
+                actual,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -306,6 +343,10 @@ pub fn conv2d_csc_streams(
         .into_par_iter()
         .map(|ci| {
             let mut stats = CscStats::default();
+            // Online integrity monitor: reject a weight stream whose bits
+            // changed since compilation before it can pollute the
+            // accumulate buffer.
+            weights.verify_channel(ci)?;
             // The static stream was compiled offline; only its size is
             // accounted here so stats match the compile-inline path.
             let w_stream = weights.stream(ci);
@@ -540,6 +581,51 @@ mod tests {
             weights.atoms(0) + weights.atoms(1),
             direct.stats.weight_atoms
         );
+    }
+
+    #[test]
+    fn compile_records_verifiable_checksums() {
+        let kernels = Tensor4::from_fn(2, 3, 3, 3, |o, i, ky, kx| {
+            ((o * 7 + i * 3 + ky + kx) % 5) as i32 - 2
+        })
+        .unwrap();
+        let weights = WeightStreamSet::compile(&kernels, BitWidth::W4, AtomBits::B2).unwrap();
+        for ci in 0..3 {
+            assert_eq!(weights.checksum(ci), weights.stream(ci).checksum());
+            weights.verify_channel(ci).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_fails_verification_and_run() {
+        let fmap = Tensor3::from_fn(2, 4, 4, |c, y, x| ((c + y + x) % 3) as i32).unwrap();
+        let kernels = Tensor4::from_fn(2, 2, 2, 2, |o, i, ky, kx| {
+            ((o + i + ky + kx) % 3) as i32 - 1
+        })
+        .unwrap();
+        let mut weights = WeightStreamSet::compile(&kernels, BitWidth::W4, AtomBits::B2).unwrap();
+        // Corrupt one entry's magnitude in channel 1, exactly as the fault
+        // injector's weight-stream model does.
+        let mut entries = weights.streams[1].entries().to_vec();
+        entries[0].atom.mag ^= 1;
+        weights.streams[1] = WeightStream::from_entries(entries);
+        assert!(weights.verify_channel(0).is_ok());
+        let err = weights.verify_channel(1).unwrap_err();
+        assert!(matches!(
+            err,
+            AtomError::StreamChecksumMismatch { channel: 1, .. }
+        ));
+        let run = conv2d_csc_streams(
+            &fmap,
+            &weights,
+            ConvGeometry::default(),
+            BitWidth::W4,
+            &CscConfig::default(),
+        );
+        assert!(matches!(
+            run,
+            Err(AtomError::StreamChecksumMismatch { channel: 1, .. })
+        ));
     }
 
     #[test]

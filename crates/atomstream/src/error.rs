@@ -43,6 +43,17 @@ pub enum AtomError {
         /// Largest value the field's bit allocation can hold.
         max: u32,
     },
+    /// A stream's online FNV-1a checksum no longer matches the digest
+    /// recorded at compile time — the stream's bits were corrupted between
+    /// compilation and intersection.
+    StreamChecksumMismatch {
+        /// Input channel whose stream failed verification.
+        channel: usize,
+        /// Digest recorded at compile time.
+        expected: u64,
+        /// Digest observed online.
+        actual: u64,
+    },
     /// An error bubbled up from the `qnn` substrate.
     Qnn(qnn::error::QnnError),
 }
@@ -79,6 +90,17 @@ impl fmt::Display for AtomError {
                 write!(
                     f,
                     "weight-buffer field `{field}` value {value} exceeds packed maximum {max}"
+                )
+            }
+            AtomError::StreamChecksumMismatch {
+                channel,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "stream checksum mismatch on channel {channel}: \
+                     compiled {expected:#018x}, observed {actual:#018x}"
                 )
             }
             AtomError::Qnn(e) => write!(f, "substrate error: {e}"),
@@ -124,6 +146,20 @@ mod tests {
         let s = e.to_string();
         assert!(
             s.contains("shift") && s.contains("19") && s.contains("15"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_names_channel_and_digests() {
+        let e = AtomError::StreamChecksumMismatch {
+            channel: 3,
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains('3') && s.contains("dead") && s.contains("beef"),
             "{s}"
         );
     }

@@ -134,6 +134,27 @@ impl FullConvAcc {
         self.data[(out_ch * self.fh + fy) * self.fw + fx]
     }
 
+    /// The raw accumulator words in `(out_ch, fy, fx)` row-major order —
+    /// the accumulate-buffer contents a fault injector perturbs.
+    pub fn cells(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw accumulator words (fault-injection surface).
+    pub fn cells_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Sum of every accumulator word in `i128` (never overflows: the sum of
+    /// `|data| ≤ out_c·fh·fw` words each bounded by `i64` fits `i128` with
+    /// headroom). This is the conserved quantity the accumulate-buffer
+    /// integrity monitor checks: after intersecting streams with weight
+    /// term sum `W` and activation value sum `A`, the plane total must
+    /// equal `W · A`.
+    pub fn total_sum(&self) -> i128 {
+        self.data.iter().map(|&v| v as i128).sum()
+    }
+
     /// Adds another accumulator plane-wise (`self += other`). Used to merge
     /// per-channel (or per-thread) partial accumulators: i64 addition
     /// commutes, so any merge order reproduces the sequential result
@@ -206,6 +227,35 @@ pub(crate) fn shl_guarded(v: i64, shift: u32) -> i64 {
         "i64 overflow in shifted accumulation ({v} << {shift})"
     );
     r
+}
+
+/// Signed sum of a weight stream's aligned atom terms,
+/// `Σ ±(mag << shift)`, in `i128`. Together with [`act_value_sum`] this
+/// gives the conservation law of one intersection: the total added to the
+/// accumulator plane equals `weight_term_sum · act_value_sum`, because each
+/// weight atom delivers `±(mag << shift) · vsum` once per activation value.
+pub fn weight_term_sum(weights: &WeightStream) -> i128 {
+    weights
+        .entries()
+        .iter()
+        .map(|e| {
+            let term = (e.atom.mag as i128) << e.atom.shift;
+            if e.atom.negative {
+                -term
+            } else {
+                term
+            }
+        })
+        .sum()
+}
+
+/// Sum of an activation stream's decoded values, `Σ (mag << shift)`, in
+/// `i128` — the activation side of the intersection conservation law.
+pub fn act_value_sum(acts: &ActivationStream) -> i128 {
+    acts.entries()
+        .iter()
+        .map(|e| (e.atom.mag as i128) << e.atom.shift)
+        .sum()
 }
 
 /// Intersects a static weight stream with a sliding activation stream,
@@ -471,6 +521,21 @@ mod tests {
         let mut a = FullConvAcc::new(1, 2, 2, 2).unwrap();
         let b = FullConvAcc::new(1, 3, 3, 2).unwrap();
         a.merge(&b);
+    }
+
+    #[test]
+    fn plane_total_obeys_conservation_law() {
+        let a = acts(&[(9, 0, 0), (6, 1, 1), (13, 0, 1)], 4);
+        let w = weights(&[(7, 0, 0, 0), (-5, 1, 1, 1), (3, 0, 1, 2)], 4);
+        let mut acc = FullConvAcc::new(3, 2, 2, 2).unwrap();
+        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        assert_eq!(acc.total_sum(), weight_term_sum(&w) * act_value_sum(&a));
+        assert_eq!(weight_term_sum(&w), 7 - 5 + 3);
+        assert_eq!(act_value_sum(&a), 9 + 6 + 13);
+        // A single flipped bit in any accumulator word breaks the law.
+        acc.cells_mut()[5] ^= 1 << 3;
+        assert_ne!(acc.total_sum(), weight_term_sum(&w) * act_value_sum(&a));
+        assert_eq!(acc.cells().len(), 3 * 3 * 3);
     }
 
     #[test]

@@ -18,6 +18,33 @@ use crate::atom::{Atom, AtomBits};
 use crate::error::AtomError;
 use serde::{Deserialize, Serialize};
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one byte into a running FNV-1a 64 hash.
+#[inline]
+fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a little-endian `u16` into a running FNV-1a 64 hash.
+#[inline]
+fn fnv1a_u16(hash: u64, v: u16) -> u64 {
+    let [a, b] = v.to_le_bytes();
+    fnv1a(fnv1a(hash, a), b)
+}
+
+/// Folds one atom (mag, shift, sign, last) into a running FNV-1a 64 hash.
+#[inline]
+fn fnv1a_atom(hash: u64, atom: &Atom) -> u64 {
+    let mut h = fnv1a(hash, atom.mag);
+    h = fnv1a(h, atom.shift);
+    h = fnv1a(h, atom.negative as u8);
+    fnv1a(h, atom.last as u8)
+}
+
 /// One entry of an activation stream: a non-zero atom plus its in-tile
 /// spatial coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +102,20 @@ impl ActivationStream {
     pub fn value_count(&self) -> usize {
         self.entries.iter().filter(|e| e.atom.last).count()
     }
+
+    /// Order-sensitive FNV-1a 64 checksum over every entry's atom and
+    /// coordinates. Any single-bit corruption of any field — including a
+    /// dropped, duplicated or reordered entry — changes the digest, which
+    /// is what the online detection layer verifies before intersection.
+    pub fn checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for e in &self.entries {
+            h = fnv1a_atom(h, &e.atom);
+            h = fnv1a_u16(h, e.x);
+            h = fnv1a_u16(h, e.y);
+        }
+        h
+    }
 }
 
 /// A condensed weight atom stream for one input channel (spanning all the
@@ -129,6 +170,22 @@ impl WeightStream {
             }
         }
         groups
+    }
+
+    /// Order-sensitive FNV-1a 64 checksum over every entry's atom,
+    /// coordinates and output channel. Computed once at compile time by the
+    /// weight-stream compiler and re-verified online before each
+    /// intersection, so any bit flip in the static weight side is caught
+    /// before it can pollute the accumulate buffer.
+    pub fn checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for e in &self.entries {
+            h = fnv1a_atom(h, &e.atom);
+            h = fnv1a_u16(h, e.x);
+            h = fnv1a_u16(h, e.y);
+            h = fnv1a_u16(h, e.out_ch);
+        }
+        h
     }
 }
 
@@ -225,5 +282,42 @@ mod tests {
         let s = WeightStream::default();
         assert!(s.slice_groups().is_empty());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn act_checksum_is_sensitive_to_every_field() {
+        let base = ActivationStream::from_entries(act_entry(29, 1, 2));
+        let reference = base.checksum();
+        assert_eq!(base.checksum(), reference, "checksum must be pure");
+        let mut flipped = base.entries().to_vec();
+        flipped[0].atom.mag ^= 1;
+        assert_ne!(
+            ActivationStream::from_entries(flipped).checksum(),
+            reference
+        );
+        let mut moved = base.entries().to_vec();
+        moved[0].x ^= 1;
+        assert_ne!(ActivationStream::from_entries(moved).checksum(), reference);
+        let mut truncated = base.entries().to_vec();
+        truncated.pop();
+        assert_ne!(
+            ActivationStream::from_entries(truncated).checksum(),
+            reference
+        );
+    }
+
+    #[test]
+    fn weight_checksum_detects_duplication_and_reorder() {
+        let e = weight_entries_for_slice(&[5, 0, -3, 0], 2, 2, 7, 4, AtomBits::B2).unwrap();
+        let reference = WeightStream::from_entries(e.clone()).checksum();
+        let mut dup = e.clone();
+        dup.push(dup[0]);
+        assert_ne!(WeightStream::from_entries(dup).checksum(), reference);
+        let mut swapped = e.clone();
+        swapped.swap(0, 1);
+        assert_ne!(WeightStream::from_entries(swapped).checksum(), reference);
+        let mut sign = e;
+        sign[0].atom.negative = !sign[0].atom.negative;
+        assert_ne!(WeightStream::from_entries(sign).checksum(), reference);
     }
 }

@@ -44,6 +44,17 @@
 //! `batch` experiment (default 1; implies `batch` when no experiment is
 //! named) — per-image wall time falls as the batch grows because the
 //! engine compiles each network's static weight artifacts once.
+//!
+//! `chaos` runs the deterministic fault-injection campaign of
+//! `bench::chaos`: `--campaign <n>` seeded cases, each probing every
+//! injectable structure with detection/recovery on (result must match the
+//! fault-free baseline) and with monitors off (classifying masked vs
+//! silent corruption). Exits non-zero if any detection-on run silently
+//! diverged. `--seed <s>` re-rolls the campaign.
+//!
+//! `--timeout-secs <n>` arms an opt-in watchdog: if any single experiment
+//! (or chaos/diffcheck case) runs longer than `n` seconds, the process
+//! aborts with a diagnostic naming the hung step and its elapsed time.
 
 use bench::cache::StatsCache;
 use bench::experiments::{
@@ -52,11 +63,13 @@ use bench::experiments::{
 };
 use bench::stats_gate;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>]
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--timeout-secs <n>]
        repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]
-       repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]";
+       repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]
+       repro chaos [--campaign <n>] [--seed <s>] [--json <path>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 13] = [
@@ -89,7 +102,9 @@ struct Cli {
     cases: u64,
     diff_seed: u64,
     shrink: bool,
-    repro_dir: String,
+    repro_dir: Option<String>,
+    campaign: u64,
+    timeout_secs: Option<u64>,
 }
 
 /// Parses arguments; option values (`--json`, `--metrics`, `--golden`,
@@ -108,6 +123,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut diff_seed = None;
     let mut shrink = false;
     let mut repro_dir = None;
+    let mut campaign = None;
+    let mut timeout_secs = None;
     let mut which = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -180,6 +197,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .clone(),
                 );
             }
+            "--campaign" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--campaign requires a count".to_string())?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid campaign size `{v}`"))?;
+                if n == 0 {
+                    return Err("--campaign must be at least 1".to_string());
+                }
+                campaign = Some(n);
+            }
+            "--timeout-secs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--timeout-secs requires a count".to_string())?;
+                let n: u64 = v.parse().map_err(|_| format!("invalid timeout `{v}`"))?;
+                if n == 0 {
+                    return Err("--timeout-secs must be at least 1".to_string());
+                }
+                timeout_secs = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -212,15 +251,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         if cases.is_some() {
             return Err("--cases only applies to `diffcheck`".to_string());
         }
-        if diff_seed.is_some() {
-            return Err("--seed only applies to `diffcheck`".to_string());
-        }
         if shrink {
             return Err("--shrink only applies to `diffcheck`".to_string());
         }
         if repro_dir.is_some() {
             return Err("--repro-dir only applies to `diffcheck`".to_string());
         }
+    }
+    if diff_seed.is_some() && which != "diffcheck" && which != "chaos" {
+        return Err("--seed only applies to `diffcheck` or `chaos`".to_string());
+    }
+    if campaign.is_some() && which != "chaos" {
+        return Err("--campaign only applies to `chaos`".to_string());
     }
     Ok(Cli {
         which,
@@ -235,42 +277,95 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cases: cases.unwrap_or(500),
         diff_seed: diff_seed.unwrap_or(1),
         shrink,
-        repro_dir: repro_dir.unwrap_or_else(|| "diffcheck_repros".to_string()),
+        repro_dir,
+        campaign: campaign.unwrap_or(25),
+        timeout_secs,
     })
 }
 
+/// An opt-in hang detector (`--timeout-secs`): a polling thread that
+/// aborts the whole process when the currently-registered step has been
+/// running longer than the budget, printing a diagnostic that names it.
+/// Abort (rather than unwinding) is deliberate — the hung step is by
+/// definition not going to return and cannot be cancelled cooperatively.
+struct Watchdog {
+    current: Arc<Mutex<Option<(String, Instant)>>>,
+}
+
+impl Watchdog {
+    fn arm(timeout: Duration) -> Self {
+        let current: Arc<Mutex<Option<(String, Instant)>>> = Arc::new(Mutex::new(None));
+        let watched = Arc::clone(&current);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(50));
+            let hung = {
+                let guard = watched.lock().unwrap_or_else(|e| e.into_inner());
+                guard.as_ref().and_then(|(name, since)| {
+                    (since.elapsed() > timeout).then(|| (name.clone(), since.elapsed()))
+                })
+            };
+            if let Some((name, elapsed)) = hung {
+                eprintln!(
+                    "[watchdog] step `{name}` exceeded --timeout-secs {} (running {:.1}s); aborting",
+                    timeout.as_secs(),
+                    elapsed.as_secs_f64()
+                );
+                std::process::exit(124);
+            }
+        });
+        Self { current }
+    }
+
+    /// Registers `name` as the step under watch; its clock starts now.
+    fn enter(&self, name: &str) {
+        let mut guard = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some((name.to_string(), Instant::now()));
+    }
+
+    /// Clears the watch (between steps nothing can hang).
+    fn clear(&self) {
+        let mut guard = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+    }
+}
+
+/// Registers `name` on the watchdog if one is armed.
+fn watch(wd: &Option<Watchdog>, name: &str) {
+    if let Some(wd) = wd {
+        wd.enter(name);
+    }
+}
+
+/// Serializes experiment rows, naming the experiment on failure instead of
+/// panicking (part of the no-unwrap policy of the CLI surface).
+fn rows_json<T: serde::Serialize>(name: &str, rows: &T) -> Result<serde_json::Value, String> {
+    serde_json::to_value(rows).map_err(|e| format!("serializing `{name}` rows: {e}"))
+}
+
 /// Runs one experiment by canonical name, emitting its rendered text and
-/// JSON rows. Returns `false` for an unknown name.
+/// JSON rows. Returns `Ok(false)` for an unknown name.
 fn run_one(
     which: &str,
     quick: bool,
     batch: usize,
     cache: &mut StatsCache,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
-) -> bool {
+) -> Result<bool, String> {
     match which {
         "fig1" => {
             let rows = fig01::run(quick);
-            emit(
-                "fig1",
-                fig01::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("fig1", fig01::render(&rows), rows_json("fig1", &rows)?);
         }
         "fig4" => {
             let rows = fig04::run(quick);
-            emit(
-                "fig4",
-                fig04::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("fig4", fig04::render(&rows), rows_json("fig4", &rows)?);
         }
         "fig12" | "fig13" => {
             let rows = fig12::run(quick, cache);
             emit(
                 "fig12_13",
                 fig12::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
+                rows_json("fig12_13", &rows)?,
             );
         }
         "fig14" | "fig16" => {
@@ -278,32 +373,20 @@ fn run_one(
             emit(
                 "fig14_16",
                 fig14::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
+                rows_json("fig14_16", &rows)?,
             );
         }
         "fig15" => {
             let rows = fig15::run(quick);
-            emit(
-                "fig15",
-                fig15::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("fig15", fig15::render(&rows), rows_json("fig15", &rows)?);
         }
         "fig17" => {
             let rows = fig17::run(quick, cache);
-            emit(
-                "fig17",
-                fig17::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("fig17", fig17::render(&rows), rows_json("fig17", &rows)?);
         }
         "fig18" => {
             let rows = fig18::run(quick);
-            emit(
-                "fig18",
-                fig18::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("fig18", fig18::render(&rows), rows_json("fig18", &rows)?);
         }
         "fig19" => {
             let cost = fig19::run_cost();
@@ -316,18 +399,14 @@ fn run_one(
         }
         "table6" => {
             let rows = table6::run();
-            emit(
-                "table6",
-                table6::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
-            );
+            emit("table6", table6::render(&rows), rows_json("table6", &rows)?);
         }
         "motivation" => {
             let rows = motivation::run(quick, cache);
             emit(
                 "motivation",
                 motivation::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
+                rows_json("motivation", &rows)?,
             );
         }
         "multicore" => {
@@ -335,7 +414,7 @@ fn run_one(
             emit(
                 "multicore",
                 multicore_scaling::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
+                rows_json("multicore", &rows)?,
             );
         }
         "batch" => {
@@ -343,7 +422,7 @@ fn run_one(
             emit(
                 "batch",
                 engine_batch::render(&rows),
-                serde_json::to_value(&rows).unwrap(),
+                rows_json("batch", &rows)?,
             );
         }
         "ablations" => {
@@ -356,9 +435,9 @@ fn run_one(
                 serde_json::json!({"tile_size": tiles, "fifo_depth": fifos, "balance": bals}),
             );
         }
-        _ => return false,
+        _ => return Ok(false),
     }
-    true
+    Ok(true)
 }
 
 /// Runs one experiment and reports its wall time on stderr (stderr only:
@@ -368,14 +447,19 @@ fn run_timed(
     quick: bool,
     batch: usize,
     cache: &mut StatsCache,
+    watchdog: &Option<Watchdog>,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
-) -> bool {
+) -> Result<bool, String> {
     let start = Instant::now();
-    let known = run_one(which, quick, batch, cache, emit);
+    watch(watchdog, which);
+    let known = run_one(which, quick, batch, cache, emit)?;
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
     if known {
         eprintln!("[repro] {which}: {:.2}s", start.elapsed().as_secs_f64());
     }
-    known
+    Ok(known)
 }
 
 fn main() -> ExitCode {
@@ -388,10 +472,13 @@ fn main() -> ExitCode {
         }
     };
     if let Some(n) = cli.threads {
-        rayon::ThreadPoolBuilder::new()
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build_global()
-            .expect("thread pool not yet initialized");
+        {
+            eprintln!("cannot configure {n} worker thread(s): {e}");
+            return ExitCode::FAILURE;
+        }
     }
     obs::set_tracing(cli.trace);
     // Counters stay a single disabled-branch check unless this run actually
@@ -399,15 +486,21 @@ fn main() -> ExitCode {
     if cli.metrics_path.is_some() || cli.which == "stats-check" || cli.which == "diffcheck" {
         obs::enable(true);
     }
+    let watchdog = cli
+        .timeout_secs
+        .map(|s| Watchdog::arm(Duration::from_secs(s)));
 
     let mut cache = StatsCache::new();
     let mut json = serde_json::Map::new();
 
     if cli.which == "stats-check" {
-        return stats_check(&cli, &mut cache);
+        return stats_check(&cli, &mut cache, &watchdog);
     }
     if cli.which == "diffcheck" {
-        return diffcheck_cmd(&cli);
+        return diffcheck_cmd(&cli, &watchdog);
+    }
+    if cli.which == "chaos" {
+        return chaos_cmd(&cli, &watchdog);
     }
 
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
@@ -418,16 +511,39 @@ fn main() -> ExitCode {
     let start = Instant::now();
     if cli.which == "all" {
         for which in ALL {
-            run_timed(which, cli.quick, cli.batch, &mut cache, &mut emit);
+            if let Err(e) = run_timed(
+                which, cli.quick, cli.batch, &mut cache, &watchdog, &mut emit,
+            ) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
         eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
-    } else if !run_timed(&cli.which, cli.quick, cli.batch, &mut cache, &mut emit) {
-        eprintln!("unknown experiment `{}`\n{USAGE}", cli.which);
-        return ExitCode::FAILURE;
+    } else {
+        match run_timed(
+            &cli.which, cli.quick, cli.batch, &mut cache, &watchdog, &mut emit,
+        ) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown experiment `{}`\n{USAGE}", cli.which);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(path) = cli.json_path {
-        match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        let text = match serde_json::to_string_pretty(&json) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serializing JSON results for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(&path, text) {
             Ok(()) => eprintln!("wrote JSON results to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
@@ -450,11 +566,22 @@ fn main() -> ExitCode {
 /// The `diffcheck` subcommand: drive the differential oracle over a seeded
 /// case budget, dumping each divergence as a JSON repro and failing the
 /// run if any case diverges.
-fn diffcheck_cmd(cli: &Cli) -> ExitCode {
+fn diffcheck_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
     use bench::diffcheck;
+    let repro_dir = cli.repro_dir.as_deref().unwrap_or("diffcheck_repros");
+    // An explicitly-requested repro dir is probed for writability *before*
+    // the case budget runs: a multi-minute sweep that cannot persist its
+    // repros is wasted work.
+    if cli.repro_dir.is_some() {
+        if let Err(e) = probe_writable_dir(repro_dir) {
+            eprintln!("repro dir {repro_dir} is not writable: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let start = Instant::now();
     let mut divergences = Vec::new();
     for index in 0..cli.cases {
+        watch(watchdog, &format!("diffcheck case {index}"));
         if index > 0 && index % 100 == 0 {
             eprintln!(
                 "[diffcheck] {index}/{} cases, {} divergence(s), {:.2}s",
@@ -468,18 +595,24 @@ fn diffcheck_cmd(cli: &Cli) -> ExitCode {
             divergences.push(d);
         }
     }
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
     eprintln!("[repro] diffcheck: {:.2}s", start.elapsed().as_secs_f64());
 
     if !divergences.is_empty() {
-        if let Err(e) = std::fs::create_dir_all(&cli.repro_dir) {
-            eprintln!("cannot create repro dir {}: {e}", cli.repro_dir);
+        if let Err(e) = std::fs::create_dir_all(repro_dir) {
+            eprintln!("cannot create repro dir {repro_dir}: {e}");
             return ExitCode::FAILURE;
         }
         for d in &divergences {
-            let path = format!("{}/case_{}_{}.json", cli.repro_dir, cli.diff_seed, d.index);
-            match std::fs::write(&path, serde_json::to_string_pretty(d).unwrap()) {
-                Ok(()) => eprintln!("wrote repro to {path}"),
-                Err(e) => eprintln!("failed to write {path}: {e}"),
+            let path = format!("{repro_dir}/case_{}_{}.json", cli.diff_seed, d.index);
+            match serde_json::to_string_pretty(d) {
+                Ok(text) => match std::fs::write(&path, text) {
+                    Ok(()) => eprintln!("wrote repro to {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                },
+                Err(e) => eprintln!("serializing repro for {path}: {e}"),
             }
         }
         println!(
@@ -497,15 +630,104 @@ fn diffcheck_cmd(cli: &Cli) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Proves `dir` accepts writes by round-tripping a probe file (named
+/// per-process so concurrent sweeps don't collide). Leaves no trace: if the
+/// directory had to be created for the probe, it is removed again so a
+/// divergence-free sweep still ends with no repro directory on disk.
+fn probe_writable_dir(dir: &str) -> Result<(), String> {
+    let existed = std::path::Path::new(dir).is_dir();
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let probe = format!("{dir}/.write_probe_{}", std::process::id());
+    std::fs::write(&probe, b"probe").map_err(|e| e.to_string())?;
+    std::fs::remove_file(&probe).map_err(|e| e.to_string())?;
+    if !existed {
+        std::fs::remove_dir(dir).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// The `chaos` subcommand: run the deterministic fault-injection campaign
+/// of `bench::chaos` and fail unless every detection-on run reproduced the
+/// fault-free baseline (zero silent corruptions).
+fn chaos_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
+    let start = Instant::now();
+    watch(watchdog, "chaos campaign");
+    let report = match bench::chaos::run_campaign(cli.diff_seed, cli.campaign) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
+    eprintln!("[repro] chaos: {:.2}s", start.elapsed().as_secs_f64());
+    print!("{}", report.render());
+    if let Some(path) = &cli.json_path {
+        let text = match serde_json::to_string_pretty(&report) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serializing chaos report for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("wrote chaos report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// The `stats-check` subcommand: run the quick suite with counters on and
 /// diff the snapshot against the golden file (or rewrite it with
 /// `--update`). Tables are suppressed — only counters matter here.
-fn stats_check(cli: &Cli, cache: &mut StatsCache) -> ExitCode {
+fn stats_check(cli: &Cli, cache: &mut StatsCache, watchdog: &Option<Watchdog>) -> ExitCode {
+    let golden_path = match cli.golden_path.as_deref() {
+        Some(p) => p,
+        // Unreachable by construction (parse_args rejects stats-check
+        // without --golden), but no panic on the CLI surface.
+        None => {
+            eprintln!("stats-check requires --golden <path>\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parse the golden up front (unless rewriting it): a truncated or
+    // invalid file should fail in milliseconds, not after the full suite.
+    let golden = if cli.update_golden {
+        None
+    } else {
+        match std::fs::read_to_string(golden_path) {
+            Ok(text) => match stats_gate::parse_golden(&text) {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    eprintln!("malformed golden file {golden_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read golden file {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
     let start = Instant::now();
     let mut emit = |_: &str, _: String, _: serde_json::Value| {};
     for which in ALL {
         // Batch stays 1 so the counter snapshot matches the golden file.
-        run_timed(which, true, 1, cache, &mut emit);
+        if let Err(e) = run_timed(which, true, 1, cache, watchdog, &mut emit) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
     let snap = obs::snapshot();
@@ -520,7 +742,6 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache) -> ExitCode {
         }
     }
 
-    let golden_path = cli.golden_path.as_deref().expect("validated in parse_args");
     if cli.update_golden {
         // Keep any hand-tuned tolerances from the existing golden.
         let prior = std::fs::read_to_string(golden_path)
@@ -538,16 +759,11 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache) -> ExitCode {
         };
     }
 
-    let golden = match std::fs::read_to_string(golden_path) {
-        Ok(text) => match stats_gate::parse_golden(&text) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("malformed golden file {golden_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Err(e) => {
-            eprintln!("cannot read golden file {golden_path}: {e}");
+    let golden = match golden {
+        Some(g) => g,
+        // Unreachable: `golden` is always parsed above when not updating.
+        None => {
+            eprintln!("internal error: golden file {golden_path} was not parsed");
             return ExitCode::FAILURE;
         }
     };

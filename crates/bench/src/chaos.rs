@@ -1,0 +1,375 @@
+//! Deterministic chaos campaigns over the fault-injection layer.
+//!
+//! Reuses the diffcheck case generator: each campaign index draws one
+//! randomized single-layer workload, computes its fault-free baseline, then
+//! probes every injectable structure twice —
+//!
+//! 1. a **detection run** (monitors + recovery on) that must reproduce the
+//!    baseline byte-for-byte while counting injected/detected/recovered
+//!    faults, and
+//! 2. an **exposure run** (monitors off) that classifies what an
+//!    *unprotected* pipeline would have suffered: **masked** (output still
+//!    matches the baseline) or **silent** (output corrupted with no error
+//!    raised).
+//!
+//! FIFO faults only exist in the cycle-level path, so their runs go through
+//! `Session::run_cycle_level` and compare core reports instead of output
+//! tensors. Everything is sequential and seeded, so a campaign is
+//! byte-identical for a given `(seed, campaign)` at any thread count.
+
+use crate::diffcheck::{generate_case, DiffCase};
+use crate::table;
+use hwmodel::{ComponentLib, EnergyCounter, TechNode};
+use ristretto_sim::energy::RistrettoEnergyModel;
+use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::fault::{FaultConfig, FaultStats, FaultStructure};
+use ristretto_sim::pipeline::PipelineLayer;
+use serde::Serialize;
+
+/// Injection rate (ppm) for the sparse stream structures, whose opportunity
+/// counts per case are small (tens of entries per tile attempt).
+const STREAM_PPM: u32 = 20_000;
+
+/// Injection rate (ppm) for the dense structures (accumulate-buffer words
+/// and FIFO deliveries), whose opportunity counts per case are large.
+const DENSE_PPM: u32 = 4_000;
+
+/// The campaign rate for one structure.
+fn rate(structure: FaultStructure) -> u32 {
+    match structure {
+        FaultStructure::WeightBuffer
+        | FaultStructure::WeightStream
+        | FaultStructure::ActivationStream => STREAM_PPM,
+        FaultStructure::AccumBuffer | FaultStructure::Fifo => DENSE_PPM,
+    }
+}
+
+/// Per-structure campaign outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct StructureReport {
+    /// The structure's stable dotted name (`fault.*` counter fragment).
+    pub structure: String,
+    /// Faults injected across the structure's detection runs.
+    pub injected: u64,
+    /// Faults caught by the structure's online monitor.
+    pub detected: u64,
+    /// Tile re-executions the detections triggered.
+    pub retries: u64,
+    /// Faulted tiles whose re-execution completed cleanly.
+    pub recovered_tiles: u64,
+    /// Layers replayed on the dense reference path after retry exhaustion.
+    pub layer_fallbacks: u64,
+    /// Detection runs whose recovered result diverged from the baseline —
+    /// silent corruption *despite* monitors; must be zero.
+    pub silent_with_detection: u64,
+    /// Faults injected across the structure's exposure (monitors-off) runs.
+    pub exposure_injected: u64,
+    /// Exposure runs that actually injected at least one fault.
+    pub exposed_runs: u64,
+    /// Exposure runs whose corruption was masked (result still matched the
+    /// baseline, e.g. absorbed by requantization).
+    pub masked_runs: u64,
+    /// Exposure runs whose result silently diverged from the baseline.
+    pub silent_runs: u64,
+}
+
+/// Aggregate result of one chaos campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub campaign: u64,
+    /// Per-structure outcomes, in [`FaultStructure::ALL`] order.
+    pub structures: Vec<StructureReport>,
+    /// Faults injected across all detection runs.
+    pub injected_total: u64,
+    /// Faults detected across all detection runs.
+    pub detected_total: u64,
+    /// Detection runs that silently diverged from the baseline; the
+    /// campaign fails unless this is zero.
+    pub silent_with_detection: u64,
+    /// Atom multiplications discarded with rejected tile attempts.
+    pub wasted_atom_mults: u64,
+    /// Accumulate-buffer deliveries discarded with rejected attempts.
+    pub wasted_deliveries: u64,
+    /// Energy burned by the discarded attempts (pJ), priced with each
+    /// case's own configuration.
+    pub retry_energy_pj: f64,
+}
+
+impl ChaosReport {
+    /// Whether the campaign met its acceptance bar: monitors turned every
+    /// injected fault into either a clean recovery or a typed error, never
+    /// a silently corrupted output.
+    pub fn pass(&self) -> bool {
+        self.silent_with_detection == 0
+    }
+
+    /// Renders the per-structure table plus the aggregate footer.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "structure".to_string(),
+            "injected".to_string(),
+            "detected".to_string(),
+            "retries".to_string(),
+            "recovered".to_string(),
+            "fallbacks".to_string(),
+            "silent(det)".to_string(),
+            "exposed".to_string(),
+            "masked".to_string(),
+            "silent".to_string(),
+        ]];
+        for s in &self.structures {
+            rows.push(vec![
+                s.structure.clone(),
+                s.injected.to_string(),
+                s.detected.to_string(),
+                s.retries.to_string(),
+                s.recovered_tiles.to_string(),
+                s.layer_fallbacks.to_string(),
+                s.silent_with_detection.to_string(),
+                s.exposed_runs.to_string(),
+                s.masked_runs.to_string(),
+                s.silent_runs.to_string(),
+            ]);
+        }
+        let mut out = table::render(
+            &format!(
+                "Chaos campaign (seed {}, {} cases): detection runs vs monitors-off exposure",
+                self.seed, self.campaign
+            ),
+            &rows,
+        );
+        out.push_str(&format!(
+            "total: {} injected, {} detected, {} silent with detection on\n",
+            self.injected_total, self.detected_total, self.silent_with_detection
+        ));
+        out.push_str(&format!(
+            "retry overhead: {} atom mults + {} deliveries discarded, {} re-spent\n",
+            self.wasted_atom_mults,
+            self.wasted_deliveries,
+            format_args!("{:.1} pJ", self.retry_energy_pj),
+        ));
+        out.push_str(if self.pass() {
+            "chaos: PASS (zero silent corruptions with detection on)\n"
+        } else {
+            "chaos: FAIL (silent corruption escaped the monitors)\n"
+        });
+        out
+    }
+}
+
+/// One case's compiled artifacts: the fault-free baseline plus everything
+/// needed to replay it under a fault campaign.
+struct CaseFixture {
+    case: DiffCase,
+    model: NetworkModel,
+    baseline_out: qnn::tensor::Tensor3,
+    baseline_cores: Vec<ristretto_sim::core::CoreReport>,
+}
+
+fn build_fixture(seed: u64, index: u64) -> Result<CaseFixture, String> {
+    let case = generate_case(seed, index);
+    let model = NetworkModel::new(
+        "chaos",
+        case.fmap.shape(),
+        vec![PipelineLayer {
+            name: "l0".to_string(),
+            kernels: case.kernels.clone(),
+            geom: case.geom(),
+            w_bits: qnn::quant::BitWidth::new(case.w_bits).expect("generator draws valid widths"),
+            a_bits: qnn::quant::BitWidth::new(case.a_bits).expect("generator draws valid widths"),
+            requant_shift: case.requant_shift,
+            out_bits: case.out_bits,
+            pool: None,
+        }],
+    );
+    let net = compile(&model, &case.ristretto_config())
+        .map_err(|e| format!("case {index}: compile: {e}"))?;
+    let session = Session::new(net);
+    let cycle = session
+        .run_cycle_level(&case.fmap)
+        .map_err(|e| format!("case {index}: baseline run: {e}"))?;
+    Ok(CaseFixture {
+        case,
+        model,
+        baseline_out: cycle.functional.output,
+        baseline_cores: cycle.core_reports,
+    })
+}
+
+/// Runs the case's single layer under `faults`; returns the fault counters
+/// plus whether the result (output tensor, and core reports for cycle-level
+/// runs) matched the fault-free baseline byte-for-byte.
+fn run_faulted(
+    fx: &CaseFixture,
+    faults: FaultConfig,
+    cycle_level: bool,
+) -> Result<(FaultStats, bool), String> {
+    let cfg = fx.case.ristretto_config().with_faults(Some(faults));
+    let net = compile(&fx.model, &cfg)
+        .map_err(|e| format!("case {}: faulted compile: {e}", fx.case.index))?;
+    let session = Session::new(net);
+    if cycle_level {
+        let run = session
+            .run_cycle_level(&fx.case.fmap)
+            .map_err(|e| format!("case {}: faulted cycle run: {e}", fx.case.index))?;
+        let clean =
+            run.functional.output == fx.baseline_out && run.core_reports == fx.baseline_cores;
+        Ok((run.functional.faults, clean))
+    } else {
+        let run = session
+            .run(&fx.case.fmap)
+            .map_err(|e| format!("case {}: faulted run: {e}", fx.case.index))?;
+        let clean = run.output == fx.baseline_out;
+        Ok((run.faults, clean))
+    }
+}
+
+/// Per-case fault seed: decorrelates campaigns across cases (the injector
+/// itself only hashes within-layer coordinates).
+fn case_fault_seed(seed: u64, index: u64) -> u64 {
+    (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x243F_6A88_85A3_08D3)
+}
+
+/// Runs a chaos campaign of `campaign` generated cases under `seed`.
+///
+/// Sequential by construction — per-case, per-structure runs happen in a
+/// fixed order so the report (including the floating-point energy total) is
+/// byte-identical for a given `(seed, campaign)` at any thread count.
+pub fn run_campaign(seed: u64, campaign: u64) -> Result<ChaosReport, String> {
+    let lib = ComponentLib::n28();
+    let mut structures: Vec<StructureReport> = FaultStructure::ALL
+        .iter()
+        .map(|s| StructureReport {
+            structure: s.name().to_string(),
+            ..StructureReport::default()
+        })
+        .collect();
+    let mut wasted_atom_mults = 0u64;
+    let mut wasted_deliveries = 0u64;
+    let mut retry_energy_pj = 0.0f64;
+
+    for index in 0..campaign {
+        let fx = build_fixture(seed, index)?;
+        let fseed = case_fault_seed(seed, index);
+        let energy = RistrettoEnergyModel::new(&fx.case.ristretto_config(), &lib, TechNode::N28);
+
+        for (si, &structure) in FaultStructure::ALL.iter().enumerate() {
+            let cycle_level = structure == FaultStructure::Fifo;
+            let base = FaultConfig::quiescent(fseed).with_rate(structure, rate(structure));
+
+            // Detection run: monitors + recovery on; the result must be
+            // byte-identical to the fault-free baseline.
+            let (stats, clean) = run_faulted(&fx, base, cycle_level)?;
+            let row = &mut structures[si];
+            row.injected += stats.injected(structure);
+            row.detected += stats.detected(structure);
+            row.retries += stats.retries;
+            row.recovered_tiles += stats.recovered_tiles;
+            row.layer_fallbacks += stats.layer_fallbacks;
+            if !clean {
+                row.silent_with_detection += 1;
+            }
+            wasted_atom_mults += stats.wasted_atom_mults;
+            wasted_deliveries += stats.wasted_deliveries;
+            retry_energy_pj += energy.price_retry_overhead(
+                &mut EnergyCounter::new(),
+                stats.wasted_atom_mults,
+                stats.wasted_deliveries,
+            );
+
+            // Exposure run: same faults, monitors off — classifies what an
+            // unprotected pipeline would have emitted.
+            let (stats, clean) = run_faulted(&fx, base.with_detect(false), cycle_level)?;
+            let row = &mut structures[si];
+            row.exposure_injected += stats.injected(structure);
+            if stats.injected(structure) > 0 {
+                row.exposed_runs += 1;
+                if clean {
+                    row.masked_runs += 1;
+                } else {
+                    row.silent_runs += 1;
+                }
+            }
+        }
+    }
+
+    let injected_total = structures.iter().map(|s| s.injected).sum();
+    let detected_total = structures.iter().map(|s| s.detected).sum();
+    let silent_with_detection = structures.iter().map(|s| s.silent_with_detection).sum();
+    Ok(ChaosReport {
+        seed,
+        campaign,
+        structures,
+        injected_total,
+        detected_total,
+        silent_with_detection,
+        wasted_atom_mults,
+        wasted_deliveries,
+        retry_energy_pj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_detects_everything_and_recovers() {
+        let report = run_campaign(crate::SEED, 6).expect("campaign runs");
+        assert!(report.pass(), "silent corruption with detection on");
+        assert!(report.injected_total > 0, "campaign injected nothing");
+        assert_eq!(
+            report.detected_total, report.injected_total,
+            "single-structure runs must detect every injected fault"
+        );
+        for row in &report.structures {
+            assert!(
+                row.injected > 0,
+                "structure {} never injected; raise its rate",
+                row.structure
+            );
+            assert_eq!(row.silent_with_detection, 0, "{}", row.structure);
+        }
+        // Some detection must have forced rework, and some exposure run
+        // must have shown visible corruption (otherwise the monitors are
+        // never exercised against anything consequential).
+        assert!(report.structures.iter().any(|s| s.retries > 0));
+        assert!(report.structures.iter().any(|s| s.silent_runs > 0));
+        assert!(report.wasted_atom_mults > 0);
+        assert!(report.retry_energy_pj > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("chaos: PASS"));
+        assert!(rendered.contains("weight_buffer"));
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(7, 3).expect("campaign runs");
+        let b = run_campaign(7, 3).expect("campaign runs");
+        assert_eq!(a.structures, b.structures);
+        assert_eq!(a.wasted_atom_mults, b.wasted_atom_mults);
+        assert_eq!(a.retry_energy_pj, b.retry_energy_pj);
+        let c = run_campaign(8, 3).expect("campaign runs");
+        assert_ne!(
+            a.structures, c.structures,
+            "different seeds should draw different faults"
+        );
+    }
+
+    #[test]
+    fn acceptance_campaign_clears_the_injection_floor() {
+        // The CI smoke campaign: ≥500 injected faults across all
+        // structures, zero silent corruptions with detection on.
+        let report = run_campaign(crate::SEED, 25).expect("campaign runs");
+        assert!(report.pass());
+        assert!(
+            report.injected_total >= 500,
+            "campaign injected only {} faults",
+            report.injected_total
+        );
+        assert_eq!(report.detected_total, report.injected_total);
+    }
+}

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod diffcheck;
 pub mod experiments;
 pub mod stats_gate;

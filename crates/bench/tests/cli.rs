@@ -310,3 +310,140 @@ fn invalid_thread_counts_are_rejected() {
     let out = repro(&["--threads", "2", "table6"]);
     assert!(out.status.success());
 }
+
+#[test]
+fn stats_check_rejects_truncated_golden_before_running() {
+    // A truncated golden file is a typed error in milliseconds — the gate
+    // must not burn the full quick suite before noticing.
+    let dir = std::env::temp_dir().join(format!("repro_gate_trunc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trunc = dir.join("trunc.json");
+    std::fs::write(&trunc, r#"{"counters": {"#).unwrap();
+    let start = std::time::Instant::now();
+    let out = repro(&["stats-check", "--golden", trunc.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("malformed golden file"), "{err}");
+    assert!(
+        err.contains("trunc.json"),
+        "error must name the path: {err}"
+    );
+    assert!(
+        start.elapsed().as_secs() < 20,
+        "truncated golden should fail fast, took {:?}",
+        start.elapsed()
+    );
+    // Invalid (non-JSON) content takes the same path.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json at all").unwrap();
+    let out = repro(&["stats-check", "--golden", garbage.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed golden file"));
+    // A missing golden is a typed error too.
+    let missing = dir.join("missing.json");
+    let out = repro(&["stats-check", "--golden", missing.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read golden file"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diffcheck_unwritable_repro_dir_fails_before_the_sweep() {
+    // `--repro-dir` pointing under a regular file can never hold repros;
+    // the probe must reject it up front with a typed error naming the path.
+    let dir = std::env::temp_dir().join(format!("repro_dc_probe_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "a regular file").unwrap();
+    let bad = blocker.join("repros");
+    let out = repro(&[
+        "diffcheck",
+        "--cases",
+        "1",
+        "--repro-dir",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("is not writable"), "{err}");
+    assert!(err.contains("repros"), "error must name the path: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_campaign_passes_and_is_thread_invariant() {
+    let one = repro(&["chaos", "--campaign", "4", "--seed", "3", "--threads", "1"]);
+    let four = repro(&["chaos", "--campaign", "4", "--seed", "3", "--threads", "4"]);
+    assert!(
+        one.status.success(),
+        "chaos failed:\n{}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    assert!(four.status.success());
+    assert_eq!(
+        one.stdout, four.stdout,
+        "chaos report differs by thread count"
+    );
+    let text = String::from_utf8_lossy(&one.stdout);
+    assert!(text.contains("chaos: PASS"), "{text}");
+    assert!(text.contains("0 silent with detection on"), "{text}");
+}
+
+#[test]
+fn chaos_json_report_is_written_and_parses() {
+    let dir = std::env::temp_dir().join(format!("repro_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos.json");
+    let out = repro(&[
+        "chaos",
+        "--campaign",
+        "3",
+        "--seed",
+        "5",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(json["seed"], 5u64);
+    assert_eq!(json["campaign"], 3u64);
+    assert_eq!(json["silent_with_detection"], 0u64);
+    let structures = json["structures"].as_array().expect("structures array");
+    assert_eq!(structures.len(), 5);
+    assert!(structures.iter().any(|s| s["structure"] == "weight_buffer"));
+    assert!(json["injected_total"].as_u64().unwrap() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_options_are_validated() {
+    let out = repro(&["table6", "--campaign", "10"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only applies to `chaos`"));
+    let out = repro(&["chaos", "--campaign", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--campaign must be at least 1"));
+    let out = repro(&["chaos", "--campaign", "many"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid campaign size"));
+}
+
+#[test]
+fn watchdog_aborts_hung_steps_and_spares_fast_ones() {
+    // A campaign far larger than one second of work trips the watchdog,
+    // which exits 124 naming the hung step.
+    let out = repro(&["chaos", "--campaign", "1000000", "--timeout-secs", "1"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(124));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[watchdog]"), "{err}");
+    assert!(err.contains("chaos campaign"), "{err}");
+    // A fast experiment under a generous budget is untouched.
+    let out = repro(&["table6", "--timeout-secs", "120"]);
+    assert!(out.status.success());
+    // The flag's value is validated.
+    let out = repro(&["table6", "--timeout-secs", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--timeout-secs must be at least 1"));
+}

@@ -92,6 +92,16 @@ impl EnergyCounter {
         obs::record(obs::Event::HwmodelBufferEvents, count);
     }
 
+    /// Records `count` rework events of `pj_each` picojoules — compute
+    /// discarded and re-done after a fault-detection rollback. Priced into
+    /// the compute bucket (the rework burns the same datapath energy as
+    /// the first attempt did).
+    pub fn rework(&mut self, count: u64, pj_each: f64) {
+        self.breakdown.compute_pj += count as f64 * pj_each;
+        self.events += count;
+        obs::record(obs::Event::HwmodelComputeEvents, count);
+    }
+
     /// Records DRAM traffic of `bits` bits.
     pub fn dram_bits(&mut self, bits: u64) {
         self.breakdown.dram_pj += crate::dram::dram_energy_pj(bits);

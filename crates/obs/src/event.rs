@@ -199,6 +199,36 @@ events! {
      "Per-input layer executions served from compiled artifacts."),
     (EngineRunActAtoms, "engine.run.act_atoms", Sum, "atoms", "§III/Fig 5",
      "Activation atoms streamed during session runs."),
+    (FaultInjectedWeightBuffer, "fault.injected.weight_buffer", Sum, "faults", "§IV-B",
+     "Bit flips injected into weight-buffer packed records."),
+    (FaultInjectedWeightStream, "fault.injected.weight_stream", Sum, "faults", "§III-B",
+     "Bit flips injected into in-flight weight atom stream entries."),
+    (FaultInjectedActStream, "fault.injected.act_stream", Sum, "faults", "§III-B",
+     "Bit flips injected into in-flight activation atom stream entries."),
+    (FaultInjectedAccum, "fault.injected.accum", Sum, "faults", "§IV-C4",
+     "Bit flips injected into accumulate-buffer words."),
+    (FaultInjectedFifo, "fault.injected.fifo", Sum, "faults", "§IV-C4",
+     "Atomulator FIFO entries dropped or duplicated by injection."),
+    (FaultDetectedWeightBuffer, "fault.detected.weight_buffer", Sum, "faults", "§IV-B",
+     "Weight-buffer faults caught by the stream checksum monitor."),
+    (FaultDetectedWeightStream, "fault.detected.weight_stream", Sum, "faults", "§III-B",
+     "Weight-stream faults caught by the stream checksum monitor."),
+    (FaultDetectedActStream, "fault.detected.act_stream", Sum, "faults", "§III-B",
+     "Activation-stream faults caught by the stream checksum monitor."),
+    (FaultDetectedAccum, "fault.detected.accum", Sum, "faults", "§IV-C4",
+     "Accumulate-buffer faults caught by the conservation/digest monitors."),
+    (FaultDetectedFifo, "fault.detected.fifo", Sum, "faults", "§IV-C4",
+     "FIFO faults caught by the enqueue-accounting monitor."),
+    (FaultRetries, "fault.retries", Sum, "retries", "§IV-C",
+     "Tile re-executions triggered by detected faults."),
+    (FaultRecoveredTiles, "fault.recovered_tiles", Sum, "tiles", "§IV-C",
+     "Faulted tiles whose re-execution completed cleanly."),
+    (FaultLayerFallbacks, "fault.layer_fallbacks", Sum, "layers", "§IV-C",
+     "Layers replayed on the dense reference path after retry exhaustion."),
+    (FaultWastedAtomMults, "fault.wasted_atom_mults", Sum, "mults", "§IV-C",
+     "Atom multiplications discarded with rejected tile attempts."),
+    (FaultRetryEnergyFj, "fault.retry_energy_fj", Sum, "fJ", "§V-E",
+     "Energy attributed to discarded tile attempts and their re-execution."),
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ pub enum ConfigError {
     UnsupportedGranularity(u8),
     /// A multi-core configuration with zero cores.
     ZeroCores,
+    /// A fault-injection rate above 1 000 000 ppm (more than one fault per
+    /// opportunity is meaningless).
+    FaultRateOutOfRange(u32),
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +43,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "Fig 19 evaluates 1/2/3-bit atoms, not {bits}")
             }
             ConfigError::ZeroCores => write!(f, "need at least one core"),
+            ConfigError::FaultRateOutOfRange(ppm) => {
+                write!(f, "fault rate {ppm} ppm exceeds 1000000 ppm")
+            }
         }
     }
 }
@@ -80,6 +86,10 @@ pub struct RistrettoConfig {
     /// Whether the w/a load balancer is enabled (§IV-E); the input layer is
     /// never balanced regardless.
     pub balancing: crate::balance::BalanceStrategy,
+    /// Optional deterministic fault-injection campaign. `None` (the
+    /// default) leaves every execution path byte-identical to a build
+    /// without the faultsim layer.
+    pub faults: Option<crate::fault::FaultConfig>,
 }
 
 impl RistrettoConfig {
@@ -100,6 +110,7 @@ impl RistrettoConfig {
             fifo_depth: 4,
             sparse: true,
             balancing: crate::balance::BalanceStrategy::WeightActivation,
+            faults: None,
         }
     }
 
@@ -179,6 +190,13 @@ impl RistrettoConfig {
         self
     }
 
+    /// Returns a copy with a fault-injection campaign attached (or
+    /// detached with `None`).
+    pub fn with_faults(mut self, faults: Option<crate::fault::FaultConfig>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -196,6 +214,7 @@ impl RistrettoConfig {
         if self.acc_bits < 16 || self.acc_bits > 48 {
             return Err(ConfigError::AccumulatorWidth(self.acc_bits));
         }
+        crate::fault::validate_config(self)?;
         Ok(())
     }
 }
@@ -263,6 +282,22 @@ mod tests {
             ConfigError::UnsupportedGranularity(4).to_string(),
             "Fig 19 evaluates 1/2/3-bit atoms, not 4"
         );
+    }
+
+    #[test]
+    fn fault_rates_are_validated() {
+        let ok = RistrettoConfig::paper_default()
+            .with_faults(Some(crate::fault::FaultConfig::uniform(1, 1_000_000)));
+        assert!(ok.validate().is_ok());
+        let bad = RistrettoConfig::paper_default()
+            .with_faults(Some(crate::fault::FaultConfig::uniform(1, 1_000_001)));
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::FaultRateOutOfRange(1_000_001))
+        );
+        assert!(ConfigError::FaultRateOutOfRange(1_000_001)
+            .to_string()
+            .contains("1000001"));
     }
 
     #[test]

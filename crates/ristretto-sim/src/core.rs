@@ -10,6 +10,7 @@
 
 use crate::balance::{balance, ChannelWorkload};
 use crate::config::{ConfigError, RistrettoConfig};
+use crate::fault::{FaultDetected, FaultInjector, FaultSite, FaultStats, FaultStructure};
 use crate::tile::{TileReport, TileSim};
 use atomstream::compress::compress_activations;
 use atomstream::conv_csc::WeightStreamSet;
@@ -20,6 +21,40 @@ use qnn::error::QnnError;
 use qnn::tensor::{Tensor3, Tensor4};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a cycle-level core run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Stream construction or geometry error.
+    Atom(AtomError),
+    /// A fault escaped the retry budget with recovery disabled.
+    Fault(FaultDetected),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Atom(e) => e.fmt(f),
+            CoreError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<AtomError> for CoreError {
+    fn from(e: AtomError) -> Self {
+        CoreError::Atom(e)
+    }
+}
+
+impl From<FaultDetected> for CoreError {
+    fn from(e: FaultDetected) -> Self {
+        CoreError::Fault(e)
+    }
+}
 
 /// Result of a cycle-level core run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -203,9 +238,17 @@ impl CoreSim {
             .map(|group| {
                 let mut agg = TileReport::default();
                 for &ci in group {
+                    // Always-on weight-path integrity monitor: the compiled
+                    // checksum register must match the stream about to enter
+                    // the Atomputer.
+                    weights.verify_channel(ci)?;
                     let ws = weights.stream(ci);
                     for acts in &act_streams[ci] {
                         let r = tile_sim.run(ws, acts);
+                        debug_assert!(
+                            r.ideal_cycles() >= tile_sim.ideal(acts.len() as u64, ws.len() as u64),
+                            "Eq 3 lower bound violated: a tile cannot beat its ideal step count"
+                        );
                         agg.cycles += r.cycles;
                         agg.stall_cycles += r.stall_cycles;
                         agg.atom_mults += r.atom_mults;
@@ -214,9 +257,9 @@ impl CoreSim {
                         agg.max_queue = agg.max_queue.max(r.max_queue);
                     }
                 }
-                agg
+                Ok(agg)
             })
-            .collect();
+            .collect::<Result<_, AtomError>>()?;
         let tile_cycles: Vec<u64> = tiles.iter().map(|t| t.cycles).collect();
         Ok(CoreReport {
             makespan: tile_cycles.iter().copied().max().unwrap_or(0),
@@ -224,6 +267,152 @@ impl CoreSim {
             tiles,
             groups: assignment.groups,
         })
+    }
+
+    /// Fault-aware variant of [`CoreSim::run_layer_streams`]: Atomulator
+    /// FIFO faults are injected per the configured campaign, the
+    /// enqueue-accounting digests and the Eq 3 lower bound act as online
+    /// monitors, and detected tiles re-execute within the retry budget
+    /// (faults re-roll per attempt). Exhausting the budget falls back to a
+    /// clean re-run when recovery is on, and raises
+    /// [`CoreError::Fault`] otherwise.
+    ///
+    /// Byte-deterministic for a given campaign seed at any thread count:
+    /// every injection decision is a pure hash of its site, and group
+    /// results (including the merged [`FaultStats`]) collect in group
+    /// order.
+    ///
+    /// # Errors
+    /// Propagates stream/geometry errors, and an uncontained fault as
+    /// [`CoreError::Fault`] when recovery is disabled.
+    pub fn run_layer_streams_faulty(
+        &self,
+        weights: &WeightStreamSet,
+        fmap: &Tensor3,
+        a_bits: u8,
+        injector: &FaultInjector,
+        layer: usize,
+    ) -> Result<(CoreReport, FaultStats), CoreError> {
+        let _span = obs::span("core.run_layer_faulty");
+        let (c, _, _) = fmap.shape();
+        if c != weights.in_channels() {
+            return Err(CoreError::Atom(
+                QnnError::ChannelMismatch {
+                    fmap: c,
+                    kernel: weights.in_channels(),
+                }
+                .into(),
+            ));
+        }
+        if weights.atom_bits() != self.cfg.atom_bits {
+            return Err(CoreError::Atom(AtomError::GranularityMismatch {
+                compiled: weights.atom_bits().bits(),
+                requested: self.cfg.atom_bits.bits(),
+            }));
+        }
+        let act_streams = self.activation_streams(fmap, a_bits)?;
+        let workloads: Vec<ChannelWorkload> = act_streams
+            .iter()
+            .enumerate()
+            .map(|(i, tiles)| ChannelWorkload {
+                channel: i,
+                act_atoms: tiles.iter().map(|t| t.len() as u64).sum(),
+                weight_atoms: weights.atoms(i),
+            })
+            .collect();
+        let assignment = balance(
+            &workloads,
+            self.cfg.tiles,
+            self.cfg.multipliers as u64,
+            self.cfg.balancing,
+        );
+
+        let tile_sim = TileSim::new(&self.cfg);
+        let results: Vec<(TileReport, FaultStats)> = assignment
+            .groups
+            .par_iter()
+            .map(|group| {
+                let mut agg = TileReport::default();
+                let mut stats = FaultStats::default();
+                for &ci in group {
+                    weights.verify_channel(ci).map_err(CoreError::Atom)?;
+                    let ws = weights.stream(ci);
+                    for (tidx, acts) in act_streams[ci].iter().enumerate() {
+                        let ideal = tile_sim.ideal(acts.len() as u64, ws.len() as u64);
+                        let max_attempts = injector.max_attempts();
+                        let mut attempt = 0u32;
+                        let r = loop {
+                            let site = FaultSite {
+                                layer,
+                                channel: ci,
+                                tile: tidx,
+                                attempt,
+                                item: 0,
+                            };
+                            let (r, check) = tile_sim.run_faulty(ws, acts, injector, site);
+                            stats.record_injected(FaultStructure::Fifo, check.injected);
+                            // Two FIFO monitors: the enqueue-accounting
+                            // digests, and the Eq 3 lower bound (a dropped
+                            // delivery can only shorten the run).
+                            let detected =
+                                injector.detect() && (check.detected() || r.ideal_cycles() < ideal);
+                            if !detected {
+                                if attempt > 0 {
+                                    stats.record_recovered_tile();
+                                }
+                                break r;
+                            }
+                            stats.record_detected(FaultStructure::Fifo, check.injected);
+                            stats.record_wasted(r.atom_mults, r.deliveries);
+                            if attempt >= max_attempts {
+                                if injector.recover() {
+                                    // Budget exhausted: tile-level clean
+                                    // re-execution (the dense fallback of
+                                    // the functional path has no cycle
+                                    // analogue).
+                                    stats.record_recovered_tile();
+                                    break tile_sim.run(ws, acts);
+                                }
+                                return Err(CoreError::Fault(FaultDetected {
+                                    structure: FaultStructure::Fifo,
+                                    layer,
+                                    channel: ci,
+                                    tile: tidx,
+                                    attempts: attempt + 1,
+                                }));
+                            }
+                            stats.record_retry();
+                            attempt += 1;
+                        };
+                        agg.cycles += r.cycles;
+                        agg.stall_cycles += r.stall_cycles;
+                        agg.atom_mults += r.atom_mults;
+                        agg.deliveries += r.deliveries;
+                        agg.crossbar_conflicts += r.crossbar_conflicts;
+                        agg.max_queue = agg.max_queue.max(r.max_queue);
+                    }
+                }
+                Ok((agg, stats))
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let mut stats = FaultStats::default();
+        let tiles: Vec<TileReport> = results
+            .into_iter()
+            .map(|(r, s)| {
+                stats.merge(&s);
+                r
+            })
+            .collect();
+        let tile_cycles: Vec<u64> = tiles.iter().map(|t| t.cycles).collect();
+        Ok((
+            CoreReport {
+                makespan: tile_cycles.iter().copied().max().unwrap_or(0),
+                tile_cycles,
+                tiles,
+                groups: assignment.groups,
+            },
+            stats,
+        ))
     }
 
     /// The configuration this core was built with.
@@ -303,6 +492,88 @@ mod tests {
         );
         assert!(wa.utilization() >= 0.5);
         assert_eq!(wa.atom_mults(), none.atom_mults());
+    }
+
+    #[test]
+    fn faulty_run_with_recovery_matches_clean_report() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultStructure};
+        let s = materialized(21);
+        let core = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation)).unwrap();
+        let weights = WeightStreamSet::compile(
+            &s.kernels,
+            qnn::quant::BitWidth::W4,
+            core.config().atom_bits,
+        )
+        .unwrap();
+        let clean = core.run_layer_streams(&weights, &s.fmap, 8).unwrap();
+        let cfg_f = FaultConfig::quiescent(3).with_rate(FaultStructure::Fifo, 5_000);
+        let injector = FaultInjector::new(cfg_f);
+        let (faulty, stats) = core
+            .run_layer_streams_faulty(&weights, &s.fmap, 8, &injector, 0)
+            .unwrap();
+        assert!(stats.injected(FaultStructure::Fifo) > 0);
+        assert_eq!(
+            stats.detected(FaultStructure::Fifo),
+            stats.injected(FaultStructure::Fifo),
+            "every FIFO drop/duplicate must trip the enqueue digests"
+        );
+        assert!(stats.recovered_tiles > 0);
+        // Recovery restores the clean cycle-level report exactly.
+        assert_eq!(faulty, clean);
+        // Determinism across repeated runs.
+        let (again, stats2) = core
+            .run_layer_streams_faulty(&weights, &s.fmap, 8, &injector, 0)
+            .unwrap();
+        assert_eq!(faulty, again);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn unrecovered_fault_is_a_typed_error() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultStructure};
+        let s = materialized(23);
+        let core = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation)).unwrap();
+        let weights = WeightStreamSet::compile(
+            &s.kernels,
+            qnn::quant::BitWidth::W4,
+            core.config().atom_bits,
+        )
+        .unwrap();
+        let cfg_f = FaultConfig::quiescent(5)
+            .with_rate(FaultStructure::Fifo, 50_000)
+            .with_recover(false);
+        let injector = FaultInjector::new(cfg_f);
+        let err = core
+            .run_layer_streams_faulty(&weights, &s.fmap, 8, &injector, 4)
+            .unwrap_err();
+        match err {
+            CoreError::Fault(f) => {
+                assert_eq!(f.structure, FaultStructure::Fifo);
+                assert_eq!(f.layer, 4);
+                assert_eq!(f.attempts, 1);
+            }
+            other => panic!("expected a fault error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quiescent_faulty_run_matches_clean_run() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let s = materialized(25);
+        let core = CoreSim::try_new(small_cfg(BalanceStrategy::WeightActivation)).unwrap();
+        let weights = WeightStreamSet::compile(
+            &s.kernels,
+            qnn::quant::BitWidth::W4,
+            core.config().atom_bits,
+        )
+        .unwrap();
+        let clean = core.run_layer_streams(&weights, &s.fmap, 8).unwrap();
+        let injector = FaultInjector::new(FaultConfig::quiescent(1));
+        let (faulty, stats) = core
+            .run_layer_streams_faulty(&weights, &s.fmap, 8, &injector, 0)
+            .unwrap();
+        assert_eq!(faulty, clean);
+        assert_eq!(stats, crate::fault::FaultStats::default());
     }
 
     #[test]

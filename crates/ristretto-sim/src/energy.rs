@@ -89,6 +89,25 @@ impl RistrettoEnergyModel {
         }
     }
 
+    /// Prices the work discarded by fault-detection rollbacks: every atom
+    /// multiplication and Atomulator delivery of a rejected tile attempt
+    /// burned real energy before the monitor fired, then had to be redone.
+    /// Recorded into the compute bucket via [`EnergyCounter::rework`] and
+    /// attributed to the `fault.retry_energy_fj` observability counter.
+    pub fn price_retry_overhead(
+        &self,
+        counter: &mut EnergyCounter,
+        wasted_atom_mults: u64,
+        wasted_deliveries: u64,
+    ) -> f64 {
+        counter.rework(wasted_atom_mults, self.atom_mult_pj);
+        counter.rework(wasted_deliveries, self.delivery_pj);
+        let pj = wasted_atom_mults as f64 * self.atom_mult_pj
+            + wasted_deliveries as f64 * self.delivery_pj;
+        obs::record(obs::Event::FaultRetryEnergyFj, (pj * 1000.0).round() as u64);
+        pj
+    }
+
     /// Leakage energy (pJ) over `cycles` cycles of the whole core.
     pub fn leakage_pj(&self, cycles: u64) -> f64 {
         let watts = self.leakage_mw_per_mm2 * self.area_mm2 * 1e-3;
@@ -199,6 +218,19 @@ mod tests {
         let m = model();
         assert!((m.leakage_pj(2000) / m.leakage_pj(1000) - 2.0).abs() < 1e-9);
         assert_eq!(m.leakage_pj(0), 0.0);
+    }
+
+    #[test]
+    fn retry_overhead_is_priced_into_compute() {
+        let m = model();
+        let mut c = EnergyCounter::new();
+        let pj = m.price_retry_overhead(&mut c, 100, 10);
+        assert!(pj > 0.0);
+        let expected = 100.0 * m.atom_mult_pj + 10.0 * m.delivery_pj;
+        assert!((pj - expected).abs() < 1e-9);
+        assert!((c.breakdown().compute_pj - expected).abs() < 1e-9);
+        assert_eq!(c.events(), 110);
+        assert_eq!(m.price_retry_overhead(&mut EnergyCounter::new(), 0, 0), 0.0);
     }
 
     #[test]

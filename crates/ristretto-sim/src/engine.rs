@@ -12,19 +12,29 @@
 //! cost across a batch.
 
 use crate::config::{ConfigError, RistrettoConfig};
-use crate::core::{CoreReport, CoreSim};
+use crate::core::{CoreError, CoreReport, CoreSim};
+use crate::fault::{
+    plane_digest, FaultDetected, FaultInjector, FaultSite, FaultStats, FaultStructure,
+};
 use crate::pipeline::{LayerTrace, PipelineLayer};
 use crate::ppu::{PostProcessor, PpuOutput};
 use crate::weightbuf::WeightBufferImage;
-use atomstream::conv_csc::{conv2d_csc_streams, CscConfig, WeightStreamSet};
+use atomstream::compress::compress_activations;
+use atomstream::conv_csc::{conv2d_csc_streams, CscConfig, CscStats, WeightStreamSet};
 use atomstream::error::AtomError;
-use qnn::conv::ConvGeometry;
+use atomstream::flatten::flatten_tile;
+use atomstream::intersect::{
+    act_value_sum, intersect, weight_term_sum, FullConvAcc, IntersectConfig,
+};
+use atomstream::stream::{ActivationStream, WeightStream};
+use qnn::conv::{conv2d, ConvGeometry};
 use qnn::error::QnnError;
 use qnn::mini::MiniNetwork;
 use qnn::pool::{pool2d, PoolKind};
 use qnn::quant::BitWidth;
-use qnn::tensor::Tensor3;
+use qnn::tensor::{AccTensor3, Tensor3, Tensor4};
 use qnn::workload::{WeightProfile, WorkloadGen};
+use rayon::prelude::*;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -36,6 +46,8 @@ pub enum EngineError {
     Config(ConfigError),
     /// Stream construction or geometry failed.
     Atom(AtomError),
+    /// A fault escaped its tile's retry budget with recovery disabled.
+    Fault(FaultDetected),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +55,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Config(e) => write!(f, "configuration error: {e}"),
             EngineError::Atom(e) => write!(f, "stream error: {e}"),
+            EngineError::Fault(e) => e.fmt(f),
         }
     }
 }
@@ -52,6 +65,7 @@ impl Error for EngineError {
         match self {
             EngineError::Config(e) => Some(e),
             EngineError::Atom(e) => Some(e),
+            EngineError::Fault(e) => Some(e),
         }
     }
 }
@@ -71,6 +85,21 @@ impl From<AtomError> for EngineError {
 impl From<QnnError> for EngineError {
     fn from(e: QnnError) -> Self {
         EngineError::Atom(AtomError::Qnn(e))
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Atom(a) => EngineError::Atom(a),
+            CoreError::Fault(f) => EngineError::Fault(f),
+        }
+    }
+}
+
+impl From<FaultDetected> for EngineError {
+    fn from(e: FaultDetected) -> Self {
+        EngineError::Fault(e)
     }
 }
 
@@ -141,6 +170,10 @@ impl NetworkModel {
 pub struct CompiledLayer {
     name: String,
     weights: WeightStreamSet,
+    /// Dense kernels retained for the fault-recovery fallback: a layer
+    /// whose sparse path keeps faulting re-executes on the bit-exact dense
+    /// reference convolution.
+    kernels: Tensor4,
     geom: ConvGeometry,
     a_bits: BitWidth,
     requant_shift: u32,
@@ -189,6 +222,7 @@ impl CompiledLayer {
         Ok(Self {
             name: layer.name.clone(),
             weights,
+            kernels: layer.kernels.clone(),
             geom: layer.geom,
             a_bits: layer.a_bits,
             requant_shift: layer.requant_shift,
@@ -204,6 +238,16 @@ impl CompiledLayer {
     /// intersection, PPU and optional pooling.
     fn execute(&self, csc: &CscConfig, act: &Tensor3) -> Result<(Tensor3, LayerTrace), AtomError> {
         let out = conv2d_csc_streams(act, &self.weights, self.geom, self.a_bits, csc)?;
+        self.post_process(csc, &out.output, out.stats)
+    }
+
+    /// The PPU + pooling tail shared by the clean and fault-aware paths.
+    fn post_process(
+        &self,
+        csc: &CscConfig,
+        conv_out: &AccTensor3,
+        stats: CscStats,
+    ) -> Result<(Tensor3, LayerTrace), AtomError> {
         let ppu = PostProcessor {
             requant_shift: self.requant_shift,
             out_bits: self.out_bits,
@@ -216,7 +260,7 @@ impl CompiledLayer {
             values_per_channel,
             atoms_per_channel,
             ..
-        } = ppu.try_process(&out.output)?;
+        } = ppu.try_process(conv_out)?;
         let next = match self.pool {
             Some((kind, window, stride, padding)) => {
                 pool2d(&activations, kind, window, stride, padding)?
@@ -227,16 +271,301 @@ impl CompiledLayer {
             next,
             LayerTrace {
                 name: self.name.clone(),
-                stats: out.stats,
+                stats,
                 out_values_per_channel: values_per_channel,
                 out_atoms_per_channel: atoms_per_channel,
             },
         ))
     }
 
+    /// Fault-aware variant of [`CompiledLayer::execute`]: faults are
+    /// injected into the weight-buffer records, both atom streams and the
+    /// accumulate-buffer words of every tile attempt per the campaign,
+    /// the online monitors (stream checksums, the Eq 4/5 conservation law
+    /// and the accumulate-plane digest) gate each tile, detected tiles
+    /// re-execute within the retry budget (faults re-roll per attempt),
+    /// and a tile that exhausts its budget triggers the dense-reference
+    /// fallback for the whole layer when recovery is on — keeping the
+    /// layer output byte-identical to a fault-free run.
+    ///
+    /// Byte-deterministic at any thread count: injection decisions are
+    /// pure site hashes, channels merge in channel order, and `i64`
+    /// plane addition commutes.
+    fn execute_with_faults(
+        &self,
+        csc: &CscConfig,
+        act: &Tensor3,
+        injector: &FaultInjector,
+        layer_idx: usize,
+        acc_bits: u8,
+    ) -> Result<(Tensor3, LayerTrace, FaultStats), EngineError> {
+        let (c, h, w) = act.shape();
+        let (o, i, k) = (
+            self.weights.out_channels(),
+            self.weights.in_channels(),
+            self.weights.kernel(),
+        );
+        if c != i {
+            return Err(QnnError::ChannelMismatch { fmap: c, kernel: i }.into());
+        }
+        if csc.atom_bits != self.weights.atom_bits() {
+            return Err(AtomError::GranularityMismatch {
+                compiled: self.weights.atom_bits().bits(),
+                requested: csc.atom_bits.bits(),
+            }
+            .into());
+        }
+        let out_h = self.geom.out_extent(h, k)?;
+        let out_w = self.geom.out_extent(w, k)?;
+        if csc.tile_h == 0 || csc.tile_w == 0 {
+            return Err(QnnError::EmptyDimension("tile extent").into());
+        }
+        let icfg = IntersectConfig {
+            multipliers: csc.multipliers,
+        };
+        let tiles_x = w.div_ceil(csc.tile_w);
+        let max_attempts = injector.max_attempts();
+
+        struct ChannelOutcome {
+            acc: Option<FullConvAcc>,
+            stats: CscStats,
+            faults: FaultStats,
+            failed: Option<FaultDetected>,
+        }
+
+        // Same fan-out/merge shape as `conv2d_csc_streams`; outcomes
+        // collect in channel order, so the run is thread-count
+        // deterministic.
+        let per_channel: Vec<Result<ChannelOutcome, AtomError>> = (0..c)
+            .into_par_iter()
+            .map(|ci| {
+                let mut stats = CscStats::default();
+                let mut faults = FaultStats::default();
+                // The stored stream's always-on integrity monitor; the
+                // injected copies below model in-flight corruption.
+                self.weights.verify_channel(ci)?;
+                let w_stream = self.weights.stream(ci);
+                stats.weight_atoms += w_stream.len() as u64;
+                if w_stream.is_empty() {
+                    return Ok(ChannelOutcome {
+                        acc: None,
+                        stats,
+                        faults,
+                        failed: None,
+                    });
+                }
+                let mut acc = FullConvAcc::new(o, h, w, k)?;
+                for y0 in (0..h).step_by(csc.tile_h) {
+                    for x0 in (0..w).step_by(csc.tile_w) {
+                        let a_flat = flatten_tile(act, ci, y0, x0, csc.tile_h, csc.tile_w);
+                        if a_flat.is_empty() {
+                            continue;
+                        }
+                        let a_clean =
+                            compress_activations(&a_flat, self.a_bits.bits(), csc.atom_bits)?;
+                        stats.act_values += a_clean.value_count() as u64;
+                        stats.act_atoms += a_clean.len() as u64;
+                        stats.tiles_processed += 1;
+                        // Logical tile-grid index: stable across thread
+                        // counts and attempt numbers.
+                        let tile_idx = (y0 / csc.tile_h) * tiles_x + x0 / csc.tile_w;
+                        let mut attempt = 0u32;
+                        let committed = loop {
+                            let base = FaultSite {
+                                layer: layer_idx,
+                                channel: ci,
+                                tile: tile_idx,
+                                attempt,
+                                item: 0,
+                            };
+                            // Weight side: one packed-record flip per hit in
+                            // the buffer read (WeightBuffer) or on the wire
+                            // into the Atomputer (WeightStream); both
+                            // manifest as value-bit flips on the entry.
+                            let mut w_entries = w_stream.entries().to_vec();
+                            let (mut wb_cnt, mut ws_cnt) = (0u64, 0u64);
+                            for (idx, e) in w_entries.iter_mut().enumerate() {
+                                let site = FaultSite { item: idx, ..base };
+                                if let Some(ent) =
+                                    injector.decide(FaultStructure::WeightBuffer, site)
+                                {
+                                    FaultInjector::corrupt_weight_entry(e, ent);
+                                    wb_cnt += 1;
+                                }
+                                if let Some(ent) =
+                                    injector.decide(FaultStructure::WeightStream, site)
+                                {
+                                    FaultInjector::corrupt_weight_entry(e, ent);
+                                    ws_cnt += 1;
+                                }
+                            }
+                            faults.record_injected(FaultStructure::WeightBuffer, wb_cnt);
+                            faults.record_injected(FaultStructure::WeightStream, ws_cnt);
+                            let w_faulty = WeightStream::from_entries(w_entries);
+                            // Activation side: magnitude-bit flips in the
+                            // Atomizer's output stream.
+                            let mut a_entries = a_clean.entries().to_vec();
+                            let mut as_cnt = 0u64;
+                            for (idx, e) in a_entries.iter_mut().enumerate() {
+                                let site = FaultSite { item: idx, ..base };
+                                if let Some(ent) =
+                                    injector.decide(FaultStructure::ActivationStream, site)
+                                {
+                                    FaultInjector::corrupt_act_entry(e, ent);
+                                    as_cnt += 1;
+                                }
+                            }
+                            faults.record_injected(FaultStructure::ActivationStream, as_cnt);
+                            let a_faulty = ActivationStream::from_entries(a_entries);
+                            // Pre-intersect monitors: re-hash both streams
+                            // against their reference digests before any
+                            // multiply happens.
+                            if injector.detect() {
+                                let mut tripped = None;
+                                if w_faulty.checksum() != self.weights.checksum(ci) {
+                                    faults.record_detected(FaultStructure::WeightBuffer, wb_cnt);
+                                    faults.record_detected(FaultStructure::WeightStream, ws_cnt);
+                                    tripped = Some(if wb_cnt > 0 {
+                                        FaultStructure::WeightBuffer
+                                    } else {
+                                        FaultStructure::WeightStream
+                                    });
+                                }
+                                if a_faulty.checksum() != a_clean.checksum() {
+                                    faults
+                                        .record_detected(FaultStructure::ActivationStream, as_cnt);
+                                    tripped.get_or_insert(FaultStructure::ActivationStream);
+                                }
+                                if let Some(structure) = tripped {
+                                    if attempt >= max_attempts {
+                                        break Err(FaultDetected {
+                                            structure,
+                                            layer: layer_idx,
+                                            channel: ci,
+                                            tile: tile_idx,
+                                            attempts: attempt + 1,
+                                        });
+                                    }
+                                    faults.record_retry();
+                                    attempt += 1;
+                                    continue;
+                                }
+                            }
+                            // Intersect into a scratch plane so a rejected
+                            // attempt never touches the committed
+                            // accumulator.
+                            let mut scratch = FullConvAcc::new(o, h, w, k)?;
+                            let istats =
+                                intersect(&w_faulty, &a_faulty, icfg, &mut scratch, y0, x0);
+                            let reference_digest = plane_digest(scratch.cells());
+                            let expected_sum =
+                                weight_term_sum(&w_faulty) * act_value_sum(&a_faulty);
+                            // Accumulate-buffer faults: word flips over the
+                            // plane this tile pass wrote.
+                            let mut acc_cnt = 0u64;
+                            for (idx, word) in scratch.cells_mut().iter_mut().enumerate() {
+                                let site = FaultSite { item: idx, ..base };
+                                if let Some(ent) =
+                                    injector.decide(FaultStructure::AccumBuffer, site)
+                                {
+                                    FaultInjector::corrupt_accum_word(word, acc_bits, ent);
+                                    acc_cnt += 1;
+                                }
+                            }
+                            faults.record_injected(FaultStructure::AccumBuffer, acc_cnt);
+                            // Post-intersect monitors: the Eq 4/5
+                            // conservation law (plane total = weight-term
+                            // sum × activation-value sum) plus the
+                            // incremental plane digest for the rare
+                            // cancelling pair.
+                            if injector.detect()
+                                && (scratch.total_sum() != expected_sum
+                                    || plane_digest(scratch.cells()) != reference_digest)
+                            {
+                                faults.record_detected(FaultStructure::AccumBuffer, acc_cnt);
+                                faults.record_wasted(istats.atom_mults, istats.deliveries);
+                                if attempt >= max_attempts {
+                                    break Err(FaultDetected {
+                                        structure: FaultStructure::AccumBuffer,
+                                        layer: layer_idx,
+                                        channel: ci,
+                                        tile: tile_idx,
+                                        attempts: attempt + 1,
+                                    });
+                                }
+                                faults.record_retry();
+                                attempt += 1;
+                                continue;
+                            }
+                            break Ok((scratch, istats));
+                        };
+                        match committed {
+                            Ok((scratch, istats)) => {
+                                if attempt > 0 {
+                                    faults.record_recovered_tile();
+                                }
+                                acc.merge(&scratch);
+                                stats.intersect.merge(&istats);
+                            }
+                            Err(fault) => {
+                                return Ok(ChannelOutcome {
+                                    acc: None,
+                                    stats,
+                                    faults,
+                                    failed: Some(fault),
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(ChannelOutcome {
+                    acc: Some(acc),
+                    stats,
+                    faults,
+                    failed: None,
+                })
+            })
+            .collect();
+
+        let mut acc = FullConvAcc::new(o, h, w, k)?;
+        let mut stats = CscStats::default();
+        let mut faults = FaultStats::default();
+        let mut failure: Option<FaultDetected> = None;
+        for result in per_channel {
+            let outcome = result?;
+            stats.merge(&outcome.stats);
+            faults.merge(&outcome.faults);
+            if let Some(f) = outcome.failed {
+                failure.get_or_insert(f);
+            } else if let Some(channel_acc) = outcome.acc {
+                acc.merge(&channel_acc);
+            }
+        }
+        let conv_out = match failure {
+            None => acc.extract(self.geom, out_h, out_w)?,
+            Some(fault) => {
+                if !injector.recover() {
+                    return Err(EngineError::Fault(fault));
+                }
+                // A tile exhausted its retry budget: replay the whole
+                // layer on the dense reference convolution, which is
+                // bit-exact against the sparse path.
+                faults.record_layer_fallback();
+                conv2d(act, &self.kernels, self.geom)?
+            }
+        };
+        let (next, trace) = self.post_process(csc, &conv_out, stats)?;
+        Ok((next, trace, faults))
+    }
+
     /// Layer name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The dense kernels retained for the fault-recovery fallback path.
+    pub fn kernels(&self) -> &Tensor4 {
+        &self.kernels
     }
 
     /// The compiled static weight streams.
@@ -382,6 +711,8 @@ pub struct SessionRun {
     /// Per-layer execution traces (byte-identical to the per-call
     /// [`crate::pipeline::FunctionalPipeline::run`] path).
     pub traces: Vec<LayerTrace>,
+    /// Fault-campaign counters; all-zero when no campaign is configured.
+    pub faults: FaultStats,
 }
 
 /// Result of one cycle-level inference through a [`Session`].
@@ -447,13 +778,30 @@ impl Session {
     /// ```
     ///
     /// # Errors
-    /// Propagates activation-side atomization and geometry errors.
-    pub fn run(&self, input: &Tensor3) -> Result<SessionRun, AtomError> {
+    /// Propagates activation-side atomization and geometry errors, and —
+    /// when a fault campaign with recovery disabled is configured — an
+    /// uncontained fault as [`EngineError::Fault`].
+    pub fn run(&self, input: &Tensor3) -> Result<SessionRun, EngineError> {
         let _span = obs::span("engine.run");
+        let injector = self.net.cfg.faults.map(FaultInjector::new);
         let mut act = input.clone();
         let mut traces = Vec::with_capacity(self.net.layers.len());
-        for layer in &self.net.layers {
-            let (next, trace) = layer.execute(&self.net.csc, &act)?;
+        let mut faults = FaultStats::default();
+        for (li, layer) in self.net.layers.iter().enumerate() {
+            let (next, trace) = match &injector {
+                None => layer.execute(&self.net.csc, &act)?,
+                Some(inj) => {
+                    let (next, trace, layer_faults) = layer.execute_with_faults(
+                        &self.net.csc,
+                        &act,
+                        inj,
+                        li,
+                        self.net.cfg.acc_bits,
+                    )?;
+                    faults.merge(&layer_faults);
+                    (next, trace)
+                }
+            };
             obs::record(obs::Event::EngineRunLayers, 1);
             obs::record(obs::Event::EngineRunActAtoms, trace.stats.act_atoms);
             act = next;
@@ -462,6 +810,7 @@ impl Session {
         Ok(SessionRun {
             output: act,
             traces,
+            faults,
         })
     }
 
@@ -470,17 +819,51 @@ impl Session {
     /// streams, with per-input w/a balancing (§IV-E).
     ///
     /// # Errors
-    /// Propagates atomization and geometry errors.
-    pub fn run_cycle_level(&self, input: &Tensor3) -> Result<SessionCycleRun, AtomError> {
+    /// Propagates atomization and geometry errors, and — when a fault
+    /// campaign with recovery disabled is configured — an uncontained
+    /// fault as [`EngineError::Fault`].
+    pub fn run_cycle_level(&self, input: &Tensor3) -> Result<SessionCycleRun, EngineError> {
         let _span = obs::span("engine.run_cycle_level");
         let core =
             CoreSim::try_new(self.net.cfg).expect("configuration was validated at compile time");
+        let injector = self.net.cfg.faults.map(FaultInjector::new);
         let mut act = input.clone();
         let mut traces = Vec::with_capacity(self.net.layers.len());
         let mut core_reports = Vec::with_capacity(self.net.layers.len());
-        for layer in &self.net.layers {
-            core_reports.push(core.run_layer_streams(&layer.weights, &act, layer.a_bits.bits())?);
-            let (next, trace) = layer.execute(&self.net.csc, &act)?;
+        let mut faults = FaultStats::default();
+        for (li, layer) in self.net.layers.iter().enumerate() {
+            match &injector {
+                None => core_reports.push(core.run_layer_streams(
+                    &layer.weights,
+                    &act,
+                    layer.a_bits.bits(),
+                )?),
+                Some(inj) => {
+                    let (report, core_faults) = core.run_layer_streams_faulty(
+                        &layer.weights,
+                        &act,
+                        layer.a_bits.bits(),
+                        inj,
+                        li,
+                    )?;
+                    faults.merge(&core_faults);
+                    core_reports.push(report);
+                }
+            }
+            let (next, trace) = match &injector {
+                None => layer.execute(&self.net.csc, &act)?,
+                Some(inj) => {
+                    let (next, trace, layer_faults) = layer.execute_with_faults(
+                        &self.net.csc,
+                        &act,
+                        inj,
+                        li,
+                        self.net.cfg.acc_bits,
+                    )?;
+                    faults.merge(&layer_faults);
+                    (next, trace)
+                }
+            };
             obs::record(obs::Event::EngineRunLayers, 1);
             obs::record(obs::Event::EngineRunActAtoms, trace.stats.act_atoms);
             act = next;
@@ -490,6 +873,7 @@ impl Session {
             functional: SessionRun {
                 output: act,
                 traces,
+                faults,
             },
             core_reports,
         })
@@ -508,6 +892,7 @@ pub(crate) fn compile_and_execute_layer(
     let compiled = CompiledLayer {
         name: layer.name.clone(),
         weights,
+        kernels: layer.kernels.clone(),
         geom: layer.geom,
         a_bits: layer.a_bits,
         requant_shift: layer.requant_shift,
@@ -590,6 +975,111 @@ mod tests {
         let (out, traces) = pipeline.run(&input).unwrap();
         assert_eq!(run.output, out);
         assert_eq!(run.traces, traces);
+    }
+
+    #[test]
+    fn fault_recovery_preserves_outputs_byte_for_byte() {
+        use crate::fault::FaultConfig;
+        let (model, input) = model_and_input(31);
+        let clean_cfg = RistrettoConfig::paper_default();
+        let clean = Session::new(compile(&model, &clean_cfg).unwrap())
+            .run(&input)
+            .unwrap();
+        assert_eq!(clean.faults, FaultStats::default());
+
+        let faulty_cfg = clean_cfg.with_faults(Some(FaultConfig::uniform(97, 200)));
+        let faulty = Session::new(compile(&model, &faulty_cfg).unwrap())
+            .run(&input)
+            .unwrap();
+        assert!(faulty.faults.total_injected() > 0, "campaign must fire");
+        assert_eq!(
+            faulty.faults.total_detected(),
+            faulty.faults.total_injected(),
+            "every injected fault must be caught by a monitor"
+        );
+        assert!(faulty.faults.recovered_tiles > 0 || faulty.faults.layer_fallbacks > 0);
+        // Recovery keeps the network output and every per-layer trace
+        // byte-identical to the fault-free run.
+        assert_eq!(faulty.output, clean.output);
+
+        // Determinism: the same seed reproduces the same campaign exactly.
+        let again = Session::new(compile(&model, &faulty_cfg).unwrap())
+            .run(&input)
+            .unwrap();
+        assert_eq!(faulty.output, again.output);
+        assert_eq!(faulty.faults, again.faults);
+    }
+
+    #[test]
+    fn quiescent_campaign_is_byte_identical_to_no_campaign() {
+        use crate::fault::FaultConfig;
+        let (model, input) = model_and_input(37);
+        let off = Session::new(compile(&model, &RistrettoConfig::paper_default()).unwrap())
+            .run(&input)
+            .unwrap();
+        let quiet_cfg =
+            RistrettoConfig::paper_default().with_faults(Some(FaultConfig::quiescent(5)));
+        let quiet = Session::new(compile(&model, &quiet_cfg).unwrap())
+            .run(&input)
+            .unwrap();
+        assert_eq!(off, quiet);
+    }
+
+    #[test]
+    fn unrecovered_fault_surfaces_as_typed_error() {
+        use crate::fault::FaultConfig;
+        let (model, input) = model_and_input(41);
+        let cfg = RistrettoConfig::paper_default()
+            .with_faults(Some(FaultConfig::uniform(11, 20_000).with_recover(false)));
+        let err = Session::new(compile(&model, &cfg).unwrap())
+            .run(&input)
+            .unwrap_err();
+        match err {
+            EngineError::Fault(f) => {
+                assert!(f.attempts >= 1);
+                assert!(f.to_string().contains("fault detected"));
+            }
+            other => panic!("expected a fault error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_input_geometry_is_a_typed_error() {
+        let (model, _) = model_and_input(43);
+        let compiled = compile(&model, &RistrettoConfig::paper_default()).unwrap();
+        let session = Session::new(compiled);
+        let (c, h, w) = session.network().input();
+        // Wrong channel count: typed error, not a panic.
+        let bad = Tensor3::zeros(c + 1, h, w).unwrap();
+        match session.run(&bad).unwrap_err() {
+            EngineError::Atom(AtomError::Qnn(QnnError::ChannelMismatch { fmap, kernel })) => {
+                assert_eq!(fmap, c + 1);
+                assert_eq!(kernel, c);
+            }
+            other => panic!("expected a channel mismatch, got {other}"),
+        }
+        // Input too small for the kernel: also a typed error.
+        let tiny = Tensor3::zeros(c, 1, 1).unwrap();
+        assert!(matches!(
+            session.run(&tiny).unwrap_err(),
+            EngineError::Atom(_)
+        ));
+    }
+
+    #[test]
+    fn cycle_level_run_with_faults_recovers_reports() {
+        use crate::fault::FaultConfig;
+        let (model, input) = model_and_input(47);
+        let clean = Session::new(compile(&model, &RistrettoConfig::paper_default()).unwrap())
+            .run_cycle_level(&input)
+            .unwrap();
+        let cfg = RistrettoConfig::paper_default().with_faults(Some(FaultConfig::uniform(7, 200)));
+        let faulty = Session::new(compile(&model, &cfg).unwrap())
+            .run_cycle_level(&input)
+            .unwrap();
+        assert_eq!(faulty.functional.output, clean.functional.output);
+        assert_eq!(faulty.core_reports, clean.core_reports);
+        assert!(faulty.functional.faults.total_injected() > 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod config;
 pub mod core;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod multicore;
 pub mod pipeline;
 pub mod ppu;
@@ -48,11 +49,12 @@ pub mod prelude {
     pub use crate::backend::CycleRistretto;
     pub use crate::balance::{balance, BalanceStrategy, ChannelWorkload};
     pub use crate::config::{ConfigError, RistrettoConfig};
-    pub use crate::core::{CoreReport, CoreSim};
+    pub use crate::core::{CoreError, CoreReport, CoreSim};
     pub use crate::energy::RistrettoEnergyModel;
     pub use crate::engine::{
         compile, CompiledLayer, CompiledNetwork, EngineError, NetworkModel, Session, SessionRun,
     };
+    pub use crate::fault::{FaultConfig, FaultDetected, FaultInjector, FaultStats, FaultStructure};
     pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
     pub use crate::ppu::{PostProcessor, PpuOutput};
     pub use crate::report::{LayerReport, NetworkReport};

@@ -21,6 +21,9 @@
 //! stalls while a naive order backs up — the test suite demonstrates both.
 
 use crate::config::{ConfigError, RistrettoConfig};
+use crate::fault::{
+    fold_delivery, FaultInjector, FaultSite, FaultStructure, FifoAction, FifoCheck,
+};
 use atomstream::cycles::ideal_steps;
 use atomstream::stream::{ActivationStream, WeightStream};
 use serde::{Deserialize, Serialize};
@@ -84,14 +87,44 @@ impl TileSim {
     /// Runs one channel's static weight stream against one tile's
     /// activation stream, cycle by cycle.
     pub fn run(&self, weights: &WeightStream, acts: &ActivationStream) -> TileReport {
+        self.run_inner(weights, acts, None).0
+    }
+
+    /// Fault-aware variant of [`TileSim::run`]: Atomulator FIFO entries may
+    /// be dropped or duplicated at the configured rate, and the returned
+    /// [`FifoCheck`] carries the enqueue-accounting monitor's verdict.
+    /// `site.item` is overwritten with the running delivery ordinal.
+    ///
+    /// With a quiescent injector the report is byte-identical to
+    /// [`TileSim::run`] on the same streams.
+    pub fn run_faulty(
+        &self,
+        weights: &WeightStream,
+        acts: &ActivationStream,
+        injector: &FaultInjector,
+        site: FaultSite,
+    ) -> (TileReport, FifoCheck) {
+        self.run_inner(weights, acts, Some((injector, site)))
+    }
+
+    fn run_inner(
+        &self,
+        weights: &WeightStream,
+        acts: &ActivationStream,
+        fault: Option<(&FaultInjector, FaultSite)>,
+    ) -> (TileReport, FifoCheck) {
         let mut report = TileReport::default();
+        let mut check = FifoCheck::default();
         let t = acts.len();
         let s = weights.len();
         if t == 0 || s == 0 {
-            return report;
+            return (report, check);
         }
 
         let mut queues = vec![0usize; self.banks];
+        // Running delivery ordinal; doubles as the per-item fault site and
+        // the index folded into the enqueue-accounting digests.
+        let mut delivery_idx: u64 = 0;
         // Per-cycle bank-collision detection without clearing a bitmap
         // every step: a bank "has a delivery this cycle" iff its stamp
         // equals the current step's stamp.
@@ -138,7 +171,46 @@ impl TileSim {
                     *q = q.saturating_sub(1);
                 }
                 for bank in delivered_this_cycle {
-                    queues[bank] += 1;
+                    match fault {
+                        None => queues[bank] += 1,
+                        Some((injector, site)) => {
+                            // What the Atomputer handed the crossbar…
+                            check.expected_digest =
+                                fold_delivery(check.expected_digest, delivery_idx, bank as u64);
+                            let fault_site = FaultSite {
+                                item: delivery_idx as usize,
+                                ..site
+                            };
+                            // …versus what the FIFO actually enqueued.
+                            match injector.decide(FaultStructure::Fifo, fault_site) {
+                                None => {
+                                    queues[bank] += 1;
+                                    check.actual_digest = fold_delivery(
+                                        check.actual_digest,
+                                        delivery_idx,
+                                        bank as u64,
+                                    );
+                                }
+                                Some(entropy) => {
+                                    check.injected += 1;
+                                    match FaultInjector::fifo_action(entropy) {
+                                        FifoAction::Drop => {}
+                                        FifoAction::Duplicate => {
+                                            queues[bank] += 2;
+                                            for _ in 0..2 {
+                                                check.actual_digest = fold_delivery(
+                                                    check.actual_digest,
+                                                    delivery_idx,
+                                                    bank as u64,
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    delivery_idx += 1;
                 }
                 let deepest = queues.iter().copied().max().unwrap_or(0);
                 report.max_queue = report.max_queue.max(deepest);
@@ -166,7 +238,7 @@ impl TileSim {
         );
         obs::record(obs::Event::AtomulatorStallCycles, report.stall_cycles);
         obs::record(obs::Event::AtomulatorFifoHighwater, report.max_queue as u64);
-        report
+        (report, check)
     }
 
     /// Ideal step count for this tile per the paper's Eq 3.
@@ -298,6 +370,64 @@ mod tests {
         let sim = TileSim::new(&cfg(32));
         let r = sim.run(&w, &a);
         assert_eq!(r.deliveries, a.value_count() as u64 * w.len() as u64);
+    }
+
+    #[test]
+    fn quiescent_injector_is_byte_identical_to_clean_run() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultSite};
+        let (w, a) = random_streams(19, 24, 48, 8, true);
+        let sim = TileSim::new(&cfg(16));
+        let clean = sim.run(&w, &a);
+        let injector = FaultInjector::new(FaultConfig::quiescent(42));
+        let site = FaultSite {
+            layer: 0,
+            channel: 0,
+            tile: 0,
+            attempt: 0,
+            item: 0,
+        };
+        let (faulty, check) = sim.run_faulty(&w, &a, &injector, site);
+        assert_eq!(faulty, clean);
+        assert_eq!(check.injected, 0);
+        assert!(!check.detected());
+        // Every delivery is folded into both digests, so they agree and
+        // are non-trivial.
+        assert_eq!(check.expected_digest, check.actual_digest);
+        assert_ne!(check.expected_digest, 0);
+    }
+
+    #[test]
+    fn fifo_faults_are_detected_and_deterministic() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultSite, FaultStructure};
+        let (w, a) = random_streams(23, 32, 64, 8, true);
+        let sim = TileSim::new(&cfg(16));
+        // A high rate guarantees at least one drop/duplicate in ~1.5k
+        // deliveries.
+        let cfg_f = FaultConfig::quiescent(7).with_rate(FaultStructure::Fifo, 20_000);
+        let injector = FaultInjector::new(cfg_f);
+        let site = FaultSite {
+            layer: 2,
+            channel: 1,
+            tile: 3,
+            attempt: 0,
+            item: 0,
+        };
+        let (r1, c1) = sim.run_faulty(&w, &a, &injector, site);
+        assert!(c1.injected > 0, "expected FIFO faults at 2% rate");
+        assert!(c1.detected(), "drop/duplicate must skew the digests");
+        // Byte-determinism: the same site re-rolls identically.
+        let (r2, c2) = sim.run_faulty(&w, &a, &injector, site);
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        // A different attempt re-rolls the fault pattern.
+        let retry_site = FaultSite { attempt: 1, ..site };
+        let (_, c3) = sim.run_faulty(&w, &a, &injector, retry_site);
+        assert_eq!(c3.expected_digest, c1.expected_digest);
+        assert_ne!(
+            (c3.injected, c3.actual_digest),
+            (c1.injected, c1.actual_digest),
+            "attempt must be part of the fault site"
+        );
     }
 
     #[test]
