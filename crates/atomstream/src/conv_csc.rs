@@ -11,8 +11,9 @@
 use crate::atom::AtomBits;
 use crate::compress::{compress_activations, compress_weights};
 use crate::error::AtomError;
-use crate::flatten::{flatten_kernel_channel, flatten_tile};
+use crate::flatten::{flatten_kernel_channel, flatten_tile, flatten_tile_into};
 use crate::intersect::{intersect, FullConvAcc, IntersectConfig, IntersectStats};
+use crate::kernel::{intersect_planned, CscScratch, WorkSlot};
 use crate::stream::WeightStream;
 use qnn::conv::ConvGeometry;
 use qnn::error::QnnError;
@@ -308,7 +309,21 @@ pub fn conv2d_csc_streams(
     a_bits: BitWidth,
     cfg: &CscConfig,
 ) -> Result<CscOutput, AtomError> {
-    let _span = obs::span("csc.conv2d");
+    conv2d_csc_streams_with(fmap, weights, geom, a_bits, cfg, &CscScratch::new())
+}
+
+/// Validated run-phase dimensions shared by every kernel variant:
+/// `(c, h, w, o, k, out_h, out_w)`.
+type RunDims = (usize, usize, usize, usize, usize, usize, usize);
+
+/// Validates the run-phase inputs shared by every kernel variant and
+/// returns `(c, h, w, o, k, out_h, out_w)`.
+fn validate_run(
+    fmap: &Tensor3,
+    weights: &WeightStreamSet,
+    geom: ConvGeometry,
+    cfg: &CscConfig,
+) -> Result<RunDims, AtomError> {
     let (c, h, w) = fmap.shape();
     let (o, i, k) = (
         weights.out_channels(),
@@ -329,17 +344,41 @@ pub fn conv2d_csc_streams(
     if cfg.tile_h == 0 || cfg.tile_w == 0 {
         return Err(QnnError::EmptyDimension("tile extent").into());
     }
+    Ok((c, h, w, o, k, out_h, out_w))
+}
 
+/// The production run phase: [`conv2d_csc_streams`] with an explicit,
+/// reusable [`CscScratch`] arena.
+///
+/// Retaining the arena across calls (one arena per layer, as the inference
+/// engine's `Session` does) amortizes weight-plan compilation and makes
+/// steady-state inference allocate zero accumulator planes per input; see
+/// [`CscScratch`]. Results — output, [`CscStats`] and recorded
+/// observability events — are byte-identical to
+/// [`conv2d_csc_streams_reference`] on every input, with any arena state.
+///
+/// # Errors
+/// Exactly the error surface of [`conv2d_csc_streams`].
+pub fn conv2d_csc_streams_with(
+    fmap: &Tensor3,
+    weights: &WeightStreamSet,
+    geom: ConvGeometry,
+    a_bits: BitWidth,
+    cfg: &CscConfig,
+    scratch: &CscScratch,
+) -> Result<CscOutput, AtomError> {
+    let _span = obs::span("csc.conv2d");
+    let (c, h, w, o, k, out_h, out_w) = validate_run(fmap, weights, geom, cfg)?;
     let icfg = IntersectConfig {
         multipliers: cfg.multipliers,
     };
 
     // Input channels are independent until the final accumulation, so fan
-    // them out: each channel intersects into its own full-conv accumulator,
-    // merged afterwards in channel order. i64 plane addition commutes, so
-    // the merged result is bit-identical to the sequential single-
-    // accumulator path regardless of the thread count.
-    let per_channel: Vec<Result<(Option<FullConvAcc>, CscStats), AtomError>> = (0..c)
+    // them out: each channel intersects into its own checked-out scratch
+    // accumulator, merged afterwards in channel order. i64 plane addition
+    // commutes, so the merged result is bit-identical to the sequential
+    // single-accumulator path regardless of the thread count.
+    let per_channel: Vec<Result<(Option<WorkSlot>, CscStats), AtomError>> = (0..c)
         .into_par_iter()
         .map(|ci| {
             let mut stats = CscStats::default();
@@ -355,9 +394,127 @@ pub fn conv2d_csc_streams(
                 return Ok((None, stats));
             }
 
+            // Pre-intersection filter, activation side: one pass over the
+            // channel plane yields the per-tile occupancy bitmap. An
+            // entirely zero channel is skipped before any accumulator is
+            // even checked out (merging its zero planes would be the
+            // identity).
+            let mut slot = scratch.checkout(o, h, w, k)?;
+            slot.occ
+                .scan(fmap.channel(ci), h, w, cfg.tile_h, cfg.tile_w);
+            if slot.occ.total() == 0 {
+                scratch.checkin(slot);
+                return Ok((None, stats));
+            }
+
+            // Static side: the channel's weight stream compiled into (or
+            // fetched from) the plan cache, keyed by its checksum so the
+            // verified bits and the executed plan can never diverge.
+            let (fh, fw) = slot.acc.plane_shape();
+            let plan_slot = scratch.plan_slot(ci);
+            let mut plan_guard = plan_slot.lock().expect("plan slot lock");
+            let plan = plan_guard.prepare(w_stream, weights.checksum(ci), k, o, fh, fw)?;
+            plan.planes_into(&mut slot.dirty);
+
+            // Online phase: walk only the occupied tiles; the Atomizer
+            // squeezes zero atoms out of each tile's non-zero activations
+            // on the fly, into reused scratch buffers.
+            for (ty, y0) in (0..h).step_by(cfg.tile_h).enumerate() {
+                for (tx, x0) in (0..w).step_by(cfg.tile_w).enumerate() {
+                    if !slot.occ.occupied(ty, tx) {
+                        continue;
+                    }
+                    flatten_tile_into(fmap, ci, y0, x0, cfg.tile_h, cfg.tile_w, &mut slot.flat);
+                    let a_stream = compress_activations(&slot.flat, a_bits.bits(), cfg.atom_bits)?;
+                    stats.act_values += a_stream.value_count() as u64;
+                    stats.act_atoms += a_stream.len() as u64;
+                    stats.tiles_processed += 1;
+                    let s = intersect_planned(
+                        plan,
+                        &a_stream,
+                        icfg,
+                        &mut slot.acc,
+                        y0,
+                        x0,
+                        &mut slot.folded,
+                    );
+                    stats.intersect.merge(&s);
+                }
+            }
+            drop(plan_guard);
+            Ok((Some(slot), stats))
+        })
+        .collect();
+
+    // Merge in channel order into the first non-empty channel's slot —
+    // plane-granular, so only the planes actually written move.
+    let mut stats = CscStats::default();
+    let mut base: Option<WorkSlot> = None;
+    for result in per_channel {
+        let (slot, channel_stats) = result?;
+        stats.merge(&channel_stats);
+        if let Some(slot) = slot {
+            match base.as_mut() {
+                None => base = Some(slot),
+                Some(b) => {
+                    b.acc.merge_planes_from(&slot.acc, &slot.dirty);
+                    b.dirty.extend_from_slice(&slot.dirty);
+                    scratch.checkin(slot);
+                }
+            }
+        }
+    }
+
+    let output = match &base {
+        Some(b) => b.acc.extract(geom, out_h, out_w)?,
+        None => AccTensor3::zeros(o, out_h, out_w)?,
+    };
+    if let Some(b) = base {
+        scratch.checkin(b);
+    }
+    Ok(CscOutput { output, stats })
+}
+
+/// The reference run phase: the straight-line value-major kernel
+/// ([`intersect`]) with a fresh accumulator per channel and no
+/// pre-intersection filtering.
+///
+/// Kept verbatim as the differential oracle's "before" side: the
+/// production path ([`conv2d_csc_streams_with`]) must be byte-identical to
+/// this function — output, stats and recorded observability events — on
+/// every input, which `repro diffcheck` and the determinism suites verify.
+/// It is also the baseline the `BENCH_*.json` trajectory measures speedups
+/// against.
+///
+/// # Errors
+/// Exactly the error surface of [`conv2d_csc_streams`].
+pub fn conv2d_csc_streams_reference(
+    fmap: &Tensor3,
+    weights: &WeightStreamSet,
+    geom: ConvGeometry,
+    a_bits: BitWidth,
+    cfg: &CscConfig,
+) -> Result<CscOutput, AtomError> {
+    let _span = obs::span("csc.conv2d");
+    let (c, h, w, o, k, out_h, out_w) = validate_run(fmap, weights, geom, cfg)?;
+    let icfg = IntersectConfig {
+        multipliers: cfg.multipliers,
+    };
+
+    // Per-channel fan-out, fresh accumulators, full-plane merge: the
+    // original kernel structure.
+    let per_channel: Vec<Result<(Option<FullConvAcc>, CscStats), AtomError>> = (0..c)
+        .into_par_iter()
+        .map(|ci| {
+            let mut stats = CscStats::default();
+            weights.verify_channel(ci)?;
+            let w_stream = weights.stream(ci);
+            stats.weight_atoms += w_stream.len() as u64;
+            if w_stream.is_empty() {
+                return Ok((None, stats));
+            }
+
             let mut acc = FullConvAcc::new(o, h, w, k)?;
-            // Online phase: tile the channel; the Atomizer squeezes zero
-            // atoms out of each tile's non-zero activations on the fly.
             for y0 in (0..h).step_by(cfg.tile_h) {
                 for x0 in (0..w).step_by(cfg.tile_w) {
                     let a_flat = flatten_tile(fmap, ci, y0, x0, cfg.tile_h, cfg.tile_w);
@@ -368,7 +525,7 @@ pub fn conv2d_csc_streams(
                     stats.act_values += a_stream.value_count() as u64;
                     stats.act_atoms += a_stream.len() as u64;
                     stats.tiles_processed += 1;
-                    let s = intersect(w_stream, &a_stream, icfg, &mut acc, y0, x0);
+                    let s = intersect(w_stream, &a_stream, icfg, &mut acc, y0, x0)?;
                     stats.intersect.merge(&s);
                 }
             }

@@ -54,6 +54,19 @@ pub enum AtomError {
         /// Digest observed online.
         actual: u64,
     },
+    /// A weight stream carries a kernel coordinate outside the accumulator's
+    /// kernel extent: the Eq 1 address `k − 1 − x_w` would underflow. Caught
+    /// up front, before the intersection loop can compute a wrapped address.
+    WeightCoordOutOfKernel {
+        /// Index of the offending entry in the stream.
+        index: usize,
+        /// The entry's kernel column.
+        x: u16,
+        /// The entry's kernel row.
+        y: u16,
+        /// Kernel extent the accumulator was built for.
+        kernel: usize,
+    },
     /// An error bubbled up from the `qnn` substrate.
     Qnn(qnn::error::QnnError),
 }
@@ -101,6 +114,18 @@ impl fmt::Display for AtomError {
                     f,
                     "stream checksum mismatch on channel {channel}: \
                      compiled {expected:#018x}, observed {actual:#018x}"
+                )
+            }
+            AtomError::WeightCoordOutOfKernel {
+                index,
+                x,
+                y,
+                kernel,
+            } => {
+                write!(
+                    f,
+                    "weight atom {index} at kernel coordinate ({y}, {x}) exceeds \
+                     kernel extent {kernel}"
                 )
             }
             AtomError::Qnn(e) => write!(f, "substrate error: {e}"),
@@ -168,5 +193,20 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<AtomError>();
+    }
+
+    #[test]
+    fn weight_coord_error_names_atom_and_extent() {
+        let e = AtomError::WeightCoordOutOfKernel {
+            index: 4,
+            x: 7,
+            y: 2,
+            kernel: 3,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains('4') && s.contains('7') && s.contains('2') && s.contains('3'),
+            "{s}"
+        );
     }
 }

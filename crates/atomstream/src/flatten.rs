@@ -57,6 +57,46 @@ pub fn flatten_tile(
         .collect()
 }
 
+/// Allocation-free twin of [`flatten_tile`]: scans the channel plane
+/// directly (no intermediate dense tile buffer) and appends the entries to
+/// a caller-owned, reusable vector — the flatten path of the scratch-arena
+/// kernel. Entry order and content are identical to [`flatten_tile`]:
+/// row-major over the tile, zeros skipped, out-of-bounds cells contributing
+/// nothing (they would have been zero padding).
+pub fn flatten_tile_into(
+    fmap: &Tensor3,
+    channel: usize,
+    y0: usize,
+    x0: usize,
+    tile_h: usize,
+    tile_w: usize,
+    out: &mut Vec<FlatActivation>,
+) {
+    out.clear();
+    let (_, h, w) = fmap.shape();
+    let plane = fmap.channel(channel);
+    for dy in 0..tile_h {
+        let y = y0 + dy;
+        if y >= h {
+            break;
+        }
+        let x_end = (x0 + tile_w).min(w);
+        if x0 >= x_end {
+            break;
+        }
+        let row = &plane[y * w + x0..y * w + x_end];
+        for (dx, &value) in row.iter().enumerate() {
+            if value != 0 {
+                out.push(FlatActivation {
+                    value,
+                    x: dx as u16,
+                    y: dy as u16,
+                });
+            }
+        }
+    }
+}
+
 /// Flattens the kernel slices of one *input channel* across all kernels:
 /// the weights a compute tile keeps static while that channel's activations
 /// stream through. Entries are ordered kernel-major, zigzag within a slice.
@@ -125,6 +165,26 @@ mod tests {
         let vals: Vec<(i32, u16)> = flat.iter().map(|w| (w.value, w.out_ch)).collect();
         assert_eq!(vals, vec![(1, 0), (2, 0), (3, 1)]);
         assert_eq!((flat[1].x, flat[1].y), (1, 1));
+    }
+
+    #[test]
+    fn flatten_tile_into_matches_flatten_tile() {
+        let fmap = Tensor3::from_fn(2, 5, 7, |c, y, x| {
+            if (c + y * 3 + x) % 4 == 0 {
+                (c * 10 + y + x) as i32 + 1
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        let mut buf = Vec::new();
+        for c in 0..2 {
+            for (y0, x0, th, tw) in [(0, 0, 2, 3), (4, 6, 2, 3), (3, 5, 4, 4), (0, 0, 5, 7)] {
+                let reference = flatten_tile(&fmap, c, y0, x0, th, tw);
+                flatten_tile_into(&fmap, c, y0, x0, th, tw, &mut buf);
+                assert_eq!(buf, reference, "tile ({y0},{x0}) {th}x{tw} channel {c}");
+            }
+        }
     }
 
     #[test]

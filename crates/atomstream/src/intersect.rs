@@ -15,6 +15,7 @@
 //! ([`FullConvAcc::extract`]), matching §IV-C3's handling of non-unit
 //! strides in the accumulate buffer.
 
+use crate::error::AtomError;
 use crate::stream::{ActivationStream, WeightStream};
 use qnn::conv::ConvGeometry;
 use qnn::error::QnnError;
@@ -51,12 +52,53 @@ pub struct IntersectStats {
 }
 
 impl IntersectStats {
-    /// Accumulates another intersection's counters into this one.
+    /// Derives the hardware-schedule counters for one intersection from the
+    /// stream lengths alone: `t_atoms` sliding activation atoms against
+    /// `s_atoms` static weight atoms condensing `value_count` activation
+    /// values, on `multipliers` atom multipliers.
+    ///
+    /// All products saturate at `u64::MAX` instead of wrapping — the same
+    /// treatment [`crate::cycles::ideal_steps`] and
+    /// [`crate::cycles::tile_cycles`] received for adversarial atom counts —
+    /// and `steps` *is* `ideal_steps` (Eq 3), so the live counters and the
+    /// closed-form cycle model can never disagree. Both intersection
+    /// kernels route their stats through this one constructor.
+    ///
+    /// # Panics
+    /// Panics if `multipliers` is zero.
+    pub fn schedule(t_atoms: u64, s_atoms: u64, value_count: u64, multipliers: u64) -> Self {
+        assert!(multipliers > 0, "need at least one multiplier");
+        if t_atoms == 0 || s_atoms == 0 {
+            return Self::default();
+        }
+        Self {
+            steps: crate::cycles::ideal_steps(t_atoms, s_atoms, multipliers),
+            atom_mults: t_atoms.saturating_mul(s_atoms),
+            deliveries: s_atoms.saturating_mul(value_count),
+            segments: s_atoms.div_ceil(multipliers),
+        }
+    }
+
+    /// Accumulates another intersection's counters into this one,
+    /// saturating at `u64::MAX` (a whole-network sum of per-tile counters
+    /// must stay a valid lower bound, not wrap to a small number).
     pub fn merge(&mut self, other: &IntersectStats) {
-        self.steps += other.steps;
-        self.atom_mults += other.atom_mults;
-        self.deliveries += other.deliveries;
-        self.segments += other.segments;
+        self.steps = self.steps.saturating_add(other.steps);
+        self.atom_mults = self.atom_mults.saturating_add(other.atom_mults);
+        self.deliveries = self.deliveries.saturating_add(other.deliveries);
+        self.segments = self.segments.saturating_add(other.segments);
+    }
+
+    /// Emits this intersection's counters to the observability layer — one
+    /// bulk record per intersection, never per inner-loop iteration. Shared
+    /// by both kernels so the recorded event totals are kernel-independent.
+    pub(crate) fn record_obs(&self, value_runs: u64) {
+        obs::record(obs::Event::IntersectCalls, 1);
+        obs::record(obs::Event::IntersectSteps, self.steps);
+        obs::record(obs::Event::IntersectSegments, self.segments);
+        obs::record(obs::Event::IntersectAtomMults, self.atom_mults);
+        obs::record(obs::Event::IntersectDeliveries, self.deliveries);
+        obs::record(obs::Event::IntersectValueRuns, value_runs);
     }
 }
 
@@ -76,7 +118,11 @@ impl FullConvAcc {
     /// with `out_c` kernels of extent `k`.
     ///
     /// # Errors
-    /// Returns [`QnnError::EmptyDimension`] for zero extents.
+    /// Returns [`QnnError::EmptyDimension`] for zero extents and
+    /// [`QnnError::ExtentOverflow`] when the full-convolution plane extents
+    /// (`in + k − 1`) or the total cell count (`out_c · fh · fw`) do not fit
+    /// a machine word — degenerate adversarial geometry must surface as a
+    /// typed error, not a debug panic or a wrapped (tiny) allocation.
     pub fn new(out_c: usize, in_h: usize, in_w: usize, k: usize) -> Result<Self, QnnError> {
         if out_c == 0 {
             return Err(QnnError::EmptyDimension("out_c"));
@@ -87,13 +133,24 @@ impl FullConvAcc {
         if k == 0 {
             return Err(QnnError::EmptyDimension("k"));
         }
-        let (fh, fw) = (in_h + k - 1, in_w + k - 1);
+        let fh = in_h.checked_add(k - 1).ok_or(QnnError::ExtentOverflow {
+            what: "full-conv plane height",
+        })?;
+        let fw = in_w.checked_add(k - 1).ok_or(QnnError::ExtentOverflow {
+            what: "full-conv plane width",
+        })?;
+        let cells = out_c
+            .checked_mul(fh)
+            .and_then(|c| c.checked_mul(fw))
+            .ok_or(QnnError::ExtentOverflow {
+                what: "full-conv plane cells",
+            })?;
         Ok(Self {
             out_c,
             k,
             fh,
             fw,
-            data: vec![0; out_c * fh * fw],
+            data: vec![0; cells],
         })
     }
 
@@ -105,6 +162,11 @@ impl FullConvAcc {
     /// Kernel extent this accumulator was built for.
     pub fn kernel(&self) -> usize {
         self.k
+    }
+
+    /// Number of output-channel planes.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
     }
 
     /// Adds `v` at full-conv coordinates `(out_ch, fy, fx)`.
@@ -170,6 +232,54 @@ impl FullConvAcc {
         for (dst, src) in self.data.iter_mut().zip(&other.data) {
             *dst += src;
         }
+    }
+
+    /// Adds the listed output-channel planes of `other` into `self`
+    /// (`self[p] += other[p]` for each plane `p`). The plane-granular
+    /// counterpart of [`FullConvAcc::merge`]: a scratch-arena kernel that
+    /// tracked which planes it touched merges only those, leaving the
+    /// (all-zero) rest of both accumulators untouched. Byte-identical to a
+    /// full [`FullConvAcc::merge`] whenever `other`'s unlisted planes are
+    /// zero, since adding zero planes is the identity.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ or a plane index is out of range.
+    pub fn merge_planes_from(&mut self, other: &FullConvAcc, planes: &[u16]) {
+        assert!(
+            self.out_c == other.out_c && self.fh == other.fh && self.fw == other.fw,
+            "accumulator shape mismatch"
+        );
+        let plane = self.fh * self.fw;
+        for &p in planes {
+            let p = p as usize;
+            assert!(p < self.out_c, "plane index out of bounds");
+            let range = p * plane..(p + 1) * plane;
+            for (dst, src) in self.data[range.clone()].iter_mut().zip(&other.data[range]) {
+                *dst += src;
+            }
+        }
+    }
+
+    /// Zeroes the listed output-channel planes — the dirty-region reset a
+    /// scratch arena performs before returning an accumulator to its pool,
+    /// proportional to the planes actually written instead of the whole
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if a plane index is out of range.
+    pub fn zero_planes(&mut self, planes: &[u16]) {
+        let plane = self.fh * self.fw;
+        for &p in planes {
+            let p = p as usize;
+            assert!(p < self.out_c, "plane index out of bounds");
+            self.data[p * plane..(p + 1) * plane].fill(0);
+        }
+    }
+
+    /// Whether every accumulator word is zero (the pool invariant a scratch
+    /// arena maintains between checkouts).
+    pub fn is_all_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
     }
 
     /// Extracts the strided, padded convolution output:
@@ -276,6 +386,13 @@ pub fn act_value_sum(acts: &ActivationStream) -> i128 {
 /// hardware-schedule counters (`steps`, `atom_mults`, `segments`) follow
 /// arithmetically from the stream lengths and are unchanged.
 ///
+/// # Errors
+/// Returns [`AtomError::WeightCoordOutOfKernel`] when a weight entry's
+/// kernel coordinate lies outside `acc.kernel()` — the Eq 1 address
+/// `k − 1 − x_w` would underflow, so the mismatch is rejected up front,
+/// naming the offending atom, instead of surfacing as a misleading
+/// "address out of bounds" panic deep in the accumulation loop.
+///
 /// # Panics
 /// Panics if a generated address falls outside `acc` — which cannot happen
 /// when `acc` was sized for the enclosing feature map and kernel.
@@ -286,13 +403,14 @@ pub fn intersect(
     acc: &mut FullConvAcc,
     origin_y: usize,
     origin_x: usize,
-) -> IntersectStats {
+) -> Result<IntersectStats, AtomError> {
     assert!(cfg.multipliers > 0, "need at least one multiplier");
     let k = acc.kernel();
+    validate_weight_coords(weights, k)?;
     let s_total = weights.len() as u64;
     let t_total = acts.len() as u64;
     if s_total == 0 || t_total == 0 {
-        return IntersectStats::default();
+        return Ok(IntersectStats::default());
     }
 
     // Fold each activation value's atoms into one pre-shifted sum (the
@@ -349,23 +467,32 @@ pub fn intersect(
     // ⌈S/N⌉ segments. Steps per the paper's Eq 3/4: the ping-pong weight
     // registers overlap segment drain with the next segment's fill, so only
     // the final segment's drain is exposed.
-    let segments = s_total.div_ceil(cfg.multipliers as u64);
-    let stats = IntersectStats {
-        steps: t_total * segments
-            + crate::cycles::intersect_epsilon(s_total, cfg.multipliers as u64),
-        atom_mults: t_total * s_total,
-        deliveries: s_total * values.len() as u64,
-        segments,
-    };
+    let stats = IntersectStats::schedule(
+        t_total,
+        s_total,
+        values.len() as u64,
+        cfg.multipliers as u64,
+    );
     // Observability: one bulk record per intersection, not per inner-loop
     // iteration — the hot loops above stay untouched.
-    obs::record(obs::Event::IntersectCalls, 1);
-    obs::record(obs::Event::IntersectSteps, stats.steps);
-    obs::record(obs::Event::IntersectSegments, stats.segments);
-    obs::record(obs::Event::IntersectAtomMults, stats.atom_mults);
-    obs::record(obs::Event::IntersectDeliveries, stats.deliveries);
-    obs::record(obs::Event::IntersectValueRuns, values.len() as u64);
-    stats
+    stats.record_obs(values.len() as u64);
+    Ok(stats)
+}
+
+/// Rejects any weight entry whose kernel coordinate lies outside extent `k`
+/// before the intersection loop can compute a wrapped Eq 1 address.
+pub(crate) fn validate_weight_coords(weights: &WeightStream, k: usize) -> Result<(), AtomError> {
+    for (index, w) in weights.entries().iter().enumerate() {
+        if w.y as usize >= k || w.x as usize >= k {
+            return Err(AtomError::WeightCoordOutOfKernel {
+                index,
+                x: w.x,
+                y: w.y,
+                kernel: k,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -402,7 +529,7 @@ mod tests {
         let a = acts(&[(13, 0, 0)], 4);
         let w = weights(&[(-11, 0, 0, 0)], 8);
         let mut acc = FullConvAcc::new(1, 1, 1, 1).unwrap();
-        let stats = intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        let stats = intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap();
         assert_eq!(acc.get(0, 0, 0), -143);
         assert_eq!(stats.atom_mults, 4); // 2 act atoms x 2 weight atoms
         assert_eq!(stats.deliveries, 2); // one per weight atom
@@ -414,13 +541,13 @@ mod tests {
         let w = weights(&[(3, 0, 0, 0)], 4);
         let mut acc = FullConvAcc::new(1, 1, 1, 1).unwrap();
         assert_eq!(
-            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0),
+            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap(),
             IntersectStats::default()
         );
         let a = acts(&[(3, 0, 0)], 4);
         let w = weights(&[], 4);
         assert_eq!(
-            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0),
+            intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap(),
             IntersectStats::default()
         );
         assert_eq!(acc.get(0, 0, 0), 0);
@@ -433,7 +560,7 @@ mod tests {
         let a = acts(&[(1, 0, 0), (2, 1, 0), (3, 0, 1), (1, 1, 1)], 4);
         let w = weights(&[(1, 1, 1, 0)], 4);
         let mut acc = FullConvAcc::new(1, 2, 2, 2).unwrap();
-        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap();
         assert_eq!(acc.get(0, 0, 0), 1);
         assert_eq!(acc.get(0, 0, 1), 2);
         assert_eq!(acc.get(0, 1, 0), 3);
@@ -441,7 +568,7 @@ mod tests {
         // Weight at kernel (0,0) lands at fy = y_in + 1 instead.
         let w2 = weights(&[(1, 0, 0, 0)], 4);
         let mut acc2 = FullConvAcc::new(1, 2, 2, 2).unwrap();
-        intersect(&w2, &a, IntersectConfig::default(), &mut acc2, 0, 0);
+        intersect(&w2, &a, IntersectConfig::default(), &mut acc2, 0, 0).unwrap();
         assert_eq!(acc2.get(0, 1, 1), 1);
         assert_eq!(acc2.get(0, 2, 2), 1);
     }
@@ -465,7 +592,7 @@ mod tests {
         );
         assert_eq!(w.len(), 7);
         let mut acc = FullConvAcc::new(4, 3, 5, 3).unwrap();
-        let stats = intersect(&w, &a, IntersectConfig { multipliers: 3 }, &mut acc, 0, 0);
+        let stats = intersect(&w, &a, IntersectConfig { multipliers: 3 }, &mut acc, 0, 0).unwrap();
         // ceil(7/3) = 3 segments; eps = mod(7,3)-1 = 0... mod=1 -> eps=0.
         assert_eq!(stats.segments, 3);
         assert_eq!(stats.steps, (5 * 3));
@@ -504,13 +631,13 @@ mod tests {
         let cfg = IntersectConfig::default();
         // Sequential: both intersections into one accumulator.
         let mut whole = FullConvAcc::new(2, 2, 2, 2).unwrap();
-        intersect(&w, &a1, cfg, &mut whole, 0, 0);
-        intersect(&w, &a2, cfg, &mut whole, 0, 0);
+        intersect(&w, &a1, cfg, &mut whole, 0, 0).unwrap();
+        intersect(&w, &a2, cfg, &mut whole, 0, 0).unwrap();
         // Split: one accumulator each, merged afterwards.
         let mut p1 = FullConvAcc::new(2, 2, 2, 2).unwrap();
         let mut p2 = FullConvAcc::new(2, 2, 2, 2).unwrap();
-        intersect(&w, &a1, cfg, &mut p1, 0, 0);
-        intersect(&w, &a2, cfg, &mut p2, 0, 0);
+        intersect(&w, &a1, cfg, &mut p1, 0, 0).unwrap();
+        intersect(&w, &a2, cfg, &mut p2, 0, 0).unwrap();
         p1.merge(&p2);
         assert_eq!(p1, whole);
     }
@@ -528,7 +655,7 @@ mod tests {
         let a = acts(&[(9, 0, 0), (6, 1, 1), (13, 0, 1)], 4);
         let w = weights(&[(7, 0, 0, 0), (-5, 1, 1, 1), (3, 0, 1, 2)], 4);
         let mut acc = FullConvAcc::new(3, 2, 2, 2).unwrap();
-        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0);
+        intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap();
         assert_eq!(acc.total_sum(), weight_term_sum(&w) * act_value_sum(&a));
         assert_eq!(weight_term_sum(&w), 7 - 5 + 3);
         assert_eq!(act_value_sum(&a), 9 + 6 + 13);
@@ -551,7 +678,8 @@ mod tests {
             &mut acc_wide,
             0,
             0,
-        );
+        )
+        .unwrap();
         let s2 = intersect(
             &w,
             &a,
@@ -559,9 +687,151 @@ mod tests {
             &mut acc_narrow,
             0,
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(acc_wide, acc_narrow);
         assert!(s2.steps > s1.steps);
         assert_eq!(s1.atom_mults, s2.atom_mults);
+    }
+
+    #[test]
+    fn rejects_weight_coord_outside_kernel_extent() {
+        use crate::atom::Atom;
+        use crate::stream::WeightEntry;
+        // A stream compiled for a 3x3 kernel run against a k=2 accumulator:
+        // Eq 1's `k - 1 - y` would underflow for the entry at (2, 2).
+        let entries = vec![
+            WeightEntry {
+                atom: Atom {
+                    mag: 1,
+                    shift: 0,
+                    negative: false,
+                    last: true,
+                },
+                x: 0,
+                y: 0,
+                out_ch: 0,
+            },
+            WeightEntry {
+                atom: Atom {
+                    mag: 2,
+                    shift: 0,
+                    negative: false,
+                    last: true,
+                },
+                x: 2,
+                y: 2,
+                out_ch: 0,
+            },
+        ];
+        let w = WeightStream::from_entries(entries);
+        let a = acts(&[(3, 0, 0)], 4);
+        let mut acc = FullConvAcc::new(1, 2, 2, 2).unwrap();
+        let err = intersect(&w, &a, IntersectConfig::default(), &mut acc, 0, 0).unwrap_err();
+        assert_eq!(
+            err,
+            AtomError::WeightCoordOutOfKernel {
+                index: 1,
+                x: 2,
+                y: 2,
+                kernel: 2,
+            }
+        );
+        // Nothing may have been accumulated before the rejection.
+        assert!(acc.is_all_zero());
+    }
+
+    #[test]
+    fn new_rejects_overflowing_extents_with_typed_error() {
+        // in + k - 1 overflows usize.
+        assert_eq!(
+            FullConvAcc::new(1, usize::MAX, 1, 2).unwrap_err(),
+            QnnError::ExtentOverflow {
+                what: "full-conv plane height"
+            }
+        );
+        assert_eq!(
+            FullConvAcc::new(1, 1, usize::MAX, 2).unwrap_err(),
+            QnnError::ExtentOverflow {
+                what: "full-conv plane width"
+            }
+        );
+        // Extents fit but the cell product overflows.
+        assert_eq!(
+            FullConvAcc::new(usize::MAX, 2, 2, 2).unwrap_err(),
+            QnnError::ExtentOverflow {
+                what: "full-conv plane cells"
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_saturates_instead_of_wrapping() {
+        // Adversarial atom counts whose products overflow u64: every counter
+        // must clamp to u64::MAX, exactly like cycles::ideal_steps.
+        let s = IntersectStats::schedule(u64::MAX, u64::MAX, u64::MAX, 32);
+        assert_eq!(s.steps, u64::MAX);
+        assert_eq!(s.atom_mults, u64::MAX);
+        assert_eq!(s.deliveries, u64::MAX);
+        assert_eq!(s.segments, u64::MAX.div_ceil(32));
+        // Representable boundary: exact, no saturation.
+        let exact = IntersectStats::schedule(5, 7, 3, 3);
+        assert_eq!(exact.steps, crate::cycles::ideal_steps(5, 7, 3));
+        assert_eq!(exact.atom_mults, 35);
+        assert_eq!(exact.deliveries, 21);
+        assert_eq!(exact.segments, 3);
+        // Empty streams do no work.
+        assert_eq!(
+            IntersectStats::schedule(0, 7, 3, 3),
+            IntersectStats::default()
+        );
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let mut a = IntersectStats {
+            steps: u64::MAX - 1,
+            atom_mults: u64::MAX,
+            deliveries: 1,
+            segments: 0,
+        };
+        a.merge(&IntersectStats {
+            steps: 5,
+            atom_mults: 5,
+            deliveries: 5,
+            segments: 5,
+        });
+        assert_eq!(a.steps, u64::MAX);
+        assert_eq!(a.atom_mults, u64::MAX);
+        assert_eq!(a.deliveries, 6);
+        assert_eq!(a.segments, 5);
+    }
+
+    #[test]
+    fn plane_granular_merge_matches_full_merge() {
+        let a1 = acts(&[(9, 0, 0), (5, 1, 0)], 4);
+        let w = weights(&[(7, 0, 0, 0), (-5, 1, 1, 2)], 4);
+        let cfg = IntersectConfig::default();
+        let mut full = FullConvAcc::new(3, 2, 2, 2).unwrap();
+        let mut part = FullConvAcc::new(3, 2, 2, 2).unwrap();
+        intersect(&w, &a1, cfg, &mut part, 0, 0).unwrap();
+        // Full merge of `part` vs plane-granular merge of only the planes
+        // the weight stream touches (0 and 2): identical, because plane 1
+        // of `part` is zero.
+        let mut via_full = full.clone();
+        via_full.merge(&part);
+        full.merge_planes_from(&part, &[0, 2]);
+        assert_eq!(full, via_full);
+        // Dirty-region reset restores the all-zero pool invariant.
+        assert!(!part.is_all_zero());
+        part.zero_planes(&[0, 2]);
+        assert!(part.is_all_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "plane index out of bounds")]
+    fn zero_planes_validates_indices() {
+        let mut a = FullConvAcc::new(2, 2, 2, 2).unwrap();
+        a.zero_planes(&[2]);
     }
 }

@@ -36,6 +36,7 @@ pub mod decompose;
 pub mod error;
 pub mod flatten;
 pub mod intersect;
+pub mod kernel;
 pub mod stream;
 pub mod wide;
 
@@ -44,12 +45,14 @@ pub mod prelude {
     pub use crate::atom::{shift_range, Atom, AtomBits};
     pub use crate::compress::{compress_activations, compress_weights};
     pub use crate::conv_csc::{
-        conv2d_csc, conv2d_csc_streams, CscConfig, CscOutput, CscStats, WeightStreamSet,
+        conv2d_csc, conv2d_csc_streams, conv2d_csc_streams_reference, conv2d_csc_streams_with,
+        CscConfig, CscOutput, CscStats, WeightStreamSet,
     };
     pub use crate::cycles::{ideal_steps, intersect_epsilon, tile_cycles};
     pub use crate::decompose::{atomize_signed, atomize_unsigned, recompose};
     pub use crate::error::AtomError;
-    pub use crate::flatten::{flatten_kernel_channel, flatten_tile};
+    pub use crate::flatten::{flatten_kernel_channel, flatten_tile, flatten_tile_into};
     pub use crate::intersect::{intersect, FullConvAcc, IntersectConfig, IntersectStats};
+    pub use crate::kernel::CscScratch;
     pub use crate::stream::{ActivationStream, WeightStream};
 }

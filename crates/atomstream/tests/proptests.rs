@@ -126,8 +126,8 @@ proptest! {
         let cfg = IntersectConfig { multipliers: mults };
         let mut acc_a = FullConvAcc::new(2, 3, 3, 3).unwrap();
         let mut acc_b = FullConvAcc::new(2, 3, 3, 3).unwrap();
-        let sa = intersect(&shuffled, &acts, cfg, &mut acc_a, 0, 0);
-        let sb = intersect(&naive, &acts, cfg, &mut acc_b, 0, 0);
+        let sa = intersect(&shuffled, &acts, cfg, &mut acc_a, 0, 0).unwrap();
+        let sb = intersect(&naive, &acts, cfg, &mut acc_b, 0, 0).unwrap();
         prop_assert_eq!(acc_a, acc_b);
         prop_assert_eq!(sa.steps, sb.steps);
         prop_assert_eq!(sa.atom_mults, sb.atom_mults);
@@ -148,7 +148,7 @@ proptest! {
             (0..s).map(|i| FlatWeight { value: 1, x: 0, y: 0, out_ch: (i % 1024) as u16 }).collect();
         let weights = compress_weights(&flat_w, 2, AtomBits::B2).unwrap();
         let mut acc = FullConvAcc::new(1024, 25, 8, 1).unwrap();
-        let stats = intersect(&weights, &acts, IntersectConfig { multipliers: n as usize }, &mut acc, 0, 0);
+        let stats = intersect(&weights, &acts, IntersectConfig { multipliers: n as usize }, &mut acc, 0, 0).unwrap();
         prop_assert_eq!(stats.steps, ideal_steps(t, s, n));
         prop_assert_eq!(stats.atom_mults, t * s);
     }

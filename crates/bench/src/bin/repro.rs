@@ -69,7 +69,8 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--timeout-secs <n>]
        repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]
        repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]
-       repro chaos [--campaign <n>] [--seed <s>] [--json <path>]";
+       repro chaos [--campaign <n>] [--seed <s>] [--json <path>]
+       repro bench [--quick] [--json <path>] [--threads <n>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 13] = [
@@ -502,6 +503,9 @@ fn main() -> ExitCode {
     if cli.which == "chaos" {
         return chaos_cmd(&cli, &watchdog);
     }
+    if cli.which == "bench" {
+        return bench_cmd(&cli, &watchdog);
+    }
 
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
         println!("{text}");
@@ -627,6 +631,40 @@ fn diffcheck_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
         "diffcheck: {} cases, 0 divergences (seed {})",
         cli.cases, cli.diff_seed
     );
+    ExitCode::SUCCESS
+}
+
+/// The `bench` subcommand: run the self-timed micro and batch suites of
+/// `bench::microbench` and optionally record the `ristretto-bench/v1` JSON
+/// report (the checked-in benchmark trajectory, see `BENCH_6.json`).
+/// Deliberately *not* part of `repro all`: wall times are machine-bound, so
+/// they would break the byte-identical-across-thread-counts contract of the
+/// experiment suite.
+fn bench_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
+    let start = Instant::now();
+    watch(watchdog, "bench suite");
+    let report = bench::microbench::run(cli.quick);
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
+    eprintln!("[repro] bench: {:.2}s", start.elapsed().as_secs_f64());
+    print!("{}", bench::microbench::render(&report));
+    if let Some(path) = &cli.json_path {
+        let text = match serde_json::to_string_pretty(&report) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serializing bench report for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("wrote bench report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -10,15 +10,18 @@
 //! checks three oracle families:
 //!
 //! 1. **Cross-path equality** — dense reference [`qnn::conv::conv2d`],
-//!    functional [`conv2d_csc`], precompiled `Session::run`, and the
-//!    cycle-level `CoreSim::run_layer_streams` agree byte-for-byte, at 1
-//!    and 4 worker threads.
+//!    functional [`conv2d_csc`], precompiled `Session::run`, the
+//!    cycle-level `CoreSim::run_layer_streams`, *and both stream kernels*
+//!    (the planned scratch-arena kernel behind [`conv2d_csc_streams`] and
+//!    the value-major [`conv2d_csc_streams_reference`] twin) agree
+//!    byte-for-byte — outputs and stats — at 1 and 4 worker threads.
 //! 2. **Lossless round-trips** — COO/CSR/bitmap compression and the atom
 //!    stream compress→recompose path are exact at every granularity.
-//! 3. **Cycle-model invariants** — measured intersect steps stay within
-//!    the Eq 3–5 bounds (`ideal ≤ measured`, `ε < N`), the balancer's
-//!    makespan dominates every group, and every observability counter is
-//!    non-negative and monotone across the run.
+//! 3. **Cycle-model invariants** — measured intersect steps equal an
+//!    independent re-tiling's `Σ ideal_steps(t, S, N)` exactly and stay
+//!    within the Eq 3–5 bounds (`ideal ≤ measured`, `ε < N`), the
+//!    balancer's makespan dominates every group, and every observability
+//!    counter is non-negative and monotone across the run.
 //!
 //! Failing cases run through a greedy shrinker that minimizes channels,
 //! extents and values while the divergence persists, then serialize to a
@@ -29,7 +32,10 @@ use std::collections::BTreeMap;
 
 use atomstream::atom::AtomBits;
 use atomstream::compress::{compress_activations, compress_weights, compress_weights_naive};
-use atomstream::conv_csc::{conv2d_csc, conv2d_csc_streams, CscConfig, CscOutput, WeightStreamSet};
+use atomstream::conv_csc::{
+    conv2d_csc, conv2d_csc_streams, conv2d_csc_streams_reference, CscConfig, CscOutput,
+    WeightStreamSet,
+};
 use atomstream::cycles::{ideal_steps, intersect_epsilon, tile_cycles};
 use atomstream::decompose::{atomize_signed, atomize_unsigned, recompose};
 use atomstream::flatten::{flatten_kernel_channel, flatten_tile};
@@ -153,7 +159,9 @@ pub fn generate_case(seed: u64, index: u64) -> DiffCase {
     let h = 1 + rng.below(8);
     let w = 1 + rng.below(8);
     // The padded input must contain the kernel: k ≤ min(h, w) + 2·padding.
-    let kernel = (1 + rng.below(3)).min(h.min(w) + 2 * padding);
+    // Extents beyond 3 exercise full-conv planes much larger than the
+    // input tile and kernel-sized per-atom displacements.
+    let kernel = [1, 2, 3, 5, 7][rng.below(5)].min(h.min(w) + 2 * padding);
     let requant_shift = rng.below(8) as u32;
     let out_bits = [2, 4, 8][rng.below(3)];
     let mut gen = WorkloadGen::new(rng.next_u64());
@@ -195,6 +203,9 @@ struct PathOutputs {
     dense: qnn::tensor::AccTensor3,
     csc: CscOutput,
     streams: CscOutput,
+    /// The value-major reference kernel's result: the oracle the planned
+    /// scratch-arena kernel must match byte-for-byte.
+    reference: CscOutput,
     session_out: Tensor3,
     session_stats: atomstream::conv_csc::CscStats,
     core: CoreReport,
@@ -217,6 +228,8 @@ fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
         .map_err(|e| format!("compile weights: {e}"))?;
     let streams = conv2d_csc_streams(&case.fmap, &weights, geom, case.a_width(), &cfg)
         .map_err(|e| format!("streams: {e}"))?;
+    let reference = conv2d_csc_streams_reference(&case.fmap, &weights, geom, case.a_width(), &cfg)
+        .map_err(|e| format!("reference streams: {e}"))?;
 
     let model = NetworkModel::new(
         "diffcheck",
@@ -248,6 +261,7 @@ fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
         dense,
         csc,
         streams,
+        reference,
         session_out: run.output,
         session_stats,
         core,
@@ -266,6 +280,16 @@ fn check_outputs(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
     }
     if p.streams != p.csc {
         return Err("precompiled-stream CSC diverges from direct CSC".to_string());
+    }
+    // Dual-kernel oracle: the planned scratch-arena kernel and the
+    // value-major reference kernel are two independent implementations of
+    // the same intersection; they must agree on every byte — accumulator
+    // output and all statistics.
+    if p.reference != p.streams {
+        return Err(format!(
+            "planned kernel diverges from reference kernel: stats {:?} vs {:?}",
+            p.streams.stats, p.reference.stats
+        ));
     }
     if p.session_stats != p.csc.stats {
         return Err(format!(
@@ -434,8 +458,12 @@ fn check_cycle_model(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
         .map_err(|e| format!("compile weights: {e}"))?;
 
     // Recompute per-(channel, tile) activation atom counts the way the CSC
-    // path tiles them, then bound the measured steps by Eq 3:
+    // path tiles them, then pin the measured steps two ways: exactly, as
+    // Σ ideal_steps(t, S, N) over the occupied tiles of channels with a
+    // non-empty weight stream (an independent re-derivation of what the
+    // kernel's scheduler must report), and by the Eq 3 bounds
     // Σ t·⌈S/N⌉ ≤ steps ≤ Σ (t·⌈S/N⌉ + (N−1)).
+    let mut exact = 0u64;
     let mut lower = 0u64;
     let mut upper = 0u64;
     let mut act_atoms_per_channel = vec![0u64; c];
@@ -454,6 +482,7 @@ fn check_cycle_model(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
                     continue;
                 }
                 let t = stream.len() as u64;
+                exact += ideal_steps(t, s, n);
                 lower += tile_cycles(t, s, n);
                 upper += tile_cycles(t, s, n) + (n - 1);
                 debug_assert!(ideal_steps(t, s, n) <= tile_cycles(t, s, n) + (n - 1));
@@ -464,6 +493,11 @@ fn check_cycle_model(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
         }
     }
     let measured = p.csc.stats.intersect.steps;
+    if measured != exact {
+        return Err(format!(
+            "measured intersect steps {measured} != independent Eq 3 re-derivation {exact}"
+        ));
+    }
     if measured < lower || measured > upper {
         return Err(format!(
             "measured intersect steps {measured} outside Eq 3 bounds [{lower}, {upper}]"

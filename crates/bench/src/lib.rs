@@ -17,6 +17,7 @@ pub mod cache;
 pub mod chaos;
 pub mod diffcheck;
 pub mod experiments;
+pub mod microbench;
 pub mod stats_gate;
 pub mod table;
 

@@ -1,0 +1,357 @@
+//! Self-timed micro-benchmarks of the CSC hot path (`repro bench`).
+//!
+//! The Criterion benches under `benches/` remain the statistically rigorous
+//! harness for local work; this module exists so a benchmark trajectory can
+//! be *recorded* — `repro bench --json` emits a small, schema-stable JSON
+//! report (`ristretto-bench/v1`) suitable for checking in next to the code
+//! it measures (see `BENCH_6.json`). Timing is deliberately simple and
+//! self-contained: per benchmark, one warm-up call, an iteration count
+//! calibrated so a sample lasts at least a millisecond, then a fixed number
+//! of samples reduced to median/min/mean nanoseconds per iteration. Median
+//! is the headline number — it is robust against scheduler noise on small
+//! shared containers.
+//!
+//! Two suites run:
+//!
+//! * **micro** — the kernel-level workload mirrored from
+//!   `benches/csc_kernels.rs` (a 16→32-channel 3×3 layer at 28×28, seed 7):
+//!   the dense reference convolution, the full CSC convolution, and the
+//!   precompiled stream intersection under the value-major reference
+//!   kernel, the planned kernel with a cold scratch arena, and the planned
+//!   kernel in its steady state (persistent arena, the `Session::run`
+//!   regime).
+//! * **batch** — the compile-once/run-many engine path per quick-suite
+//!   network: compile wall time once, then per-image wall time over a
+//!   served batch.
+
+use crate::{benchmark_networks, table, SEED};
+use atomstream::conv_csc::{
+    conv2d_csc, conv2d_csc_streams_reference, conv2d_csc_streams_with, CscConfig, WeightStreamSet,
+};
+use atomstream::kernel::CscScratch;
+use qnn::conv::{conv2d, ConvGeometry};
+use qnn::mini::MiniNetwork;
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::engine::{compile, NetworkModel, Session};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Schema tag stamped into every report; bump on breaking shape changes.
+pub const SCHEMA: &str = "ristretto-bench/v1";
+
+/// One micro-benchmark's timing summary (nanoseconds per iteration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations folded into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: u64,
+    /// Median nanoseconds per iteration — the headline number.
+    pub median_ns: u64,
+    /// Fastest observed nanoseconds per iteration.
+    pub min_ns: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: u64,
+}
+
+/// One network's compile-once/run-many timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRow {
+    /// Network name.
+    pub network: String,
+    /// Images served through one session.
+    pub images: usize,
+    /// One-time compile wall time, milliseconds.
+    pub compile_ms: f64,
+    /// Steady per-image wall time, milliseconds (compile excluded).
+    pub per_image_ms: f64,
+}
+
+/// The full `repro bench` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Whether quick mode trimmed sample counts and the network list.
+    pub quick: bool,
+    /// Kernel-level micro-benchmarks.
+    pub micro: Vec<MicroRow>,
+    /// Engine compile-once/run-many timings.
+    pub batch: Vec<BatchRow>,
+}
+
+/// Times `f`, returning per-iteration statistics. One warm-up call, then
+/// the iteration count doubles until a sample crosses `min_sample`, then
+/// `samples` timed samples.
+fn time_fn<F: FnMut()>(name: &str, quick: bool, mut f: F) -> MicroRow {
+    let min_sample = Duration::from_millis(if quick { 1 } else { 5 });
+    let samples = if quick { 5u64 } else { 15 };
+    f(); // warm-up: touch caches, fault pages, trigger lazy init
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed() >= min_sample || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter_ns: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (t0.elapsed().as_nanos() / u128::from(iters)) as u64
+        })
+        .collect();
+    per_iter_ns.sort_unstable();
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let min_ns = per_iter_ns[0];
+    let mean_ns = per_iter_ns.iter().sum::<u64>() / samples;
+    MicroRow {
+        name: name.to_string(),
+        iters_per_sample: iters,
+        samples,
+        median_ns,
+        min_ns,
+        mean_ns,
+    }
+}
+
+/// The kernel-level workload, mirrored from `benches/csc_kernels.rs` so the
+/// recorded trajectory and the Criterion numbers describe the same layer.
+fn kernel_workload() -> SyntheticLayer {
+    let layer = qnn::layers::ConvLayer::conv("bench", 16, 32, 3, 1, 1, 28, 28)
+        .expect("benchmark layer shape is valid");
+    let mut gen = WorkloadGen::new(7);
+    SyntheticLayer::generate(
+        &layer,
+        &WeightProfile::benchmark(BitWidth::W8),
+        &ActivationProfile::new(BitWidth::W8),
+        &mut gen,
+    )
+}
+
+/// Runs the micro suite.
+fn run_micro(quick: bool) -> Vec<MicroRow> {
+    let w = kernel_workload();
+    let geom = ConvGeometry::unit_stride(1);
+    let cfg = CscConfig::default();
+    let weights = WeightStreamSet::compile(&w.kernels, BitWidth::W8, cfg.atom_bits)
+        .expect("benchmark kernels compile");
+
+    let mut rows = Vec::new();
+    rows.push(time_fn("dense_reference_conv", quick, || {
+        std::hint::black_box(conv2d(&w.fmap, &w.kernels, geom).expect("dense conv"));
+    }));
+    rows.push(time_fn("csc_sparse_conv", quick, || {
+        std::hint::black_box(
+            conv2d_csc(&w.fmap, &w.kernels, geom, BitWidth::W8, BitWidth::W8, &cfg)
+                .expect("csc conv"),
+        );
+    }));
+    rows.push(time_fn("csc_streams_reference", quick, || {
+        std::hint::black_box(
+            conv2d_csc_streams_reference(&w.fmap, &weights, geom, BitWidth::W8, &cfg)
+                .expect("reference streams"),
+        );
+    }));
+    rows.push(time_fn("csc_streams_cold", quick, || {
+        let scratch = CscScratch::new();
+        std::hint::black_box(
+            conv2d_csc_streams_with(&w.fmap, &weights, geom, BitWidth::W8, &cfg, &scratch)
+                .expect("cold streams"),
+        );
+    }));
+    let scratch = CscScratch::new();
+    rows.push(time_fn("csc_streams_steady", quick, || {
+        std::hint::black_box(
+            conv2d_csc_streams_with(&w.fmap, &weights, geom, BitWidth::W8, &cfg, &scratch)
+                .expect("steady streams"),
+        );
+    }));
+    rows
+}
+
+/// Runs the batch suite: per network, timed compile plus a served batch
+/// through one session (its persistent scratch arenas warm after the first
+/// image).
+fn run_batch(quick: bool) -> Vec<BatchRow> {
+    let images = if quick { 2 } else { 4 };
+    let cfg = RistrettoConfig::paper_default();
+    let mut rows = Vec::new();
+    for (idx, &net) in benchmark_networks(quick).iter().enumerate() {
+        let mini = MiniNetwork::try_new(net).expect("builtin mini network");
+        let mut gen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8));
+        let model =
+            NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
+                .expect("mini network materializes");
+        let t0 = Instant::now();
+        let compiled = compile(&model, &cfg).expect("mini network compiles");
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let session = Session::new(compiled.clone());
+        let (c, h, w) = compiled.input();
+        let inputs: Vec<_> = (0..images)
+            .map(|image| {
+                let mut igen =
+                    WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8) ^ (image as u64 + 1));
+                igen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+                    .expect("input materializes")
+            })
+            .collect();
+        let t1 = Instant::now();
+        for input in &inputs {
+            std::hint::black_box(session.run(input).expect("session inference"));
+        }
+        let per_image_ms = t1.elapsed().as_secs_f64() * 1e3 / images as f64;
+        rows.push(BatchRow {
+            network: net.name().to_string(),
+            images,
+            compile_ms,
+            per_image_ms,
+        });
+    }
+    rows
+}
+
+/// Runs both suites and assembles the report.
+pub fn run(quick: bool) -> BenchReport {
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        quick,
+        micro: run_micro(quick),
+        batch: run_batch(quick),
+    }
+}
+
+/// Renders the report as text tables (wall times vary run to run, so this
+/// output — unlike the experiment tables — is *not* expected to be
+/// byte-stable across machines).
+pub fn render(report: &BenchReport) -> String {
+    let mut t = vec![vec![
+        "benchmark".to_string(),
+        "median ns/iter".to_string(),
+        "min ns/iter".to_string(),
+        "mean ns/iter".to_string(),
+        "iters/sample".to_string(),
+    ]];
+    for r in &report.micro {
+        t.push(vec![
+            r.name.clone(),
+            r.median_ns.to_string(),
+            r.min_ns.to_string(),
+            r.mean_ns.to_string(),
+            r.iters_per_sample.to_string(),
+        ]);
+    }
+    let mut out = table::render("CSC kernel micro-benchmarks (self-timed)", &t);
+    let mut t = vec![vec![
+        "network".to_string(),
+        "images".to_string(),
+        "compile ms (once)".to_string(),
+        "per-image ms".to_string(),
+    ]];
+    for r in &report.batch {
+        t.push(vec![
+            r.network.clone(),
+            r.images.to_string(),
+            format!("{:.2}", r.compile_ms),
+            format!("{:.2}", r.per_image_ms),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table::render(
+        "Engine compile-once/run-many (self-timed)",
+        &t,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_has_schema_and_all_rows() {
+        let report = run(true);
+        assert_eq!(report.schema, SCHEMA);
+        assert!(report.quick);
+        let names: Vec<&str> = report.micro.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dense_reference_conv",
+                "csc_sparse_conv",
+                "csc_streams_reference",
+                "csc_streams_cold",
+                "csc_streams_steady",
+            ]
+        );
+        assert!(report.micro.iter().all(|r| r.median_ns > 0
+            && r.min_ns <= r.median_ns
+            && r.iters_per_sample >= 1
+            && r.samples >= 5));
+        assert_eq!(report.batch.len(), 3);
+        assert!(report
+            .batch
+            .iter()
+            .all(|b| b.per_image_ms > 0.0 && b.compile_ms > 0.0 && b.images == 2));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            schema: SCHEMA.to_string(),
+            quick: true,
+            micro: vec![MicroRow {
+                name: "x".to_string(),
+                iters_per_sample: 4,
+                samples: 5,
+                median_ns: 10,
+                min_ns: 9,
+                mean_ns: 11,
+            }],
+            batch: vec![BatchRow {
+                network: "AlexNet".to_string(),
+                images: 2,
+                compile_ms: 1.5,
+                per_image_ms: 2.5,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(json.contains("ristretto-bench/v1"));
+    }
+
+    #[test]
+    fn render_names_every_benchmark() {
+        let report = BenchReport {
+            schema: SCHEMA.to_string(),
+            quick: true,
+            micro: vec![MicroRow {
+                name: "dense_reference_conv".to_string(),
+                iters_per_sample: 1,
+                samples: 5,
+                median_ns: 1,
+                min_ns: 1,
+                mean_ns: 1,
+            }],
+            batch: vec![BatchRow {
+                network: "AlexNet".to_string(),
+                images: 2,
+                compile_ms: 1.0,
+                per_image_ms: 1.0,
+            }],
+        };
+        let s = render(&report);
+        assert!(s.contains("dense_reference_conv") && s.contains("AlexNet"));
+    }
+}

@@ -47,6 +47,14 @@ pub enum QnnError {
         /// Total elements (weights + activations) the layer would need.
         elements: usize,
     },
+    /// An extent computation overflowed the machine word: the requested
+    /// geometry cannot even be *addressed*, let alone allocated. Degenerate
+    /// adversarial shapes must surface as a typed error, not a silent
+    /// wrap-around or abort.
+    ExtentOverflow {
+        /// Name of the quantity whose computation overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for QnnError {
@@ -81,6 +89,12 @@ impl fmt::Display for QnnError {
             QnnError::LayerTooLarge { elements } => {
                 write!(f, "layer too large to materialize ({elements} elements)")
             }
+            QnnError::ExtentOverflow { what } => {
+                write!(
+                    f,
+                    "extent computation for {what} overflows the machine word"
+                )
+            }
         }
     }
 }
@@ -103,5 +117,13 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QnnError>();
+    }
+
+    #[test]
+    fn extent_overflow_names_the_quantity() {
+        let e = QnnError::ExtentOverflow {
+            what: "full-conv plane",
+        };
+        assert!(e.to_string().contains("full-conv plane"));
     }
 }

@@ -316,8 +316,10 @@ impl WorkloadGen {
 
     /// Draws one channel's worth of adversarial values: a per-channel
     /// pattern chosen from all-zero, dense-maximal, dense-random, sparse,
-    /// and very-sparse-extreme — the corner distributions a differential
-    /// harness needs (empty streams, all-dense tiles, maximal magnitudes).
+    /// very-sparse-extreme, and single-hot-spot — the corner distributions
+    /// a differential harness needs (empty streams, all-dense tiles,
+    /// maximal magnitudes, and a lone value that leaves every other tile
+    /// unoccupied).
     fn adversarial_plane(&mut self, n: usize, max_mag: i32, signed: bool) -> Vec<i32> {
         debug_assert!(max_mag >= 1);
         let value = |rng: &mut SeededRng, mag: i32| {
@@ -327,7 +329,7 @@ impl WorkloadGen {
                 mag
             }
         };
-        match self.rng.below(5) {
+        match self.rng.below(6) {
             // Empty channel: exercises empty-stream handling end to end.
             0 => vec![0; n],
             // All-dense at the maximal magnitude: worst-case atom counts.
@@ -351,7 +353,7 @@ impl WorkloadGen {
                 })
                 .collect(),
             // Very sparse, extreme magnitudes only (1 or max).
-            _ => (0..n)
+            4 => (0..n)
                 .map(|_| {
                     if self.rng.bernoulli(0.9) {
                         0
@@ -361,6 +363,17 @@ impl WorkloadGen {
                     }
                 })
                 .collect(),
+            // Single hot spot: one maximal value in an otherwise empty
+            // plane, so a tiled consumer sees exactly one occupied tile
+            // among arbitrarily many empty ones.
+            _ => {
+                let mut plane = vec![0; n];
+                let slot = self.rng.below(n.max(1));
+                if let Some(cell) = plane.get_mut(slot) {
+                    *cell = value(&mut self.rng, max_mag);
+                }
+                plane
+            }
         }
     }
 
@@ -990,6 +1003,21 @@ mod tests {
         assert!(empty_plane, "no empty input-channel plane in 40 draws");
         assert!(k.as_slice().iter().any(|&v| v.abs() == max));
         assert!(k.as_slice().iter().any(|&v| v < 0));
+    }
+
+    #[test]
+    fn adversarial_planes_include_single_hot_spots() {
+        // Over enough channels the hot-spot pattern must appear: a plane
+        // with exactly one non-zero cell at the maximal magnitude.
+        let mut gen = WorkloadGen::new(13);
+        let bits = BitWidth::W4;
+        let t = gen.adversarial_activations(48, 5, 5, bits).unwrap();
+        let max = bits.unsigned_max();
+        let hot = (0..48).any(|c| {
+            let plane = t.channel(c);
+            plane.iter().filter(|&&v| v != 0).count() == 1 && plane.contains(&max)
+        });
+        assert!(hot, "no single-hot-spot plane in 48 draws");
     }
 
     #[test]

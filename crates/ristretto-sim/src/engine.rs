@@ -20,12 +20,13 @@ use crate::pipeline::{LayerTrace, PipelineLayer};
 use crate::ppu::{PostProcessor, PpuOutput};
 use crate::weightbuf::WeightBufferImage;
 use atomstream::compress::compress_activations;
-use atomstream::conv_csc::{conv2d_csc_streams, CscConfig, CscStats, WeightStreamSet};
+use atomstream::conv_csc::{conv2d_csc_streams_with, CscConfig, CscStats, WeightStreamSet};
 use atomstream::error::AtomError;
 use atomstream::flatten::flatten_tile;
 use atomstream::intersect::{
     act_value_sum, intersect, weight_term_sum, FullConvAcc, IntersectConfig,
 };
+use atomstream::kernel::CscScratch;
 use atomstream::stream::{ActivationStream, WeightStream};
 use qnn::conv::{conv2d, ConvGeometry};
 use qnn::error::QnnError;
@@ -235,9 +236,19 @@ impl CompiledLayer {
     }
 
     /// Runs this layer's per-input work: activation compression, stream
-    /// intersection, PPU and optional pooling.
-    fn execute(&self, csc: &CscConfig, act: &Tensor3) -> Result<(Tensor3, LayerTrace), AtomError> {
-        let out = conv2d_csc_streams(act, &self.weights, self.geom, self.a_bits, csc)?;
+    /// intersection, PPU and optional pooling. The scratch arena supplies
+    /// the accumulator planes and per-channel weight plans; a persistent
+    /// arena (one per layer inside a [`Session`]) makes the steady state
+    /// allocation-free, while a transient `&CscScratch::new()` reproduces
+    /// the pre-arena behavior exactly.
+    fn execute(
+        &self,
+        csc: &CscConfig,
+        act: &Tensor3,
+        scratch: &CscScratch,
+    ) -> Result<(Tensor3, LayerTrace), AtomError> {
+        let out =
+            conv2d_csc_streams_with(act, &self.weights, self.geom, self.a_bits, csc, scratch)?;
         self.post_process(csc, &out.output, out.stats)
     }
 
@@ -456,7 +467,7 @@ impl CompiledLayer {
                             // accumulator.
                             let mut scratch = FullConvAcc::new(o, h, w, k)?;
                             let istats =
-                                intersect(&w_faulty, &a_faulty, icfg, &mut scratch, y0, x0);
+                                intersect(&w_faulty, &a_faulty, icfg, &mut scratch, y0, x0)?;
                             let reference_digest = plane_digest(scratch.cells());
                             let expected_sum =
                                 weight_term_sum(&w_faulty) * act_value_sum(&a_faulty);
@@ -727,22 +738,41 @@ pub struct SessionCycleRun {
 
 /// A per-client handle over a shared [`CompiledNetwork`]: only per-input
 /// work happens here.
+///
+/// Each session also owns one [`CscScratch`] arena per layer, so the
+/// accumulator planes, weight plans and stream buffers of `run` are
+/// recycled across inputs — after the first inference, the steady state
+/// performs zero accumulator-plane heap allocations (observable through
+/// [`Session::scratch_plane_allocations`]). Cloning a session shares the
+/// arenas (they are internally synchronized).
 #[derive(Debug, Clone)]
 pub struct Session {
     net: Arc<CompiledNetwork>,
+    scratch: Arc<Vec<CscScratch>>,
 }
 
 impl Session {
     /// Opens a session over compiled artifacts (cheap — the artifacts are
-    /// shared, not copied).
+    /// shared, not copied; the per-layer scratch arenas start empty and
+    /// fill lazily on the first run).
     pub fn new(net: Arc<CompiledNetwork>) -> Self {
         obs::record(obs::Event::EngineSessions, 1);
-        Self { net }
+        let scratch = Arc::new((0..net.layers.len()).map(|_| CscScratch::new()).collect());
+        Self { net, scratch }
     }
 
     /// The compiled network this session serves.
     pub fn network(&self) -> &CompiledNetwork {
         &self.net
+    }
+
+    /// Total accumulator-plane allocations performed by this session's
+    /// scratch arenas since creation. In steady state (after the first
+    /// input at a given layer geometry) consecutive [`Session::run`] calls
+    /// leave this counter unchanged — the zero-allocation invariant the
+    /// arena exists to provide.
+    pub fn scratch_plane_allocations(&self) -> u64 {
+        self.scratch.iter().map(|s| s.plane_allocations()).sum()
     }
 
     /// Runs one functional inference: activation compression,
@@ -789,7 +819,7 @@ impl Session {
         let mut faults = FaultStats::default();
         for (li, layer) in self.net.layers.iter().enumerate() {
             let (next, trace) = match &injector {
-                None => layer.execute(&self.net.csc, &act)?,
+                None => layer.execute(&self.net.csc, &act, &self.scratch[li])?,
                 Some(inj) => {
                     let (next, trace, layer_faults) = layer.execute_with_faults(
                         &self.net.csc,
@@ -851,7 +881,7 @@ impl Session {
                 }
             }
             let (next, trace) = match &injector {
-                None => layer.execute(&self.net.csc, &act)?,
+                None => layer.execute(&self.net.csc, &act, &self.scratch[li])?,
                 Some(inj) => {
                     let (next, trace, layer_faults) = layer.execute_with_faults(
                         &self.net.csc,
@@ -902,7 +932,7 @@ pub(crate) fn compile_and_execute_layer(
         weight_buffer_bits: None,
         static_groups: Vec::new(),
     };
-    compiled.execute(csc, act)
+    compiled.execute(csc, act, &CscScratch::new())
 }
 
 #[cfg(test)]

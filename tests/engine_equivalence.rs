@@ -112,3 +112,82 @@ fn compiled_session_matches_functional_pipeline() {
         });
     }
 }
+
+#[test]
+fn session_scratch_reuse_is_byte_identical_across_inputs() {
+    // A warm session recycles its per-layer scratch arenas (accumulator
+    // planes, weight plans) across inputs; every run must stay
+    // byte-identical to a cold session evaluating the same input — at one
+    // worker thread and at many.
+    let mini = MiniNetwork::try_new(NetworkId::GoogLeNet).unwrap();
+    let mut gen = WorkloadGen::new(211);
+    let model =
+        NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4)).unwrap();
+    let compiled = compile(&model, &RistrettoConfig::paper_default()).unwrap();
+    let (c, h, w) = compiled.input();
+    let inputs: Vec<_> = (0..3u64)
+        .map(|i| {
+            let mut igen = WorkloadGen::new(900 + i);
+            igen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+                .unwrap()
+        })
+        .collect();
+    for threads in [1, 4] {
+        with_threads(threads, || {
+            let warm = Session::new(compiled.clone());
+            for input in &inputs {
+                let reused = warm.run(input).unwrap();
+                let cold = Session::new(compiled.clone()).run(input).unwrap();
+                assert_eq!(
+                    reused.output, cold.output,
+                    "warm scratch changed the output at {threads} threads"
+                );
+                assert_eq!(
+                    reused.traces, cold.traces,
+                    "warm scratch changed the traces at {threads} threads"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn session_steady_state_allocates_no_accumulator_planes() {
+    // The zero-allocation invariant of the scratch arena: after the first
+    // input has sized every layer's pool, further `Session::run` calls
+    // perform no accumulator-plane heap allocations at all. Serial
+    // execution keeps the pool's peak demand deterministic.
+    let mini = MiniNetwork::try_new(NetworkId::ResNet18).unwrap();
+    let mut gen = WorkloadGen::new(223);
+    let model =
+        NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4)).unwrap();
+    let compiled = compile(&model, &RistrettoConfig::paper_default()).unwrap();
+    let (c, h, w) = compiled.input();
+    with_threads(1, || {
+        let session = Session::new(compiled.clone());
+        assert_eq!(session.scratch_plane_allocations(), 0);
+        let mut igen = WorkloadGen::new(501);
+        let first = igen
+            .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+            .unwrap();
+        session.run(&first).unwrap();
+        let after_first = session.scratch_plane_allocations();
+        assert!(after_first > 0, "first run must populate the pools");
+        for seed in 0..4u64 {
+            let mut igen = WorkloadGen::new(600 + seed);
+            let input = igen
+                .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+                .unwrap();
+            session.run(&input).unwrap();
+            assert_eq!(
+                session.scratch_plane_allocations(),
+                after_first,
+                "steady-state run allocated accumulator planes"
+            );
+        }
+        // A clone shares the same arenas: no fresh pools, no fresh planes.
+        let clone = session.clone();
+        session.run(&first).unwrap();
+        assert_eq!(clone.scratch_plane_allocations(), after_first);
+    });
+}

@@ -6,7 +6,10 @@
 //! addition (commutative) and collect per-tile reports in group order, so
 //! equality here is exact — not approximate.
 
-use atomstream::conv_csc::{conv2d_csc, CscConfig, CscOutput};
+use atomstream::conv_csc::{
+    conv2d_csc, conv2d_csc_streams, conv2d_csc_streams_reference, CscConfig, CscOutput,
+    WeightStreamSet,
+};
 use qnn::quant::BitWidth;
 use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
 use rayon::ThreadPoolBuilder;
@@ -80,5 +83,41 @@ fn core_sim_is_thread_count_invariant() {
     for threads in [2, 4, 8] {
         let parallel = with_threads(threads, run);
         assert_eq!(serial, parallel, "core report differs at {threads} threads");
+    }
+}
+
+#[test]
+fn planned_and_reference_kernels_agree_at_every_thread_count() {
+    // Dual-kernel oracle: the planned scratch-arena kernel behind
+    // `conv2d_csc_streams` and the value-major reference kernel are
+    // independent implementations of the same intersection; outputs and
+    // stats must be byte-identical to each other — and to the serial
+    // baseline — at every thread count.
+    let s = materialized(47);
+    let cfg = CscConfig::default();
+    let geom = s.layer.geometry();
+    let weights = WeightStreamSet::compile(&s.kernels, BitWidth::W4, cfg.atom_bits).unwrap();
+    let baseline = with_threads(1, || {
+        conv2d_csc_streams_reference(&s.fmap, &weights, geom, BitWidth::W8, &cfg).unwrap()
+    });
+    for threads in [1, 2, 4, 8] {
+        let planned = with_threads(threads, || {
+            conv2d_csc_streams(&s.fmap, &weights, geom, BitWidth::W8, &cfg).unwrap()
+        });
+        let reference = with_threads(threads, || {
+            conv2d_csc_streams_reference(&s.fmap, &weights, geom, BitWidth::W8, &cfg).unwrap()
+        });
+        assert_eq!(
+            planned.output, baseline.output,
+            "planned kernel output differs at {threads} threads"
+        );
+        assert_eq!(
+            planned.stats, baseline.stats,
+            "planned kernel stats differ at {threads} threads"
+        );
+        assert_eq!(
+            reference, baseline,
+            "reference kernel differs from itself at {threads} threads"
+        );
     }
 }
