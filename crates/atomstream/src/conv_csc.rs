@@ -156,6 +156,51 @@ impl WeightStreamSet {
         })
     }
 
+    /// Reassembles a compiled set from externally stored parts (the
+    /// artifact deserialization path).
+    ///
+    /// The recorded per-channel digests are re-verified against the
+    /// reconstructed streams before the set is accepted, so a persisted
+    /// artifact whose stream bytes drifted from its recorded checksums is
+    /// rejected with the same typed error the online integrity monitor
+    /// raises.
+    ///
+    /// # Errors
+    /// Returns [`AtomError::StreamChecksumMismatch`] naming the first
+    /// channel whose recomputed digest disagrees with the recorded one.
+    ///
+    /// # Panics
+    /// Panics if `checksums` and `streams` differ in length; callers
+    /// reconstruct both from the same channel count.
+    pub fn from_parts(
+        streams: Vec<WeightStream>,
+        checksums: Vec<u64>,
+        out_channels: usize,
+        kernel: usize,
+        w_bits: BitWidth,
+        atom_bits: AtomBits,
+    ) -> Result<Self, AtomError> {
+        assert_eq!(
+            streams.len(),
+            checksums.len(),
+            "one recorded checksum per stream"
+        );
+        let in_channels = streams.len();
+        let set = Self {
+            streams,
+            checksums,
+            out_channels,
+            in_channels,
+            kernel,
+            w_bits,
+            atom_bits,
+        };
+        for channel in 0..set.in_channels {
+            set.verify_channel(channel)?;
+        }
+        Ok(set)
+    }
+
     /// The per-input-channel static streams, in channel order.
     pub fn streams(&self) -> &[WeightStream] {
         &self.streams

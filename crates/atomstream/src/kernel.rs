@@ -173,6 +173,27 @@ impl WeightPlan {
     }
 }
 
+/// The `(out_ch, atom_count)` run table the branch-free plan kernel would
+/// build for one stream — the persisted "plan geometry" of the artifact
+/// format.
+///
+/// The run table is a pure function of the stream, so artifacts store it
+/// only as a cross-check: the loader recomputes it with this function and
+/// rejects any artifact whose recorded geometry disagrees (a mismatch
+/// means the streams and the plan section drifted apart).
+///
+/// # Errors
+/// Propagates the plan compiler's coordinate validation
+/// ([`AtomError::WeightCoordOutOfKernel`]).
+pub fn plan_group_geometry(
+    stream: &WeightStream,
+    k: usize,
+    out_c: usize,
+) -> Result<Vec<(u16, u32)>, AtomError> {
+    let plan = WeightPlan::compile(stream, k, out_c)?;
+    Ok(plan.groups.iter().map(|&(oc, s, e)| (oc, e - s)).collect())
+}
+
 /// A cached, lazily compiled [`WeightPlan`] for one input channel, keyed by
 /// the stream's compile-time checksum so a swapped stream recompiles
 /// instead of executing a stale plan.

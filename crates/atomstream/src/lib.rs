@@ -39,6 +39,7 @@ pub mod intersect;
 pub mod kernel;
 pub mod stream;
 pub mod wide;
+pub mod wire;
 
 /// Glob import of the commonly used items.
 pub mod prelude {
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::error::AtomError;
     pub use crate::flatten::{flatten_kernel_channel, flatten_tile, flatten_tile_into};
     pub use crate::intersect::{intersect, FullConvAcc, IntersectConfig, IntersectStats};
-    pub use crate::kernel::CscScratch;
+    pub use crate::kernel::{plan_group_geometry, CscScratch};
     pub use crate::stream::{ActivationStream, WeightStream};
+    pub use crate::wire::{fnv1a_bytes, WireError, WireReader, WireWriter};
 }

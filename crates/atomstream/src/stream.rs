@@ -16,12 +16,8 @@
 
 use crate::atom::{Atom, AtomBits};
 use crate::error::AtomError;
+use crate::wire::{FNV_OFFSET, FNV_PRIME};
 use serde::{Deserialize, Serialize};
-
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Folds one byte into a running FNV-1a 64 hash.
 #[inline]

@@ -1,0 +1,628 @@
+//! Hand-rolled little-endian wire format primitives for compiled artifacts.
+//!
+//! This module is the byte-level foundation of the persisted
+//! `CompiledNetwork` artifact format (see `ristretto-sim`'s `artifact`
+//! module for the layout). It deliberately avoids any external
+//! serialization dependency: every value is written little-endian through
+//! [`WireWriter`] and read back through [`WireReader`], and every section
+//! payload is guarded by the same FNV-1a 64-bit checksum the runtime
+//! stream-integrity machinery uses ([`crate::stream`]).
+//!
+//! Section framing is `[name_len: u16][name bytes][payload_len: u64]
+//! [payload bytes][fnv1a(payload): u64]`. A reader must name the section
+//! it expects; a name mismatch, a short buffer, or a checksum mismatch
+//! each produce a distinct [`WireError`] naming the offending section, so
+//! corruption reports point at the damaged region rather than a generic
+//! parse failure.
+
+use crate::atom::{Atom, AtomBits};
+use crate::conv_csc::WeightStreamSet;
+use crate::error::AtomError;
+use crate::stream::{WeightEntry, WeightStream};
+use qnn::quant::BitWidth;
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis (shared with the runtime stream checksums).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (shared with the runtime stream checksums).
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash over a byte slice.
+///
+/// This is the section checksum of the artifact wire format and the
+/// content hash behind the model cache key; it matches the per-byte
+/// absorption the runtime stream checksums use.
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Typed decode failures for the artifact wire format.
+///
+/// Every variant names the section being decoded when the failure struck,
+/// so a corrupted artifact report reads "section `layer0.streams`:
+/// checksum mismatch" rather than a bare offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the requested value could be read.
+    Truncated {
+        /// Section being decoded when the buffer ran out.
+        section: String,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The leading magic bytes did not match the expected tag.
+    BadMagic {
+        /// Magic bytes found at the head of the buffer.
+        found: [u8; 8],
+        /// Magic bytes the format requires.
+        expected: [u8; 8],
+    },
+    /// The format version is not one this build can decode.
+    VersionSkew {
+        /// Version recorded in the artifact.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A section arrived out of order or under the wrong name.
+    SectionMismatch {
+        /// Section name the decoder expected next.
+        expected: String,
+        /// Section name found in the byte stream.
+        found: String,
+    },
+    /// A section payload failed its FNV-1a checksum.
+    ChecksumMismatch {
+        /// Section whose payload was damaged.
+        section: String,
+        /// Checksum recorded in the artifact.
+        expected: u64,
+        /// Checksum recomputed over the payload bytes.
+        actual: u64,
+    },
+    /// A section decoded structurally but carried an invalid value.
+    Invalid {
+        /// Section holding the invalid value.
+        section: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Bytes remained after the decoder consumed the full layout.
+    TrailingBytes {
+        /// Section (or scope) that finished with bytes left over.
+        section: String,
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl WireError {
+    /// The section name the error is attributed to, when one applies.
+    #[must_use]
+    pub fn section(&self) -> Option<&str> {
+        match self {
+            WireError::Truncated { section, .. }
+            | WireError::ChecksumMismatch { section, .. }
+            | WireError::Invalid { section, .. }
+            | WireError::TrailingBytes { section, .. } => Some(section),
+            WireError::SectionMismatch { expected, .. } => Some(expected),
+            WireError::BadMagic { .. } | WireError::VersionSkew { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "section `{section}`: truncated (needed {needed} bytes, {available} available)"
+            ),
+            WireError::BadMagic { found, expected } => write!(
+                f,
+                "bad magic {found:02x?} (expected {expected:02x?}): not a compiled-network artifact"
+            ),
+            WireError::VersionSkew { found, supported } => write!(
+                f,
+                "format version {found} is not supported (this build reads version {supported})"
+            ),
+            WireError::SectionMismatch { expected, found } => write!(
+                f,
+                "expected section `{expected}` but found `{found}`"
+            ),
+            WireError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section `{section}`: checksum mismatch (recorded {expected:#018x}, recomputed {actual:#018x})"
+            ),
+            WireError::Invalid { section, detail } => {
+                write!(f, "section `{section}`: invalid contents: {detail}")
+            }
+            WireError::TrailingBytes { section, remaining } => write!(
+                f,
+                "section `{section}`: {remaining} trailing bytes after decode"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian byte-stream writer with checksummed section framing.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `bool` as a single 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string (`u16` length).
+    ///
+    /// # Panics
+    /// Panics if the string is longer than `u16::MAX` bytes; artifact
+    /// names are short identifiers, so this is a programming error.
+    pub fn put_str(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("wire strings are short identifiers");
+        self.put_u16(len);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append raw bytes with no framing.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a named, checksummed section.
+    ///
+    /// The closure fills a fresh payload writer; the payload is then
+    /// framed as `[name_len: u16][name][payload_len: u64][payload]
+    /// [fnv1a(payload): u64]`.
+    pub fn section(&mut self, name: &str, fill: impl FnOnce(&mut WireWriter)) {
+        let mut payload = WireWriter::new();
+        fill(&mut payload);
+        let payload = payload.into_bytes();
+        self.put_str(name);
+        self.put_u64(payload.len() as u64);
+        let checksum = fnv1a_bytes(&payload);
+        self.buf.extend_from_slice(&payload);
+        self.put_u64(checksum);
+    }
+
+    /// Consume the writer and return the accumulated bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian byte-stream reader that mirrors [`WireWriter`].
+///
+/// Every read is bounds-checked and reports [`WireError::Truncated`] with
+/// the current section label on underflow.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    label: String,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a byte slice; `label` names the enclosing scope for errors.
+    #[must_use]
+    pub fn new(buf: &'a [u8], label: &str) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            label: label.to_string(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(WireError::Truncated {
+                section: self.label.clone(),
+                needed: n,
+                available,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn get_i32(&mut self) -> Result<i32, WireError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `bool` written by [`WireWriter::put_bool`].
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Invalid {
+                section: self.label.clone(),
+                detail: format!("bool byte must be 0 or 1, found {other}"),
+            }),
+        }
+    }
+
+    /// Read a `u64` and convert to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::Invalid {
+            section: self.label.clone(),
+            detail: format!("length {v} does not fit in usize"),
+        })
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = usize::from(self.get_u16()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
+            section: self.label.clone(),
+            detail: "string is not valid UTF-8".to_string(),
+        })
+    }
+
+    /// Read `n` raw bytes with no framing.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Open a named section written by [`WireWriter::section`].
+    ///
+    /// Verifies the section name and the payload checksum **before**
+    /// handing back a sub-reader scoped to the payload, so a damaged
+    /// section is reported against its own name and never partially
+    /// decoded.
+    pub fn section(&mut self, expected: &str) -> Result<WireReader<'a>, WireError> {
+        let found = self.get_str()?;
+        if found != expected {
+            return Err(WireError::SectionMismatch {
+                expected: expected.to_string(),
+                found,
+            });
+        }
+        let len = self.get_usize()?;
+        let payload = {
+            let available = self.buf.len() - self.pos;
+            if available < len + 8 {
+                return Err(WireError::Truncated {
+                    section: expected.to_string(),
+                    needed: len + 8,
+                    available,
+                });
+            }
+            let payload = &self.buf[self.pos..self.pos + len];
+            self.pos += len;
+            payload
+        };
+        let recorded = self.get_u64()?;
+        let actual = fnv1a_bytes(payload);
+        if recorded != actual {
+            return Err(WireError::ChecksumMismatch {
+                section: expected.to_string(),
+                expected: recorded,
+                actual,
+            });
+        }
+        Ok(WireReader::new(payload, expected))
+    }
+
+    /// Assert the reader consumed every byte of its scope.
+    pub fn finish(self) -> Result<(), WireError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining != 0 {
+            return Err(WireError::TrailingBytes {
+                section: self.label,
+                remaining,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes left unconsumed in this reader's scope.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Encode a [`WeightStreamSet`] as a raw (unframed) wire payload.
+///
+/// The caller is expected to wrap the payload in a checksummed section;
+/// the per-channel stream checksums from compile time are stored verbatim
+/// so the decoder can verify each stream independently of the section
+/// checksum.
+pub fn write_weight_stream_set(w: &mut WireWriter, set: &WeightStreamSet) {
+    w.put_u64(set.out_channels() as u64);
+    w.put_u64(set.in_channels() as u64);
+    w.put_u64(set.kernel() as u64);
+    w.put_u8(set.w_bits().bits());
+    w.put_u8(set.atom_bits().bits());
+    for c in 0..set.in_channels() {
+        let stream = set.stream(c);
+        w.put_u64(stream.len() as u64);
+        for e in stream.entries() {
+            w.put_u8(e.atom.mag);
+            w.put_u8(e.atom.shift);
+            let flags = u8::from(e.atom.negative) | (u8::from(e.atom.last) << 1);
+            w.put_u8(flags);
+            w.put_u16(e.x);
+            w.put_u16(e.y);
+            w.put_u16(e.out_ch);
+        }
+        w.put_u64(set.checksum(c));
+    }
+}
+
+/// Decode a [`WeightStreamSet`] written by [`write_weight_stream_set`].
+///
+/// Each channel's recorded checksum is re-verified against the decoded
+/// entries via [`WeightStreamSet::from_parts`], so bit damage that
+/// somehow survives the section checksum still surfaces as a typed
+/// stream-integrity error.
+pub fn read_weight_stream_set(r: &mut WireReader<'_>) -> Result<WeightStreamSet, WireError> {
+    let section = r.label.clone();
+    let invalid = |detail: String| WireError::Invalid {
+        section: section.clone(),
+        detail,
+    };
+    let out_channels = r.get_usize()?;
+    let in_channels = r.get_usize()?;
+    let kernel = r.get_usize()?;
+    let w_bits = BitWidth::new(r.get_u8()?).map_err(|e| invalid(e.to_string()))?;
+    let atom_bits = AtomBits::new(r.get_u8()?).map_err(|e| invalid(e.to_string()))?;
+    let mut streams = Vec::with_capacity(in_channels);
+    let mut checksums = Vec::with_capacity(in_channels);
+    for _ in 0..in_channels {
+        let len = r.get_usize()?;
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mag = r.get_u8()?;
+            let shift = r.get_u8()?;
+            let flags = r.get_u8()?;
+            if flags & !0b11 != 0 {
+                return Err(invalid(format!(
+                    "atom flag byte {flags:#x} has unknown bits"
+                )));
+            }
+            let x = r.get_u16()?;
+            let y = r.get_u16()?;
+            let out_ch = r.get_u16()?;
+            entries.push(WeightEntry {
+                atom: Atom {
+                    mag,
+                    shift,
+                    negative: flags & 0b01 != 0,
+                    last: flags & 0b10 != 0,
+                },
+                x,
+                y,
+                out_ch,
+            });
+        }
+        streams.push(WeightStream::from_entries(entries));
+        checksums.push(r.get_u64()?);
+    }
+    debug_assert_eq!(streams.len(), in_channels);
+    WeightStreamSet::from_parts(streams, checksums, out_channels, kernel, w_bits, atom_bits)
+        .map_err(|e: AtomError| invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_i32(-42);
+        w.put_i64(i64::MIN);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("layer0.meta");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i32().unwrap(), -42);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "layer0.meta");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_read_names_the_scope() {
+        let mut r = WireReader::new(&[1, 2], "header");
+        let err = r.get_u32().unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                section: "header".to_string(),
+                needed: 4,
+                available: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn section_round_trips_and_checks_name() {
+        let mut w = WireWriter::new();
+        w.section("alpha", |s| s.put_u64(7));
+        w.section("beta", |s| s.put_str("x"));
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes, "artifact");
+        let mut alpha = r.section("alpha").unwrap();
+        assert_eq!(alpha.get_u64().unwrap(), 7);
+        alpha.finish().unwrap();
+        let err = r.section("gamma").unwrap_err();
+        assert_eq!(
+            err,
+            WireError::SectionMismatch {
+                expected: "gamma".to_string(),
+                found: "beta".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_detected() {
+        let mut w = WireWriter::new();
+        w.section("alpha", |s| {
+            s.put_u64(0x1122_3344_5566_7788);
+            s.put_str("payload");
+        });
+        let clean = w.into_bytes();
+        for i in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[i] ^= 1 << bit;
+                let mut r = WireReader::new(&dirty, "artifact");
+                let outcome = r.section("alpha").map(|_| ());
+                assert!(
+                    outcome.is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes, "scope");
+        assert_eq!(r.get_u8().unwrap(), 1);
+        let err = r.finish().unwrap_err();
+        assert_eq!(
+            err,
+            WireError::TrailingBytes {
+                section: "scope".to_string(),
+                remaining: 1,
+            }
+        );
+    }
+}

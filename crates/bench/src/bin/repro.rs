@@ -45,6 +45,24 @@
 //! named) — per-image wall time falls as the batch grows because the
 //! engine compiles each network's static weight artifacts once.
 //!
+//! `--model-cache <dir>` routes compilation of the `batch` experiment
+//! (and `repro all`) through the on-disk model cache: the first run
+//! against a directory compiles and persists versioned, checksummed
+//! artifacts; later runs load and verify them. Tables and JSON stay
+//! byte-identical either way. `cache stats|clear|verify` inspect, empty,
+//! or integrity-check such a directory.
+//!
+//! `artifact save` compiles the benchmark networks and persists their
+//! artifacts into `--model-cache`; `artifact check` (typically a separate
+//! process, as in CI) strict-loads each one back, re-encodes it, and
+//! proves the decoded network runs byte-identically to a fresh in-memory
+//! compile at 1 and 4 worker threads.
+//!
+//! `perf-check` measures the self-timed bench suite and gates a small set
+//! of key medians (CSC sparse conv, steady-state streams, per-network
+//! cache-hit load) against a checked-in `BENCH_*.json` baseline with a
+//! generous `--tolerance` ratio — the CI perf-regression gate.
+//!
 //! `chaos` runs the deterministic fault-injection campaign of
 //! `bench::chaos`: `--campaign <n>` seeded cases, each probing every
 //! injectable structure with detection/recovery on (result must match the
@@ -66,11 +84,14 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--timeout-secs <n>]
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--model-cache <dir>] [--timeout-secs <n>]
        repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]
        repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]
        repro chaos [--campaign <n>] [--seed <s>] [--json <path>]
-       repro bench [--quick] [--json <path>] [--threads <n>]";
+       repro bench [--quick] [--json <path>] [--threads <n>]
+       repro cache <stats|clear|verify> --model-cache <dir>
+       repro artifact <save|check> --model-cache <dir> [--quick]
+       repro perf-check --baseline <path> [--tolerance <x>] [--quick] [--json <path>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 13] = [
@@ -92,6 +113,9 @@ const ALL: [&str; 13] = [
 /// Parsed command line.
 struct Cli {
     which: String,
+    /// Second positional of the two-word subcommands (`cache <sub>`,
+    /// `artifact <sub>`).
+    sub: Option<String>,
     quick: bool,
     json_path: Option<String>,
     metrics_path: Option<String>,
@@ -100,6 +124,9 @@ struct Cli {
     trace: bool,
     threads: Option<usize>,
     batch: usize,
+    model_cache: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
     cases: u64,
     diff_seed: u64,
     shrink: bool,
@@ -126,7 +153,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut repro_dir = None;
     let mut campaign = None;
     let mut timeout_secs = None;
-    let mut which = None;
+    let mut model_cache = None;
+    let mut baseline = None;
+    let mut tolerance = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -220,22 +250,78 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 timeout_secs = Some(n);
             }
+            "--model-cache" => {
+                model_cache = Some(
+                    it.next()
+                        .ok_or_else(|| "--model-cache requires a directory".to_string())?
+                        .clone(),
+                );
+            }
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or_else(|| "--baseline requires a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--tolerance requires a ratio".to_string())?;
+                let x: f64 = v.parse().map_err(|_| format!("invalid tolerance `{v}`"))?;
+                // NaN must fail too, so compare in the rejecting direction.
+                if x < 1.0 || x.is_nan() {
+                    return Err("--tolerance must be at least 1.0".to_string());
+                }
+                tolerance = Some(x);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
-            other => {
-                if which.replace(other.to_string()).is_some() {
-                    return Err("more than one experiment given".to_string());
-                }
-            }
+            other => positionals.push(other.to_string()),
         }
     }
     // `repro --batch 8` alone means "run the batch experiment".
-    let which = match which {
-        Some(w) => w,
-        None if batch.is_some() => "batch".to_string(),
-        None => return Err("no experiment given".to_string()),
+    let (which, sub) = match positionals.len() {
+        0 if batch.is_some() => ("batch".to_string(), None),
+        0 => return Err("no experiment given".to_string()),
+        1 => (positionals.remove(0), None),
+        2 if positionals[0] == "cache" || positionals[0] == "artifact" => {
+            let sub = positionals.pop();
+            (positionals.remove(0), sub)
+        }
+        _ => return Err("more than one experiment given".to_string()),
     };
+    match which.as_str() {
+        "cache" => match sub.as_deref() {
+            Some("stats" | "clear" | "verify") => {}
+            Some(s) => return Err(format!("unknown cache subcommand `{s}`")),
+            None => return Err("cache requires a subcommand: stats, clear or verify".to_string()),
+        },
+        "artifact" => match sub.as_deref() {
+            Some("save" | "check") => {}
+            Some(s) => return Err(format!("unknown artifact subcommand `{s}`")),
+            None => return Err("artifact requires a subcommand: save or check".to_string()),
+        },
+        _ => {}
+    }
+    if (which == "cache" || which == "artifact") && model_cache.is_none() {
+        return Err(format!("{which} requires --model-cache <dir>"));
+    }
+    if model_cache.is_some() && !matches!(which.as_str(), "batch" | "all" | "cache" | "artifact") {
+        return Err(
+            "--model-cache only applies to `batch`, `all`, `cache` or `artifact`".to_string(),
+        );
+    }
+    if which == "perf-check" && baseline.is_none() {
+        return Err("perf-check requires --baseline <path>".to_string());
+    }
+    if baseline.is_some() && which != "perf-check" {
+        return Err("--baseline only applies to `perf-check`".to_string());
+    }
+    if tolerance.is_some() && which != "perf-check" {
+        return Err("--tolerance only applies to `perf-check`".to_string());
+    }
     if golden_path.is_some() && which != "stats-check" {
         return Err("--golden only applies to `stats-check`".to_string());
     }
@@ -267,6 +353,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     Ok(Cli {
         which,
+        sub,
         quick,
         json_path,
         metrics_path,
@@ -275,6 +362,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace,
         threads,
         batch: batch.unwrap_or(1),
+        model_cache,
+        baseline,
+        tolerance: tolerance.unwrap_or(bench::perf_gate::DEFAULT_TOLERANCE),
         cases: cases.unwrap_or(500),
         diff_seed: diff_seed.unwrap_or(1),
         shrink,
@@ -349,6 +439,7 @@ fn run_one(
     which: &str,
     quick: bool,
     batch: usize,
+    model_cache: Option<&std::path::Path>,
     cache: &mut StatsCache,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
 ) -> Result<bool, String> {
@@ -419,7 +510,7 @@ fn run_one(
             );
         }
         "batch" => {
-            let rows = engine_batch::run(quick, batch);
+            let rows = engine_batch::run(quick, batch, model_cache);
             emit(
                 "batch",
                 engine_batch::render(&rows),
@@ -447,13 +538,14 @@ fn run_timed(
     which: &str,
     quick: bool,
     batch: usize,
+    model_cache: Option<&std::path::Path>,
     cache: &mut StatsCache,
     watchdog: &Option<Watchdog>,
     emit: &mut dyn FnMut(&str, String, serde_json::Value),
 ) -> Result<bool, String> {
     let start = Instant::now();
     watch(watchdog, which);
-    let known = run_one(which, quick, batch, cache, emit)?;
+    let known = run_one(which, quick, batch, model_cache, cache, emit)?;
     if let Some(wd) = watchdog {
         wd.clear();
     }
@@ -506,7 +598,17 @@ fn main() -> ExitCode {
     if cli.which == "bench" {
         return bench_cmd(&cli, &watchdog);
     }
+    if cli.which == "cache" {
+        return cache_cmd(&cli);
+    }
+    if cli.which == "artifact" {
+        return artifact_cmd(&cli, &watchdog);
+    }
+    if cli.which == "perf-check" {
+        return perf_check_cmd(&cli, &watchdog);
+    }
 
+    let model_cache = cli.model_cache.as_ref().map(std::path::Path::new);
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
         println!("{text}");
         json.insert(name.to_string(), value);
@@ -516,7 +618,13 @@ fn main() -> ExitCode {
     if cli.which == "all" {
         for which in ALL {
             if let Err(e) = run_timed(
-                which, cli.quick, cli.batch, &mut cache, &watchdog, &mut emit,
+                which,
+                cli.quick,
+                cli.batch,
+                model_cache,
+                &mut cache,
+                &watchdog,
+                &mut emit,
             ) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
@@ -525,7 +633,13 @@ fn main() -> ExitCode {
         eprintln!("[repro] total: {:.2}s", start.elapsed().as_secs_f64());
     } else {
         match run_timed(
-            &cli.which, cli.quick, cli.batch, &mut cache, &watchdog, &mut emit,
+            &cli.which,
+            cli.quick,
+            cli.batch,
+            model_cache,
+            &mut cache,
+            &watchdog,
+            &mut emit,
         ) {
             Ok(true) => {}
             Ok(false) => {
@@ -635,8 +749,8 @@ fn diffcheck_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
 }
 
 /// The `bench` subcommand: run the self-timed micro and batch suites of
-/// `bench::microbench` and optionally record the `ristretto-bench/v1` JSON
-/// report (the checked-in benchmark trajectory, see `BENCH_6.json`).
+/// `bench::microbench` and optionally record the `ristretto-bench/v2` JSON
+/// report (the checked-in benchmark trajectory, see `BENCH_7.json`).
 /// Deliberately *not* part of `repro all`: wall times are machine-bound, so
 /// they would break the byte-identical-across-thread-counts contract of the
 /// experiment suite.
@@ -666,6 +780,242 @@ fn bench_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `cache` subcommand: inspect (`stats`), empty (`clear`) or
+/// integrity-check (`verify`) an on-disk model-cache directory. `verify`
+/// strict-loads every artifact — checksums, format version and the
+/// content address are all re-checked — and exits non-zero when any file
+/// fails, naming the file and the rejected section.
+fn cache_cmd(cli: &Cli) -> ExitCode {
+    use ristretto_sim::modelcache::ModelCache;
+    let dir = cli.model_cache.as_deref().unwrap_or_default();
+    let cache = ModelCache::new(dir);
+    match cli.sub.as_deref() {
+        Some("stats") => match cache.stats() {
+            Ok(s) => {
+                println!(
+                    "cache {dir}: {} artifact(s), {} byte(s)",
+                    s.entries, s.bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cache stats failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("clear") => match cache.clear() {
+            Ok(n) => {
+                println!("cache {dir}: removed {n} artifact(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cache clear failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("verify") => match cache.verify() {
+            Ok(results) => {
+                let mut bad = 0;
+                for (path, verdict) in &results {
+                    match verdict {
+                        Ok(()) => println!("[ok]   {}", path.display()),
+                        Err(e) => {
+                            bad += 1;
+                            println!("[FAIL] {}: {e}", path.display());
+                        }
+                    }
+                }
+                println!(
+                    "cache {dir}: {} artifact(s) verified, {bad} rejected",
+                    results.len()
+                );
+                if bad == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("cache verify failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        // Unreachable by construction (parse_args validates the sub).
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `artifact` subcommand. `save` compiles the benchmark networks and
+/// persists their artifacts; `check` — run afterwards, typically in a
+/// separate process so nothing survives from the compiling one — proves
+/// for every network that the strict-loaded artifact equals a fresh
+/// in-memory compile, re-encodes byte-identically, and that a session
+/// over the decoded network is byte-identical to the in-memory session
+/// at 1 and 4 worker threads.
+fn artifact_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
+    use ristretto_sim::artifact;
+    use ristretto_sim::config::RistrettoConfig;
+    use ristretto_sim::engine::{compile, Session};
+    use ristretto_sim::modelcache::{CacheKey, ModelCache};
+
+    let dir = cli.model_cache.as_deref().unwrap_or_default();
+    let cache = ModelCache::new(dir);
+    let cfg = RistrettoConfig::paper_default();
+    let save = cli.sub.as_deref() == Some("save");
+    let start = Instant::now();
+    for (idx, (name, model)) in engine_batch::benchmark_models(cli.quick)
+        .into_iter()
+        .enumerate()
+    {
+        watch(
+            watchdog,
+            &format!("artifact {} {name}", if save { "save" } else { "check" }),
+        );
+        let key = CacheKey::derive(&model, &cfg);
+        let net = match compile(&model, &cfg) {
+            Ok(net) => net,
+            Err(e) => {
+                eprintln!("{name}: compile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = std::path::Path::new(dir).join(key.file_name());
+        if save {
+            match cache.store(&net, key) {
+                Ok(bytes) => println!("saved {name}: {} ({bytes} bytes)", key.file_name()),
+                Err(e) => {
+                    eprintln!("{name}: store failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        let decoded = match cache.load(&path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{name}: load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if decoded != *net {
+            eprintln!("{name}: decoded artifact differs from in-memory compile");
+            return ExitCode::FAILURE;
+        }
+        if artifact::encode(&decoded) != artifact::encode(&net) {
+            eprintln!("{name}: re-encoded artifact is not byte-identical");
+            return ExitCode::FAILURE;
+        }
+        let (c, h, w) = net.input();
+        let input = engine_batch::benchmark_input(idx, 0, c, h, w);
+        let session_mem = Session::new(net);
+        let session_disk = Session::new(std::sync::Arc::new(decoded));
+        for threads in [1usize, 4] {
+            let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{name}: pool({threads}): {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mem = pool.install(|| session_mem.run(&input));
+            let disk = pool.install(|| session_disk.run(&input));
+            match (mem, disk) {
+                (Ok(mem), Ok(disk)) => {
+                    if mem.output != disk.output
+                        || mem.traces.iter().map(|t| t.stats).collect::<Vec<_>>()
+                            != disk.traces.iter().map(|t| t.stats).collect::<Vec<_>>()
+                    {
+                        eprintln!(
+                            "{name}: cache-hit session diverges from in-memory session \
+                             at {threads} thread(s)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{name}: session at {threads} thread(s): {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "checked {name}: {} byte-identical at 1 and 4 threads",
+            key.file_name()
+        );
+    }
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
+    eprintln!("[repro] artifact: {:.2}s", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+/// The `perf-check` subcommand: measure the self-timed bench suite and
+/// gate its key series against a checked-in baseline report.
+fn perf_check_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
+    use bench::perf_gate;
+    let baseline_path = match cli.baseline.as_deref() {
+        Some(p) => p,
+        // Unreachable by construction (parse_args requires --baseline).
+        None => {
+            eprintln!("perf-check requires --baseline <path>\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parse the baseline before measuring: a malformed file should fail in
+    // milliseconds, not after the bench suite.
+    let baseline: bench::microbench::BenchReport = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = Instant::now();
+    watch(watchdog, "perf-check bench suite");
+    let live = bench::microbench::run(cli.quick);
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
+    eprintln!("[repro] perf-check: {:.2}s", start.elapsed().as_secs_f64());
+    if let Some(path) = &cli.json_path {
+        match serde_json::to_string_pretty(&live) {
+            Ok(text) => match std::fs::write(path, text) {
+                Ok(()) => eprintln!("wrote live bench report to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("serializing live bench report for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match perf_gate::compare(&live, &baseline, cli.tolerance) {
+        Ok(checks) => {
+            print!("{}", perf_gate::render(&checks, cli.tolerance));
+            if checks.iter().all(|c| c.pass) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("perf-check FAILED against {baseline_path}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("perf-check cannot compare against {baseline_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Proves `dir` accepts writes by round-tripping a probe file (named
@@ -761,8 +1111,9 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache, watchdog: &Option<Watchdog>) -
     let start = Instant::now();
     let mut emit = |_: &str, _: String, _: serde_json::Value| {};
     for which in ALL {
-        // Batch stays 1 so the counter snapshot matches the golden file.
-        if let Err(e) = run_timed(which, true, 1, cache, watchdog, &mut emit) {
+        // Batch stays 1 and the model cache stays off so the counter
+        // snapshot matches the golden file.
+        if let Err(e) = run_timed(which, true, 1, None, cache, watchdog, &mut emit) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }

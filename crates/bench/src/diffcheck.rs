@@ -7,7 +7,7 @@
 //! (layer, config) pair from the adversarial corners of the space — empty
 //! channels, all-dense and all-zero tiles, maximal magnitudes, every atom
 //! granularity, 2–16-bit operands, stride/padding combinations — and
-//! checks three oracle families:
+//! checks four oracle families:
 //!
 //! 1. **Cross-path equality** — dense reference [`qnn::conv::conv2d`],
 //!    functional [`conv2d_csc`], precompiled `Session::run`, the
@@ -22,6 +22,12 @@
 //!    within the Eq 3–5 bounds (`ideal ≤ measured`, `ε < N`), the
 //!    balancer's makespan dominates every group, and every observability
 //!    counter is non-negative and monotone across the run.
+//! 4. **Artifact round-trips** — the compiled network serializes to the
+//!    versioned artifact format, deserializes field-for-field equal,
+//!    re-encodes byte-identically, and a session over the *decoded*
+//!    network reproduces the in-memory session's output and stats
+//!    byte-for-byte; a deterministically chosen one-bit corruption of the
+//!    artifact must be rejected by the loader.
 //!
 //! Failing cases run through a greedy shrinker that minimizes channels,
 //! extents and values while the divergence persists, then serialize to a
@@ -47,12 +53,14 @@ use qnn::quant::BitWidth;
 use qnn::rng::SeededRng;
 use qnn::tensor::{Tensor3, Tensor4};
 use qnn::workload::WorkloadGen;
+use ristretto_sim::artifact;
 use ristretto_sim::balance::{balance, BalanceStrategy, ChannelWorkload};
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::core::{CoreReport, CoreSim};
 use ristretto_sim::engine::{compile, NetworkModel, Session};
 use ristretto_sim::pipeline::PipelineLayer;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One randomized differential-test case: a full layer plus the
 /// architecture configuration it runs under. Serializable so failing cases
@@ -211,6 +219,25 @@ struct PathOutputs {
     core: CoreReport,
 }
 
+/// The single-layer network model a case compiles into (shared by the
+/// session path of family 1 and the artifact round-trip of family 4).
+fn case_model(case: &DiffCase) -> NetworkModel {
+    NetworkModel::new(
+        "diffcheck",
+        case.fmap.shape(),
+        vec![PipelineLayer {
+            name: "l0".to_string(),
+            kernels: case.kernels.clone(),
+            geom: case.geom(),
+            w_bits: case.w_width(),
+            a_bits: case.a_width(),
+            requant_shift: case.requant_shift,
+            out_bits: case.out_bits,
+            pool: None,
+        }],
+    )
+}
+
 fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
     let geom = case.geom();
     let cfg = case.csc_config();
@@ -231,20 +258,7 @@ fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
     let reference = conv2d_csc_streams_reference(&case.fmap, &weights, geom, case.a_width(), &cfg)
         .map_err(|e| format!("reference streams: {e}"))?;
 
-    let model = NetworkModel::new(
-        "diffcheck",
-        case.fmap.shape(),
-        vec![PipelineLayer {
-            name: "l0".to_string(),
-            kernels: case.kernels.clone(),
-            geom,
-            w_bits: case.w_width(),
-            a_bits: case.a_width(),
-            requant_shift: case.requant_shift,
-            out_bits: case.out_bits,
-            pool: None,
-        }],
-    );
+    let model = case_model(case);
     let net = compile(&model, &case.ristretto_config()).map_err(|e| format!("compile: {e}"))?;
     let session = Session::new(net);
     let run = session
@@ -585,6 +599,45 @@ fn check_cycle_model(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Family 4: artifact round-trips.
+// ---------------------------------------------------------------------------
+
+fn check_artifact(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
+    let model = case_model(case);
+    let net = compile(&model, &case.ristretto_config()).map_err(|e| format!("compile: {e}"))?;
+    let bytes = artifact::encode(&net);
+    let decoded = artifact::decode(&bytes).map_err(|e| format!("artifact decode: {e}"))?;
+    if decoded != *net {
+        return Err("decoded artifact differs from the in-memory compile".to_string());
+    }
+    if artifact::encode(&decoded) != bytes {
+        return Err("re-encoding the decoded artifact is not byte-identical".to_string());
+    }
+    let run = Session::new(Arc::new(decoded))
+        .run(&case.fmap)
+        .map_err(|e| format!("session over decoded artifact: {e}"))?;
+    if run.output != p.session_out {
+        return Err("session over decoded artifact diverges from in-memory output".to_string());
+    }
+    if run.traces[0].stats != p.session_stats {
+        return Err("session over decoded artifact diverges from in-memory stats".to_string());
+    }
+
+    // One deterministically chosen bit flip per case must never survive the
+    // loader (header corruption trips the magic/version checks; everything
+    // else trips a section checksum or a structural validator).
+    let pos = (case.index as usize).wrapping_mul(7919).wrapping_add(13) % bytes.len();
+    let mut dirty = bytes;
+    dirty[pos] ^= 1 << (case.index % 8);
+    if artifact::decode(&dirty).is_ok() {
+        return Err(format!(
+            "corrupted artifact (bit flip at byte {pos}) decoded cleanly"
+        ));
+    }
+    Ok(())
+}
+
 /// Checks every oracle family on one case. `Err` carries a human-readable
 /// description of the first divergence found.
 ///
@@ -611,6 +664,7 @@ pub fn check_case(case: &DiffCase) -> Result<(), String> {
     check_outputs(case, &p1)?;
     check_roundtrips(case)?;
     check_cycle_model(case, &p1)?;
+    check_artifact(case, &p1)?;
 
     // Observability counters only ever accumulate: non-negative by type,
     // and monotone across the whole case (sums and high-water marks both).

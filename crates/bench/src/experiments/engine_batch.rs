@@ -12,10 +12,13 @@
 use crate::{benchmark_networks, table, SEED};
 use qnn::mini::MiniNetwork;
 use qnn::quant::BitWidth;
+use qnn::tensor::Tensor3;
 use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::modelcache::ModelCache;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::Instant;
 
 /// One network's compile-once/run-many accounting.
@@ -34,22 +37,55 @@ pub struct Row {
     pub act_atoms_per_image: u64,
 }
 
+/// Materializes the benchmark networks exactly as the batch experiment
+/// does: one deterministic seed per network index, 4-bit benchmark
+/// weights. The `artifact` subcommand of `repro` reuses this so its
+/// saved artifacts describe the very networks the suite runs.
+pub fn benchmark_models(quick: bool) -> Vec<(String, NetworkModel)> {
+    benchmark_networks(quick)
+        .iter()
+        .enumerate()
+        .map(|(idx, &net)| {
+            let mini = MiniNetwork::try_new(net).expect("builtin mini network");
+            let mut gen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8));
+            let model =
+                NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
+                    .expect("mini network materializes");
+            (net.name().to_string(), model)
+        })
+        .collect()
+}
+
+/// Deterministic input image `image` for network index `idx` (the same
+/// activations the batch experiment streams).
+pub fn benchmark_input(idx: usize, image: usize, c: usize, h: usize, w: usize) -> Tensor3 {
+    let mut igen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8) ^ (image as u64 + 1));
+    igen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+        .expect("input materializes")
+}
+
 /// Runs the quick-suite networks through one compiled session each,
 /// serving `batch` images per network.
-pub fn run(quick: bool, batch: usize) -> Vec<Row> {
+///
+/// With `model_cache` set, compilation goes through
+/// [`ModelCache::compile_cached`]: the first run against a directory
+/// pays the compile and persists the artifact; later runs load it.
+/// Row contents (and stdout) are byte-identical either way — the cache
+/// only moves wall time, which is reported on stderr.
+pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Vec<Row> {
     let batch = batch.max(1);
     let cfg = RistrettoConfig::paper_default();
+    let cache = model_cache.map(ModelCache::new);
     let mut rows = Vec::new();
     let mut total_elapsed = 0.0f64;
-    for (idx, &net) in benchmark_networks(quick).iter().enumerate() {
-        let mini = MiniNetwork::try_new(net).expect("builtin mini network");
-        let mut gen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8));
-        let model =
-            NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
-                .expect("mini network materializes");
-
+    for (idx, (name, model)) in benchmark_models(quick).into_iter().enumerate() {
         let t0 = Instant::now();
-        let compiled = compile(&model, &cfg).expect("mini network compiles");
+        let compiled = match &cache {
+            Some(cache) => cache
+                .compile_cached(&model, &cfg)
+                .expect("mini network compiles"),
+            None => compile(&model, &cfg).expect("mini network compiles"),
+        };
         let compile_s = t0.elapsed().as_secs_f64();
 
         let session = Session::new(compiled.clone());
@@ -57,10 +93,7 @@ pub fn run(quick: bool, batch: usize) -> Vec<Row> {
         let mut act_atoms_per_image = 0;
         let mut run_s = 0.0f64;
         for image in 0..batch {
-            let mut igen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8) ^ (image as u64 + 1));
-            let input = igen
-                .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
-                .expect("input materializes");
+            let input = benchmark_input(idx, image, c, h, w);
             let t1 = Instant::now();
             let out = session.run(&input).expect("session inference");
             run_s += t1.elapsed().as_secs_f64();
@@ -70,14 +103,13 @@ pub fn run(quick: bool, batch: usize) -> Vec<Row> {
         }
         let per_image_ms = (compile_s + run_s) * 1e3 / batch as f64;
         eprintln!(
-            "[batch] {}: compile {:.2}ms once, {batch} image(s), {per_image_ms:.2}ms/image \
+            "[batch] {name}: compile {:.2}ms once, {batch} image(s), {per_image_ms:.2}ms/image \
              (compile amortized)",
-            net.name(),
             compile_s * 1e3,
         );
         total_elapsed += compile_s + run_s;
         rows.push(Row {
-            network: net.name().to_string(),
+            network: name,
             images: batch,
             layers: compiled.layers().len(),
             weight_atoms: compiled.weight_atoms(),
@@ -121,8 +153,8 @@ mod tests {
 
     #[test]
     fn static_work_is_batch_invariant() {
-        let one = run(true, 1);
-        let four = run(true, 4);
+        let one = run(true, 1, None);
+        let four = run(true, 4, None);
         assert_eq!(one.len(), 3);
         assert_eq!(four.len(), 3);
         for (a, b) in one.iter().zip(&four) {
@@ -138,8 +170,23 @@ mod tests {
     }
 
     #[test]
+    fn cached_rows_match_uncached_cold_and_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "ristretto_engine_batch_cache_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = run(true, 1, None);
+        let cold = run(true, 1, Some(&dir));
+        let warm = run(true, 1, Some(&dir));
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn render_lists_every_network() {
-        let rows = run(true, 1);
+        let rows = run(true, 1, None);
         let s = render(&rows);
         for r in &rows {
             assert!(s.contains(&r.network));

@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod diffcheck;
 pub mod experiments;
 pub mod microbench;
+pub mod perf_gate;
 pub mod stats_gate;
 pub mod table;
 

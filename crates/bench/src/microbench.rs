@@ -3,8 +3,8 @@
 //! The Criterion benches under `benches/` remain the statistically rigorous
 //! harness for local work; this module exists so a benchmark trajectory can
 //! be *recorded* — `repro bench --json` emits a small, schema-stable JSON
-//! report (`ristretto-bench/v1`) suitable for checking in next to the code
-//! it measures (see `BENCH_6.json`). Timing is deliberately simple and
+//! report (`ristretto-bench/v2`) suitable for checking in next to the code
+//! it measures (see `BENCH_7.json`). Timing is deliberately simple and
 //! self-contained: per benchmark, one warm-up call, an iteration count
 //! calibrated so a sample lasts at least a millisecond, then a fixed number
 //! of samples reduced to median/min/mean nanoseconds per iteration. Median
@@ -23,6 +23,10 @@
 //! * **batch** — the compile-once/run-many engine path per quick-suite
 //!   network: compile wall time once, then per-image wall time over a
 //!   served batch.
+//! * **cache** — the cold-start story per quick-suite network: median
+//!   in-memory compile wall time versus median verified artifact load
+//!   (`ModelCache::load`, including every checksum and cross-section
+//!   check), plus the artifact size on disk.
 
 use crate::{benchmark_networks, table, SEED};
 use atomstream::conv_csc::{
@@ -35,11 +39,13 @@ use qnn::quant::BitWidth;
 use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::modelcache::{CacheKey, ModelCache};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every report; bump on breaking shape changes.
-pub const SCHEMA: &str = "ristretto-bench/v1";
+/// v2 added the `cache` suite (cold compile vs. cache-hit load).
+pub const SCHEMA: &str = "ristretto-bench/v2";
 
 /// One micro-benchmark's timing summary (nanoseconds per iteration).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +77,21 @@ pub struct BatchRow {
     pub per_image_ms: f64,
 }
 
+/// One network's cold-start accounting: in-memory compile versus a
+/// verified load of its persisted artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheRow {
+    /// Network name.
+    pub network: String,
+    /// Median in-memory compile wall time, milliseconds.
+    pub compile_ms: f64,
+    /// Median verified artifact load wall time, milliseconds (full
+    /// checksum + cross-section + content-address verification).
+    pub load_ms: f64,
+    /// Artifact size on disk, bytes.
+    pub artifact_bytes: u64,
+}
+
 /// The full `repro bench` report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -82,6 +103,8 @@ pub struct BenchReport {
     pub micro: Vec<MicroRow>,
     /// Engine compile-once/run-many timings.
     pub batch: Vec<BatchRow>,
+    /// Cold compile vs. cache-hit load timings.
+    pub cache: Vec<CacheRow>,
 }
 
 /// Times `f`, returning per-iteration statistics. One warm-up call, then
@@ -221,13 +244,71 @@ fn run_batch(quick: bool) -> Vec<BatchRow> {
     rows
 }
 
-/// Runs both suites and assembles the report.
+/// Runs the cache suite: per network, median in-memory compile wall time
+/// versus median verified artifact load from a scratch cache directory
+/// (removed afterwards — the suite measures the mechanism, it does not
+/// leave state behind).
+fn run_cache(quick: bool) -> Vec<CacheRow> {
+    let samples = if quick { 5 } else { 9 };
+    let dir = std::env::temp_dir().join(format!("ristretto_bench_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ModelCache::new(&dir);
+    let cfg = RistrettoConfig::paper_default();
+    let median_ms = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for (idx, &net) in benchmark_networks(quick).iter().enumerate() {
+        let mini = MiniNetwork::try_new(net).expect("builtin mini network");
+        let mut gen = WorkloadGen::new(SEED ^ ((idx as u64 + 1) << 8));
+        let model =
+            NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
+                .expect("mini network materializes");
+
+        let compile_samples: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(compile(&model, &cfg).expect("mini network compiles"));
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+
+        // Populate the cache (one store), then time verified loads.
+        std::hint::black_box(
+            cache
+                .compile_cached(&model, &cfg)
+                .expect("mini network compiles"),
+        );
+        let path = dir.join(CacheKey::derive(&model, &cfg).file_name());
+        let artifact_bytes = std::fs::metadata(&path).expect("artifact on disk").len();
+        let load_samples: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(cache.load(&path).expect("artifact verifies"));
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+
+        rows.push(CacheRow {
+            network: net.name().to_string(),
+            compile_ms: median_ms(compile_samples),
+            load_ms: median_ms(load_samples),
+            artifact_bytes,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+/// Runs all three suites and assembles the report.
 pub fn run(quick: bool) -> BenchReport {
     BenchReport {
         schema: SCHEMA.to_string(),
         quick,
         micro: run_micro(quick),
         batch: run_batch(quick),
+        cache: run_cache(quick),
     }
 }
 
@@ -271,6 +352,25 @@ pub fn render(report: &BenchReport) -> String {
         "Engine compile-once/run-many (self-timed)",
         &t,
     ));
+    let mut t = vec![vec![
+        "network".to_string(),
+        "compile ms (median)".to_string(),
+        "cache-hit load ms (median)".to_string(),
+        "artifact bytes".to_string(),
+    ]];
+    for r in &report.cache {
+        t.push(vec![
+            r.network.clone(),
+            format!("{:.2}", r.compile_ms),
+            format!("{:.2}", r.load_ms),
+            r.artifact_bytes.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table::render(
+        "Model cache: cold compile vs. verified artifact load (self-timed)",
+        &t,
+    ));
     out
 }
 
@@ -303,6 +403,19 @@ mod tests {
             .batch
             .iter()
             .all(|b| b.per_image_ms > 0.0 && b.compile_ms > 0.0 && b.images == 2));
+        assert_eq!(report.cache.len(), 3);
+        for c in &report.cache {
+            assert!(c.compile_ms > 0.0 && c.load_ms > 0.0 && c.artifact_bytes > 0);
+            // The whole point of the artifact cache: a verified load is
+            // strictly faster than recompiling from the dense kernels.
+            assert!(
+                c.load_ms < c.compile_ms,
+                "{}: load {:.3}ms vs compile {:.3}ms",
+                c.network,
+                c.load_ms,
+                c.compile_ms
+            );
+        }
     }
 
     #[test]
@@ -324,11 +437,17 @@ mod tests {
                 compile_ms: 1.5,
                 per_image_ms: 2.5,
             }],
+            cache: vec![CacheRow {
+                network: "AlexNet".to_string(),
+                compile_ms: 1.5,
+                load_ms: 0.3,
+                artifact_bytes: 4096,
+            }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
-        assert!(json.contains("ristretto-bench/v1"));
+        assert!(json.contains("ristretto-bench/v2"));
     }
 
     #[test]
@@ -350,8 +469,15 @@ mod tests {
                 compile_ms: 1.0,
                 per_image_ms: 1.0,
             }],
+            cache: vec![CacheRow {
+                network: "GoogLeNet".to_string(),
+                compile_ms: 1.0,
+                load_ms: 0.2,
+                artifact_bytes: 1024,
+            }],
         };
         let s = render(&report);
         assert!(s.contains("dense_reference_conv") && s.contains("AlexNet"));
+        assert!(s.contains("GoogLeNet") && s.contains("cache-hit load"));
     }
 }

@@ -1,0 +1,193 @@
+//! CI perf-regression gate over recorded bench trajectories
+//! (`repro perf-check`).
+//!
+//! Compares a freshly measured [`BenchReport`] against a checked-in
+//! baseline (`BENCH_*.json`) on a small set of *key* series — the CSC
+//! sparse-conv and steady-state stream medians plus each network's
+//! cache-hit load time — and fails only when a live number exceeds the
+//! baseline by a generous ratio. CI containers are noisy, so the gate is
+//! deliberately coarse: it exists to catch order-of-magnitude
+//! regressions (an accidentally quadratic hot path, a cache load that
+//! silently recompiles), not single-digit-percent drift. Absolute
+//! slowness against the recorded trajectory is the signal; run-to-run
+//! jitter is not.
+
+use crate::microbench::BenchReport;
+use serde::{Deserialize, Serialize};
+
+/// Default live/baseline ratio above which a key series fails the gate.
+pub const DEFAULT_TOLERANCE: f64 = 4.0;
+
+/// Micro-suite medians the gate watches.
+pub const KEY_MICRO: [&str; 2] = ["csc_sparse_conv", "csc_streams_steady"];
+
+/// One gated series' verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesCheck {
+    /// Series name (`micro:<bench>` or `cache_load:<network>`).
+    pub name: String,
+    /// Baseline value (ns for micro medians, ms for cache loads).
+    pub baseline: f64,
+    /// Live value in the same unit.
+    pub live: f64,
+    /// `live / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio stayed at or under the tolerance.
+    pub pass: bool,
+}
+
+/// Gates a live report against a baseline.
+///
+/// # Errors
+/// Returns a description when the reports cannot be compared at all:
+/// schema mismatch, or a key series present in the baseline but missing
+/// from the live report (a vanished series is a harness regression, not
+/// noise).
+pub fn compare(
+    live: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<Vec<SeriesCheck>, String> {
+    if live.schema != baseline.schema {
+        return Err(format!(
+            "schema mismatch: live `{}` vs baseline `{}` — regenerate the baseline",
+            live.schema, baseline.schema
+        ));
+    }
+    let mut checks = Vec::new();
+    let mut check = |name: String, baseline: f64, live: f64| {
+        let ratio = if baseline > 0.0 {
+            live / baseline
+        } else {
+            f64::INFINITY
+        };
+        checks.push(SeriesCheck {
+            name,
+            baseline,
+            live,
+            ratio,
+            pass: ratio <= tolerance,
+        });
+    };
+    for key in KEY_MICRO {
+        let base = baseline
+            .micro
+            .iter()
+            .find(|r| r.name == key)
+            .ok_or_else(|| format!("baseline has no micro row `{key}`"))?;
+        let live_row = live
+            .micro
+            .iter()
+            .find(|r| r.name == key)
+            .ok_or_else(|| format!("live report has no micro row `{key}`"))?;
+        check(
+            format!("micro:{key}"),
+            base.median_ns as f64,
+            live_row.median_ns as f64,
+        );
+    }
+    for base in &baseline.cache {
+        let live_row = live
+            .cache
+            .iter()
+            .find(|r| r.network == base.network)
+            .ok_or_else(|| format!("live report has no cache row for `{}`", base.network))?;
+        check(
+            format!("cache_load:{}", base.network),
+            base.load_ms,
+            live_row.load_ms,
+        );
+    }
+    Ok(checks)
+}
+
+/// Renders the gate's verdict table for stderr/stdout.
+#[must_use]
+pub fn render(checks: &[SeriesCheck], tolerance: f64) -> String {
+    let mut out = format!("perf gate (tolerance {tolerance:.1}x over baseline):\n");
+    for c in checks {
+        out.push_str(&format!(
+            "  [{}] {:<28} baseline {:>12.1}  live {:>12.1}  ratio {:.2}x\n",
+            if c.pass { "ok" } else { "FAIL" },
+            c.name,
+            c.baseline,
+            c.live,
+            c.ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::{BatchRow, CacheRow, MicroRow, SCHEMA};
+
+    fn report(steady_ns: u64, load_ms: f64) -> BenchReport {
+        let micro = |name: &str, median_ns: u64| MicroRow {
+            name: name.to_string(),
+            iters_per_sample: 1,
+            samples: 5,
+            median_ns,
+            min_ns: median_ns,
+            mean_ns: median_ns,
+        };
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            quick: true,
+            micro: vec![
+                micro("csc_sparse_conv", 1000),
+                micro("csc_streams_steady", steady_ns),
+            ],
+            batch: vec![BatchRow {
+                network: "AlexNet".to_string(),
+                images: 2,
+                compile_ms: 5.0,
+                per_image_ms: 2.0,
+            }],
+            cache: vec![CacheRow {
+                network: "AlexNet".to_string(),
+                compile_ms: 5.0,
+                load_ms,
+                artifact_bytes: 4096,
+            }],
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = report(500, 1.0);
+        let live = report(900, 1.8);
+        let checks = compare(&live, &baseline, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.pass));
+    }
+
+    #[test]
+    fn large_regressions_fail_only_the_offending_series() {
+        let baseline = report(500, 1.0);
+        let live = report(500 * 10, 1.0);
+        let checks = compare(&live, &baseline, DEFAULT_TOLERANCE).unwrap();
+        let failed: Vec<&str> = checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(failed, ["micro:csc_streams_steady"]);
+        assert!(render(&checks, DEFAULT_TOLERANCE).contains("FAIL"));
+    }
+
+    #[test]
+    fn schema_and_missing_series_are_structural_errors() {
+        let baseline = report(500, 1.0);
+        let mut live = report(500, 1.0);
+        live.schema = "ristretto-bench/v1".to_string();
+        assert!(compare(&live, &baseline, DEFAULT_TOLERANCE).is_err());
+
+        let mut live = report(500, 1.0);
+        live.cache.clear();
+        assert!(compare(&live, &baseline, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("AlexNet"));
+    }
+}

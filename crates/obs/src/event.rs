@@ -229,6 +229,20 @@ events! {
      "Atom multiplications discarded with rejected tile attempts."),
     (FaultRetryEnergyFj, "fault.retry_energy_fj", Sum, "fJ", "§V-E",
      "Energy attributed to discarded tile attempts and their re-execution."),
+    (EngineCacheHits, "engine.cache.hits", Sum, "loads", "§III",
+     "Model-cache lookups served by a verified on-disk artifact."),
+    (EngineCacheMisses, "engine.cache.misses", Sum, "compiles", "§III",
+     "Model-cache lookups with no artifact on disk (cold compiles)."),
+    (EngineCacheRejected, "engine.cache.rejected", Sum, "artifacts", "§III",
+     "On-disk artifacts rejected (corruption, version skew, key mismatch) and recompiled."),
+    (EngineCacheWrites, "engine.cache.writes", Sum, "artifacts", "§III",
+     "Artifacts written atomically to the model cache after a miss or rejection."),
+    (EngineCacheWriteErrors, "engine.cache.write_errors", Sum, "errors", "§III",
+     "Artifact store failures (I/O); non-fatal, the compiled network is still returned."),
+    (EngineCacheBytesWritten, "engine.cache.bytes_written", Sum, "bytes", "§III",
+     "Artifact bytes persisted to the model cache."),
+    (EngineCacheBytesRead, "engine.cache.bytes_read", Sum, "bytes", "§III",
+     "Artifact bytes read back from the model cache during lookups."),
 }
 
 #[cfg(test)]

@@ -169,20 +169,20 @@ impl NetworkModel {
 /// weights alone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledLayer {
-    name: String,
-    weights: WeightStreamSet,
+    pub(crate) name: String,
+    pub(crate) weights: WeightStreamSet,
     /// Dense kernels retained for the fault-recovery fallback: a layer
     /// whose sparse path keeps faulting re-executes on the bit-exact dense
     /// reference convolution.
-    kernels: Tensor4,
-    geom: ConvGeometry,
-    a_bits: BitWidth,
-    requant_shift: u32,
-    out_bits: u8,
-    pool: Option<(PoolKind, usize, usize, usize)>,
-    weight_atoms_per_channel: Vec<u64>,
-    weight_buffer_bits: Option<usize>,
-    static_groups: Vec<Vec<usize>>,
+    pub(crate) kernels: Tensor4,
+    pub(crate) geom: ConvGeometry,
+    pub(crate) a_bits: BitWidth,
+    pub(crate) requant_shift: u32,
+    pub(crate) out_bits: u8,
+    pub(crate) pool: Option<(PoolKind, usize, usize, usize)>,
+    pub(crate) weight_atoms_per_channel: Vec<u64>,
+    pub(crate) weight_buffer_bits: Option<usize>,
+    pub(crate) static_groups: Vec<Vec<usize>>,
 }
 
 impl CompiledLayer {
@@ -611,11 +611,11 @@ impl CompiledLayer {
 /// behind an [`Arc`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledNetwork {
-    name: String,
-    input: (usize, usize, usize),
-    cfg: RistrettoConfig,
-    csc: CscConfig,
-    layers: Vec<CompiledLayer>,
+    pub(crate) name: String,
+    pub(crate) input: (usize, usize, usize),
+    pub(crate) cfg: RistrettoConfig,
+    pub(crate) csc: CscConfig,
+    pub(crate) layers: Vec<CompiledLayer>,
 }
 
 impl CompiledNetwork {

@@ -19,13 +19,16 @@
 //! Supporting modules: [`config`] (architecture parameters and the paper's
 //! experiment presets), [`area`] (Table VI assembly from the `hwmodel`
 //! component library), [`balance`] (the greedy w/a load balancer of §IV-E),
-//! [`energy`] (event pricing) and [`report`] (result types).
+//! [`energy`] (event pricing), [`report`] (result types), and
+//! [`artifact`]/[`modelcache`] (the versioned on-disk form of compiled
+//! networks plus the content-addressed cache that serves it).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analytic;
 pub mod area;
+pub mod artifact;
 pub mod atomizer;
 pub mod backend;
 pub mod balance;
@@ -34,6 +37,7 @@ pub mod core;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod modelcache;
 pub mod multicore;
 pub mod pipeline;
 pub mod ppu;
@@ -55,6 +59,7 @@ pub mod prelude {
         compile, CompiledLayer, CompiledNetwork, EngineError, NetworkModel, Session, SessionRun,
     };
     pub use crate::fault::{FaultConfig, FaultDetected, FaultInjector, FaultStats, FaultStructure};
+    pub use crate::modelcache::{compile_cached, CacheError, CacheKey, CacheStats, ModelCache};
     pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
     pub use crate::ppu::{PostProcessor, PpuOutput};
     pub use crate::report::{LayerReport, NetworkReport};

@@ -1,0 +1,106 @@
+//! Golden-artifact compatibility gate: a checked-in artifact encoded by
+//! an earlier build must keep decoding — and re-encoding byte-identically
+//! — in every later build. Any change to the wire layout that is not
+//! accompanied by a `FORMAT_VERSION` bump fails here (and in the CI
+//! `artifact-compat` job) before it can corrupt real caches.
+//!
+//! To regenerate after an *intentional* format change (bump
+//! `FORMAT_VERSION` first):
+//!
+//! ```text
+//! cargo test --test artifact_golden -- --ignored regenerate_golden_artifact
+//! ```
+
+use qnn::conv::ConvGeometry;
+use qnn::quant::BitWidth;
+use qnn::tensor::{Tensor3, Tensor4};
+use ristretto_sim::artifact;
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::pipeline::PipelineLayer;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The frozen network behind `tests/golden/tiny.rma`. Everything here is
+/// written out literally — no RNG, no shared helpers — so the golden
+/// bytes depend only on the wire format itself.
+fn golden_network() -> (NetworkModel, RistrettoConfig) {
+    let kernels = Tensor4::from_vec(
+        2,
+        2,
+        3,
+        3,
+        vec![
+            // oc 0, ic 0..2
+            1, 0, -2, 0, 3, 0, -1, 0, 2, //
+            0, -1, 0, 2, 0, -3, 0, 1, 0, //
+            // oc 1, ic 0..2
+            0, 2, 0, -3, 0, 1, 0, -1, 0, //
+            3, 0, -1, 0, 2, 0, -2, 0, 1, //
+        ],
+    )
+    .unwrap();
+    let layer = PipelineLayer {
+        name: "golden0".to_string(),
+        kernels,
+        geom: ConvGeometry::unit_stride(1),
+        w_bits: BitWidth::W4,
+        a_bits: BitWidth::W4,
+        requant_shift: 2,
+        out_bits: 4,
+        pool: None,
+    };
+    let model = NetworkModel::new("golden-tiny", (2, 5, 5), vec![layer]);
+    (model, RistrettoConfig::paper_default())
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("tiny.rma")
+}
+
+#[test]
+fn golden_artifact_still_decodes_and_reencodes_identically() {
+    let bytes = std::fs::read(golden_path()).expect(
+        "tests/golden/tiny.rma is missing — regenerate it with \
+         `cargo test --test artifact_golden -- --ignored regenerate_golden_artifact`",
+    );
+    let decoded = artifact::decode(&bytes).expect(
+        "the checked-in golden artifact no longer decodes: the wire format \
+         drifted without a FORMAT_VERSION bump",
+    );
+    assert_eq!(
+        artifact::encode(&decoded),
+        bytes,
+        "re-encoding the golden artifact changed its bytes: the wire \
+         format drifted without a FORMAT_VERSION bump"
+    );
+
+    // The decoded network must equal a fresh compile of the frozen model
+    // and run byte-identically to it.
+    let (model, cfg) = golden_network();
+    let net = compile(&model, &cfg).unwrap();
+    assert_eq!(
+        *net, decoded,
+        "golden artifact decodes to a different network"
+    );
+
+    let input = Tensor3::from_vec(2, 5, 5, (0..50).map(|v| v % 7).collect()).unwrap();
+    let from_disk = Session::new(Arc::new(decoded)).run(&input).unwrap();
+    let from_memory = Session::new(net).run(&input).unwrap();
+    assert_eq!(from_disk.output, from_memory.output);
+    assert_eq!(from_disk.traces, from_memory.traces);
+}
+
+#[test]
+#[ignore = "regenerates the golden artifact after an intentional format change"]
+fn regenerate_golden_artifact() {
+    let (model, cfg) = golden_network();
+    let net = compile(&model, &cfg).unwrap();
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, artifact::encode(&net)).unwrap();
+    eprintln!("wrote {}", path.display());
+}

@@ -119,3 +119,97 @@ fn streams_roundtrip() {
     let stream = compress_activations(&flat, 8, AtomBits::B2).unwrap();
     assert_eq!(roundtrip(&stream), stream);
 }
+
+#[test]
+fn weight_streams_wire_roundtrip_at_every_granularity_and_width() {
+    // The binary artifact layer must round-trip compiled weight streams
+    // for the full cross product the compiler accepts: every atom
+    // granularity (1–8 bits) times every operand width (2–16 bits).
+    use ristretto::atomstream::atom::AtomBits;
+    use ristretto::atomstream::conv_csc::WeightStreamSet;
+    use ristretto::atomstream::wire::{read_weight_stream_set, write_weight_stream_set};
+    use ristretto::atomstream::wire::{WireReader, WireWriter};
+    use ristretto::qnn::tensor::Tensor4;
+
+    let kernels = Tensor4::from_vec(
+        2,
+        2,
+        3,
+        3,
+        (0..36).map(|i| [0, 1, 0, -1][i as usize % 4]).collect(),
+    )
+    .unwrap();
+    for gran in 1u8..=8 {
+        for bits in 2u8..=16 {
+            let atom_bits = AtomBits::new(gran).unwrap();
+            let w_bits = ristretto::qnn::quant::BitWidth::new(bits).unwrap();
+            let set = WeightStreamSet::compile(&kernels, w_bits, atom_bits).unwrap();
+
+            let mut w = WireWriter::new();
+            write_weight_stream_set(&mut w, &set);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes, "weights");
+            let back = read_weight_stream_set(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, set, "gran {gran}, width {bits}");
+
+            // Determinism: re-encoding the decoded set is byte-identical
+            // (the content-addressed cache depends on this).
+            let mut w2 = WireWriter::new();
+            write_weight_stream_set(&mut w2, &back);
+            assert_eq!(w2.into_bytes(), bytes, "gran {gran}, width {bits}");
+        }
+    }
+}
+
+#[test]
+fn cache_hit_sessions_allocate_no_accumulator_planes_in_steady_state() {
+    // A session over a cache-hit (deserialized) network must keep the
+    // scratch-arena guarantee of a freshly compiled one: after the first
+    // input sizes the pools, further runs allocate zero accumulator
+    // planes.
+    use ristretto::qnn::mini::MiniNetwork;
+    use ristretto::qnn::models::NetworkId;
+    use ristretto::qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+    use ristretto::ristretto_sim::engine::{NetworkModel, Session};
+    use ristretto::ristretto_sim::modelcache::ModelCache;
+
+    let mini = MiniNetwork::try_new(NetworkId::AlexNet).unwrap();
+    let mut gen = WorkloadGen::new(1203);
+    let model =
+        NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4)).unwrap();
+    let cfg = RistrettoConfig::paper_default();
+
+    let dir = std::env::temp_dir().join(format!(
+        "ristretto_serialization_cache_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ModelCache::new(&dir);
+    cache.compile_cached(&model, &cfg).unwrap(); // populate
+    let hit = cache.compile_cached(&model, &cfg).unwrap(); // load from disk
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let session = Session::new(hit.clone());
+    assert_eq!(session.scratch_plane_allocations(), 0);
+    let (c, h, w) = hit.input();
+    let mut igen = WorkloadGen::new(77);
+    let first = igen
+        .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+        .unwrap();
+    session.run(&first).unwrap();
+    let after_first = session.scratch_plane_allocations();
+    assert!(after_first > 0, "first run must populate the pools");
+    for seed in 0..3u64 {
+        let mut igen = WorkloadGen::new(80 + seed);
+        let input = igen
+            .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+            .unwrap();
+        session.run(&input).unwrap();
+        assert_eq!(
+            session.scratch_plane_allocations(),
+            after_first,
+            "steady-state cache-hit run allocated accumulator planes"
+        );
+    }
+}
