@@ -8,13 +8,14 @@
 //! repro stats-check --golden <path> [--metrics <path>] [--update]
 //!                    [--threads <n>]
 //! experiments: fig1 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//!              table6 motivation multicore ablations batch all
+//!              table6 motivation multicore scaling ablations batch all
 //! ```
 //!
 //! `fig13` and `fig16` are energy companions produced by the same runners
-//! as `fig12` / `fig14`. `--quick` trims the benchmark to three networks
-//! and coarser sweeps. With `--json`, the structured rows are also written
-//! to the given path.
+//! as `fig12` / `fig14`. `scaling` runs the sharded fleet simulator's
+//! strong/weak-scaling curves across core counts (see `DESIGN.md` §11).
+//! `--quick` trims the benchmark to three networks and coarser sweeps.
+//! With `--json`, the structured rows are also written to the given path.
 //!
 //! `--metrics` additionally enables the observability counters and writes
 //! their snapshot (sorted, schema-stable JSON; see `OBSERVABILITY.md`) to
@@ -28,7 +29,8 @@
 //! `diffcheck` draws `--cases` seeded random (layer, config) cases and runs
 //! the differential oracle of `bench::diffcheck` on each — cross-path
 //! output equality at 1 and 4 threads, lossless compression round-trips,
-//! and cycle-model invariants. Any divergence fails the run; `--shrink`
+//! cycle-model invariants, artifact round-trips, and 1-core-fleet ≡
+//! single-core-session equivalence. Any divergence fails the run; `--shrink`
 //! additionally minimizes each failing case, and every divergence is
 //! dumped as a JSON repro under `--repro-dir` (default
 //! `diffcheck_repros/`).
@@ -77,14 +79,14 @@
 use bench::cache::StatsCache;
 use bench::experiments::{
     ablations, engine_batch, fig01, fig04, fig12, fig14, fig15, fig17, fig18, fig19, motivation,
-    multicore_scaling, table6,
+    multicore_scaling, scaling, table6,
 };
 use bench::stats_gate;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--model-cache <dir>] [--timeout-secs <n>]
+const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|table6|motivation|multicore|scaling|ablations|batch|all> [--quick] [--json <path>] [--metrics <path>] [--threads <n>] [--trace] [--batch <n>] [--model-cache <dir>] [--timeout-secs <n>]
        repro stats-check --golden <path> [--metrics <path>] [--update] [--threads <n>]
        repro diffcheck [--cases <n>] [--seed <s>] [--shrink] [--repro-dir <path>]
        repro chaos [--campaign <n>] [--seed <s>] [--json <path>]
@@ -94,7 +96,7 @@ const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17
        repro perf-check --baseline <path> [--tolerance <x>] [--quick] [--json <path>]";
 
 /// Canonical experiment order of `repro all`.
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig1",
     "fig4",
     "table6",
@@ -106,6 +108,7 @@ const ALL: [&str; 13] = [
     "fig19",
     "motivation",
     "multicore",
+    "scaling",
     "ablations",
     "batch",
 ];
@@ -509,6 +512,14 @@ fn run_one(
                 rows_json("multicore", &rows)?,
             );
         }
+        "scaling" => {
+            let rows = scaling::run(quick);
+            emit(
+                "scaling",
+                scaling::render(&rows),
+                rows_json("scaling", &rows)?,
+            );
+        }
         "batch" => {
             let rows = engine_batch::run(quick, batch, model_cache);
             emit(
@@ -749,8 +760,8 @@ fn diffcheck_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
 }
 
 /// The `bench` subcommand: run the self-timed micro and batch suites of
-/// `bench::microbench` and optionally record the `ristretto-bench/v2` JSON
-/// report (the checked-in benchmark trajectory, see `BENCH_7.json`).
+/// `bench::microbench` and optionally record the `ristretto-bench/v3` JSON
+/// report (the checked-in benchmark trajectory, see `BENCH_8.json`).
 /// Deliberately *not* part of `repro all`: wall times are machine-bound, so
 /// they would break the byte-identical-across-thread-counts contract of the
 /// experiment suite.

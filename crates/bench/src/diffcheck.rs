@@ -7,7 +7,7 @@
 //! (layer, config) pair from the adversarial corners of the space — empty
 //! channels, all-dense and all-zero tiles, maximal magnitudes, every atom
 //! granularity, 2–16-bit operands, stride/padding combinations — and
-//! checks four oracle families:
+//! checks five oracle families:
 //!
 //! 1. **Cross-path equality** — dense reference [`qnn::conv::conv2d`],
 //!    functional [`conv2d_csc`], precompiled `Session::run`, the
@@ -28,6 +28,10 @@
 //!    network reproduces the in-memory session's output and stats
 //!    byte-for-byte; a deterministically chosen one-bit corruption of the
 //!    artifact must be rejected by the loader.
+//! 5. **Fleet equivalence** — a 1-core [`ristretto_sim::fleet::Fleet`]
+//!    under both the batch and the output-channel strategy reproduces the
+//!    single-core `Session::run` output byte-for-byte (again at 1 and 4
+//!    worker threads), with zero inter-core link traffic.
 //!
 //! Failing cases run through a greedy shrinker that minimizes channels,
 //! extents and values while the divergence persists, then serialize to a
@@ -55,9 +59,10 @@ use qnn::tensor::{Tensor3, Tensor4};
 use qnn::workload::WorkloadGen;
 use ristretto_sim::artifact;
 use ristretto_sim::balance::{balance, BalanceStrategy, ChannelWorkload};
-use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::config::{FleetConfig, RistrettoConfig};
 use ristretto_sim::core::{CoreReport, CoreSim};
 use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::fleet::{Fleet, ShardStrategy};
 use ristretto_sim::pipeline::PipelineLayer;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -217,6 +222,9 @@ struct PathOutputs {
     session_out: Tensor3,
     session_stats: atomstream::conv_csc::CscStats,
     core: CoreReport,
+    /// 1-core fleet outputs and link traffic per strategy (batch, then
+    /// output-channel): the family-5 oracle inputs.
+    fleet: Vec<(Tensor3, u64)>,
 }
 
 /// The single-layer network model a case compiles into (shared by the
@@ -260,11 +268,28 @@ fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
 
     let model = case_model(case);
     let net = compile(&model, &case.ristretto_config()).map_err(|e| format!("compile: {e}"))?;
-    let session = Session::new(net);
+    let session = Session::new(net.clone());
     let run = session
         .run(&case.fmap)
         .map_err(|e| format!("session run: {e}"))?;
     let session_stats = run.traces[0].stats;
+
+    // Family-5 inputs: the same network behind a 1-core fleet, under both
+    // strategies.
+    let mut fleet = Vec::new();
+    for strategy in [ShardStrategy::Batch, ShardStrategy::OutputChannel] {
+        let f = Fleet::try_new(net.clone(), FleetConfig::new(1, strategy))
+            .map_err(|e| format!("fleet({strategy}): {e}"))?;
+        let fr = f
+            .run(std::slice::from_ref(&case.fmap))
+            .map_err(|e| format!("fleet({strategy}) run: {e}"))?;
+        let out = fr
+            .outputs
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("fleet({strategy}) produced no output"))?;
+        fleet.push((out, fr.report.link_bits));
+    }
 
     let core = CoreSim::try_new(case.ristretto_config())
         .map_err(|e| format!("core config: {e}"))?
@@ -279,6 +304,7 @@ fn run_paths(case: &DiffCase) -> Result<PathOutputs, String> {
         session_out: run.output,
         session_stats,
         core,
+        fleet,
     })
 }
 
@@ -599,6 +625,24 @@ fn check_cycle_model(case: &DiffCase, p: &PathOutputs) -> Result<(), String> {
     Ok(())
 }
 
+/// Oracle family 5: a 1-core fleet is the single-core engine path — same
+/// bytes under both sharding strategies, and no inter-core traffic.
+fn check_fleet(p: &PathOutputs) -> Result<(), String> {
+    for ((out, link_bits), strategy) in p.fleet.iter().zip(["batch", "output-channel"]) {
+        if *out != p.session_out {
+            return Err(format!(
+                "1-core fleet ({strategy}) output diverges from single-core session"
+            ));
+        }
+        if *link_bits != 0 {
+            return Err(format!(
+                "1-core fleet ({strategy}) moved {link_bits} bits over the NoC"
+            ));
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Family 4: artifact round-trips.
 // ---------------------------------------------------------------------------
@@ -665,6 +709,7 @@ pub fn check_case(case: &DiffCase) -> Result<(), String> {
     check_roundtrips(case)?;
     check_cycle_model(case, &p1)?;
     check_artifact(case, &p1)?;
+    check_fleet(&p1)?;
 
     // Observability counters only ever accumulate: non-negative by type,
     // and monotone across the whole case (sums and high-water marks both).

@@ -12,8 +12,10 @@ use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::multicore::{Multicore, MulticoreMode, MulticoreReport};
 use serde::{Deserialize, Serialize};
 
-/// One scaling point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One scaling point. Integer-only in serialized form: throughput is
+/// derived at render time from `latency` and `inferences_per_pass`, so the
+/// recorded JSON is byte-stable cross-platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Row {
     /// Mode label.
     pub mode: String,
@@ -21,10 +23,21 @@ pub struct Row {
     pub cores: usize,
     /// Single-inference latency (cycles).
     pub latency: u64,
-    /// Throughput (inferences per mega-cycle).
-    pub throughput: f64,
+    /// Inferences completed per latency pass (cores for batch mode, 1 for
+    /// output-channel mode).
+    pub inferences_per_pass: u64,
     /// DRAM traffic per inference (bits).
     pub dram_bits: u64,
+}
+
+impl Row {
+    /// Throughput in inferences per mega-cycle — derived, never recorded.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.latency == 0 {
+            return 0.0;
+        }
+        self.inferences_per_pass as f64 * 1e6 / self.latency as f64
+    }
 }
 
 /// Core counts swept.
@@ -52,7 +65,7 @@ pub fn run(cache: &mut StatsCache) -> Vec<Row> {
             let mc = Multicore::new(cores, mode, RistrettoConfig::paper_default());
             let MulticoreReport {
                 latency_cycles,
-                throughput_per_mcycle,
+                inferences_per_pass,
                 dram_bits_per_inference,
                 ..
             } = mc.simulate_network(&stats);
@@ -60,7 +73,7 @@ pub fn run(cache: &mut StatsCache) -> Vec<Row> {
                 mode: format!("{mode:?}"),
                 cores,
                 latency: latency_cycles,
-                throughput: throughput_per_mcycle,
+                inferences_per_pass,
                 dram_bits: dram_bits_per_inference,
             }
         })
@@ -81,7 +94,7 @@ pub fn render(rows: &[Row]) -> String {
             r.mode.clone(),
             r.cores.to_string(),
             r.latency.to_string(),
-            table::f2(r.throughput),
+            table::f2(r.throughput_per_mcycle()),
             r.dram_bits.to_string(),
         ]);
     }
@@ -104,7 +117,7 @@ mod tests {
         // Batch: flat latency, linear throughput, flat traffic.
         for pair in batch.windows(2) {
             assert_eq!(pair[0].latency, pair[1].latency);
-            assert!(pair[1].throughput > pair[0].throughput);
+            assert!(pair[1].throughput_per_mcycle() > pair[0].throughput_per_mcycle());
             assert_eq!(pair[0].dram_bits, pair[1].dram_bits);
         }
         let oc: Vec<&Row> = rows.iter().filter(|r| r.mode == "OutputChannels").collect();

@@ -1,0 +1,257 @@
+//! Fleet scaling study (`repro scaling`): strong- and weak-scaling curves
+//! of the sharded fleet simulator ([`ristretto_sim::fleet`]) across core
+//! counts, per benchmark network.
+//!
+//! Two curves per network:
+//!
+//! * **strong** — one input, output-channel sharding across 1/2/4/8
+//!   cores: single-inference latency shrinks as cores are added, at the
+//!   cost of all-gather traffic on the NoC. Strong-scaling efficiency is
+//!   `t1 / (N · tN)`.
+//! * **weak** — batch sharding with as many inputs as cores: the work per
+//!   core stays constant, so the makespan should stay near the 1-core
+//!   baseline. Weak-scaling efficiency is `t1 / tN`.
+//!
+//! Rows are integer-only in serialized form (cycles, bits, digests);
+//! throughput and efficiency are derived at render time, so the recorded
+//! JSON is byte-stable across platforms and thread counts. The
+//! `output_digest` column doubles as the byte-determinism witness: along a
+//! strong curve it must not move when the core count does.
+
+use crate::experiments::engine_batch::{benchmark_input, benchmark_models};
+use crate::table;
+use rayon::prelude::*;
+use ristretto_sim::config::{FleetConfig, RistrettoConfig};
+use ristretto_sim::engine::{compile, CompiledNetwork};
+use ristretto_sim::fleet::{Fleet, ShardStrategy};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Core counts swept by both curves.
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One scaling point. Integer-only: ratios are derived at render time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Network name.
+    pub network: String,
+    /// Curve label (`strong` = output-channel sharding, one input;
+    /// `weak` = batch sharding, one input per core).
+    pub curve: String,
+    /// Fleet strategy label.
+    pub strategy: String,
+    /// Core count.
+    pub cores: usize,
+    /// Inputs processed.
+    pub inputs: u64,
+    /// Fleet makespan (cycles, first input in to last output out).
+    pub makespan: u64,
+    /// First input's latency (cycles).
+    pub latency: u64,
+    /// Per-core compute cycles summed over cores and layers.
+    pub busy: u64,
+    /// Cycles cores waited on slower shards or the NoC.
+    pub idle: u64,
+    /// Compressed activation bits moved over inter-core links.
+    pub link_bits: u64,
+    /// Fold over every output tensor's bytes (determinism witness).
+    pub output_digest: u64,
+}
+
+impl Row {
+    /// Inputs per million makespan cycles — derived, never recorded.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.inputs as f64 * 1e6 / self.makespan as f64
+    }
+}
+
+/// Strong-scaling efficiency of `row` against the 1-core `base` of its
+/// curve: `t1 / (N · tN)`; 1.0 is ideal linear scaling.
+pub fn strong_efficiency(base: &Row, row: &Row) -> f64 {
+    if row.makespan == 0 || row.cores == 0 {
+        return 0.0;
+    }
+    base.makespan as f64 / (row.cores as f64 * row.makespan as f64)
+}
+
+/// Weak-scaling efficiency of `row` against the 1-core `base` of its
+/// curve: `t1 / tN` at one input per core; 1.0 means constant time.
+pub fn weak_efficiency(base: &Row, row: &Row) -> f64 {
+    if row.makespan == 0 {
+        return 0.0;
+    }
+    base.makespan as f64 / row.makespan as f64
+}
+
+fn run_point(
+    idx: usize,
+    network: &str,
+    net: &Arc<CompiledNetwork>,
+    cores: usize,
+    strong: bool,
+) -> Row {
+    let (strategy, inputs) = if strong {
+        (ShardStrategy::OutputChannel, 1)
+    } else {
+        (ShardStrategy::Batch, cores)
+    };
+    let fleet = Fleet::try_new(net.clone(), FleetConfig::new(cores, strategy))
+        .expect("benchmark fleet configuration is valid");
+    let (c, h, w) = net.input();
+    let images: Vec<_> = (0..inputs)
+        .map(|image| benchmark_input(idx, image, c, h, w))
+        .collect();
+    let run = fleet.run(&images).expect("benchmark fleet run succeeds");
+    Row {
+        network: network.to_string(),
+        curve: if strong { "strong" } else { "weak" }.to_string(),
+        strategy: run.report.strategy,
+        cores,
+        inputs: run.report.inputs,
+        makespan: run.report.makespan_cycles,
+        latency: run.report.latency_cycles,
+        busy: run.report.busy_cycles,
+        idle: run.report.idle_cycles,
+        link_bits: run.report.link_bits,
+        output_digest: run.report.output_digest,
+    }
+}
+
+/// Runs both curves over every benchmark network (three in quick mode).
+/// Rows come back grouped by network, curve, then ascending core count.
+pub fn run(quick: bool) -> Vec<Row> {
+    // Compile once per network; the (cores, curve) fan-out shares the
+    // artifact. Results collect in deterministic nested-loop order.
+    let models: Vec<(usize, (String, ristretto_sim::engine::NetworkModel))> =
+        benchmark_models(quick).into_iter().enumerate().collect();
+    let nets: Vec<(usize, String, Arc<CompiledNetwork>)> = models
+        .into_par_iter()
+        .map(|(idx, (name, model))| {
+            let net = compile(&model, &RistrettoConfig::paper_default())
+                .expect("benchmark network compiles");
+            (idx, name, net)
+        })
+        .collect();
+    let points: Vec<(usize, String, Arc<CompiledNetwork>, usize, bool)> = nets
+        .into_iter()
+        .flat_map(|(idx, name, net)| {
+            [true, false].into_iter().flat_map(move |strong| {
+                let name = name.clone();
+                let net = net.clone();
+                CORE_COUNTS
+                    .into_iter()
+                    .map(move |cores| (idx, name.clone(), net.clone(), cores, strong))
+            })
+        })
+        .collect();
+    points
+        .into_par_iter()
+        .map(|(idx, name, net, cores, strong)| run_point(idx, &name, &net, cores, strong))
+        .collect()
+}
+
+/// The 1-core base row of a row's curve.
+fn base_of<'a>(rows: &'a [Row], row: &Row) -> Option<&'a Row> {
+    rows.iter()
+        .find(|b| b.network == row.network && b.curve == row.curve && b.cores == 1)
+}
+
+/// Renders both curves with derived throughput and efficiency columns.
+pub fn render(rows: &[Row]) -> String {
+    type EffFn = fn(&Row, &Row) -> f64;
+    let mut out = String::new();
+    let curves: [(&str, &str, EffFn); 2] = [
+        (
+            "strong",
+            "Fleet strong scaling (output-channel sharding, 1 input)",
+            strong_efficiency,
+        ),
+        (
+            "weak",
+            "Fleet weak scaling (batch sharding, 1 input per core)",
+            weak_efficiency,
+        ),
+    ];
+    for (curve, title, eff) in curves {
+        let mut t = vec![vec![
+            "network".to_string(),
+            "cores".to_string(),
+            "makespan (cycles)".to_string(),
+            "latency (cycles)".to_string(),
+            "throughput (inf/Mcycle)".to_string(),
+            "efficiency".to_string(),
+            "link bits".to_string(),
+        ]];
+        for r in rows.iter().filter(|r| r.curve == curve) {
+            let e = base_of(rows, r).map_or(0.0, |b| eff(b, r));
+            t.push(vec![
+                r.network.clone(),
+                r.cores.to_string(),
+                r.makespan.to_string(),
+                r.latency.to_string(),
+                table::f2(r.throughput_per_mcycle()),
+                format!("{e:.3}"),
+                r.link_bits.to_string(),
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&table::render(title, &t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_cover_every_network_and_core_count() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 3 * 2 * CORE_COUNTS.len());
+        for r in &rows {
+            assert!(r.makespan > 0 && r.latency > 0 && r.busy > 0, "{r:?}");
+        }
+        let names: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.network.as_str()).collect();
+        assert_eq!(names.len(), 3);
+        // Strong curve: byte-identical outputs at every core count.
+        for net in &names {
+            let strong: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.network == *net && r.curve == "strong")
+                .collect();
+            assert_eq!(strong.len(), CORE_COUNTS.len());
+            assert!(strong
+                .windows(2)
+                .all(|p| p[0].output_digest == p[1].output_digest));
+        }
+    }
+
+    #[test]
+    fn efficiencies_stay_bounded() {
+        let rows = run(true);
+        for r in &rows {
+            let base = base_of(&rows, r).expect("every curve has a 1-core base");
+            if r.curve == "strong" {
+                let e = strong_efficiency(base, r);
+                assert!(e > 0.0 && e <= 1.0, "strong efficiency {e} for {r:?}");
+            } else {
+                let e = weak_efficiency(base, r);
+                assert!(e > 0.0 && e <= 1.0, "weak efficiency {e} for {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_names_curves_and_networks() {
+        let rows = run(true);
+        let s = render(&rows);
+        assert!(s.contains("strong scaling") && s.contains("weak scaling"));
+        assert!(s.contains("efficiency"));
+    }
+}

@@ -3,15 +3,15 @@
 //! The Criterion benches under `benches/` remain the statistically rigorous
 //! harness for local work; this module exists so a benchmark trajectory can
 //! be *recorded* — `repro bench --json` emits a small, schema-stable JSON
-//! report (`ristretto-bench/v2`) suitable for checking in next to the code
-//! it measures (see `BENCH_7.json`). Timing is deliberately simple and
+//! report (`ristretto-bench/v3`) suitable for checking in next to the code
+//! it measures (see `BENCH_8.json`). Timing is deliberately simple and
 //! self-contained: per benchmark, one warm-up call, an iteration count
 //! calibrated so a sample lasts at least a millisecond, then a fixed number
 //! of samples reduced to median/min/mean nanoseconds per iteration. Median
 //! is the headline number — it is robust against scheduler noise on small
 //! shared containers.
 //!
-//! Two suites run:
+//! Four suites run:
 //!
 //! * **micro** — the kernel-level workload mirrored from
 //!   `benches/csc_kernels.rs` (a 16→32-channel 3×3 layer at 28×28, seed 7):
@@ -27,6 +27,10 @@
 //!   in-memory compile wall time versus median verified artifact load
 //!   (`ModelCache::load`, including every checksum and cross-section
 //!   check), plus the artifact size on disk.
+//! * **fleet** — the sharded fleet simulator's wall time per
+//!   (strategy, cores) point on the first quick-suite network: the
+//!   `repro scaling` hot path, gated so sharded execution cannot silently
+//!   regress to a recompile-per-run or quadratic-assembly regime.
 
 use crate::{benchmark_networks, table, SEED};
 use atomstream::conv_csc::{
@@ -37,15 +41,17 @@ use qnn::conv::{conv2d, ConvGeometry};
 use qnn::mini::MiniNetwork;
 use qnn::quant::BitWidth;
 use qnn::workload::{ActivationProfile, SyntheticLayer, WeightProfile, WorkloadGen};
-use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::config::{FleetConfig, RistrettoConfig};
 use ristretto_sim::engine::{compile, NetworkModel, Session};
+use ristretto_sim::fleet::{Fleet, ShardStrategy};
 use ristretto_sim::modelcache::{CacheKey, ModelCache};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every report; bump on breaking shape changes.
-/// v2 added the `cache` suite (cold compile vs. cache-hit load).
-pub const SCHEMA: &str = "ristretto-bench/v2";
+/// v2 added the `cache` suite (cold compile vs. cache-hit load); v3 added
+/// the `fleet` suite (sharded fleet run wall times).
+pub const SCHEMA: &str = "ristretto-bench/v3";
 
 /// One micro-benchmark's timing summary (nanoseconds per iteration).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,6 +98,19 @@ pub struct CacheRow {
     pub artifact_bytes: u64,
 }
 
+/// One fleet-scaling wall-time measurement: a full [`Fleet::run`] pass
+/// (one input per core for batch sharding, one input total for
+/// output-channel sharding) on the first quick-suite network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRow {
+    /// Sharding strategy label (`batch`, `output-channel`).
+    pub strategy: String,
+    /// Fleet core count.
+    pub cores: usize,
+    /// Median wall time of one fleet pass, milliseconds.
+    pub run_ms: f64,
+}
+
 /// The full `repro bench` report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -105,6 +124,8 @@ pub struct BenchReport {
     pub batch: Vec<BatchRow>,
     /// Cold compile vs. cache-hit load timings.
     pub cache: Vec<CacheRow>,
+    /// Sharded fleet pass timings.
+    pub fleet: Vec<FleetRow>,
 }
 
 /// Times `f`, returning per-iteration statistics. One warm-up call, then
@@ -301,7 +322,60 @@ fn run_cache(quick: bool) -> Vec<CacheRow> {
     rows
 }
 
-/// Runs all three suites and assembles the report.
+/// Runs the fleet suite: median wall time of one sharded fleet pass per
+/// (strategy, cores) point on the first quick-suite network. Batch points
+/// serve one input per core; output-channel points serve one input total.
+fn run_fleet(quick: bool) -> Vec<FleetRow> {
+    let samples = if quick { 3 } else { 7 };
+    let mini = MiniNetwork::try_new(benchmark_networks(true)[0]).expect("builtin mini network");
+    let mut gen = WorkloadGen::new(SEED ^ (1 << 8));
+    let model = NetworkModel::from_mini(&mini, &mut gen, &WeightProfile::benchmark(BitWidth::W4))
+        .expect("mini network materializes");
+    let compiled =
+        compile(&model, &RistrettoConfig::paper_default()).expect("mini network compiles");
+    let (c, h, w) = compiled.input();
+    let median_ms = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for (strategy, cores) in [
+        (ShardStrategy::Batch, 4),
+        (ShardStrategy::OutputChannel, 1),
+        (ShardStrategy::OutputChannel, 4),
+    ] {
+        let fleet = Fleet::try_new(compiled.clone(), FleetConfig::new(cores, strategy))
+            .expect("benchmark fleet configuration is valid");
+        let images = if strategy == ShardStrategy::Batch {
+            cores
+        } else {
+            1
+        };
+        let inputs: Vec<_> = (0..images)
+            .map(|image| {
+                let mut igen = WorkloadGen::new(SEED ^ (1 << 8) ^ (image as u64 + 1));
+                igen.activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+                    .expect("input materializes")
+            })
+            .collect();
+        std::hint::black_box(fleet.run(&inputs).expect("fleet warm-up"));
+        let sample_ms: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(fleet.run(&inputs).expect("fleet pass"));
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        rows.push(FleetRow {
+            strategy: strategy.to_string(),
+            cores,
+            run_ms: median_ms(sample_ms),
+        });
+    }
+    rows
+}
+
+/// Runs all four suites and assembles the report.
 pub fn run(quick: bool) -> BenchReport {
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -309,6 +383,7 @@ pub fn run(quick: bool) -> BenchReport {
         micro: run_micro(quick),
         batch: run_batch(quick),
         cache: run_cache(quick),
+        fleet: run_fleet(quick),
     }
 }
 
@@ -371,6 +446,20 @@ pub fn render(report: &BenchReport) -> String {
         "Model cache: cold compile vs. verified artifact load (self-timed)",
         &t,
     ));
+    let mut t = vec![vec![
+        "strategy".to_string(),
+        "cores".to_string(),
+        "run ms (median)".to_string(),
+    ]];
+    for r in &report.fleet {
+        t.push(vec![
+            r.strategy.clone(),
+            r.cores.to_string(),
+            format!("{:.2}", r.run_ms),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table::render("Fleet pass wall time (self-timed)", &t));
     out
 }
 
@@ -403,6 +492,8 @@ mod tests {
             .batch
             .iter()
             .all(|b| b.per_image_ms > 0.0 && b.compile_ms > 0.0 && b.images == 2));
+        assert_eq!(report.fleet.len(), 3);
+        assert!(report.fleet.iter().all(|f| f.run_ms > 0.0 && f.cores >= 1));
         assert_eq!(report.cache.len(), 3);
         for c in &report.cache {
             assert!(c.compile_ms > 0.0 && c.load_ms > 0.0 && c.artifact_bytes > 0);
@@ -443,11 +534,16 @@ mod tests {
                 load_ms: 0.3,
                 artifact_bytes: 4096,
             }],
+            fleet: vec![FleetRow {
+                strategy: "output-channel".to_string(),
+                cores: 4,
+                run_ms: 3.5,
+            }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
-        assert!(json.contains("ristretto-bench/v2"));
+        assert!(json.contains("ristretto-bench/v3"));
     }
 
     #[test]
@@ -475,9 +571,15 @@ mod tests {
                 load_ms: 0.2,
                 artifact_bytes: 1024,
             }],
+            fleet: vec![FleetRow {
+                strategy: "batch".to_string(),
+                cores: 4,
+                run_ms: 2.0,
+            }],
         };
         let s = render(&report);
         assert!(s.contains("dense_reference_conv") && s.contains("AlexNet"));
         assert!(s.contains("GoogLeNet") && s.contains("cache-hit load"));
+        assert!(s.contains("Fleet pass wall time") && s.contains("batch"));
     }
 }

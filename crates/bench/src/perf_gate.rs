@@ -3,8 +3,9 @@
 //!
 //! Compares a freshly measured [`BenchReport`] against a checked-in
 //! baseline (`BENCH_*.json`) on a small set of *key* series — the CSC
-//! sparse-conv and steady-state stream medians plus each network's
-//! cache-hit load time — and fails only when a live number exceeds the
+//! sparse-conv and steady-state stream medians, each network's cache-hit
+//! load time, and each fleet (strategy, cores) pass — and fails only when
+//! a live number exceeds the
 //! baseline by a generous ratio. CI containers are noisy, so the gate is
 //! deliberately coarse: it exists to catch order-of-magnitude
 //! regressions (an accidentally quadratic hot path, a cache load that
@@ -98,6 +99,23 @@ pub fn compare(
             live_row.load_ms,
         );
     }
+    for base in &baseline.fleet {
+        let live_row = live
+            .fleet
+            .iter()
+            .find(|r| r.strategy == base.strategy && r.cores == base.cores)
+            .ok_or_else(|| {
+                format!(
+                    "live report has no fleet row for `{}` at {} core(s)",
+                    base.strategy, base.cores
+                )
+            })?;
+        check(
+            format!("fleet_run:{}x{}", base.strategy, base.cores),
+            base.run_ms,
+            live_row.run_ms,
+        );
+    }
     Ok(checks)
 }
 
@@ -121,7 +139,7 @@ pub fn render(checks: &[SeriesCheck], tolerance: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::microbench::{BatchRow, CacheRow, MicroRow, SCHEMA};
+    use crate::microbench::{BatchRow, CacheRow, FleetRow, MicroRow, SCHEMA};
 
     fn report(steady_ns: u64, load_ms: f64) -> BenchReport {
         let micro = |name: &str, median_ns: u64| MicroRow {
@@ -151,6 +169,11 @@ mod tests {
                 load_ms,
                 artifact_bytes: 4096,
             }],
+            fleet: vec![FleetRow {
+                strategy: "output-channel".to_string(),
+                cores: 4,
+                run_ms: 3.0,
+            }],
         }
     }
 
@@ -159,8 +182,11 @@ mod tests {
         let baseline = report(500, 1.0);
         let live = report(900, 1.8);
         let checks = compare(&live, &baseline, DEFAULT_TOLERANCE).unwrap();
-        assert_eq!(checks.len(), 3);
+        assert_eq!(checks.len(), 4);
         assert!(checks.iter().all(|c| c.pass));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "fleet_run:output-channelx4"));
     }
 
     #[test]
@@ -189,5 +215,11 @@ mod tests {
         assert!(compare(&live, &baseline, DEFAULT_TOLERANCE)
             .unwrap_err()
             .contains("AlexNet"));
+
+        let mut live = report(500, 1.0);
+        live.fleet.clear();
+        assert!(compare(&live, &baseline, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("fleet"));
     }
 }

@@ -444,7 +444,7 @@ fn bench_quick_writes_schema_stable_json() {
     assert!(text.contains("csc_streams_steady"), "{text}");
     let json: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-    assert_eq!(json["schema"], "ristretto-bench/v2");
+    assert_eq!(json["schema"], "ristretto-bench/v3");
     assert_eq!(json["quick"].as_bool(), Some(true));
     let micro = json["micro"].as_array().expect("micro rows");
     let names: Vec<&str> = micro.iter().map(|r| r["name"].as_str().unwrap()).collect();
@@ -470,6 +470,12 @@ fn bench_quick_writes_schema_stable_json() {
         assert!(row["compile_ms"].as_f64().unwrap() > 0.0);
         assert!(row["load_ms"].as_f64().unwrap() > 0.0);
         assert!(row["artifact_bytes"].as_u64().unwrap() > 0);
+    }
+    let fleet = json["fleet"].as_array().expect("fleet rows");
+    assert_eq!(fleet.len(), 3);
+    for row in fleet {
+        assert!(row["run_ms"].as_f64().unwrap() > 0.0);
+        assert!(row["cores"].as_u64().unwrap() >= 1);
     }
     std::fs::remove_dir_all(&dir).ok();
 }

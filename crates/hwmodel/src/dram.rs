@@ -28,14 +28,33 @@ pub fn dram_energy_pj_bytes(bytes: u64) -> f64 {
 /// compressed tensor that now fits on chip eliminates every re-fetch
 /// (paper §IV-B / Fig 13/16).
 pub fn tiled_traffic_bits(a_bits: u64, w_bits: u64, in_buf_bits: u64, w_buf_bits: u64) -> u64 {
+    let (act, weight) = tiled_traffic_split(a_bits, w_bits, in_buf_bits, w_buf_bits);
+    act + weight
+}
+
+/// [`tiled_traffic_bits`] broken down by operand: `(activation_bits,
+/// weight_bits)` actually moved over the DRAM interface, including any
+/// re-fetch passes. The components always sum to `tiled_traffic_bits`,
+/// which lets multi-core traffic models charge broadcast/redistribution
+/// against the activation share only (weights are core-resident).
+pub fn tiled_traffic_split(
+    a_bits: u64,
+    w_bits: u64,
+    in_buf_bits: u64,
+    w_buf_bits: u64,
+) -> (u64, u64) {
     let a_fits = a_bits <= in_buf_bits;
     let w_fits = w_bits <= w_buf_bits;
     if a_fits || w_fits {
-        return a_bits + w_bits;
+        return (a_bits, w_bits);
     }
-    let refetch_acts = a_bits * w_bits.div_ceil(w_buf_bits.max(1)) + w_bits;
-    let refetch_weights = w_bits * a_bits.div_ceil(in_buf_bits.max(1)) + a_bits;
-    refetch_acts.min(refetch_weights)
+    let act_refetched = a_bits * w_bits.div_ceil(w_buf_bits.max(1));
+    let weight_refetched = w_bits * a_bits.div_ceil(in_buf_bits.max(1));
+    if act_refetched + w_bits <= weight_refetched + a_bits {
+        (act_refetched, w_bits)
+    } else {
+        (a_bits, weight_refetched)
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +78,24 @@ mod tests {
         assert_eq!(t, 1000 * 10 + 1000);
         // Compression shrinking a tensor below the buffer kills re-fetch.
         assert!(tiled_traffic_bits(90, 1000, 100, 100) < t);
+    }
+
+    #[test]
+    fn split_components_sum_to_total() {
+        for (a, w, ib, wb) in [
+            (100, 1000, 200, 10),
+            (1000, 100, 10, 200),
+            (1000, 1000, 100, 100),
+            (1000, 999, 100, 128),
+            (0, 0, 1, 1),
+            (7, 13, 1, 1),
+        ] {
+            let (act, weight) = tiled_traffic_split(a, w, ib, wb);
+            assert_eq!(act + weight, tiled_traffic_bits(a, w, ib, wb));
+        }
+        // Re-fetching activations inflates only the activation share.
+        let (act, weight) = tiled_traffic_split(1000, 1000, 100, 100);
+        assert_eq!((act, weight), (10_000, 1000));
     }
 
     #[test]

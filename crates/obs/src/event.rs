@@ -243,6 +243,30 @@ events! {
      "Artifact bytes persisted to the model cache."),
     (EngineCacheBytesRead, "engine.cache.bytes_read", Sum, "bytes", "§III",
      "Artifact bytes read back from the model cache during lookups."),
+
+    // Sharded fleet simulator + NoC (Fig 7 multi-core organization).
+    (FleetRuns, "fleet.runs", Sum, "runs", "Fig 7",
+     "Fleet inference passes executed across the sharded core array."),
+    (FleetCores, "fleet.cores", Max, "cores", "Fig 7",
+     "Largest core count any fleet run was sharded across."),
+    (FleetShards, "fleet.shards", Sum, "shards", "Fig 7",
+     "Per-layer shard executions driven through the compiled engine."),
+    (FleetBusyCycles, "fleet.busy_cycles", Sum, "cycles", "Eq 5",
+     "Per-core compute cycles summed over all cores and layers."),
+    (FleetIdleCycles, "fleet.idle_cycles", Sum, "cycles", "Eq 5",
+     "Cycles cores waited on the slowest shard or on NoC exchange."),
+    (FleetMakespanCycles, "fleet.makespan_cycles", Sum, "cycles", "Eq 5",
+     "Cross-core makespans (compute + exchange) summed over layers."),
+    (FleetLinkBits, "fleet.link_bits", Sum, "bits", "Fig 7",
+     "Compressed activation bits moved over inter-core NoC links."),
+    (FleetLinkBusyCycles, "fleet.link_busy_cycles", Sum, "cycles", "Fig 7",
+     "Cycles NoC links spent serializing activation flits."),
+    (FleetQueueHighwater, "fleet.queue_highwater", Max, "entries", "Fig 7",
+     "Deepest per-port NoC FIFO occupancy observed in any exchange."),
+    (FleetCoreDeaths, "fleet.core_deaths", Sum, "deaths", "§IV-C",
+     "Injected core-death events taken by fleet runs."),
+    (FleetReshards, "fleet.reshards", Sum, "reshards", "§IV-C",
+     "Deterministic resharding passes after a core death."),
 }
 
 #[cfg(test)]
@@ -275,6 +299,8 @@ mod tests {
     fn highwater_counters_are_max_kind() {
         assert_eq!(Event::AtomulatorFifoHighwater.kind(), Kind::Max);
         assert_eq!(Event::AtomizerMaxHold.kind(), Kind::Max);
+        assert_eq!(Event::FleetQueueHighwater.kind(), Kind::Max);
+        assert_eq!(Event::FleetCores.kind(), Kind::Max);
         assert_eq!(Event::IntersectAtomMults.kind(), Kind::Sum);
     }
 }

@@ -203,16 +203,20 @@ impl RistrettoSim {
                 stats.weight.len as u64 * w_bits_val,
             )
         };
-        let dram_bits = hwmodel::dram::tiled_traffic_bits(
+        let (act_fetch_bits, weight_dram_bits) = hwmodel::dram::tiled_traffic_split(
             fmap_dram,
             weight_dram,
             (self.cfg.input_buf_kb as u64) << 13,
             (self.cfg.weight_buf_kb as u64) << 13,
-        ) + if self.cfg.sparse {
-            output_bits
-        } else {
-            out_values * a_bits
-        };
+        );
+        // Output writeback is activation traffic too.
+        let act_dram_bits = act_fetch_bits
+            + if self.cfg.sparse {
+                output_bits
+            } else {
+                out_values * a_bits
+            };
+        let dram_bits = act_dram_bits + weight_dram_bits;
         let buffer_bits = input_bits + weight_bits + output_bits;
 
         let mut counter = EnergyCounter::new();
@@ -243,6 +247,8 @@ impl RistrettoSim {
             atom_mults,
             deliveries,
             dram_bits,
+            act_dram_bits,
+            weight_dram_bits,
             buffer_bits,
             energy: counter.breakdown(),
         }
@@ -373,6 +379,18 @@ mod tests {
     fn granularity_mismatch_is_rejected() {
         let stats = small_stats(BitWidth::W4); // generated at 2-bit atoms
         let _ = simulate_layer(&RistrettoConfig::granularity(3), &stats, false);
+    }
+
+    #[test]
+    fn dram_split_sums_and_activations_dominate_broadcast_share() {
+        for cfg in [
+            RistrettoConfig::paper_default(),
+            RistrettoConfig::paper_default().non_sparse(),
+        ] {
+            let r = simulate_layer(&cfg, &small_stats(BitWidth::W8), false);
+            assert_eq!(r.act_dram_bits + r.weight_dram_bits, r.dram_bits);
+            assert!(r.act_dram_bits > 0 && r.weight_dram_bits > 0);
+        }
     }
 
     #[test]

@@ -84,6 +84,35 @@ impl Assignment {
         }
         self.total_cycles() as f64 / (span as f64 * self.tile_cycles.len() as f64)
     }
+
+    /// All channel indices in this assignment, sorted ascending.
+    pub fn assigned_channels(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self.groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Checks that a family of groupings — e.g. the per-shard balancer groups
+/// of a fleet plan — exactly partitions `0..channels`: every channel
+/// appears in exactly one group across all groupings, none is dropped and
+/// none duplicated. The fleet layer relies on this invariant for
+/// byte-identical reconstruction of the unsharded output.
+#[must_use]
+pub fn is_exact_partition<'a>(
+    groups: impl IntoIterator<Item = &'a [usize]>,
+    channels: usize,
+) -> bool {
+    let mut seen = vec![false; channels];
+    for group in groups {
+        for &c in group {
+            if c >= channels || seen[c] {
+                return false;
+            }
+            seen[c] = true;
+        }
+    }
+    seen.into_iter().all(|s| s)
 }
 
 /// Partitions channels into `tiles` groups under the given strategy.
@@ -256,5 +285,24 @@ mod tests {
     fn channel_cycles_match_eq5() {
         let w = mk(0, 100, 33);
         assert_eq!(w.cycles(16), 100 * 3);
+    }
+
+    #[test]
+    fn exact_partition_detects_drops_and_duplicates() {
+        let a: &[usize] = &[0, 2];
+        let b: &[usize] = &[1, 3];
+        assert!(is_exact_partition([a, b], 4));
+        // Dropped channel.
+        assert!(!is_exact_partition([a, b], 5));
+        // Duplicate across groups.
+        let dup: &[usize] = &[2, 3];
+        assert!(!is_exact_partition([a, dup], 4));
+        // Out-of-range channel.
+        assert!(!is_exact_partition([a, b], 3));
+        // Balancer output partitions by construction.
+        let w = uneven_workloads(16);
+        let asg = balance(&w, 4, 16, BalanceStrategy::WeightActivation);
+        assert!(is_exact_partition(asg.groups.iter().map(Vec::as_slice), 16));
+        assert_eq!(asg.assigned_channels(), (0..16).collect::<Vec<_>>());
     }
 }

@@ -26,6 +26,19 @@ pub enum ConfigError {
     /// A fault-injection rate above 1 000 000 ppm (more than one fault per
     /// opportunity is meaningless).
     FaultRateOutOfRange(u32),
+    /// A NoC link with zero bits per cycle cannot move traffic.
+    ZeroLinkBandwidth,
+    /// A NoC port FIFO with zero entries deadlocks on the first flit.
+    ZeroNocFifoDepth,
+    /// A hybrid fleet whose replica count does not divide the core count
+    /// (or is zero): every replica group must get the same whole number of
+    /// cores.
+    InvalidReplicas {
+        /// Requested replica-group count.
+        replicas: usize,
+        /// Fleet core count it must divide.
+        cores: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -45,6 +58,18 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCores => write!(f, "need at least one core"),
             ConfigError::FaultRateOutOfRange(ppm) => {
                 write!(f, "fault rate {ppm} ppm exceeds 1000000 ppm")
+            }
+            ConfigError::ZeroLinkBandwidth => {
+                write!(f, "NoC link bandwidth must be non-zero")
+            }
+            ConfigError::ZeroNocFifoDepth => {
+                write!(f, "NoC port FIFO depth must be non-zero")
+            }
+            ConfigError::InvalidReplicas { replicas, cores } => {
+                write!(
+                    f,
+                    "hybrid replica count {replicas} must be non-zero and divide {cores} cores"
+                )
             }
         }
     }
@@ -222,6 +247,95 @@ impl RistrettoConfig {
 impl Default for RistrettoConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// Configuration of a sharded multi-core fleet (Fig 7): how many cores,
+/// how the network is partitioned across them, the interconnect they
+/// exchange activations over, and an optional core-death campaign.
+///
+/// Validated as a whole by [`FleetConfig::validate`]; every fallible fleet
+/// constructor surfaces the same typed [`ConfigError`]s as the single-core
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of Ristretto cores behind the shared I/O interface.
+    pub cores: usize,
+    /// How work is partitioned across the cores.
+    pub strategy: crate::fleet::ShardStrategy,
+    /// The deterministic interconnect model activations travel over.
+    pub noc: crate::noc::NocConfig,
+    /// Optional deterministic core-death campaign; `None` (the default)
+    /// leaves the run byte-identical to a build without the fault layer.
+    pub core_deaths: Option<crate::fault::CoreDeathConfig>,
+}
+
+impl FleetConfig {
+    /// A fleet of `cores` under the given strategy with the default NoC.
+    pub fn new(cores: usize, strategy: crate::fleet::ShardStrategy) -> Self {
+        Self {
+            cores,
+            strategy,
+            noc: crate::noc::NocConfig::paper_default(),
+            core_deaths: None,
+        }
+    }
+
+    /// Returns a copy with a different NoC model.
+    pub fn with_noc(mut self, noc: crate::noc::NocConfig) -> Self {
+        self.noc = noc;
+        self
+    }
+
+    /// Returns a copy with a core-death campaign attached (or detached
+    /// with `None`).
+    pub fn with_core_deaths(mut self, deaths: Option<crate::fault::CoreDeathConfig>) -> Self {
+        self.core_deaths = deaths;
+        self
+    }
+
+    /// Cores per replica group: the whole fleet for [`OutputChannel`],
+    /// one for [`Batch`], `cores / replicas` for [`Hybrid`].
+    ///
+    /// [`OutputChannel`]: crate::fleet::ShardStrategy::OutputChannel
+    /// [`Batch`]: crate::fleet::ShardStrategy::Batch
+    /// [`Hybrid`]: crate::fleet::ShardStrategy::Hybrid
+    pub fn group_size(&self) -> usize {
+        match self.strategy {
+            crate::fleet::ShardStrategy::Batch => 1,
+            crate::fleet::ShardStrategy::OutputChannel => self.cores,
+            crate::fleet::ShardStrategy::Hybrid(replicas) => self.cores / replicas.max(1),
+        }
+    }
+
+    /// Number of replica groups (inputs processed concurrently).
+    pub fn groups(&self) -> usize {
+        self.cores / self.group_size().max(1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Never panics; returns a typed [`ConfigError`] on inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if let crate::fleet::ShardStrategy::Hybrid(replicas) = self.strategy {
+            if replicas == 0 || !self.cores.is_multiple_of(replicas) {
+                return Err(ConfigError::InvalidReplicas {
+                    replicas,
+                    cores: self.cores,
+                });
+            }
+        }
+        self.noc.validate()?;
+        if let Some(d) = self.core_deaths {
+            if d.rate_ppm > crate::fault::PPM {
+                return Err(ConfigError::FaultRateOutOfRange(d.rate_ppm));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -188,7 +188,7 @@ pub struct CompiledLayer {
 impl CompiledLayer {
     /// Compiles one pipeline layer's static side under a core
     /// configuration.
-    fn compile(layer: &PipelineLayer, cfg: &RistrettoConfig) -> Result<Self, AtomError> {
+    pub(crate) fn compile(layer: &PipelineLayer, cfg: &RistrettoConfig) -> Result<Self, AtomError> {
         let weights = WeightStreamSet::compile(&layer.kernels, layer.w_bits, cfg.atom_bits)?;
         let weight_atoms_per_channel: Vec<u64> = (0..weights.in_channels())
             .map(|c| weights.atoms(c))
@@ -241,7 +241,7 @@ impl CompiledLayer {
     /// arena (one per layer inside a [`Session`]) makes the steady state
     /// allocation-free, while a transient `&CscScratch::new()` reproduces
     /// the pre-arena behavior exactly.
-    fn execute(
+    pub(crate) fn execute(
         &self,
         csc: &CscConfig,
         act: &Tensor3,
@@ -302,7 +302,7 @@ impl CompiledLayer {
     /// Byte-deterministic at any thread count: injection decisions are
     /// pure site hashes, channels merge in channel order, and `i64`
     /// plane addition commutes.
-    fn execute_with_faults(
+    pub(crate) fn execute_with_faults(
         &self,
         csc: &CscConfig,
         act: &Tensor3,
@@ -605,6 +605,49 @@ impl CompiledLayer {
     pub fn static_groups(&self) -> &[Vec<usize>] {
         &self.static_groups
     }
+
+    /// Static weight atoms per *output* channel — the workload metric the
+    /// fleet's output-channel shard planner balances on.
+    pub fn weight_atoms_per_out_channel(&self) -> Vec<u64> {
+        let mut atoms = vec![0u64; self.weights.out_channels()];
+        for stream in self.weights.streams() {
+            for e in stream.entries() {
+                atoms[e.out_ch as usize] += 1;
+            }
+        }
+        atoms
+    }
+
+    /// Restricts this layer's static side to the given output channels
+    /// (ascending, as a fleet shard plan provides them): slices the dense
+    /// kernels and recompiles streams, per-channel statistics, buffer
+    /// layout and the static balancer grouping for the slice. All input
+    /// channels are kept — a shard consumes the full (all-gathered)
+    /// activation tensor.
+    ///
+    /// # Errors
+    /// Propagates stream-compilation errors from the sliced kernels.
+    pub fn shard(
+        &self,
+        out_channels: &[usize],
+        cfg: &RistrettoConfig,
+    ) -> Result<CompiledLayer, AtomError> {
+        let (_, in_c, kh, kw) = self.kernels.shape();
+        let kernels = Tensor4::from_fn(out_channels.len(), in_c, kh, kw, |o, i, y, x| {
+            self.kernels.get(out_channels[o], i, y, x)
+        })?;
+        let layer = PipelineLayer {
+            name: self.name.clone(),
+            kernels,
+            geom: self.geom,
+            w_bits: self.weights.w_bits(),
+            a_bits: self.a_bits,
+            requant_shift: self.requant_shift,
+            out_bits: self.out_bits,
+            pool: self.pool,
+        };
+        CompiledLayer::compile(&layer, cfg)
+    }
 }
 
 /// A network compiled into per-layer static artifacts, shared by sessions
@@ -647,6 +690,60 @@ impl CompiledNetwork {
     /// Total static weight atoms across all layers.
     pub fn weight_atoms(&self) -> u64 {
         self.layers.iter().map(|l| l.weight_atoms()).sum()
+    }
+
+    /// Builds one core's shard-scoped view of this network:
+    /// `channels_per_layer[li]` is the (ascending) set of output channels
+    /// the core owns at layer `li` — an empty set means the core idles
+    /// through that layer (more cores than output channels). Layer indices
+    /// stay global, so fault-injection sites and scratch arenas line up
+    /// with the unsharded network.
+    ///
+    /// # Errors
+    /// Propagates stream-compilation errors from the sliced kernels.
+    pub fn shard_view(&self, channels_per_layer: &[Vec<usize>]) -> Result<ShardView, EngineError> {
+        assert_eq!(
+            channels_per_layer.len(),
+            self.layers.len(),
+            "shard plan must cover every layer"
+        );
+        let layers = self
+            .layers
+            .iter()
+            .zip(channels_per_layer)
+            .map(|(layer, channels)| {
+                if channels.is_empty() {
+                    Ok(None)
+                } else {
+                    layer.shard(channels, &self.cfg).map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, AtomError>>()?;
+        Ok(ShardView { layers })
+    }
+}
+
+/// One core's slice of a sharded [`CompiledNetwork`]: per global layer
+/// index, either the recompiled restriction of that layer to the core's
+/// output channels, or `None` when the core idles through the layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardView {
+    pub(crate) layers: Vec<Option<CompiledLayer>>,
+}
+
+impl ShardView {
+    /// Per-layer shard artifacts (global layer order; `None` = idle).
+    pub fn layers(&self) -> &[Option<CompiledLayer>] {
+        &self.layers
+    }
+
+    /// Static weight atoms resident on this core.
+    pub fn weight_atoms(&self) -> u64 {
+        self.layers
+            .iter()
+            .flatten()
+            .map(CompiledLayer::weight_atoms)
+            .sum()
     }
 }
 
@@ -842,6 +939,45 @@ impl Session {
             traces,
             faults,
         })
+    }
+
+    /// Runs exactly one layer (by global index) of the compiled network on
+    /// `act` — the per-layer stepping primitive the fleet driver uses to
+    /// interleave shard execution with inter-core activation exchange.
+    /// Fault-injection sites depend only on the global layer index and the
+    /// activation geometry, so stepping a network layer-by-layer is
+    /// byte-identical to [`Session::run`].
+    ///
+    /// # Panics
+    /// Panics if `li` is out of range.
+    ///
+    /// # Errors
+    /// Same surface as [`Session::run`].
+    pub fn run_layer(
+        &self,
+        li: usize,
+        act: &Tensor3,
+    ) -> Result<(Tensor3, LayerTrace, FaultStats), EngineError> {
+        assert!(li < self.net.layers.len(), "layer index out of range");
+        let layer = &self.net.layers[li];
+        let mut faults = FaultStats::default();
+        let (next, trace) = match self.net.cfg.faults.map(FaultInjector::new) {
+            None => layer.execute(&self.net.csc, act, &self.scratch[li])?,
+            Some(inj) => {
+                let (next, trace, layer_faults) = layer.execute_with_faults(
+                    &self.net.csc,
+                    act,
+                    &inj,
+                    li,
+                    self.net.cfg.acc_bits,
+                )?;
+                faults.merge(&layer_faults);
+                (next, trace)
+            }
+        };
+        obs::record(obs::Event::EngineRunLayers, 1);
+        obs::record(obs::Event::EngineRunActAtoms, trace.stats.act_atoms);
+        Ok((next, trace, faults))
     }
 
     /// Runs one cycle-level inference: every layer additionally goes

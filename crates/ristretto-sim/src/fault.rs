@@ -452,11 +452,48 @@ pub fn fold_delivery(h: u64, index: u64, bank: u64) -> u64 {
 
 /// `splitmix64` finalizer — a strong, cheap bit mixer.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Deterministic core-death injection for the fleet simulator
+/// ([`crate::fleet`]). Deaths are decided by a pure hash of
+/// `(seed, layer, core)` — the same site-hash discipline as
+/// [`FaultInjector::decide`] — so a campaign reproduces bit-identically at
+/// any thread count, and the fleet's resharding/recovery path can be
+/// checked byte-for-byte against the fault-free run.
+///
+/// This lives *outside* [`FaultConfig`] on purpose: `FaultConfig` is
+/// serialized into compiled-network artifacts, and core topology is a
+/// fleet property, not a per-core compile property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDeathConfig {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-(layer, core) death probability in parts-per-million.
+    pub rate_ppm: u32,
+}
+
+impl CoreDeathConfig {
+    /// A campaign with the given seed and per-opportunity rate.
+    pub fn new(seed: u64, rate_ppm: u32) -> Self {
+        Self { seed, rate_ppm }
+    }
+
+    /// Whether `core` dies while executing `layer`. Pure function of the
+    /// coordinates; independent of thread count and execution order.
+    pub fn decide(&self, layer: usize, core: usize) -> bool {
+        if self.rate_ppm == 0 {
+            return false;
+        }
+        let mut h = splitmix64(self.seed ^ 0xC0DE_0DEAD);
+        h = splitmix64(h ^ layer as u64);
+        h = splitmix64(h ^ core as u64);
+        h % (PPM as u64) < self.rate_ppm as u64
+    }
 }
 
 /// Order-sensitive digest over the raw accumulator words of one tile
@@ -724,6 +761,26 @@ mod tests {
         assert_ne!(plane_digest(&a), plane_digest(&b));
         assert_ne!(plane_digest(&a), plane_digest(&c));
         assert_eq!(plane_digest(&a), plane_digest(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn core_death_is_a_pure_site_hash() {
+        let cfg = CoreDeathConfig::new(9, 400_000);
+        let roll: Vec<bool> = (0..64)
+            .flat_map(|l| (0..8).map(move |c| cfg.decide(l, c)))
+            .collect();
+        let again: Vec<bool> = (0..64)
+            .flat_map(|l| (0..8).map(move |c| cfg.decide(l, c)))
+            .collect();
+        assert_eq!(roll, again);
+        let fired = roll.iter().filter(|&&b| b).count();
+        assert!(fired > 0 && fired < roll.len(), "rate must be partial");
+        assert!(!CoreDeathConfig::new(9, 0).decide(0, 0));
+        // Seed changes the pattern.
+        let other: Vec<bool> = (0..64)
+            .flat_map(|l| (0..8).map(move |c| CoreDeathConfig::new(10, 400_000).decide(l, c)))
+            .collect();
+        assert_ne!(roll, other);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! grouping) once per network, and [`engine::Session`]s perform only the
 //! per-input work. [`backend`] plugs both Ristretto models into the
 //! workspace-wide [`baselines::report::Backend`] trait alongside the six
-//! baseline machines.
+//! baseline machines. [`fleet`] scales the engine to a core array (Fig 7):
+//! it shards a compiled network under explicit strategies and routes
+//! inter-core activation traffic through the deterministic [`noc`]
+//! queueing model, while [`multicore`] keeps the closed-form scaling
+//! estimate.
 //!
 //! Supporting modules: [`config`] (architecture parameters and the paper's
 //! experiment presets), [`area`] (Table VI assembly from the `hwmodel`
@@ -37,8 +41,10 @@ pub mod core;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod fleet;
 pub mod modelcache;
 pub mod multicore;
+pub mod noc;
 pub mod pipeline;
 pub mod ppu;
 pub mod report;
@@ -52,14 +58,18 @@ pub mod prelude {
     pub use crate::atomizer::Atomizer;
     pub use crate::backend::CycleRistretto;
     pub use crate::balance::{balance, BalanceStrategy, ChannelWorkload};
-    pub use crate::config::{ConfigError, RistrettoConfig};
+    pub use crate::config::{ConfigError, FleetConfig, RistrettoConfig};
     pub use crate::core::{CoreError, CoreReport, CoreSim};
     pub use crate::energy::RistrettoEnergyModel;
     pub use crate::engine::{
         compile, CompiledLayer, CompiledNetwork, EngineError, NetworkModel, Session, SessionRun,
     };
-    pub use crate::fault::{FaultConfig, FaultDetected, FaultInjector, FaultStats, FaultStructure};
+    pub use crate::fault::{
+        CoreDeathConfig, FaultConfig, FaultDetected, FaultInjector, FaultStats, FaultStructure,
+    };
+    pub use crate::fleet::{Fleet, FleetReport, FleetRun, ShardPlan, ShardStrategy};
     pub use crate::modelcache::{compile_cached, CacheError, CacheKey, CacheStats, ModelCache};
+    pub use crate::noc::{Noc, NocConfig, NocReport};
     pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
     pub use crate::ppu::{PostProcessor, PpuOutput};
     pub use crate::report::{LayerReport, NetworkReport};

@@ -1,0 +1,308 @@
+//! Deterministic inter-core NoC / queueing model.
+//!
+//! Fig 7 organizes Ristretto as an array of compute cores behind a shared
+//! I/O interface. When a compiled network is sharded output-channel-wise
+//! across cores ([`crate::fleet`]), every layer boundary is an all-gather:
+//! each core owns a slice of the produced activation channels and must
+//! deliver it to every peer before the next layer starts. This module
+//! models that exchange as a ring of unidirectional links with explicit
+//! serialization (link bits/cycle), per-hop latency and single-server
+//! ingress ports whose FIFO occupancy and order-sensitive digests are
+//! tracked — integer arithmetic only, so every number is byte-identical at
+//! any thread count, in the same spirit as SCNN's explicit inter-PE
+//! delivery modeling and S2Engine's queueing treatment of sparse dataflow.
+//!
+//! The exchange makespan produced here is what generalizes the Eq 5
+//! balancer counters across cores: a layer's cross-core latency is
+//! `max(per-core compute) + exchange makespan`, and idle cycles split into
+//! residual compute imbalance plus communication wait.
+
+use crate::config::ConfigError;
+use crate::fault::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// Interconnect parameters of the core array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Payload bits a link moves per cycle (flit width × issue rate).
+    pub link_bits_per_cycle: u64,
+    /// Cycles one hop adds to a message's arrival.
+    pub hop_latency_cycles: u64,
+    /// Entries in each ingress port's FIFO. Occupancy above this depth
+    /// back-pressures the sender (modeled as arrival-time stalling).
+    pub port_fifo_depth: usize,
+}
+
+impl NocConfig {
+    /// A modest on-package ring: 256-bit links, 2-cycle hops, 8-entry
+    /// ingress FIFOs.
+    pub fn paper_default() -> Self {
+        Self {
+            link_bits_per_cycle: 256,
+            hop_latency_cycles: 2,
+            port_fifo_depth: 8,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Never panics; returns a typed [`ConfigError`] on inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.link_bits_per_cycle == 0 {
+            return Err(ConfigError::ZeroLinkBandwidth);
+        }
+        if self.port_fifo_depth == 0 {
+            return Err(ConfigError::ZeroNocFifoDepth);
+        }
+        Ok(())
+    }
+
+    /// Cycles a `bits`-wide payload occupies a link (serialization time).
+    /// Zero-bit payloads still cost one header flit.
+    pub fn serialize_cycles(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.link_bits_per_cycle).max(1)
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Aggregate counters of one NoC's lifetime, mirrored into the `fleet.*`
+/// observability registry by the fleet driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocReport {
+    /// Messages routed.
+    pub messages: u64,
+    /// Payload bits moved over links (each message counted once).
+    pub link_bits: u64,
+    /// Cycles links spent serializing flits, summed over all links.
+    pub link_busy_cycles: u64,
+    /// Deepest ingress-FIFO occupancy observed at any port.
+    pub queue_highwater: u64,
+    /// Order-sensitive splitmix64 fold of `(src, bits)` per ingress port,
+    /// in arrival order — a determinism witness: any reordering or payload
+    /// change at any thread count changes the digest.
+    pub port_digests: Vec<u64>,
+}
+
+impl NocReport {
+    /// Single fold of all port digests (stable summary for reports).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xF1EE7u64;
+        for &d in &self.port_digests {
+            h = splitmix64(h ^ d);
+        }
+        h
+    }
+}
+
+/// One message queued for an exchange: `src` core sends `bits` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Message {
+    src: usize,
+    dst: usize,
+    bits: u64,
+}
+
+/// A deterministic ring NoC over `cores` ports.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cores: usize,
+    cfg: NocConfig,
+    report: NocReport,
+}
+
+impl Noc {
+    /// A NoC over `cores` ports.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0` or the configuration is invalid; fleet
+    /// construction validates both beforehand.
+    pub fn new(cores: usize, cfg: NocConfig) -> Self {
+        assert!(cores > 0, "NoC needs at least one port");
+        cfg.validate().expect("valid NoC configuration");
+        Self {
+            cores,
+            cfg,
+            report: NocReport {
+                port_digests: vec![0; cores],
+                ..NocReport::default()
+            },
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn report(&self) -> &NocReport {
+        &self.report
+    }
+
+    /// Ring distance between two ports (shorter direction).
+    pub fn hops(&self, src: usize, dst: usize) -> u64 {
+        let d = (src as i64 - dst as i64).unsigned_abs();
+        d.min(self.cores as u64 - d)
+    }
+
+    /// Executes one all-gather: `slice_bits[c]` is the compressed payload
+    /// core `c` must deliver to every other participating core
+    /// (`alive[c]` false means the port is powered off and neither sends
+    /// nor receives). Returns the exchange makespan in cycles.
+    ///
+    /// The model: each source serializes its `k-1` copies back-to-back
+    /// through its single egress port in ascending destination order; a
+    /// message arrives `hops × hop_latency` after serialization completes;
+    /// each ingress port is a single server draining one message per
+    /// serialization time, FIFO in arrival order (ties broken by source
+    /// index). Occupancy above the FIFO depth stalls the drain start — a
+    /// coarse but deterministic back-pressure charge.
+    pub fn all_gather(&mut self, slice_bits: &[u64], alive: &[bool]) -> u64 {
+        assert_eq!(slice_bits.len(), self.cores);
+        assert_eq!(alive.len(), self.cores);
+        let live: Vec<usize> = (0..self.cores).filter(|&c| alive[c]).collect();
+        if live.len() < 2 {
+            return 0;
+        }
+
+        // Egress: serialize each source's copies back-to-back; record the
+        // (arrival_time, message) pairs at every destination.
+        let mut arrivals: Vec<(u64, Message)> = Vec::new();
+        let mut makespan = 0u64;
+        for &src in &live {
+            let ser = self.cfg.serialize_cycles(slice_bits[src]);
+            let mut egress_done = 0u64;
+            for &dst in &live {
+                if dst == src {
+                    continue;
+                }
+                egress_done += ser;
+                let at = egress_done + self.hops(src, dst) * self.cfg.hop_latency_cycles;
+                arrivals.push((
+                    at,
+                    Message {
+                        src,
+                        dst,
+                        bits: slice_bits[src],
+                    },
+                ));
+                self.report.messages += 1;
+                self.report.link_bits += slice_bits[src];
+                self.report.link_busy_cycles += ser;
+            }
+            makespan = makespan.max(egress_done);
+        }
+
+        // Ingress: per-port single-server FIFO in deterministic arrival
+        // order.
+        arrivals.sort_by_key(|&(at, m)| (m.dst, at, m.src));
+        let mut port_done: Vec<u64> = vec![0; self.cores];
+        let mut resident: Vec<Vec<u64>> = vec![Vec::new(); self.cores]; // drain-completion times
+        for (at, m) in arrivals {
+            let ser = self.cfg.serialize_cycles(m.bits);
+            // Occupancy when this message arrives: peers not yet drained.
+            resident[m.dst].retain(|&done| done > at);
+            let occupancy = resident[m.dst].len() as u64 + 1;
+            self.report.queue_highwater = self.report.queue_highwater.max(occupancy);
+            // Back-pressure: a full FIFO delays the drain start until a
+            // slot frees (one drain period per excess entry).
+            let stall = occupancy.saturating_sub(self.cfg.port_fifo_depth as u64) * ser;
+            let start = at.max(port_done[m.dst]) + stall;
+            let done = start + ser;
+            port_done[m.dst] = done;
+            resident[m.dst].push(done);
+            makespan = makespan.max(done);
+            self.report.port_digests[m.dst] = splitmix64(
+                self.report.port_digests[m.dst]
+                    ^ splitmix64((m.src as u64) ^ m.bits.rotate_left(17)),
+            );
+        }
+        makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validates() {
+        assert!(NocConfig::paper_default().validate().is_ok());
+        let mut c = NocConfig::paper_default();
+        c.link_bits_per_cycle = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLinkBandwidth));
+        let mut c = NocConfig::paper_default();
+        c.port_fifo_depth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroNocFifoDepth));
+        assert_eq!(NocConfig::paper_default().serialize_cycles(0), 1);
+        assert_eq!(NocConfig::paper_default().serialize_cycles(257), 2);
+    }
+
+    #[test]
+    fn ring_hops_take_the_short_way() {
+        let noc = Noc::new(8, NocConfig::paper_default());
+        assert_eq!(noc.hops(0, 1), 1);
+        assert_eq!(noc.hops(0, 7), 1);
+        assert_eq!(noc.hops(0, 4), 4);
+        assert_eq!(noc.hops(3, 3), 0);
+    }
+
+    #[test]
+    fn single_or_dead_ports_exchange_nothing() {
+        let mut noc = Noc::new(1, NocConfig::paper_default());
+        assert_eq!(noc.all_gather(&[1000], &[true]), 0);
+        let mut noc = Noc::new(4, NocConfig::paper_default());
+        assert_eq!(noc.all_gather(&[1000; 4], &[true, false, false, false]), 0);
+        assert_eq!(noc.report().messages, 0);
+    }
+
+    #[test]
+    fn all_gather_is_deterministic_and_counts_traffic() {
+        let run = || {
+            let mut noc = Noc::new(4, NocConfig::paper_default());
+            let span = noc.all_gather(&[1000, 2000, 0, 500], &[true; 4]);
+            (span, noc.report().clone())
+        };
+        let (span_a, rep_a) = run();
+        let (span_b, rep_b) = run();
+        assert_eq!(span_a, span_b);
+        assert_eq!(rep_a, rep_b);
+        assert_eq!(rep_a.messages, 4 * 3);
+        // Slot 2 contributes zero bits; the other three slices each cross
+        // all three links of the 4-ring.
+        assert_eq!(rep_a.link_bits, (1000 + 2000 + 500) * 3);
+        assert!(rep_a.queue_highwater >= 1);
+        assert!(span_a > 0);
+        assert!(rep_a.port_digests.iter().all(|&d| d != 0));
+    }
+
+    #[test]
+    fn narrower_links_lengthen_the_exchange() {
+        let span = |bw: u64| {
+            let mut cfg = NocConfig::paper_default();
+            cfg.link_bits_per_cycle = bw;
+            let mut noc = Noc::new(4, cfg);
+            noc.all_gather(&[4096; 4], &[true; 4])
+        };
+        assert!(span(64) > span(256));
+        assert!(span(256) > span(4096));
+    }
+
+    #[test]
+    fn digest_sees_payload_and_order() {
+        let digest = |bits: [u64; 3]| {
+            let mut noc = Noc::new(3, NocConfig::paper_default());
+            noc.all_gather(&bits, &[true; 3]);
+            noc.report().digest()
+        };
+        assert_eq!(digest([10, 20, 30]), digest([10, 20, 30]));
+        assert_ne!(digest([10, 20, 30]), digest([10, 20, 31]));
+        assert_ne!(digest([10, 20, 30]), digest([30, 20, 10]));
+    }
+}

@@ -18,6 +18,11 @@ pub struct LayerReport {
     pub deliveries: u64,
     /// Off-chip traffic in bits (compressed).
     pub dram_bits: u64,
+    /// Activation share of `dram_bits` (input fetch + re-fetch + output
+    /// writeback). `act_dram_bits + weight_dram_bits == dram_bits`.
+    pub act_dram_bits: u64,
+    /// Weight share of `dram_bits` (fetch + re-fetch).
+    pub weight_dram_bits: u64,
     /// On-chip buffer traffic in bits.
     pub buffer_bits: u64,
     /// Priced energy breakdown.
@@ -74,6 +79,8 @@ mod tests {
             atom_mults: 0,
             deliveries: 0,
             dram_bits: 0,
+            act_dram_bits: 0,
+            weight_dram_bits: 0,
             buffer_bits: 0,
             energy: EnergyBreakdown {
                 compute_pj,
