@@ -93,7 +93,11 @@ const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17
        repro bench [--quick] [--json <path>] [--threads <n>]
        repro cache <stats|clear|verify> --model-cache <dir>
        repro artifact <save|check> --model-cache <dir> [--quick]
-       repro perf-check --baseline <path> [--tolerance <x>] [--quick] [--json <path>]";
+       repro perf-check --baseline <path> [--tolerance <x>] [--quick] [--json <path>]
+       repro serve [--clients <n>] [--requests <n>] [--lambda <r>] [--mix <spec>]
+                   [--max-batch <n>] [--max-wait <t>] [--queue-cap <n>]
+                   [--fleet-cores <n>] [--chaos] [--seed <s>] [--quick]
+                   [--json <path>] [--metrics <path>] [--threads <n>]";
 
 /// Canonical experiment order of `repro all`.
 const ALL: [&str; 14] = [
@@ -136,6 +140,9 @@ struct Cli {
     repro_dir: Option<String>,
     campaign: u64,
     timeout_secs: Option<u64>,
+    /// `repro serve` parameters (the `--seed` flag is shared with
+    /// diffcheck/chaos; serve defaults to the suite seed when unset).
+    serve: bench::serve_cli::ServeArgs,
 }
 
 /// Parses arguments; option values (`--json`, `--metrics`, `--golden`,
@@ -159,6 +166,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut model_cache = None;
     let mut baseline = None;
     let mut tolerance = None;
+    let mut clients = None;
+    let mut requests = None;
+    let mut lambda = None;
+    let mut mix = None;
+    let mut max_batch = None;
+    let mut max_wait = None;
+    let mut queue_cap = None;
+    let mut fleet_cores = None;
+    let mut chaos_load = false;
     let mut positionals: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -260,6 +276,90 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .clone(),
                 );
             }
+            "--clients" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--clients requires a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid client count `{v}`"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+                clients = Some(n);
+            }
+            "--requests" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--requests requires a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid request count `{v}`"))?;
+                requests = Some(n);
+            }
+            "--lambda" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--lambda requires a rate".to_string())?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid arrival rate `{v}`"))?;
+                if n == 0 {
+                    return Err("--lambda must be at least 1 request per megatick".to_string());
+                }
+                lambda = Some(n);
+            }
+            "--mix" => {
+                mix = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            "--mix requires a spec like `AlexNet=3,GoogLeNet=1`".to_string()
+                        })?
+                        .clone(),
+                );
+            }
+            "--max-batch" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--max-batch requires a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid batch bound `{v}`"))?;
+                if n == 0 {
+                    return Err("--max-batch must be at least 1".to_string());
+                }
+                max_batch = Some(n);
+            }
+            "--max-wait" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--max-wait requires a tick count".to_string())?;
+                let n: u64 = v.parse().map_err(|_| format!("invalid wait bound `{v}`"))?;
+                max_wait = Some(n);
+            }
+            "--queue-cap" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--queue-cap requires a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid queue capacity `{v}`"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be at least 1".to_string());
+                }
+                queue_cap = Some(n);
+            }
+            "--fleet-cores" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--fleet-cores requires a count".to_string())?;
+                let n: usize = v.parse().map_err(|_| format!("invalid core count `{v}`"))?;
+                if n == 0 {
+                    return Err("--fleet-cores must be at least 1".to_string());
+                }
+                fleet_cores = Some(n);
+            }
+            "--chaos" => chaos_load = true,
             "--baseline" => {
                 baseline = Some(
                     it.next()
@@ -348,12 +448,42 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             return Err("--repro-dir only applies to `diffcheck`".to_string());
         }
     }
-    if diff_seed.is_some() && which != "diffcheck" && which != "chaos" {
-        return Err("--seed only applies to `diffcheck` or `chaos`".to_string());
+    if diff_seed.is_some() && !matches!(which.as_str(), "diffcheck" | "chaos" | "serve") {
+        return Err("--seed only applies to `diffcheck`, `chaos` or `serve`".to_string());
     }
     if campaign.is_some() && which != "chaos" {
         return Err("--campaign only applies to `chaos`".to_string());
     }
+    if which != "serve" {
+        let serve_only: [(&str, bool); 9] = [
+            ("--clients", clients.is_some()),
+            ("--requests", requests.is_some()),
+            ("--lambda", lambda.is_some()),
+            ("--mix", mix.is_some()),
+            ("--max-batch", max_batch.is_some()),
+            ("--max-wait", max_wait.is_some()),
+            ("--queue-cap", queue_cap.is_some()),
+            ("--fleet-cores", fleet_cores.is_some()),
+            ("--chaos", chaos_load),
+        ];
+        if let Some((flag, _)) = serve_only.iter().find(|(_, set)| *set) {
+            return Err(format!("{flag} only applies to `serve`"));
+        }
+    }
+    let serve_defaults = bench::serve_cli::ServeArgs::default();
+    let serve = bench::serve_cli::ServeArgs {
+        seed: diff_seed.unwrap_or(serve_defaults.seed),
+        clients: clients.unwrap_or(serve_defaults.clients),
+        requests: requests.unwrap_or(serve_defaults.requests),
+        lambda: lambda.unwrap_or(serve_defaults.lambda),
+        mix,
+        max_batch: max_batch.unwrap_or(serve_defaults.max_batch),
+        max_wait: max_wait.unwrap_or(serve_defaults.max_wait),
+        queue_cap: queue_cap.unwrap_or(serve_defaults.queue_cap),
+        fleet_cores: fleet_cores.unwrap_or(serve_defaults.fleet_cores),
+        chaos: chaos_load,
+        quick,
+    };
     Ok(Cli {
         which,
         sub,
@@ -374,6 +504,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         repro_dir,
         campaign: campaign.unwrap_or(25),
         timeout_secs,
+        serve,
     })
 }
 
@@ -521,7 +652,7 @@ fn run_one(
             );
         }
         "batch" => {
-            let rows = engine_batch::run(quick, batch, model_cache);
+            let rows = engine_batch::run(quick, batch, model_cache)?;
             emit(
                 "batch",
                 engine_batch::render(&rows),
@@ -618,6 +749,9 @@ fn main() -> ExitCode {
     if cli.which == "perf-check" {
         return perf_check_cmd(&cli, &watchdog);
     }
+    if cli.which == "serve" {
+        return serve_cmd(&cli, &watchdog);
+    }
 
     let model_cache = cli.model_cache.as_ref().map(std::path::Path::new);
     let mut emit = |name: &str, text: String, value: serde_json::Value| {
@@ -681,7 +815,14 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = cli.metrics_path {
-        match std::fs::write(&path, stats_gate::metrics_json(&obs::snapshot())) {
+        let text = match stats_gate::metrics_json(&obs::snapshot()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(&path, text) {
             Ok(()) => eprintln!("wrote metrics to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
@@ -1029,6 +1170,69 @@ fn perf_check_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
     }
 }
 
+/// The `serve` subcommand: drive the multi-tenant serving layer with the
+/// seeded closed-loop load generator (`bench::serve_cli`). Stdout, the
+/// `--json` report and the `--metrics` snapshot are all integer-derived
+/// and byte-identical at any `--threads` count; wall time goes to stderr.
+/// Exits non-zero if the post-drain conservation invariant
+/// `submitted == served + rejected` is violated.
+fn serve_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
+    let start = Instant::now();
+    watch(watchdog, "serve");
+    let report = match bench::serve_cli::run(&cli.serve) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(wd) = watchdog {
+        wd.clear();
+    }
+    eprintln!("[repro] serve: {:.2}s", start.elapsed().as_secs_f64());
+    print!("{}", bench::serve_cli::render(&report));
+    if let Some(path) = &cli.json_path {
+        let text = match serde_json::to_string_pretty(&report) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serializing serve report for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("wrote serve report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &cli.metrics_path {
+        let text = match stats_gate::metrics_json(&obs::snapshot()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !report.conserves_requests() {
+        eprintln!(
+            "serve: conservation violated: submitted {} != served {} + rejected {}",
+            report.submitted, report.served, report.rejected
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Proves `dir` accepts writes by round-tripping a probe file (named
 /// per-process so concurrent sweeps don't collide). Leaves no trace: if the
 /// directory had to be created for the probe, it is removed again so a
@@ -1133,7 +1337,14 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache, watchdog: &Option<Watchdog>) -
     let snap = obs::snapshot();
 
     if let Some(path) = &cli.metrics_path {
-        match std::fs::write(path, stats_gate::metrics_json(&snap)) {
+        let text = match stats_gate::metrics_json(&snap) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(path, text) {
             Ok(()) => eprintln!("wrote metrics to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
@@ -1147,7 +1358,14 @@ fn stats_check(cli: &Cli, cache: &mut StatsCache, watchdog: &Option<Watchdog>) -
         let prior = std::fs::read_to_string(golden_path)
             .ok()
             .and_then(|t| stats_gate::parse_golden(&t).ok());
-        return match std::fs::write(golden_path, stats_gate::golden_json(&snap, prior.as_ref())) {
+        let text = match stats_gate::golden_json(&snap, prior.as_ref()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match std::fs::write(golden_path, text) {
             Ok(()) => {
                 println!("updated golden stats at {golden_path}");
                 ExitCode::SUCCESS

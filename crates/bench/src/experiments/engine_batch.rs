@@ -72,7 +72,12 @@ pub fn benchmark_input(idx: usize, image: usize, c: usize, h: usize, w: usize) -
 /// pays the compile and persists the artifact; later runs load it.
 /// Row contents (and stdout) are byte-identical either way — the cache
 /// only moves wall time, which is reported on stderr.
-pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Vec<Row> {
+///
+/// # Errors
+/// Names the network (and the cache directory when one is in play) on
+/// compile or inference failure instead of panicking — a corrupt or
+/// unreadable `--model-cache` is user input, not a programming error.
+pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Result<Vec<Row>, String> {
     let batch = batch.max(1);
     let cfg = RistrettoConfig::paper_default();
     let cache = model_cache.map(ModelCache::new);
@@ -80,11 +85,14 @@ pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Vec<Row> {
     let mut total_elapsed = 0.0f64;
     for (idx, (name, model)) in benchmark_models(quick).into_iter().enumerate() {
         let t0 = Instant::now();
-        let compiled = match &cache {
-            Some(cache) => cache
-                .compile_cached(&model, &cfg)
-                .expect("mini network compiles"),
-            None => compile(&model, &cfg).expect("mini network compiles"),
+        let compiled = match (&cache, model_cache) {
+            (Some(cache), dir) => cache.compile_cached(&model, &cfg).map_err(|e| {
+                format!(
+                    "compiling {name} through the model cache at {}: {e}",
+                    dir.unwrap_or_else(|| Path::new("?")).display()
+                )
+            })?,
+            (None, _) => compile(&model, &cfg).map_err(|e| format!("compiling {name}: {e}"))?,
         };
         let compile_s = t0.elapsed().as_secs_f64();
 
@@ -95,7 +103,9 @@ pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Vec<Row> {
         for image in 0..batch {
             let input = benchmark_input(idx, image, c, h, w);
             let t1 = Instant::now();
-            let out = session.run(&input).expect("session inference");
+            let out = session
+                .run(&input)
+                .map_err(|e| format!("{name} image {image}: {e}"))?;
             run_s += t1.elapsed().as_secs_f64();
             if image == 0 {
                 act_atoms_per_image = out.traces.iter().map(|t| t.stats.act_atoms).sum();
@@ -120,7 +130,7 @@ pub fn run(quick: bool, batch: usize, model_cache: Option<&Path>) -> Vec<Row> {
         "[batch] per-image wall time: {:.3}ms ({batch} image(s) per network)",
         total_elapsed * 1e3 / (rows.len().max(1) * batch) as f64
     );
-    rows
+    Ok(rows)
 }
 
 /// Renders the static-vs-per-input accounting.
@@ -153,8 +163,8 @@ mod tests {
 
     #[test]
     fn static_work_is_batch_invariant() {
-        let one = run(true, 1, None);
-        let four = run(true, 4, None);
+        let one = run(true, 1, None).unwrap();
+        let four = run(true, 4, None).unwrap();
         assert_eq!(one.len(), 3);
         assert_eq!(four.len(), 3);
         for (a, b) in one.iter().zip(&four) {
@@ -176,9 +186,9 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let plain = run(true, 1, None);
-        let cold = run(true, 1, Some(&dir));
-        let warm = run(true, 1, Some(&dir));
+        let plain = run(true, 1, None).unwrap();
+        let cold = run(true, 1, Some(&dir)).unwrap();
+        let warm = run(true, 1, Some(&dir)).unwrap();
         assert_eq!(plain, cold);
         assert_eq!(plain, warm);
         let _ = std::fs::remove_dir_all(&dir);
@@ -186,7 +196,7 @@ mod tests {
 
     #[test]
     fn render_lists_every_network() {
-        let rows = run(true, 1, None);
+        let rows = run(true, 1, None).unwrap();
         let s = render(&rows);
         for r in &rows {
             assert!(s.contains(&r.network));

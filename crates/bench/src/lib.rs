@@ -19,6 +19,7 @@ pub mod diffcheck;
 pub mod experiments;
 pub mod microbench;
 pub mod perf_gate;
+pub mod serve_cli;
 pub mod stats_gate;
 pub mod table;
 

@@ -1,0 +1,306 @@
+//! The `repro serve` runner: registers the benchmark networks with the
+//! multi-tenant serving layer, drives it with the seeded closed-loop load
+//! generator and renders the integer report.
+//!
+//! Everything printed to stdout (and the `--json` file) is derived from
+//! the integer [`ServeReport`], so the output is byte-identical at any
+//! `--threads` count and across machines; wall times never appear here.
+
+use crate::experiments::engine_batch;
+use crate::table;
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::fault::FaultConfig;
+use ristretto_sim::serve::{
+    run_load, LoadGenConfig, ModelRegistry, ServeConfig, ServeReport, Server,
+};
+
+/// Fault rate (per million atoms) of the `--chaos` campaign: high enough
+/// to fire on the miniature benchmark networks every run.
+pub const CHAOS_PPM: u32 = 120_000;
+
+/// Parsed `repro serve` parameters (defaults match `--help`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Load-generator seed.
+    pub seed: u64,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Requests each client offers before retiring.
+    pub requests: usize,
+    /// Per-client arrival rate in requests per million microticks.
+    pub lambda: u64,
+    /// Model routing mix, e.g. `AlexNet=3,GoogLeNet=1` (`None`: every
+    /// registered network at equal weight).
+    pub mix: Option<String>,
+    /// Most requests one dispatch may coalesce.
+    pub max_batch: usize,
+    /// Longest an undersized batch waits, in microticks.
+    pub max_wait: u64,
+    /// Bound on admitted-but-not-dispatched requests.
+    pub queue_cap: usize,
+    /// Cores of the large-batch fleet lane (1 disables fleet routing).
+    pub fleet_cores: usize,
+    /// Attach the deterministic fault campaign (chaos under load).
+    pub chaos: bool,
+    /// Serve the quick three-network suite instead of all six.
+    pub quick: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            seed: crate::SEED,
+            clients: 8,
+            requests: 4,
+            lambda: 50,
+            mix: None,
+            max_batch: 8,
+            max_wait: 10_000,
+            queue_cap: 64,
+            fleet_cores: 4,
+            chaos: false,
+            quick: true,
+        }
+    }
+}
+
+/// Parses a `Name=weight,Name=weight` mix spec against the registered
+/// network names.
+///
+/// # Errors
+/// Names the offending clause and lists the valid networks, so a typo in
+/// `--mix` fails with an actionable message.
+pub fn parse_mix(spec: &str, names: &[String]) -> Result<Vec<(usize, u64)>, String> {
+    let mut mix = Vec::new();
+    for clause in spec.split(',') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            return Err(format!("--mix `{spec}`: empty clause"));
+        }
+        let (name, weight) = match clause.split_once('=') {
+            Some((n, w)) => {
+                let w: u64 = w.parse().map_err(|_| {
+                    format!("--mix clause `{clause}`: weight `{w}` is not a non-negative integer")
+                })?;
+                (n.trim(), w)
+            }
+            None => (clause, 1),
+        };
+        let idx = names.iter().position(|n| n == name).ok_or_else(|| {
+            format!(
+                "--mix clause `{clause}`: unknown network `{name}` (have: {})",
+                names.join(", ")
+            )
+        })?;
+        if weight == 0 {
+            return Err(format!(
+                "--mix clause `{clause}`: weight must be at least 1"
+            ));
+        }
+        if mix.iter().any(|&(i, _)| i == idx) {
+            return Err(format!("--mix clause `{clause}`: `{name}` appears twice"));
+        }
+        mix.push((idx, weight));
+    }
+    Ok(mix)
+}
+
+/// Registers the benchmark networks, drives the closed loop and returns
+/// the integer report.
+///
+/// # Errors
+/// Propagates registration/execution failures and `--mix` parse errors as
+/// rendered strings for the CLI surface.
+pub fn run(args: &ServeArgs) -> Result<ServeReport, String> {
+    let cfg = if args.chaos {
+        RistrettoConfig::paper_default().with_faults(Some(
+            FaultConfig::uniform(args.seed ^ 0xC4A05, CHAOS_PPM)
+                .with_detect(true)
+                .with_recover(true),
+        ))
+    } else {
+        RistrettoConfig::paper_default()
+    };
+    let serve = ServeConfig {
+        max_batch: args.max_batch,
+        max_wait_ticks: args.max_wait,
+        queue_capacity: args.queue_cap,
+        tenant_weights: vec![1, 1],
+        fleet_cores: args.fleet_cores,
+        fleet_batch_threshold: 4,
+    };
+    let models = engine_batch::benchmark_models(args.quick);
+    let mut registry = ModelRegistry::new(None);
+    let mut ids = Vec::new();
+    for (name, model) in &models {
+        let id = registry
+            .register(model, &cfg, &serve)
+            .map_err(|e| format!("registering {name}: {e}"))?;
+        ids.push(id);
+    }
+    let names: Vec<String> = models.iter().map(|(n, _)| n.clone()).collect();
+    let mix = match &args.mix {
+        Some(spec) => parse_mix(spec, &names)?
+            .into_iter()
+            .map(|(idx, w)| (ids[idx], w))
+            .collect(),
+        None => ids.iter().map(|&id| (id, 1)).collect(),
+    };
+    let mut server =
+        Server::new(registry, serve).map_err(|e| format!("serve configuration: {e}"))?;
+    let load = LoadGenConfig {
+        seed: args.seed,
+        clients: args.clients,
+        requests_per_client: args.requests,
+        lambda_per_mtick: args.lambda.max(1),
+        mix,
+    };
+    run_load(&mut server, &load).map_err(|e| format!("serving run: {e}"))
+}
+
+/// Renders the report as stable text: a summary table, the per-tenant
+/// accounting and the batch-size histogram.
+pub fn render(r: &ServeReport) -> String {
+    let mut t = vec![
+        vec!["metric".to_string(), "value".to_string()],
+        vec!["models".to_string(), r.models.join(", ")],
+        vec!["clients".to_string(), r.clients.to_string()],
+        vec!["submitted".to_string(), r.submitted.to_string()],
+        vec!["served".to_string(), r.served.to_string()],
+        vec!["rejected".to_string(), r.rejected.to_string()],
+        vec!["batches".to_string(), r.batches.to_string()],
+        vec!["fleet batches".to_string(), r.fleet_batches.to_string()],
+        vec!["queue depth max".to_string(), r.queue_depth_max.to_string()],
+        vec![
+            "latency p50 (ticks)".to_string(),
+            r.latency_p50_ticks.to_string(),
+        ],
+        vec![
+            "latency p90 (ticks)".to_string(),
+            r.latency_p90_ticks.to_string(),
+        ],
+        vec![
+            "latency p99 (ticks)".to_string(),
+            r.latency_p99_ticks.to_string(),
+        ],
+        vec![
+            "latency max (ticks)".to_string(),
+            r.latency_max_ticks.to_string(),
+        ],
+        vec!["busy ticks".to_string(), r.busy_ticks.to_string()],
+        vec![
+            "fault penalty ticks".to_string(),
+            r.fault_penalty_ticks.to_string(),
+        ],
+        vec!["faults injected".to_string(), r.faults_injected.to_string()],
+        vec!["faults detected".to_string(), r.faults_detected.to_string()],
+        vec!["makespan (ticks)".to_string(), r.makespan_ticks.to_string()],
+        vec![
+            "output digest".to_string(),
+            format!("{:016x}", r.output_digest),
+        ],
+    ];
+    t.push(vec![
+        "throughput (req/Mtick)".to_string(),
+        table::f2(r.throughput_per_mtick()),
+    ]);
+    let mut out = table::render(
+        &format!(
+            "Serve: continuous batching over {} model(s) (seed {})",
+            r.models.len(),
+            r.seed
+        ),
+        &t,
+    );
+    let mut tt = vec![vec![
+        "tenant".to_string(),
+        "submitted".to_string(),
+        "served".to_string(),
+        "rejected".to_string(),
+    ]];
+    for (i, s) in r.per_tenant.iter().enumerate() {
+        tt.push(vec![
+            i.to_string(),
+            s.submitted.to_string(),
+            s.served.to_string(),
+            s.rejected.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table::render("Per-tenant accounting", &tt));
+    let mut th = vec![vec!["batch size".to_string(), "batches".to_string()]];
+    for (k, &n) in r.batch_histogram.iter().enumerate() {
+        th.push(vec![(k + 1).to_string(), n.to_string()]);
+    }
+    out.push('\n');
+    out.push_str(&table::render("Batch-size histogram", &th));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["AlexNet".to_string(), "GoogLeNet".to_string()]
+    }
+
+    #[test]
+    fn mix_parses_weights_and_defaults() {
+        assert_eq!(
+            parse_mix("AlexNet=3,GoogLeNet=1", &names()).unwrap(),
+            vec![(0, 3), (1, 1)]
+        );
+        assert_eq!(parse_mix("GoogLeNet", &names()).unwrap(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn mix_errors_name_the_clause() {
+        let e = parse_mix("AlexNet=x", &names()).unwrap_err();
+        assert!(e.contains("AlexNet=x"), "{e}");
+        let e = parse_mix("VGG16=1", &names()).unwrap_err();
+        assert!(e.contains("VGG16") && e.contains("AlexNet"), "{e}");
+        let e = parse_mix("AlexNet=0", &names()).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_mix("AlexNet,AlexNet", &names()).unwrap_err();
+        assert!(e.contains("twice"), "{e}");
+        assert!(parse_mix("", &names()).is_err());
+    }
+
+    #[test]
+    fn default_run_serves_everything_and_renders() {
+        let args = ServeArgs {
+            clients: 4,
+            requests: 2,
+            ..ServeArgs::default()
+        };
+        let report = run(&args).unwrap();
+        assert!(report.conserves_requests());
+        assert_eq!(report.submitted, 8);
+        assert_eq!(report.served + report.rejected, 8);
+        let text = render(&report);
+        assert!(text.contains("AlexNet") && text.contains("Per-tenant"));
+        // Same args, same bytes.
+        let again = run(&args).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn chaos_run_is_slo_visible_but_corruption_free() {
+        let args = ServeArgs {
+            clients: 4,
+            requests: 2,
+            queue_cap: 1024,
+            ..ServeArgs::default()
+        };
+        let clean = run(&args).unwrap();
+        let chaos = run(&ServeArgs {
+            chaos: true,
+            ..args.clone()
+        })
+        .unwrap();
+        assert!(chaos.faults_injected > 0);
+        assert!(chaos.fault_penalty_ticks > 0);
+        assert_eq!(chaos.output_digest, clean.output_digest);
+    }
+}

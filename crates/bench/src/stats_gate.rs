@@ -119,17 +119,25 @@ fn counters_value(snap: &obs::Snapshot) -> Value {
 
 /// Renders a snapshot as the stable metrics JSON (trailing newline
 /// included).
-pub fn metrics_json(snap: &obs::Snapshot) -> String {
+///
+/// # Errors
+/// Names the artifact if the snapshot cannot be serialized (part of the
+/// no-panic policy of the CLI surface).
+pub fn metrics_json(snap: &obs::Snapshot) -> Result<String, String> {
     let mut root = serde_json::Map::new();
     root.insert("counters".to_string(), counters_value(snap));
-    let mut s = serde_json::to_string_pretty(&Value::Object(root)).unwrap();
+    let mut s = serde_json::to_string_pretty(&Value::Object(root))
+        .map_err(|e| format!("serializing metrics snapshot: {e}"))?;
     s.push('\n');
-    s
+    Ok(s)
 }
 
 /// Renders a snapshot as a golden file, carrying over the tolerance
 /// section of `prior` (or the default tolerances when starting fresh).
-pub fn golden_json(snap: &obs::Snapshot, prior: Option<&GoldenStats>) -> String {
+///
+/// # Errors
+/// Names the artifact if the golden document cannot be serialized.
+pub fn golden_json(snap: &obs::Snapshot, prior: Option<&GoldenStats>) -> Result<String, String> {
     let tol = prior.map(|g| g.tolerance.clone()).unwrap_or_default();
     let mut tol_map = serde_json::Map::new();
     tol_map.insert(
@@ -145,9 +153,10 @@ pub fn golden_json(snap: &obs::Snapshot, prior: Option<&GoldenStats>) -> String 
     let mut root = serde_json::Map::new();
     root.insert("counters".to_string(), counters_value(snap));
     root.insert("tolerance".to_string(), Value::Object(tol_map));
-    let mut s = serde_json::to_string_pretty(&Value::Object(root)).unwrap();
+    let mut s = serde_json::to_string_pretty(&Value::Object(root))
+        .map_err(|e| format!("serializing golden stats: {e}"))?;
     s.push('\n');
-    s
+    Ok(s)
 }
 
 /// Parses a golden stats file.
@@ -262,7 +271,7 @@ mod tests {
 
     #[test]
     fn metrics_json_is_sorted_and_complete() {
-        let s = metrics_json(&snap_with(obs::Event::IntersectCalls, 7));
+        let s = metrics_json(&snap_with(obs::Event::IntersectCalls, 7)).unwrap();
         let parsed: Value = serde_json::from_str(&s).unwrap();
         let counters = parsed.get("counters").unwrap().as_object().unwrap();
         assert_eq!(counters.len(), obs::Event::COUNT);
@@ -277,7 +286,7 @@ mod tests {
     #[test]
     fn golden_roundtrip_preserves_tolerances() {
         let snap = snap_with(obs::Event::AtomizerCycles, 10);
-        let text = golden_json(&snap, None);
+        let text = golden_json(&snap, None).unwrap();
         let golden = parse_golden(&text).unwrap();
         assert_eq!(golden.tolerance.default_rel, 0.0);
         assert_eq!(golden.tolerance.for_counter("energy.dram_fj"), 1e-6);
@@ -290,7 +299,7 @@ mod tests {
             .tolerance
             .per_counter_rel
             .push(("atomizer.cycles".to_string(), 0.5));
-        let regen = parse_golden(&golden_json(&snap, Some(&custom))).unwrap();
+        let regen = parse_golden(&golden_json(&snap, Some(&custom)).unwrap()).unwrap();
         assert_eq!(regen.tolerance.for_counter("atomizer.cycles"), 0.5);
     }
 
@@ -312,11 +321,9 @@ mod tests {
 
     #[test]
     fn compare_flags_out_of_tolerance_counters() {
-        let golden = parse_golden(&golden_json(
-            &snap_with(obs::Event::IntersectCalls, 100),
-            None,
-        ))
-        .unwrap();
+        let golden =
+            parse_golden(&golden_json(&snap_with(obs::Event::IntersectCalls, 100), None).unwrap())
+                .unwrap();
         let drift = compare(&snap_with(obs::Event::IntersectCalls, 101), &golden);
         assert_eq!(drift.len(), 1);
         assert_eq!(drift[0].name, "intersect.calls");
@@ -329,10 +336,9 @@ mod tests {
 
     #[test]
     fn tolerance_absorbs_small_energy_drift() {
-        let golden = parse_golden(&golden_json(
-            &snap_with(obs::Event::EnergyDramFj, 1_000_000_000),
-            None,
-        ))
+        let golden = parse_golden(
+            &golden_json(&snap_with(obs::Event::EnergyDramFj, 1_000_000_000), None).unwrap(),
+        )
         .unwrap();
         // One part in 10^9 is inside the 1e-6 energy tolerance...
         assert!(compare(&snap_with(obs::Event::EnergyDramFj, 1_000_000_001), &golden).is_empty());
@@ -345,7 +351,7 @@ mod tests {
     #[test]
     fn missing_and_unknown_counters_are_drift() {
         let snap = snap_with(obs::Event::IntersectCalls, 1);
-        let mut golden = parse_golden(&golden_json(&snap, None)).unwrap();
+        let mut golden = parse_golden(&golden_json(&snap, None).unwrap()).unwrap();
         // Remove one counter and invent another.
         golden.counters.retain(|(n, _)| n != "intersect.calls");
         golden.counters.push(("intersect.retired".to_string(), 5));

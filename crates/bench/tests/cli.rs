@@ -498,3 +498,162 @@ fn watchdog_aborts_hung_steps_and_spares_fast_ones() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--timeout-secs must be at least 1"));
 }
+
+#[test]
+fn serve_report_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    const COMMON: [&str; 10] = [
+        "serve",
+        "--quick",
+        "--clients",
+        "5",
+        "--requests",
+        "3",
+        "--lambda",
+        "80",
+        "--mix",
+        "AlexNet=3,GoogLeNet=1",
+    ];
+    let p1 = dir.join("serve1.json");
+    let p4 = dir.join("serve4.json");
+    let mut args1: Vec<&str> = COMMON.to_vec();
+    args1.extend(["--threads", "1", "--json", p1.to_str().unwrap()]);
+    let mut args4: Vec<&str> = COMMON.to_vec();
+    args4.extend(["--threads", "4", "--json", p4.to_str().unwrap()]);
+    let a = repro(&args1);
+    let b = repro(&args4);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "thread count leaked into stdout");
+    assert_eq!(
+        std::fs::read(&p1).unwrap(),
+        std::fs::read(&p4).unwrap(),
+        "thread count leaked into the JSON report"
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&p1).unwrap()).unwrap();
+    let submitted = json["submitted"].as_u64().unwrap();
+    let served = json["served"].as_u64().unwrap();
+    let rejected = json["rejected"].as_u64().unwrap();
+    assert_eq!(submitted, 15);
+    assert_eq!(submitted, served + rejected, "conservation at drain");
+    assert!(json["batches"].as_u64().unwrap() > 0);
+    assert!(json["output_digest"].as_u64().unwrap() > 0);
+    // Only AlexNet and GoogLeNet are in the mix, but all quick networks
+    // are registered.
+    assert_eq!(json["models"].as_array().unwrap().len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_chaos_is_deterministic_and_conserves() {
+    let args = [
+        "serve",
+        "--quick",
+        "--chaos",
+        "--clients",
+        "4",
+        "--requests",
+        "2",
+        "--seed",
+        "7",
+    ];
+    let a = repro(&args);
+    let b = repro(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "chaos run must be reproducible");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("faults injected"));
+    // The campaign fires on every quick network at the baked-in rate.
+    assert!(
+        !text.contains("faults injected                              0"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serve_options_are_validated() {
+    // Serve-only flags are rejected elsewhere, naming the flag.
+    for (args, msg) in [
+        (
+            vec!["table6", "--clients", "3"],
+            "--clients only applies to `serve`",
+        ),
+        (vec!["fig1", "--chaos"], "--chaos only applies to `serve`"),
+        (
+            vec!["fig4", "--mix", "AlexNet=1"],
+            "--mix only applies to `serve`",
+        ),
+        (
+            vec!["serve", "--clients", "0"],
+            "--clients must be at least 1",
+        ),
+        (
+            vec!["serve", "--max-batch", "0"],
+            "--max-batch must be at least 1",
+        ),
+        (
+            vec!["serve", "--queue-cap", "0"],
+            "--queue-cap must be at least 1",
+        ),
+        (
+            vec!["serve", "--lambda", "0"],
+            "--lambda must be at least 1",
+        ),
+        (
+            vec!["serve", "--fleet-cores", "0"],
+            "--fleet-cores must be at least 1",
+        ),
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(msg), "{args:?}: {err}");
+    }
+    // A bad mix fails with an actionable message naming the networks.
+    let out = repro(&["serve", "--quick", "--mix", "VGG16=1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("VGG16") && err.contains("AlexNet"), "{err}");
+}
+
+#[test]
+fn serve_admission_pressure_rejects_but_conserves() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_adm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("adm.json");
+    // A tiny queue under many fast clients must reject some arrivals.
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--clients",
+        "12",
+        "--requests",
+        "4",
+        "--lambda",
+        "400",
+        "--queue-cap",
+        "2",
+        "--max-batch",
+        "2",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let submitted = json["submitted"].as_u64().unwrap();
+    let served = json["served"].as_u64().unwrap();
+    let rejected = json["rejected"].as_u64().unwrap();
+    assert_eq!(submitted, 48);
+    assert!(rejected > 0, "pressure must trigger admission control");
+    assert_eq!(submitted, served + rejected);
+    // Per-tenant conservation too.
+    for t in json["per_tenant"].as_array().unwrap() {
+        assert_eq!(
+            t["submitted"].as_u64().unwrap(),
+            t["served"].as_u64().unwrap() + t["rejected"].as_u64().unwrap()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

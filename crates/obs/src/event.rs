@@ -237,7 +237,7 @@ events! {
      "On-disk artifacts rejected (corruption, version skew, key mismatch) and recompiled."),
     (EngineCacheWrites, "engine.cache.writes", Sum, "artifacts", "§III",
      "Artifacts written atomically to the model cache after a miss or rejection."),
-    (EngineCacheWriteErrors, "engine.cache.write_errors", Sum, "errors", "§III",
+    (EngineCacheStoreFail, "engine.cache.store_fail", Sum, "errors", "§III",
      "Artifact store failures (I/O); non-fatal, the compiled network is still returned."),
     (EngineCacheBytesWritten, "engine.cache.bytes_written", Sum, "bytes", "§III",
      "Artifact bytes persisted to the model cache."),
@@ -267,6 +267,26 @@ events! {
      "Injected core-death events taken by fleet runs."),
     (FleetReshards, "fleet.reshards", Sum, "reshards", "§IV-C",
      "Deterministic resharding passes after a core death."),
+
+    // Multi-tenant serving layer (continuous batching over compiled nets).
+    (ServeRequests, "serve.requests", Sum, "requests", "§III",
+     "Inference requests submitted to the serving queue (admitted or not)."),
+    (ServeServed, "serve.served", Sum, "requests", "§III",
+     "Requests completed by a dispatched batch."),
+    (ServeRejected, "serve.rejected", Sum, "requests", "§III",
+     "Requests refused by admission control (queue at capacity)."),
+    (ServeBatches, "serve.batches", Sum, "batches", "§III",
+     "Coalesced batches dispatched to an execution lane."),
+    (ServeBatchMax, "serve.batch_max", Max, "requests", "§III",
+     "Largest coalesced batch dispatched."),
+    (ServeQueueHighwater, "serve.queue_highwater", Max, "requests", "§III",
+     "Deepest serving-queue occupancy observed at any admission."),
+    (ServeFleetBatches, "serve.fleet_batches", Sum, "batches", "Fig 7",
+     "Batches large enough to route through the multi-core batch fleet."),
+    (ServeBusyTicks, "serve.busy_ticks", Sum, "microticks", "Eq 5",
+     "Execution-lane busy time across all dispatched batches."),
+    (ServeFaultPenaltyTicks, "serve.fault_penalty_ticks", Sum, "microticks", "§IV-C",
+     "Extra lane time charged to fault detection and recovery under load."),
 }
 
 #[cfg(test)]

@@ -39,6 +39,15 @@ pub enum ConfigError {
         /// Fleet core count it must divide.
         cores: usize,
     },
+    /// A serving configuration whose maximum batch size is zero — no
+    /// dispatch could ever carry a request.
+    ZeroMaxBatch,
+    /// A serving queue with zero capacity rejects every request.
+    ZeroQueueCapacity,
+    /// A serving configuration with no tenants has nobody to schedule.
+    NoTenants,
+    /// A tenant whose fair-share weight is zero would starve forever.
+    ZeroTenantWeight(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +79,18 @@ impl fmt::Display for ConfigError {
                     f,
                     "hybrid replica count {replicas} must be non-zero and divide {cores} cores"
                 )
+            }
+            ConfigError::ZeroMaxBatch => {
+                write!(f, "serving max batch size must be non-zero")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "serving queue capacity must be non-zero")
+            }
+            ConfigError::NoTenants => {
+                write!(f, "serving configuration needs at least one tenant")
+            }
+            ConfigError::ZeroTenantWeight(tenant) => {
+                write!(f, "tenant {tenant} has zero fair-share weight")
             }
         }
     }

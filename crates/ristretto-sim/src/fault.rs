@@ -304,6 +304,16 @@ impl FaultStats {
         self.wasted_deliveries += other.wasted_deliveries;
     }
 
+    /// Injected faults summed over every structure.
+    pub fn injected_total(&self) -> u64 {
+        FaultStructure::ALL.iter().map(|&s| self.injected(s)).sum()
+    }
+
+    /// Detected faults summed over every structure.
+    pub fn detected_total(&self) -> u64 {
+        FaultStructure::ALL.iter().map(|&s| self.detected(s)).sum()
+    }
+
     /// Injected-fault count for one structure.
     pub fn injected(&self, structure: FaultStructure) -> u64 {
         match structure {

@@ -245,7 +245,7 @@ pub fn act_atoms_per_channel(act: &Tensor3, a_bits: u8, atom_bits: AtomBits) -> 
 }
 
 /// Order-sensitive digest over a tensor's values.
-fn tensor_digest(h: u64, t: &Tensor3) -> u64 {
+pub(crate) fn tensor_digest(h: u64, t: &Tensor3) -> u64 {
     let mut h = splitmix64(h ^ 0x7E45_0E5E);
     for &v in t.as_slice() {
         h = splitmix64(h ^ (v as u32 as u64));
@@ -908,5 +908,97 @@ mod tests {
                 cores: 4
             })
         );
+    }
+
+    #[test]
+    fn hybrid_with_more_replicas_than_cores_is_a_typed_error() {
+        use crate::config::ConfigError;
+        let (net, _) = compiled_and_input(23);
+        // R > cores can never divide the core count, so the degenerate
+        // "replica groups with zero cores" plan is unreachable: validation
+        // rejects it up front with a typed error naming both numbers.
+        for replicas in [5, 8, 1000] {
+            let err = Fleet::try_new(
+                net.clone(),
+                FleetConfig::new(4, ShardStrategy::Hybrid(replicas)),
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                EngineError::Config(ConfigError::InvalidReplicas { replicas, cores: 4 }),
+                "Hybrid({replicas}) on 4 cores"
+            );
+        }
+        // R == cores is the legal degenerate end of the axis: group size 1,
+        // i.e. plain batch parallelism.
+        let (net, _) = compiled_and_input(23);
+        let cfg = FleetConfig::new(4, ShardStrategy::Hybrid(4));
+        assert_eq!(cfg.group_size(), 1);
+        assert!(Fleet::try_new(net, cfg).is_ok());
+    }
+
+    /// A network whose middle layer has a single output channel — fewer
+    /// channels than any multi-core fleet has slots.
+    fn one_channel_model(seed: u64) -> (NetworkModel, Tensor3) {
+        let mut gen = WorkloadGen::new(seed);
+        let wp = WeightProfile::benchmark(BitWidth::W4);
+        let geom = qnn::conv::ConvGeometry {
+            stride: 1,
+            padding: 1,
+        };
+        let mk = |name: &str, out_c: usize, in_c: usize, gen: &mut WorkloadGen| {
+            crate::pipeline::PipelineLayer {
+                name: name.to_string(),
+                kernels: gen.weights(out_c, in_c, 3, 3, &wp).unwrap(),
+                geom,
+                w_bits: wp.bits,
+                a_bits: BitWidth::W8,
+                requant_shift: 5,
+                out_bits: 8,
+                pool: None,
+            }
+        };
+        let layers = vec![
+            mk("wide", 6, 3, &mut gen),
+            mk("bottleneck", 1, 6, &mut gen),
+            mk("head", 4, 1, &mut gen),
+        ];
+        let model = NetworkModel::new("one-channel", (3, 8, 8), layers);
+        let input = gen
+            .activations(3, 8, 8, &ActivationProfile::new(BitWidth::W8))
+            .unwrap();
+        (model, input)
+    }
+
+    #[test]
+    fn more_cores_than_output_channels_degrades_deterministically() {
+        // A 1-output-channel layer sharded across 4 (and 8) cores: the LPT
+        // partition leaves most slots empty. That must not panic or
+        // produce a degenerate plan — empty slots idle through the layer
+        // and the assembled bytes stay identical to the single-core
+        // session.
+        let (model, input) = one_channel_model(29);
+        let net = compile(&model, &RistrettoConfig::paper_default()).unwrap();
+        let reference = Session::new(net.clone()).run(&input).unwrap().output;
+        for cores in [2, 4, 8] {
+            let fleet = Fleet::try_new(
+                net.clone(),
+                FleetConfig::new(cores, ShardStrategy::OutputChannel),
+            )
+            .unwrap();
+            // The plan still exactly partitions every layer; the
+            // bottleneck layer's single channel lands in exactly one slot.
+            assert!(fleet.plan().verify(&net), "{cores} cores");
+            let occupied: usize = fleet.plan().layers[1]
+                .iter()
+                .filter(|g| !g.is_empty())
+                .count();
+            assert_eq!(occupied, 1, "{cores} cores");
+            let run = fleet.run(std::slice::from_ref(&input)).unwrap();
+            assert_eq!(run.outputs[0], reference, "{cores} cores");
+            // Determinism: a second pass reproduces the report bytes.
+            let again = fleet.run(std::slice::from_ref(&input)).unwrap();
+            assert_eq!(run.report, again.report, "{cores} cores");
+        }
     }
 }

@@ -18,7 +18,10 @@
 //! it shards a compiled network under explicit strategies and routes
 //! inter-core activation traffic through the deterministic [`noc`]
 //! queueing model, while [`multicore`] keeps the closed-form scaling
-//! estimate.
+//! estimate. [`serve`] deploys it all as a long-lived multi-tenant
+//! serving layer: a content-addressed model registry, a bounded request
+//! queue with weighted fair dequeue, and a continuous-batching scheduler
+//! in virtual time, driven by a seeded closed-loop load generator.
 //!
 //! Supporting modules: [`config`] (architecture parameters and the paper's
 //! experiment presets), [`area`] (Table VI assembly from the `hwmodel`
@@ -48,6 +51,7 @@ pub mod noc;
 pub mod pipeline;
 pub mod ppu;
 pub mod report;
+pub mod serve;
 pub mod tile;
 pub mod weightbuf;
 
@@ -73,6 +77,10 @@ pub mod prelude {
     pub use crate::pipeline::{FunctionalPipeline, PipelineLayer};
     pub use crate::ppu::{PostProcessor, PpuOutput};
     pub use crate::report::{LayerReport, NetworkReport};
+    pub use crate::serve::{
+        run_load, LoadGenConfig, ModelId, ModelRegistry, ServeConfig, ServeError, ServeReport,
+        Server, TenantStats,
+    };
     pub use crate::tile::{TileReport, TileSim};
     pub use baselines::report::Backend;
 }

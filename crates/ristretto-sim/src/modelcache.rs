@@ -151,7 +151,7 @@ impl ModelCache {
     ///
     /// Outcomes are counted under the `engine.cache.*` observability
     /// events: `hits`, `misses` (no artifact), `rejected` (artifact
-    /// present but refused), `writes`/`write_errors`, and byte totals.
+    /// present but refused), `writes`/`store_fail`, and byte totals.
     /// Store failures are deliberately non-fatal — the compiled network
     /// is always returned.
     ///
@@ -190,7 +190,7 @@ impl ModelCache {
                 obs::record(obs::Event::EngineCacheWrites, 1);
                 obs::record(obs::Event::EngineCacheBytesWritten, bytes);
             }
-            Err(_) => obs::record(obs::Event::EngineCacheWriteErrors, 1),
+            Err(_) => obs::record(obs::Event::EngineCacheStoreFail, 1),
         }
         Ok(net)
     }
@@ -522,6 +522,39 @@ mod tests {
         let failures = report.iter().filter(|(_, r)| r.is_err()).count();
         assert_eq!(failures, 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_dir_still_serves_compiles_and_counts_store_fail() {
+        let (model, cfg) = tiny_model();
+        // A *file* where the cache directory should be: `create_dir_all`
+        // fails portably, no permission tricks needed.
+        let dir = tmp_dir("unwritable");
+        fs::write(&dir, b"not a directory").unwrap();
+        let cache = ModelCache::new(&dir);
+
+        obs::enable(true);
+        let before = obs::snapshot();
+        let served = cache.compile_cached(&model, &cfg).unwrap();
+        let after = obs::snapshot();
+        let delta = |e: obs::Event| after.get(e) - before.get(e);
+
+        // The compile is served correctly (byte-identical to in-memory)...
+        let fresh = compile(&model, &cfg).unwrap();
+        assert_eq!(*fresh, *served);
+        // ...the failure is counted, not swallowed...
+        assert_eq!(delta(obs::Event::EngineCacheStoreFail), 1);
+        assert_eq!(delta(obs::Event::EngineCacheWrites), 0);
+        // ...and the strict API names the path and operation.
+        let key = CacheKey::derive(&model, &cfg);
+        match cache.store(&fresh, key) {
+            Err(CacheError::Io { path, op, .. }) => {
+                assert_eq!(path, dir);
+                assert_eq!(op, "create_dir_all");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let _ = fs::remove_file(&dir);
     }
 
     #[test]

@@ -182,8 +182,11 @@ impl Noc {
                 if dst == src {
                     continue;
                 }
-                egress_done += ser;
-                let at = egress_done + self.hops(src, dst) * self.cfg.hop_latency_cycles;
+                egress_done = egress_done.saturating_add(ser);
+                let hop_latency = self
+                    .hops(src, dst)
+                    .saturating_mul(self.cfg.hop_latency_cycles);
+                let at = egress_done.saturating_add(hop_latency);
                 arrivals.push((
                     at,
                     Message {
@@ -193,8 +196,8 @@ impl Noc {
                     },
                 ));
                 self.report.messages += 1;
-                self.report.link_bits += slice_bits[src];
-                self.report.link_busy_cycles += ser;
+                self.report.link_bits = self.report.link_bits.saturating_add(slice_bits[src]);
+                self.report.link_busy_cycles = self.report.link_busy_cycles.saturating_add(ser);
             }
             makespan = makespan.max(egress_done);
         }
@@ -212,9 +215,11 @@ impl Noc {
             self.report.queue_highwater = self.report.queue_highwater.max(occupancy);
             // Back-pressure: a full FIFO delays the drain start until a
             // slot frees (one drain period per excess entry).
-            let stall = occupancy.saturating_sub(self.cfg.port_fifo_depth as u64) * ser;
-            let start = at.max(port_done[m.dst]) + stall;
-            let done = start + ser;
+            let stall = occupancy
+                .saturating_sub(self.cfg.port_fifo_depth as u64)
+                .saturating_mul(ser);
+            let start = at.max(port_done[m.dst]).saturating_add(stall);
+            let done = start.saturating_add(ser);
             port_done[m.dst] = done;
             resident[m.dst].push(done);
             makespan = makespan.max(done);
@@ -292,6 +297,43 @@ mod tests {
         };
         assert!(span(64) > span(256));
         assert!(span(256) > span(4096));
+    }
+
+    #[test]
+    fn adversarial_payloads_saturate_instead_of_wrapping() {
+        // u64::MAX-adjacent payloads on a 1-bit link: serialization alone
+        // is ~u64::MAX cycles, so every downstream sum/product must
+        // saturate rather than wrap (mirrors the cycles.rs checked-math
+        // fix). Wrapping would produce a tiny makespan; saturation pins
+        // the span at u64::MAX.
+        let mut cfg = NocConfig::paper_default();
+        cfg.link_bits_per_cycle = 1;
+        cfg.port_fifo_depth = 1;
+        let mut noc = Noc::new(4, cfg);
+        let span = noc.all_gather(&[u64::MAX, u64::MAX - 1, u64::MAX, 0], &[true; 4]);
+        assert_eq!(span, u64::MAX);
+        let rep = noc.report();
+        assert_eq!(rep.link_bits, u64::MAX);
+        assert_eq!(rep.link_busy_cycles, u64::MAX);
+        assert_eq!(rep.messages, 4 * 3);
+
+        // Hop latency × hops must also saturate on its own.
+        let mut cfg = NocConfig::paper_default();
+        cfg.hop_latency_cycles = u64::MAX;
+        let mut noc = Noc::new(4, cfg);
+        let span = noc.all_gather(&[64; 4], &[true; 4]);
+        assert_eq!(span, u64::MAX);
+
+        // Determinism survives saturation: two identical adversarial runs
+        // produce identical reports.
+        let run = || {
+            let mut cfg = NocConfig::paper_default();
+            cfg.link_bits_per_cycle = 1;
+            let mut noc = Noc::new(3, cfg);
+            let span = noc.all_gather(&[u64::MAX, u64::MAX, u64::MAX], &[true; 3]);
+            (span, noc.report().clone())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

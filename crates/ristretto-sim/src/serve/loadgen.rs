@@ -1,0 +1,153 @@
+//! Seeded closed-loop load generator.
+//!
+//! Every arrival time, model pick and input tensor is a pure splitmix64
+//! hash of `(seed, client, attempt)` — the same site-hash discipline as
+//! [`crate::fault`] — so a run is a function of its configuration alone:
+//! no shared-state RNG, no wall clock, byte-identical at any thread
+//! count. Clients are closed-loop: each submits, waits for its completion
+//! (or rejection), thinks for a hashed interval, and submits again until
+//! its request budget is spent. Rejected attempts consume budget and are
+//! counted, which is what makes the post-drain conservation invariant
+//! `submitted == served + rejected` exact.
+
+use super::registry::ModelId;
+use super::report::ServeReport;
+use super::server::Server;
+use super::ServeError;
+use crate::fault::splitmix64;
+use qnn::quant::BitWidth;
+use qnn::workload::{ActivationProfile, WorkloadGen};
+
+/// Closed-loop load shape: how many clients, how fast, over which models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadGenConfig {
+    /// Seed every arrival/routing/input hash derives from.
+    pub seed: u64,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client offers before retiring.
+    pub requests_per_client: usize,
+    /// Mean per-client arrival rate in requests per million microticks
+    /// (think times are uniform on `[1, 2·mean]`).
+    pub lambda_per_mtick: u64,
+    /// Model routing mix: each request picks a model with probability
+    /// proportional to its weight.
+    pub mix: Vec<(ModelId, u64)>,
+}
+
+impl LoadGenConfig {
+    /// Mean think time in microticks implied by the arrival rate.
+    pub fn mean_think_ticks(&self) -> u64 {
+        1_000_000 / self.lambda_per_mtick.max(1)
+    }
+}
+
+/// One client's closed-loop state.
+struct Client {
+    next_submit: Option<u64>,
+    attempts_left: usize,
+    attempt: u64,
+}
+
+/// Site hash for one `(client, attempt)` decision; `salt` separates the
+/// think-time, routing and input streams.
+fn site(seed: u64, client: usize, attempt: u64, salt: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ ((client as u64) << 1) ^ salt) ^ attempt)
+}
+
+/// Uniform think time on `[1, 2·mean]` microticks.
+fn think(cfg: &LoadGenConfig, client: usize, attempt: u64) -> u64 {
+    1 + site(cfg.seed, client, attempt, 0x0074_1713) % (2 * cfg.mean_think_ticks().max(1))
+}
+
+/// Weight-proportional model pick for one attempt.
+fn pick_model(cfg: &LoadGenConfig, client: usize, attempt: u64) -> ModelId {
+    let total: u64 = cfg.mix.iter().map(|&(_, w)| w).sum();
+    let mut roll = site(cfg.seed, client, attempt, 0x0040_4D17) % total.max(1);
+    for &(id, w) in &cfg.mix {
+        if roll < w {
+            return id;
+        }
+        roll -= w;
+    }
+    cfg.mix.last().expect("mix is non-empty").0
+}
+
+/// Drives the server with the configured closed loop until every client
+/// retires and the server drains, then assembles the integer report.
+///
+/// Tenancy: client `c` belongs to tenant `c % tenants`.
+///
+/// # Errors
+/// Propagates engine/execution failures; admission rejections are normal
+/// flow (counted, never an error here).
+///
+/// # Panics
+/// Panics if `cfg.mix` is empty — the caller picks the mix from its own
+/// registry, so an empty mix is a programming error, not input.
+pub fn run_load(server: &mut Server, cfg: &LoadGenConfig) -> Result<ServeReport, ServeError> {
+    assert!(!cfg.mix.is_empty(), "load mix must name at least one model");
+    let tenants = server.config().tenants();
+    let mut clients: Vec<Client> = (0..cfg.clients)
+        .map(|c| Client {
+            next_submit: (cfg.requests_per_client > 0).then(|| think(cfg, c, 0)),
+            attempts_left: cfg.requests_per_client,
+            attempt: 0,
+        })
+        .collect();
+
+    loop {
+        let next_submit = clients
+            .iter()
+            .enumerate()
+            .filter_map(|(c, st)| st.next_submit.map(|t| (t, c)))
+            .min();
+        let next_server = server.next_event();
+        match (next_submit, next_server) {
+            (None, None) => break,
+            // Server events run first on ties: completions free lanes and
+            // wake clients before new arrivals are considered.
+            (submit, Some(ts)) if submit.is_none_or(|(t, _)| ts <= t) => {
+                for done in server.step()? {
+                    let c = done.client as usize;
+                    let st = &mut clients[c];
+                    if st.attempts_left > 0 {
+                        st.next_submit = Some(done.finish + think(cfg, c, st.attempt));
+                    }
+                }
+            }
+            (Some((t, c)), _) => {
+                let st = &mut clients[c];
+                st.attempts_left -= 1;
+                let attempt = st.attempt;
+                st.attempt += 1;
+                st.next_submit = None;
+                let model = pick_model(cfg, c, attempt);
+                let (ic, ih, iw) = server.registry().get(model)?.net.input();
+                let input = WorkloadGen::new(site(cfg.seed, c, attempt, 0x0001_4907))
+                    .activations(ic, ih, iw, &ActivationProfile::new(BitWidth::W8))
+                    .map_err(|e| ServeError::Engine(crate::engine::EngineError::from(e)))?;
+                match server.submit(t, model, c % tenants.max(1), c as u64, input) {
+                    Ok(_) => {} // woken by the completion
+                    Err(ServeError::Rejected { .. }) => {
+                        let st = &mut clients[c];
+                        if st.attempts_left > 0 {
+                            st.next_submit = Some(t + think(cfg, c, st.attempt));
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            (None, Some(_)) => unreachable!("covered by the server-event arm"),
+        }
+    }
+
+    debug_assert_eq!(server.outstanding(), 0);
+    Ok(ServeReport::from_stats(
+        server.stats(),
+        cfg.seed,
+        cfg.clients as u64,
+        tenants as u64,
+        server.registry().names(),
+    ))
+}

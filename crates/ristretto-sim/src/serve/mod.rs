@@ -1,0 +1,227 @@
+//! Multi-tenant inference serving over compiled networks.
+//!
+//! The Liguori MAC-less processor (arXiv 2012.06018) frames deployment as
+//! a long-lived accelerator fed by a request stream over compressed,
+//! resident weights; Gysel's Ristretto thesis (arXiv 1605.06402) makes
+//! per-tenant precision configs first-class. This module is that
+//! deployment shape for the simulator: a long-lived in-process server
+//! holding one [`Arc<CompiledNetwork>`](crate::engine::CompiledNetwork)
+//! per `(network, config)` pair in a content-addressed
+//! [registry](registry::ModelRegistry) (backed by the on-disk
+//! [`ModelCache`](crate::modelcache::ModelCache) when one is attached),
+//! fed through an in-process bounded queue — offline-friendly, no sockets.
+//!
+//! The [`Server`] runs a **continuous-batching**
+//! scheduler: queued requests coalesce per model up to
+//! [`ServeConfig::max_batch`], an idle lane waits at most
+//! [`ServeConfig::max_wait_ticks`] for a batch to fill, and a lane that
+//! frees with work pending redispatches immediately. Admission control is
+//! a bounded global queue surfaced as the typed
+//! [`ServeError::Rejected`]; dequeue order within a batch is smooth
+//! weighted round-robin across tenants ([`ServeConfig::tenant_weights`]).
+//! Batches of at least [`ServeConfig::fleet_batch_threshold`] requests
+//! route through a [`ShardStrategy::Batch`](crate::fleet::ShardStrategy)
+//! fleet of [`ServeConfig::fleet_cores`] cores; smaller batches run on the
+//! model's single-core lane. Either way the executor is
+//! [`Fleet::run`](crate::fleet::Fleet::run), so outputs are byte-identical to plain
+//! [`Session`](crate::engine::Session) inference and fault campaigns
+//! (chaos under load) recover byte-exactly.
+//!
+//! **Determinism contract**: the scheduler runs in virtual time — integer
+//! microticks derived from the Eq 5 cycle model, never wall clock — on a
+//! single timeline; thread-level parallelism stays confined inside the
+//! engine kernels, which are byte-deterministic at any thread count. A
+//! seeded [closed-loop load generator](loadgen) (pure splitmix64 arrival
+//! and routing hashes, like [`crate::fault`]) therefore produces a
+//! [`ServeReport`] that is byte-identical at any
+//! `--threads` count.
+
+pub mod loadgen;
+pub mod registry;
+pub mod report;
+pub mod server;
+
+use crate::config::ConfigError;
+use crate::engine::EngineError;
+use std::fmt;
+
+/// Serving-layer parameters: batching, admission and fairness policy plus
+/// the large-batch fleet lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests one dispatch may coalesce.
+    pub max_batch: usize,
+    /// Longest an idle lane lets the oldest queued request wait (in
+    /// microticks) for a batch to fill before dispatching what it has.
+    pub max_wait_ticks: u64,
+    /// Bound on queued (admitted, not yet dispatched) requests across all
+    /// models; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Fair-share weight per tenant; tenant ids index this table.
+    pub tenant_weights: Vec<u64>,
+    /// Cores of the batch-sharded fleet lane; `1` disables fleet routing.
+    pub fleet_cores: usize,
+    /// Smallest batch routed through the multi-core fleet lane (only
+    /// meaningful when `fleet_cores > 1`).
+    pub fleet_batch_threshold: usize,
+}
+
+impl ServeConfig {
+    /// A small default: batches of 8, 10k-tick patience, 64-deep queue,
+    /// two equal tenants, 4-core fleet lane for batches of 4+.
+    pub fn paper_default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait_ticks: 10_000,
+            queue_capacity: 64,
+            tenant_weights: vec![1, 1],
+            fleet_cores: 4,
+            fleet_batch_threshold: 4,
+        }
+    }
+
+    /// Number of tenants the config schedules.
+    pub fn tenants(&self) -> usize {
+        self.tenant_weights.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Never panics; returns a typed [`ConfigError`] on inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.tenant_weights.is_empty() {
+            return Err(ConfigError::NoTenants);
+        }
+        if let Some(t) = self.tenant_weights.iter().position(|&w| w == 0) {
+            return Err(ConfigError::ZeroTenantWeight(t));
+        }
+        if self.fleet_cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Typed failures of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The serving or model configuration is inconsistent.
+    Config(ConfigError),
+    /// Admission control refused the request: the bounded queue is full.
+    Rejected {
+        /// Tenant whose request was refused.
+        tenant: usize,
+        /// Queue occupancy at the refusal.
+        queue_depth: usize,
+        /// The configured bound it hit.
+        capacity: usize,
+    },
+    /// A request named a tenant outside the configured weight table.
+    UnknownTenant {
+        /// The out-of-range tenant id.
+        tenant: usize,
+        /// Number of configured tenants.
+        tenants: usize,
+    },
+    /// A request named a model id the registry does not hold.
+    UnknownModel(usize),
+    /// Compilation or execution failed underneath the server.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "serve config: {e}"),
+            ServeError::Rejected {
+                tenant,
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "request rejected for tenant {tenant}: queue at {queue_depth}/{capacity}"
+            ),
+            ServeError::UnknownTenant { tenant, tenants } => {
+                write!(f, "tenant {tenant} outside the {tenants}-tenant table")
+            }
+            ServeError::UnknownModel(id) => write!(f, "model id {id} not registered"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+pub use loadgen::{run_load, LoadGenConfig};
+pub use registry::{ModelId, ModelRegistry};
+pub use report::{ServeReport, TenantStats};
+pub use server::{Completion, Server};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_config_validates() {
+        assert!(ServeConfig::paper_default().validate().is_ok());
+        let mut c = ServeConfig::paper_default();
+        c.max_batch = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxBatch));
+        let mut c = ServeConfig::paper_default();
+        c.queue_capacity = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueueCapacity));
+        let mut c = ServeConfig::paper_default();
+        c.tenant_weights.clear();
+        assert_eq!(c.validate(), Err(ConfigError::NoTenants));
+        let mut c = ServeConfig::paper_default();
+        c.tenant_weights = vec![2, 0];
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTenantWeight(1)));
+        let mut c = ServeConfig::paper_default();
+        c.fleet_cores = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCores));
+    }
+
+    #[test]
+    fn rejected_error_names_the_numbers() {
+        let e = ServeError::Rejected {
+            tenant: 3,
+            queue_depth: 64,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tenant 3") && s.contains("64/64"), "{s}");
+    }
+}

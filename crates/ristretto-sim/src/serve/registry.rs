@@ -1,0 +1,164 @@
+//! Content-addressed model registry: one compiled network per
+//! `(network, config)` pair, shared by every request that targets it.
+
+use super::{ServeConfig, ServeError};
+use crate::config::{FleetConfig, RistrettoConfig};
+use crate::engine::{compile, CompiledNetwork, NetworkModel};
+use crate::fleet::{Fleet, ShardStrategy};
+use crate::modelcache::{CacheKey, ModelCache};
+use std::sync::Arc;
+
+/// Handle to a registered model; indexes the registry's entry table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(pub usize);
+
+/// One registered `(network, config)` pair and its execution lanes.
+pub struct ModelEntry {
+    /// The content address the entry is deduplicated by.
+    pub key: CacheKey,
+    /// The compiled network all lanes share.
+    pub net: Arc<CompiledNetwork>,
+    /// Single-core lane small batches run on.
+    pub lane: Fleet,
+    /// Multi-core batch-sharded lane for large batches (`None` when the
+    /// serve config disables fleet routing).
+    pub fleet: Option<Fleet>,
+}
+
+/// A content-addressed registry of compiled networks.
+///
+/// Registration is keyed on [`CacheKey::derive`], so two tenants asking
+/// for the same network under the same [`RistrettoConfig`] share one
+/// [`CompiledNetwork`] (and its lanes) — compile once, serve many. With a
+/// [`ModelCache`] attached, cold registrations go through
+/// [`ModelCache::compile_cached`] and so load verified on-disk artifacts
+/// when present.
+pub struct ModelRegistry {
+    cache: Option<ModelCache>,
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry; `cache` backs cold compiles when present.
+    pub fn new(cache: Option<ModelCache>) -> Self {
+        Self {
+            cache,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a `(model, config)` pair, compiling it (through the
+    /// attached cache if any) unless an entry with the same content
+    /// address already exists.
+    ///
+    /// # Errors
+    /// Propagates compile and fleet-construction failures.
+    pub fn register(
+        &mut self,
+        model: &NetworkModel,
+        cfg: &RistrettoConfig,
+        serve: &ServeConfig,
+    ) -> Result<ModelId, ServeError> {
+        let key = CacheKey::derive(model, cfg);
+        if let Some(idx) = self.entries.iter().position(|e| e.key == key) {
+            return Ok(ModelId(idx));
+        }
+        let net = match &self.cache {
+            Some(cache) => cache.compile_cached(model, cfg)?,
+            None => compile(model, cfg)?,
+        };
+        let lane = Fleet::try_new(net.clone(), FleetConfig::new(1, ShardStrategy::Batch))?;
+        let fleet = if serve.fleet_cores > 1 {
+            Some(Fleet::try_new(
+                net.clone(),
+                FleetConfig::new(serve.fleet_cores, ShardStrategy::Batch),
+            )?)
+        } else {
+            None
+        };
+        self.entries.push(ModelEntry {
+            key,
+            net,
+            lane,
+            fleet,
+        });
+        Ok(ModelId(self.entries.len() - 1))
+    }
+
+    /// The entry behind a handle.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for a stale or foreign handle.
+    pub fn get(&self, id: ModelId) -> Result<&ModelEntry, ServeError> {
+        self.entries.get(id.0).ok_or(ServeError::UnknownModel(id.0))
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered network names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| e.net.name().to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::mini::MiniNetwork;
+    use qnn::models::NetworkId;
+    use qnn::quant::BitWidth;
+    use qnn::workload::{WeightProfile, WorkloadGen};
+
+    fn model(seed: u64) -> NetworkModel {
+        let mini = MiniNetwork::try_new(NetworkId::AlexNet).unwrap();
+        let mut gen = WorkloadGen::new(seed);
+        let wp = WeightProfile::benchmark(BitWidth::W4);
+        NetworkModel::from_mini(&mini, &mut gen, &wp).unwrap()
+    }
+
+    #[test]
+    fn registration_deduplicates_by_content_address() {
+        let serve = ServeConfig::paper_default();
+        let mut reg = ModelRegistry::new(None);
+        let cfg = RistrettoConfig::paper_default();
+        let a = reg.register(&model(1), &cfg, &serve).unwrap();
+        let b = reg.register(&model(1), &cfg, &serve).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        // Same network, different weights → different content address.
+        let c = reg.register(&model(2), &cfg, &serve).unwrap();
+        assert_ne!(a, c);
+        // Same weights, different config → different content address: the
+        // per-tenant-precision shape the registry exists for.
+        let half = RistrettoConfig::half_width();
+        let d = reg.register(&model(1), &half, &serve).unwrap();
+        assert_ne!(a, d);
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get(ModelId(99)).is_err());
+    }
+
+    #[test]
+    fn fleet_lane_tracks_serve_config() {
+        let mut reg = ModelRegistry::new(None);
+        let cfg = RistrettoConfig::paper_default();
+        let mut serve = ServeConfig::paper_default();
+        serve.fleet_cores = 1;
+        let id = reg.register(&model(3), &cfg, &serve).unwrap();
+        assert!(reg.get(id).unwrap().fleet.is_none());
+        let mut reg = ModelRegistry::new(None);
+        serve.fleet_cores = 4;
+        let id = reg.register(&model(3), &cfg, &serve).unwrap();
+        assert!(reg.get(id).unwrap().fleet.is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Integer-only serving report: every serialized field is a request
+//! count, a microtick total or a digest, so the JSON rendering is
+//! byte-identical cross-platform and at any thread count. Ratios (e.g.
+//! requests per megatick) are derived at display time, never stored.
+
+use super::server::ServerStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant admission and service counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Requests this tenant offered (admitted + rejected).
+    pub submitted: u64,
+    /// Requests completed for this tenant.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+}
+
+/// The serialized outcome of one seeded serving run.
+///
+/// Conservation invariant: `submitted == served + rejected` once the
+/// server has drained (no requests in flight), globally and per tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Load-generator seed.
+    pub seed: u64,
+    /// Closed-loop clients driven.
+    pub clients: u64,
+    /// Tenants scheduled across.
+    pub tenants: u64,
+    /// Registered model names, in registration order.
+    pub models: Vec<String>,
+    /// Requests offered to admission control.
+    pub submitted: u64,
+    /// Requests completed.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches routed through the multi-core fleet lane.
+    pub fleet_batches: u64,
+    /// `histogram[k-1]` = batches that carried exactly `k` requests.
+    pub batch_histogram: Vec<u64>,
+    /// Deepest queue occupancy observed at any admission.
+    pub queue_depth_max: u64,
+    /// Per-tenant counts, indexed by tenant id.
+    pub per_tenant: Vec<TenantStats>,
+    /// Median completion latency in microticks (nearest rank).
+    pub latency_p50_ticks: u64,
+    /// 90th-percentile completion latency in microticks.
+    pub latency_p90_ticks: u64,
+    /// 99th-percentile completion latency in microticks.
+    pub latency_p99_ticks: u64,
+    /// Worst completion latency in microticks.
+    pub latency_max_ticks: u64,
+    /// Lane busy microticks summed over all dispatches.
+    pub busy_ticks: u64,
+    /// Microticks charged to fault detection and recovery (the chaos
+    /// campaign's SLO-visible cost; zero on a quiescent run).
+    pub fault_penalty_ticks: u64,
+    /// Faults injected by the chaos campaign.
+    pub faults_injected: u64,
+    /// Faults detected by the online monitors.
+    pub faults_detected: u64,
+    /// Last completion tick — the drain makespan.
+    pub makespan_ticks: u64,
+    /// Order-insensitive fold over every completed output tensor, keyed
+    /// by each request's stable `(client, seq)` identity (the
+    /// no-silent-corruption witness: a chaos run must reproduce the
+    /// quiescent digest exactly even though its batching differs).
+    pub output_digest: u64,
+}
+
+impl ServeReport {
+    /// Assembles the report from the server's counters plus the load
+    /// generator's identity fields.
+    pub fn from_stats(
+        stats: &ServerStats,
+        seed: u64,
+        clients: u64,
+        tenants: u64,
+        models: Vec<String>,
+    ) -> Self {
+        let mut lat = stats.latencies.clone();
+        lat.sort_unstable();
+        Self {
+            seed,
+            clients,
+            tenants,
+            models,
+            submitted: stats.submitted,
+            served: stats.served,
+            rejected: stats.rejected,
+            batches: stats.batches,
+            fleet_batches: stats.fleet_batches,
+            batch_histogram: stats.batch_histogram.clone(),
+            queue_depth_max: stats.queue_highwater,
+            per_tenant: stats
+                .per_tenant
+                .iter()
+                .map(|&(submitted, served, rejected)| TenantStats {
+                    submitted,
+                    served,
+                    rejected,
+                })
+                .collect(),
+            latency_p50_ticks: percentile(&lat, 50),
+            latency_p90_ticks: percentile(&lat, 90),
+            latency_p99_ticks: percentile(&lat, 99),
+            latency_max_ticks: lat.last().copied().unwrap_or(0),
+            busy_ticks: stats.busy_ticks,
+            fault_penalty_ticks: stats.fault_penalty_ticks,
+            faults_injected: stats.faults_injected,
+            faults_detected: stats.faults_detected,
+            makespan_ticks: stats.last_finish,
+            output_digest: stats.output_digest(),
+        }
+    }
+
+    /// Served requests per million microticks — derived, never
+    /// serialized.
+    pub fn throughput_per_mtick(&self) -> f64 {
+        if self.makespan_ticks == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1e6 / self.makespan_ticks as f64
+    }
+
+    /// Whether `submitted == served + rejected` globally and per tenant —
+    /// the post-drain conservation invariant.
+    pub fn conserves_requests(&self) -> bool {
+        self.submitted == self.served + self.rejected
+            && self
+                .per_tenant
+                .iter()
+                .all(|t| t.submitted == t.served + t.rejected)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 90), 90);
+        assert_eq!(percentile(&v, 99), 99);
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 50), 5);
+        assert_eq!(percentile(&v, 99), 10);
+    }
+}

@@ -1,0 +1,432 @@
+//! The continuous-batching scheduler: virtual-time event loop, bounded
+//! admission, weighted fair dequeue, per-model execution lanes.
+
+use super::registry::{ModelEntry, ModelId, ModelRegistry};
+use super::{ServeConfig, ServeError};
+use crate::fault::FaultStats;
+use crate::fleet::tensor_digest;
+use qnn::tensor::Tensor3;
+use std::collections::VecDeque;
+
+/// One admitted request waiting in a lane queue.
+struct Request {
+    id: u64,
+    tenant: usize,
+    client: u64,
+    /// Per-client admission sequence number: together with `client` it is
+    /// the request's stable identity across runs whose interleaving
+    /// differs (e.g. a chaos run vs its quiescent twin).
+    seq: u64,
+    input: Tensor3,
+    submit: u64,
+}
+
+/// A finished request, reported back to the submitting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The id `submit` returned.
+    pub request: u64,
+    /// Model the request ran on.
+    pub model: ModelId,
+    /// Tenant the request belonged to.
+    pub tenant: usize,
+    /// Opaque client tag passed at submission.
+    pub client: u64,
+    /// Microtick the request was admitted at.
+    pub submit: u64,
+    /// Microtick the batch carrying it completed at.
+    pub finish: u64,
+}
+
+/// Per-model execution lane: its queue, fairness credits and busy horizon.
+struct Lane {
+    /// One FIFO per tenant, each in admission order.
+    queues: Vec<VecDeque<Request>>,
+    /// Smooth weighted-round-robin credit per tenant.
+    credits: Vec<i64>,
+    /// Virtual tick the lane is busy until.
+    busy_until: u64,
+}
+
+impl Lane {
+    fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Integer counters a serving run accumulates; the load generator folds
+/// them into the serialized [`ServeReport`](super::report::ServeReport).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests offered to admission control (admitted + rejected).
+    pub submitted: u64,
+    /// Requests completed.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Per-tenant `(submitted, served, rejected)` triples.
+    pub per_tenant: Vec<(u64, u64, u64)>,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches routed through the multi-core fleet lane.
+    pub fleet_batches: u64,
+    /// `histogram[k-1]` = batches that carried exactly `k` requests.
+    pub batch_histogram: Vec<u64>,
+    /// Deepest queue occupancy observed at any admission.
+    pub queue_highwater: u64,
+    /// Lane busy microticks across all dispatches.
+    pub busy_ticks: u64,
+    /// Microticks charged to fault detection and recovery.
+    pub fault_penalty_ticks: u64,
+    /// Faults injected by the chaos campaign, summed over structures.
+    pub faults_injected: u64,
+    /// Faults detected by the online monitors, summed over structures.
+    pub faults_detected: u64,
+    /// Completion latencies in microticks (sorted on demand for
+    /// percentiles).
+    pub latencies: Vec<u64>,
+    /// `(client, seq, digest)` per completed request; folded in sorted
+    /// order into the report's `output_digest`, so the witness is
+    /// independent of batch composition and completion interleaving.
+    pub request_digests: Vec<(u64, u64, u64)>,
+    /// Latest completion tick (the drain makespan).
+    pub last_finish: u64,
+}
+
+impl ServerStats {
+    /// Order-insensitive fold of the per-request output digests: sorted
+    /// by `(client, seq)` — a request's stable identity — then chained
+    /// through splitmix64. Two runs that served the same requests with
+    /// byte-identical outputs agree here even if their batch compositions
+    /// differed; any corrupted output changes it.
+    pub fn output_digest(&self) -> u64 {
+        let mut digests = self.request_digests.clone();
+        digests.sort_unstable();
+        let mut h = 0x5E27Eu64;
+        for (client, seq, d) in digests {
+            h = crate::fault::splitmix64(h ^ client.rotate_left(40) ^ seq.rotate_left(17) ^ d);
+        }
+        h
+    }
+}
+
+/// The long-lived in-process server: a [`ModelRegistry`], a bounded
+/// queue, and a continuous-batching scheduler in virtual time (integer
+/// microticks; see the [module docs](super) for the policy and the
+/// determinism contract).
+pub struct Server {
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+    lanes: Vec<Lane>,
+    /// Batches in flight: `(finish, completions)`, kept sorted by finish.
+    in_flight: Vec<(u64, Vec<Completion>)>,
+    /// Admitted, not-yet-dispatched requests across all lanes.
+    queued: usize,
+    next_id: u64,
+    /// Admissions seen per client tag (assigns `Request::seq`).
+    client_seq: std::collections::HashMap<u64, u64>,
+    /// Latest event tick processed; submissions are clamped to it so the
+    /// timeline never runs backwards.
+    horizon: u64,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// Wraps a registry under a validated serving policy.
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] when the policy is inconsistent.
+    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let tenants = cfg.tenants();
+        let lanes = (0..registry.len())
+            .map(|_| Lane {
+                queues: (0..tenants).map(|_| VecDeque::new()).collect(),
+                credits: vec![0; tenants],
+                busy_until: 0,
+            })
+            .collect();
+        let stats = ServerStats {
+            per_tenant: vec![(0, 0, 0); tenants],
+            batch_histogram: vec![0; cfg.max_batch],
+            ..ServerStats::default()
+        };
+        Ok(Self {
+            registry,
+            cfg,
+            lanes,
+            in_flight: Vec::new(),
+            queued: 0,
+            next_id: 0,
+            client_seq: std::collections::HashMap::new(),
+            horizon: 0,
+            stats,
+        })
+    }
+
+    /// The registry the server schedules over.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The serving policy in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Requests admitted but not yet completed (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.queued + self.in_flight.iter().map(|(_, c)| c.len()).sum::<usize>()
+    }
+
+    /// Offers one request to admission control at microtick `now`.
+    /// Returns the request id on admission.
+    ///
+    /// # Errors
+    /// [`ServeError::Rejected`] when the bounded queue is at capacity
+    /// (the request is counted, not enqueued), [`ServeError::UnknownModel`]
+    /// / [`ServeError::UnknownTenant`] for bad handles.
+    pub fn submit(
+        &mut self,
+        now: u64,
+        model: ModelId,
+        tenant: usize,
+        client: u64,
+        input: Tensor3,
+    ) -> Result<u64, ServeError> {
+        self.registry.get(model)?;
+        if tenant >= self.cfg.tenants() {
+            return Err(ServeError::UnknownTenant {
+                tenant,
+                tenants: self.cfg.tenants(),
+            });
+        }
+        let now = now.max(self.horizon);
+        self.stats.submitted += 1;
+        self.stats.per_tenant[tenant].0 += 1;
+        obs::record(obs::Event::ServeRequests, 1);
+        if self.queued >= self.cfg.queue_capacity {
+            self.stats.rejected += 1;
+            self.stats.per_tenant[tenant].2 += 1;
+            obs::record(obs::Event::ServeRejected, 1);
+            return Err(ServeError::Rejected {
+                tenant,
+                queue_depth: self.queued,
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.client_seq.entry(client).or_insert(0);
+        let request_seq = *seq;
+        *seq += 1;
+        self.lanes[model.0].queues[tenant].push_back(Request {
+            id,
+            tenant,
+            client,
+            seq: request_seq,
+            input,
+            submit: now,
+        });
+        self.queued += 1;
+        let depth = self.queued as u64;
+        self.stats.queue_highwater = self.stats.queue_highwater.max(depth);
+        obs::record(obs::Event::ServeQueueHighwater, depth);
+        Ok(id)
+    }
+
+    /// The earliest microtick at which anything happens: a batch in
+    /// flight completes or a lane's dispatch condition fires. `None` when
+    /// the server is fully drained.
+    pub fn next_event(&self) -> Option<u64> {
+        let completion = self.in_flight.iter().map(|&(f, _)| f).min();
+        let dispatch = (0..self.lanes.len())
+            .filter_map(|l| self.dispatch_time(l))
+            .min();
+        match (completion, dispatch) {
+            (Some(c), Some(d)) => Some(c.min(d)),
+            (c, d) => c.or(d),
+        }
+    }
+
+    /// When lane `l` would next dispatch: once free, once the batch is
+    /// full (`max_batch` pending, trigger = the batch-filling arrival) or
+    /// the oldest request has waited `max_wait_ticks` — whichever bounds
+    /// first. `None` while its queue is empty.
+    fn dispatch_time(&self, l: usize) -> Option<u64> {
+        let lane = &self.lanes[l];
+        let pending = lane.pending();
+        if pending == 0 {
+            return None;
+        }
+        let mut submits: Vec<u64> = lane
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|r| r.submit))
+            .collect();
+        submits.sort_unstable();
+        let trigger = if pending >= self.cfg.max_batch {
+            submits[self.cfg.max_batch - 1]
+        } else {
+            submits[0].saturating_add(self.cfg.max_wait_ticks)
+        };
+        Some(lane.busy_until.max(trigger))
+    }
+
+    /// Processes every event at the next event tick: completions first
+    /// (they free lanes), then dispatches, in lane order. Returns the
+    /// completions popped.
+    ///
+    /// # Errors
+    /// Propagates execution failures from the engine underneath.
+    pub fn step(&mut self) -> Result<Vec<Completion>, ServeError> {
+        let Some(t) = self.next_event() else {
+            return Ok(Vec::new());
+        };
+        self.horizon = self.horizon.max(t);
+        let mut done = Vec::new();
+        self.in_flight.retain_mut(|(finish, comps)| {
+            if *finish <= t {
+                done.append(comps);
+                false
+            } else {
+                true
+            }
+        });
+        for c in &done {
+            self.stats.served += 1;
+            self.stats.per_tenant[c.tenant].1 += 1;
+            self.stats.latencies.push(c.finish - c.submit);
+            self.stats.last_finish = self.stats.last_finish.max(c.finish);
+            obs::record(obs::Event::ServeServed, 1);
+        }
+        for l in 0..self.lanes.len() {
+            if self.dispatch_time(l).is_some_and(|d| d <= t) {
+                self.dispatch(l, t)?;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Runs the event loop to quiescence; returns every completion.
+    ///
+    /// # Errors
+    /// Propagates the first execution failure.
+    pub fn drain(&mut self) -> Result<Vec<Completion>, ServeError> {
+        let mut all = Vec::new();
+        while self.next_event().is_some() {
+            all.extend(self.step()?);
+        }
+        debug_assert_eq!(self.outstanding(), 0, "drain left requests behind");
+        Ok(all)
+    }
+
+    /// Picks up to `max_batch` requests off lane `l` by smooth weighted
+    /// round-robin across tenants: each pick raises every active tenant's
+    /// credit by its weight, takes the highest credit (lowest tenant index
+    /// on ties) and charges it the active weight sum.
+    fn select_batch(&mut self, l: usize) -> Vec<Request> {
+        let weights = self.cfg.tenant_weights.clone();
+        let lane = &mut self.lanes[l];
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            let active: Vec<usize> = (0..lane.queues.len())
+                .filter(|&t| !lane.queues[t].is_empty())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let total: i64 = active.iter().map(|&t| weights[t] as i64).sum();
+            for &t in &active {
+                lane.credits[t] += weights[t] as i64;
+            }
+            let pick = *active
+                .iter()
+                .max_by_key(|&&t| (lane.credits[t], std::cmp::Reverse(t)))
+                .expect("active set is non-empty");
+            lane.credits[pick] -= total;
+            batch.push(lane.queues[pick].pop_front().expect("picked non-empty"));
+        }
+        self.queued -= batch.len();
+        batch
+    }
+
+    /// Dispatches one batch on lane `l` at tick `at`: selects requests,
+    /// executes them (fleet lane for large batches), prices the span via
+    /// the cycle model and schedules the completions.
+    fn dispatch(&mut self, l: usize, at: u64) -> Result<(), ServeError> {
+        let batch = self.select_batch(l);
+        debug_assert!(!batch.is_empty());
+        let inputs: Vec<Tensor3> = batch.iter().map(|r| r.input.clone()).collect();
+        let entry: &ModelEntry = self.registry.get(ModelId(l))?;
+        let use_fleet = entry.fleet.is_some() && batch.len() >= self.cfg.fleet_batch_threshold;
+        let run = match (&entry.fleet, use_fleet) {
+            (Some(fleet), true) => fleet.run(&inputs)?,
+            _ => entry.lane.run(&inputs)?,
+        };
+
+        // Span pricing, all integer: a per-dispatch weight-streaming
+        // charge (the whole static stream crosses the multiplier array
+        // once — why batching amortizes), the batch's compute makespan,
+        // and a fault penalty making detection/recovery SLO-visible.
+        let mults = entry.net.config().total_multipliers() as u64;
+        let overhead = entry.net.weight_atoms().div_ceil(mults.max(1));
+        let penalty = fault_penalty(&run.faults, mults.max(1));
+        let span = overhead
+            .saturating_add(run.report.makespan_cycles)
+            .saturating_add(penalty)
+            .max(1);
+        let finish = at.saturating_add(span);
+
+        self.stats.batches += 1;
+        self.stats.batch_histogram[batch.len() - 1] += 1;
+        self.stats.busy_ticks = self.stats.busy_ticks.saturating_add(span);
+        self.stats.fault_penalty_ticks = self.stats.fault_penalty_ticks.saturating_add(penalty);
+        self.stats.faults_injected += run.faults.injected_total();
+        self.stats.faults_detected += run.faults.detected_total();
+        obs::record(obs::Event::ServeBatches, 1);
+        obs::record(obs::Event::ServeBatchMax, batch.len() as u64);
+        obs::record(obs::Event::ServeBusyTicks, span);
+        obs::record(obs::Event::ServeFaultPenaltyTicks, penalty);
+        if use_fleet {
+            self.stats.fleet_batches += 1;
+            obs::record(obs::Event::ServeFleetBatches, 1);
+        }
+        for (r, out) in batch.iter().zip(&run.outputs) {
+            self.stats
+                .request_digests
+                .push((r.client, r.seq, tensor_digest(0, out)));
+        }
+
+        let comps: Vec<Completion> = batch
+            .iter()
+            .map(|r| Completion {
+                request: r.id,
+                model: ModelId(l),
+                tenant: r.tenant,
+                client: r.client,
+                submit: r.submit,
+                finish,
+            })
+            .collect();
+        self.lanes[l].busy_until = finish;
+        self.in_flight.push((finish, comps));
+        self.in_flight.sort_by_key(|&(f, _)| f);
+        Ok(())
+    }
+}
+
+/// Microticks charged to a batch for its fault campaign: every retry and
+/// dense-layer fallback counts, plus the discarded atom multiplications
+/// normalized by the array width.
+fn fault_penalty(faults: &FaultStats, mults: u64) -> u64 {
+    faults
+        .retries
+        .saturating_add(faults.layer_fallbacks)
+        .saturating_add(faults.wasted_atom_mults.div_ceil(mults))
+}

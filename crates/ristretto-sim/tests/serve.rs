@@ -1,0 +1,258 @@
+//! Scheduler coverage for the serving layer: batch-coalescing
+//! determinism across thread counts, weighted fairness under a starved
+//! tenant, admission-control accounting, the max-wait dispatch bound,
+//! and chaos-under-load byte-reproducibility.
+
+use qnn::mini::MiniNetwork;
+use qnn::models::NetworkId;
+use qnn::quant::BitWidth;
+use qnn::tensor::Tensor3;
+use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
+use ristretto_sim::config::RistrettoConfig;
+use ristretto_sim::engine::NetworkModel;
+use ristretto_sim::fault::FaultConfig;
+use ristretto_sim::serve::{
+    run_load, LoadGenConfig, ModelId, ModelRegistry, ServeConfig, ServeError, ServeReport, Server,
+};
+
+fn model(id: NetworkId, seed: u64) -> NetworkModel {
+    let mini = MiniNetwork::try_new(id).unwrap();
+    let mut gen = WorkloadGen::new(seed);
+    let wp = WeightProfile::benchmark(BitWidth::W4);
+    NetworkModel::from_mini(&mini, &mut gen, &wp).unwrap()
+}
+
+fn input_for(server: &Server, model: ModelId, seed: u64) -> Tensor3 {
+    let (c, h, w) = server.registry().get(model).unwrap().net.input();
+    WorkloadGen::new(seed)
+        .activations(c, h, w, &ActivationProfile::new(BitWidth::W8))
+        .unwrap()
+}
+
+/// Builds a two-model server and runs the standard closed loop under a
+/// dedicated `threads`-wide rayon pool.
+fn load_report(cfg: &RistrettoConfig, serve: ServeConfig, threads: usize) -> ServeReport {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let mut reg = ModelRegistry::new(None);
+        let a = reg
+            .register(&model(NetworkId::AlexNet, 11), cfg, &serve)
+            .unwrap();
+        let g = reg
+            .register(&model(NetworkId::GoogLeNet, 13), cfg, &serve)
+            .unwrap();
+        let mut server = Server::new(reg, serve).unwrap();
+        let load = LoadGenConfig {
+            seed: 20220101,
+            clients: 6,
+            requests_per_client: 4,
+            lambda_per_mtick: 50,
+            mix: vec![(a, 3), (g, 1)],
+        };
+        run_load(&mut server, &load).unwrap()
+    })
+}
+
+/// The serialized report — not just the struct — must be byte-identical
+/// at any thread count: parallelism stays inside the engine kernels.
+#[test]
+fn load_report_is_byte_identical_across_thread_counts() {
+    let cfg = RistrettoConfig::paper_default();
+    let reports: Vec<ServeReport> = [1usize, 4]
+        .iter()
+        .map(|&t| load_report(&cfg, ServeConfig::paper_default(), t))
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "thread count leaked into the report"
+    );
+    let json: Vec<String> = reports
+        .iter()
+        .map(|r| serde_json::to_string_pretty(r).unwrap())
+        .collect();
+    assert_eq!(json[0], json[1], "thread count leaked into the JSON bytes");
+    assert!(reports[0].conserves_requests());
+    assert_eq!(reports[0].submitted, 24);
+    assert_eq!(reports[0].served, 24);
+    assert!(reports[0].batches > 0);
+    // A second identical run reproduces the bytes exactly.
+    let again = load_report(&cfg, ServeConfig::paper_default(), 4);
+    assert_eq!(json[1], serde_json::to_string_pretty(&again).unwrap());
+}
+
+/// A flooded heavy tenant must not starve a light one: with weights 2:1
+/// and both queues non-empty, every full batch carries requests from
+/// both tenants in the weighted ratio.
+#[test]
+fn weighted_fairness_protects_the_starved_tenant() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve = ServeConfig {
+        max_batch: 6,
+        max_wait_ticks: 1_000,
+        queue_capacity: 64,
+        tenant_weights: vec![2, 1],
+        fleet_cores: 1,
+        fleet_batch_threshold: usize::MAX,
+    };
+    let mut reg = ModelRegistry::new(None);
+    let m = reg
+        .register(&model(NetworkId::AlexNet, 17), &cfg, &serve)
+        .unwrap();
+    let mut server = Server::new(reg, serve).unwrap();
+    let input = input_for(&server, m, 23);
+    // Heavy tenant 0 floods; light tenant 1 trickles.
+    for c in 0..12u64 {
+        server.submit(0, m, 0, c, input.clone()).unwrap();
+    }
+    for c in 12..18u64 {
+        server.submit(0, m, 1, c, input.clone()).unwrap();
+    }
+    let done = server.drain().unwrap();
+    assert_eq!(done.len(), 18);
+    // Group completions into batches by finish tick (lanes serialize, so
+    // each dispatch has a distinct finish).
+    let mut finishes: Vec<u64> = done.iter().map(|c| c.finish).collect();
+    finishes.sort_unstable();
+    finishes.dedup();
+    assert_eq!(finishes.len(), 3, "18 requests at max_batch 6 → 3 batches");
+    for (i, &f) in finishes.iter().enumerate() {
+        let batch: Vec<usize> = done
+            .iter()
+            .filter(|c| c.finish == f)
+            .map(|c| c.tenant)
+            .collect();
+        assert_eq!(batch.len(), 6);
+        let light = batch.iter().filter(|&&t| t == 1).count();
+        // Batches 1 and 2 drain both queues in the 2:1 weighted ratio
+        // (4 heavy + 2 light); batch 3 carries the leftovers.
+        if i < 2 {
+            assert_eq!(light, 2, "batch {i} under-served the light tenant");
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.per_tenant[0], (12, 12, 0));
+    assert_eq!(stats.per_tenant[1], (6, 6, 0));
+}
+
+/// Admission control: the bounded queue rejects with a typed error that
+/// names the numbers, every rejection is counted, and the post-drain
+/// conservation invariant holds globally and per tenant.
+#[test]
+fn admission_rejections_are_counted_and_conserved() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve = ServeConfig {
+        max_batch: 4,
+        max_wait_ticks: 1_000,
+        queue_capacity: 4,
+        tenant_weights: vec![1, 1],
+        fleet_cores: 1,
+        fleet_batch_threshold: usize::MAX,
+    };
+    let mut reg = ModelRegistry::new(None);
+    let m = reg
+        .register(&model(NetworkId::AlexNet, 19), &cfg, &serve)
+        .unwrap();
+    let mut server = Server::new(reg, serve).unwrap();
+    let input = input_for(&server, m, 29);
+    let mut rejected = 0;
+    for c in 0..10u64 {
+        match server.submit(0, m, (c % 2) as usize, c, input.clone()) {
+            Ok(_) => {}
+            Err(ServeError::Rejected {
+                queue_depth,
+                capacity,
+                ..
+            }) => {
+                assert_eq!((queue_depth, capacity), (4, 4));
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(rejected, 6, "capacity 4 admits 4 of 10");
+    let done = server.drain().unwrap();
+    assert_eq!(done.len(), 4);
+    let report = ServeReport::from_stats(server.stats(), 0, 10, 2, vec!["m".into()]);
+    assert_eq!(
+        (report.submitted, report.served, report.rejected),
+        (10, 4, 6)
+    );
+    assert!(report.conserves_requests());
+    assert_eq!(report.queue_depth_max, 4);
+}
+
+/// An undersized batch must not wait forever: a lone request dispatches
+/// once the oldest arrival has aged `max_wait_ticks`, so its latency is
+/// the wait bound plus the priced span — never less than the bound.
+#[test]
+fn max_wait_bounds_idle_dispatch() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve = ServeConfig {
+        max_batch: 8,
+        max_wait_ticks: 7_777,
+        queue_capacity: 8,
+        tenant_weights: vec![1],
+        fleet_cores: 1,
+        fleet_batch_threshold: usize::MAX,
+    };
+    let mut reg = ModelRegistry::new(None);
+    let m = reg
+        .register(&model(NetworkId::AlexNet, 31), &cfg, &serve)
+        .unwrap();
+    let mut server = Server::new(reg, serve).unwrap();
+    let input = input_for(&server, m, 37);
+    server.submit(100, m, 0, 0, input).unwrap();
+    let done = server.drain().unwrap();
+    assert_eq!(done.len(), 1);
+    assert!(
+        done[0].finish > 100 + 7_777,
+        "finish {} must clear submit + max_wait",
+        done[0].finish
+    );
+    assert_eq!(server.stats().batch_histogram[0], 1, "a singleton batch");
+}
+
+/// Chaos under load: the same closed loop against a fault-injected config
+/// is (a) byte-reproducible run-to-run, (b) SLO-visible — injections are
+/// counted and priced into the span — and (c) corruption-free: the
+/// order-insensitive output digest matches the quiescent run exactly.
+#[test]
+fn chaos_under_load_is_reproducible_and_corruption_free() {
+    let clean_cfg = RistrettoConfig::paper_default();
+    let chaos_cfg = RistrettoConfig::paper_default().with_faults(Some(
+        FaultConfig::uniform(59, 120_000)
+            .with_detect(true)
+            .with_recover(true),
+    ));
+    // Roomy queue: both runs must admit the identical request set for the
+    // digest comparison to be meaningful.
+    let serve = ServeConfig {
+        queue_capacity: 1024,
+        ..ServeConfig::paper_default()
+    };
+    let clean = load_report(&clean_cfg, serve.clone(), 4);
+    let chaos = load_report(&chaos_cfg, serve.clone(), 4);
+    let chaos_again = load_report(&chaos_cfg, serve, 1);
+    assert_eq!(
+        serde_json::to_string_pretty(&chaos).unwrap(),
+        serde_json::to_string_pretty(&chaos_again).unwrap(),
+        "chaos run must be byte-reproducible at any thread count"
+    );
+    assert!(chaos.faults_injected > 0, "campaign must fire");
+    assert!(chaos.faults_detected > 0, "monitors must see it");
+    assert!(
+        chaos.fault_penalty_ticks > 0,
+        "detection and recovery must be SLO-visible in the span"
+    );
+    assert!(chaos.busy_ticks > clean.busy_ticks);
+    assert_eq!(clean.faults_injected, 0);
+    assert_eq!(clean.fault_penalty_ticks, 0);
+    assert_eq!((clean.served, chaos.served), (24, 24));
+    assert_eq!(
+        chaos.output_digest, clean.output_digest,
+        "recovery must be byte-exact: no silent corruption under load"
+    );
+}
