@@ -96,7 +96,9 @@ const USAGE: &str = "usage: repro <fig1|fig4|fig12|fig13|fig14|fig15|fig16|fig17
        repro perf-check --baseline <path> [--tolerance <x>] [--quick] [--json <path>]
        repro serve [--clients <n>] [--requests <n>] [--lambda <r>] [--mix <spec>]
                    [--max-batch <n>] [--max-wait <t>] [--queue-cap <n>]
-                   [--fleet-cores <n>] [--chaos] [--seed <s>] [--quick]
+                   [--fleet-cores <n>] [--deadline <t>] [--slo-class <spec>]
+                   [--brownout <permille>] [--retry-budget <n>]
+                   [--chaos] [--model-cache <dir>] [--seed <s>] [--quick]
                    [--json <path>] [--metrics <path>] [--threads <n>]";
 
 /// Canonical experiment order of `repro all`.
@@ -174,6 +176,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut max_wait = None;
     let mut queue_cap = None;
     let mut fleet_cores = None;
+    let mut deadline = None;
+    let mut slo_class = None;
+    let mut brownout = None;
+    let mut retry_budget = None;
     let mut chaos_load = false;
     let mut positionals: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -359,6 +365,50 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 fleet_cores = Some(n);
             }
+            "--deadline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--deadline requires a tick count".to_string())?;
+                let n: u64 = v.parse().map_err(|_| format!("invalid deadline `{v}`"))?;
+                if n == 0 {
+                    return Err("--deadline must be at least 1 microtick".to_string());
+                }
+                deadline = Some(n);
+            }
+            "--slo-class" => {
+                let v = it.next().ok_or_else(|| {
+                    "--slo-class requires a spec like `interactive,batch,best-effort`".to_string()
+                })?;
+                slo_class = Some(bench::serve_cli::parse_classes(v)?);
+            }
+            "--brownout" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--brownout requires a permille value".to_string())?;
+                let n: u16 = v
+                    .parse()
+                    .map_err(|_| format!("invalid brownout permille `{v}`"))?;
+                if n == 0 || n > 1000 {
+                    return Err(format!(
+                        "--brownout must be within 1..=1000 permille (got {n})"
+                    ));
+                }
+                brownout = Some(n);
+            }
+            "--retry-budget" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--retry-budget requires a count".to_string())?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("invalid retry budget `{v}`"))?;
+                if n > 16 {
+                    return Err(format!(
+                        "--retry-budget must be at most 16 retries per request (got {n})"
+                    ));
+                }
+                retry_budget = Some(n);
+            }
             "--chaos" => chaos_load = true,
             "--baseline" => {
                 baseline = Some(
@@ -411,9 +461,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if (which == "cache" || which == "artifact") && model_cache.is_none() {
         return Err(format!("{which} requires --model-cache <dir>"));
     }
-    if model_cache.is_some() && !matches!(which.as_str(), "batch" | "all" | "cache" | "artifact") {
+    if model_cache.is_some()
+        && !matches!(
+            which.as_str(),
+            "batch" | "all" | "cache" | "artifact" | "serve"
+        )
+    {
         return Err(
-            "--model-cache only applies to `batch`, `all`, `cache` or `artifact`".to_string(),
+            "--model-cache only applies to `batch`, `all`, `cache`, `artifact` or `serve`"
+                .to_string(),
         );
     }
     if which == "perf-check" && baseline.is_none() {
@@ -455,7 +511,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         return Err("--campaign only applies to `chaos`".to_string());
     }
     if which != "serve" {
-        let serve_only: [(&str, bool); 9] = [
+        let serve_only: [(&str, bool); 13] = [
             ("--clients", clients.is_some()),
             ("--requests", requests.is_some()),
             ("--lambda", lambda.is_some()),
@@ -464,6 +520,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             ("--max-wait", max_wait.is_some()),
             ("--queue-cap", queue_cap.is_some()),
             ("--fleet-cores", fleet_cores.is_some()),
+            ("--deadline", deadline.is_some()),
+            ("--slo-class", slo_class.is_some()),
+            ("--brownout", brownout.is_some()),
+            ("--retry-budget", retry_budget.is_some()),
             ("--chaos", chaos_load),
         ];
         if let Some((flag, _)) = serve_only.iter().find(|(_, set)| *set) {
@@ -481,9 +541,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         max_wait: max_wait.unwrap_or(serve_defaults.max_wait),
         queue_cap: queue_cap.unwrap_or(serve_defaults.queue_cap),
         fleet_cores: fleet_cores.unwrap_or(serve_defaults.fleet_cores),
+        deadline,
+        slo_classes: slo_class,
+        brownout: brownout.unwrap_or(serve_defaults.brownout),
+        retry_budget: retry_budget.unwrap_or(serve_defaults.retry_budget),
         chaos: chaos_load,
+        model_cache: (which == "serve")
+            .then(|| model_cache.clone().map(std::path::PathBuf::from))
+            .flatten(),
         quick,
     };
+    // Cross-flag conflicts (e.g. --brownout without a best-effort tenant)
+    // fail at parse time with the flag named, not mid-run.
+    if which == "serve" {
+        bench::serve_cli::validate(&serve)?;
+    }
     Ok(Cli {
         which,
         sub,
@@ -1175,7 +1247,8 @@ fn perf_check_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
 /// `--json` report and the `--metrics` snapshot are all integer-derived
 /// and byte-identical at any `--threads` count; wall time goes to stderr.
 /// Exits non-zero if the post-drain conservation invariant
-/// `submitted == served + rejected` is violated.
+/// `submitted == served + rejected + shed` is violated, or if a chaos
+/// run's survivor digests diverge from its quiescent twin.
 fn serve_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
     let start = Instant::now();
     watch(watchdog, "serve");
@@ -1225,10 +1298,19 @@ fn serve_cmd(cli: &Cli, watchdog: &Option<Watchdog>) -> ExitCode {
     }
     if !report.conserves_requests() {
         eprintln!(
-            "serve: conservation violated: submitted {} != served {} + rejected {}",
-            report.submitted, report.served, report.rejected
+            "serve: conservation violated: submitted {} != served {} + rejected {} + shed {}",
+            report.submitted, report.served, report.rejected, report.shed
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(twin) = &report.chaos_twin {
+        if twin.survivor_digest != twin.twin_survivor_digest {
+            eprintln!(
+                "serve: chaos twin diverged over {} survivors: {:016x} != {:016x}",
+                twin.survivors, twin.survivor_digest, twin.twin_survivor_digest
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -5,18 +5,38 @@
 //! Everything printed to stdout (and the `--json` file) is derived from
 //! the integer [`ServeReport`], so the output is byte-identical at any
 //! `--threads` count and across machines; wall times never appear here.
+//!
+//! `--chaos` attaches the full robustness gauntlet: a uniform fault
+//! campaign on every structure, a deterministic core-death campaign on
+//! the fleet lane, and — when a `--model-cache` directory is given — a
+//! corrupted-artifact pass that forces every registration down the
+//! verify-reject-recompile path. The chaos run also executes its
+//! quiescent twin in-process and attaches the intersection digests
+//! ([`ChaosTwin`]): proof that nothing the degraded run served was
+//! silently corrupted.
 
 use crate::experiments::engine_batch;
 use crate::table;
 use ristretto_sim::config::RistrettoConfig;
-use ristretto_sim::fault::FaultConfig;
+use ristretto_sim::fault::{CoreDeathConfig, FaultConfig};
+use ristretto_sim::modelcache::ModelCache;
 use ristretto_sim::serve::{
-    run_load, LoadGenConfig, ModelRegistry, ServeConfig, ServeReport, Server,
+    run_load, ChaosTwin, LoadGenConfig, ModelRegistry, ServeConfig, ServeReport, Server,
+    ServerStats, SloClass,
 };
+use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Fault rate (per million atoms) of the `--chaos` campaign: high enough
 /// to fire on the miniature benchmark networks every run.
 pub const CHAOS_PPM: u32 = 120_000;
+
+/// Core-death rate (per million `(layer, core)` sites) of the `--chaos`
+/// campaign's fleet-lane kill switch.
+pub const CHAOS_CORE_DEATH_PPM: u32 = 60_000;
+
+/// Backoff base in microticks for client retries under `--retry-budget`.
+pub const RETRY_BASE_TICKS: u64 = 500;
 
 /// Parsed `repro serve` parameters (defaults match `--help`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +60,23 @@ pub struct ServeArgs {
     pub queue_cap: usize,
     /// Cores of the large-batch fleet lane (1 disables fleet routing).
     pub fleet_cores: usize,
+    /// Relative deadline in microticks attached to every request
+    /// (`None`: no deadlines, nothing is shed).
+    pub deadline: Option<u64>,
+    /// Per-tenant SLO class table (`None`: the two-tenant
+    /// interactive/batch default). Its length sets the tenant count.
+    pub slo_classes: Option<Vec<SloClass>>,
+    /// Brownout high-water mark in permille of the queue capacity
+    /// (`1000`: brownout never fires before ordinary admission control).
+    pub brownout: u16,
+    /// Client retries per request after a rejection (0: no retries).
+    pub retry_budget: u32,
     /// Attach the deterministic fault campaign (chaos under load).
     pub chaos: bool,
+    /// On-disk model cache; with `--chaos`, artifacts are corrupted
+    /// between a warm-up and the serving registration, forcing the
+    /// verify-reject-recompile path.
+    pub model_cache: Option<std::path::PathBuf>,
     /// Serve the quick three-network suite instead of all six.
     pub quick: bool,
 }
@@ -58,7 +93,12 @@ impl Default for ServeArgs {
             max_wait: 10_000,
             queue_cap: 64,
             fleet_cores: 4,
+            deadline: None,
+            slo_classes: None,
+            brownout: 1000,
+            retry_budget: 0,
             chaos: false,
+            model_cache: None,
             quick: true,
         }
     }
@@ -105,14 +145,73 @@ pub fn parse_mix(spec: &str, names: &[String]) -> Result<Vec<(usize, u64)>, Stri
     Ok(mix)
 }
 
-/// Registers the benchmark networks, drives the closed loop and returns
-/// the integer report.
+/// Parses a comma-separated `--slo-class` tenant table, e.g.
+/// `interactive,batch,best-effort` (one tenant per clause).
 ///
 /// # Errors
-/// Propagates registration/execution failures and `--mix` parse errors as
-/// rendered strings for the CLI surface.
-pub fn run(args: &ServeArgs) -> Result<ServeReport, String> {
-    let cfg = if args.chaos {
+/// Names the offending clause and lists the valid class names.
+pub fn parse_classes(spec: &str) -> Result<Vec<SloClass>, String> {
+    spec.split(',')
+        .map(|clause| {
+            SloClass::parse(clause.trim()).map_err(|bad| {
+                format!(
+                    "--slo-class clause `{bad}`: unknown class (have: interactive, batch, best-effort)"
+                )
+            })
+        })
+        .collect()
+}
+
+/// The tenant class table an args set schedules with.
+fn classes_of(args: &ServeArgs) -> Vec<SloClass> {
+    args.slo_classes
+        .clone()
+        .unwrap_or_else(|| vec![SloClass::Interactive, SloClass::Batch])
+}
+
+/// Cross-flag validation `repro` runs after parsing: conflicts that are
+/// well-formed per flag but inconsistent together.
+///
+/// # Errors
+/// A rendered message naming the offending flag(s).
+pub fn validate(args: &ServeArgs) -> Result<(), String> {
+    if args.brownout < 1000 && !classes_of(args).contains(&SloClass::BestEffort) {
+        return Err(
+            "--brownout below 1000 needs at least one best-effort tenant (see --slo-class)"
+                .to_string(),
+        );
+    }
+    if args.model_cache.is_some() && !args.chaos {
+        return Err(
+            "--model-cache under `serve` only applies with --chaos (the corrupted-artifact pass)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// Builds the serving policy an args set implies.
+fn serve_config(args: &ServeArgs, core_deaths: Option<CoreDeathConfig>) -> ServeConfig {
+    let classes = classes_of(args);
+    ServeConfig {
+        max_batch: args.max_batch,
+        max_wait_ticks: args.max_wait,
+        queue_capacity: args.queue_cap,
+        tenant_weights: vec![1; classes.len()],
+        tenant_classes: classes,
+        brownout_permille: args.brownout,
+        fleet_cores: args.fleet_cores,
+        fleet_batch_threshold: 4,
+        breaker_threshold: 2,
+        breaker_cooldown_ticks: 50_000,
+        core_deaths,
+    }
+}
+
+/// One serving run (chaotic or quiescent per `chaos`), returning the
+/// report plus the raw counters (for intersection digests).
+fn run_once(args: &ServeArgs, chaos: bool) -> Result<(ServeReport, ServerStats), String> {
+    let cfg = if chaos {
         RistrettoConfig::paper_default().with_faults(Some(
             FaultConfig::uniform(args.seed ^ 0xC4A05, CHAOS_PPM)
                 .with_detect(true)
@@ -121,16 +220,18 @@ pub fn run(args: &ServeArgs) -> Result<ServeReport, String> {
     } else {
         RistrettoConfig::paper_default()
     };
-    let serve = ServeConfig {
-        max_batch: args.max_batch,
-        max_wait_ticks: args.max_wait,
-        queue_capacity: args.queue_cap,
-        tenant_weights: vec![1, 1],
-        fleet_cores: args.fleet_cores,
-        fleet_batch_threshold: 4,
-    };
+    let core_deaths = chaos.then(|| CoreDeathConfig::new(args.seed ^ 0xD1E5, CHAOS_CORE_DEATH_PPM));
+    let serve = serve_config(args, core_deaths);
     let models = engine_batch::benchmark_models(args.quick);
-    let mut registry = ModelRegistry::new(None);
+    let cache_dir = if chaos {
+        args.model_cache.as_deref()
+    } else {
+        None
+    };
+    if let Some(dir) = cache_dir {
+        corrupt_warm_artifacts(dir, &models, &cfg, &serve)?;
+    }
+    let mut registry = ModelRegistry::new(cache_dir.map(ModelCache::new));
     let mut ids = Vec::new();
     for (name, model) in &models {
         let id = registry
@@ -154,12 +255,76 @@ pub fn run(args: &ServeArgs) -> Result<ServeReport, String> {
         requests_per_client: args.requests,
         lambda_per_mtick: args.lambda.max(1),
         mix,
+        deadline_ticks: args.deadline,
+        retry_budget: args.retry_budget,
+        retry_base_ticks: RETRY_BASE_TICKS,
     };
-    run_load(&mut server, &load).map_err(|e| format!("serving run: {e}"))
+    let report = run_load(&mut server, &load).map_err(|e| format!("serving run: {e}"))?;
+    Ok((report, server.stats().clone()))
 }
 
-/// Renders the report as stable text: a summary table, the per-tenant
-/// accounting and the batch-size histogram.
+/// Warm-compiles every model into the cache, then flips a byte in each
+/// artifact — the next registration must verify-reject and recompile.
+fn corrupt_warm_artifacts(
+    dir: &Path,
+    models: &[(String, ristretto_sim::engine::NetworkModel)],
+    cfg: &RistrettoConfig,
+    serve: &ServeConfig,
+) -> Result<(), String> {
+    use ristretto_sim::modelcache::CacheKey;
+    let cache = ModelCache::new(dir);
+    let mut warm = ModelRegistry::new(Some(ModelCache::new(dir)));
+    for (name, model) in models {
+        warm.register(model, cfg, serve)
+            .map_err(|e| format!("warming cache for {name}: {e}"))?;
+        let key = CacheKey::derive(model, cfg);
+        cache
+            .corrupt_artifact(&key)
+            .map_err(|e| format!("corrupting artifact for {name}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Registers the benchmark networks, drives the closed loop and returns
+/// the integer report. A `--chaos` run also drives its quiescent twin and
+/// attaches the [`ChaosTwin`] intersection digests.
+///
+/// # Errors
+/// Propagates registration/execution failures and `--mix` parse errors as
+/// rendered strings for the CLI surface.
+pub fn run(args: &ServeArgs) -> Result<ServeReport, String> {
+    validate(args)?;
+    let (mut report, stats) = run_once(args, args.chaos)?;
+    if args.chaos {
+        let (_, twin_stats) = run_once(args, false)?;
+        report.chaos_twin = Some(chaos_twin(&stats, &twin_stats));
+    }
+    Ok(report)
+}
+
+/// Folds both runs' output digests over the `(client, seq)` pairs they
+/// *both* served.
+fn chaos_twin(chaos: &ServerStats, twin: &ServerStats) -> ChaosTwin {
+    let twin_set: BTreeSet<(u64, u64)> = twin
+        .request_digests
+        .iter()
+        .map(|&(c, s, _)| (c, s))
+        .collect();
+    let shared: BTreeSet<(u64, u64)> = chaos
+        .request_digests
+        .iter()
+        .map(|&(c, s, _)| (c, s))
+        .filter(|k| twin_set.contains(k))
+        .collect();
+    ChaosTwin {
+        survivors: shared.len() as u64,
+        survivor_digest: chaos.output_digest_over(|c, s| shared.contains(&(c, s))),
+        twin_survivor_digest: twin.output_digest_over(|c, s| shared.contains(&(c, s))),
+    }
+}
+
+/// Renders the report as stable text: a summary table, the per-tenant and
+/// per-class accounting and the batch-size histogram.
 pub fn render(r: &ServeReport) -> String {
     let mut t = vec![
         vec!["metric".to_string(), "value".to_string()],
@@ -168,8 +333,29 @@ pub fn render(r: &ServeReport) -> String {
         vec!["submitted".to_string(), r.submitted.to_string()],
         vec!["served".to_string(), r.served.to_string()],
         vec!["rejected".to_string(), r.rejected.to_string()],
+        vec!["shed (deadline)".to_string(), r.shed.to_string()],
+        vec![
+            "brownout rejected".to_string(),
+            r.brownout_rejected.to_string(),
+        ],
+        vec!["client retries".to_string(), r.retries.to_string()],
+        vec!["retry exhausted".to_string(), r.retry_exhausted.to_string()],
         vec!["batches".to_string(), r.batches.to_string()],
         vec!["fleet batches".to_string(), r.fleet_batches.to_string()],
+        vec![
+            "early dispatches (SLO)".to_string(),
+            r.deadline_early_dispatches.to_string(),
+        ],
+        vec!["breaker trips".to_string(), r.breaker_trips.to_string()],
+        vec![
+            "breaker open batches".to_string(),
+            r.breaker_open_batches.to_string(),
+        ],
+        vec![
+            "breaker half-opens".to_string(),
+            r.breaker_half_opens.to_string(),
+        ],
+        vec!["breaker reruns".to_string(), r.breaker_reruns.to_string()],
         vec!["queue depth max".to_string(), r.queue_depth_max.to_string()],
         vec![
             "latency p50 (ticks)".to_string(),
@@ -200,6 +386,20 @@ pub fn render(r: &ServeReport) -> String {
             format!("{:016x}", r.output_digest),
         ],
     ];
+    if let Some(twin) = &r.chaos_twin {
+        t.push(vec![
+            "chaos survivors".to_string(),
+            twin.survivors.to_string(),
+        ]);
+        t.push(vec![
+            "survivor digest".to_string(),
+            format!("{:016x}", twin.survivor_digest),
+        ]);
+        t.push(vec![
+            "twin survivor digest".to_string(),
+            format!("{:016x}", twin.twin_survivor_digest),
+        ]);
+    }
     t.push(vec![
         "throughput (req/Mtick)".to_string(),
         table::f2(r.throughput_per_mtick()),
@@ -217,6 +417,7 @@ pub fn render(r: &ServeReport) -> String {
         "submitted".to_string(),
         "served".to_string(),
         "rejected".to_string(),
+        "shed".to_string(),
     ]];
     for (i, s) in r.per_tenant.iter().enumerate() {
         tt.push(vec![
@@ -224,10 +425,33 @@ pub fn render(r: &ServeReport) -> String {
             s.submitted.to_string(),
             s.served.to_string(),
             s.rejected.to_string(),
+            s.shed.to_string(),
         ]);
     }
     out.push('\n');
     out.push_str(&table::render("Per-tenant accounting", &tt));
+    let mut tc = vec![vec![
+        "class".to_string(),
+        "submitted".to_string(),
+        "served".to_string(),
+        "rejected".to_string(),
+        "shed".to_string(),
+        "p50 (ticks)".to_string(),
+        "p99 (ticks)".to_string(),
+    ]];
+    for s in &r.per_class {
+        tc.push(vec![
+            s.class.to_string(),
+            s.submitted.to_string(),
+            s.served.to_string(),
+            s.rejected.to_string(),
+            s.shed.to_string(),
+            s.latency_p50_ticks.to_string(),
+            s.latency_p99_ticks.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table::render("Per-class accounting", &tc));
     let mut th = vec![vec!["batch size".to_string(), "batches".to_string()]];
     for (k, &n) in r.batch_histogram.iter().enumerate() {
         th.push(vec![(k + 1).to_string(), n.to_string()]);
@@ -268,6 +492,38 @@ mod tests {
     }
 
     #[test]
+    fn class_spec_parses_and_rejects() {
+        assert_eq!(
+            parse_classes("interactive,batch,best-effort").unwrap(),
+            vec![SloClass::Interactive, SloClass::Batch, SloClass::BestEffort]
+        );
+        let e = parse_classes("interactive,turbo").unwrap_err();
+        assert!(e.contains("turbo") && e.contains("best-effort"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_flag_conflicts() {
+        let e = validate(&ServeArgs {
+            brownout: 500,
+            ..ServeArgs::default()
+        })
+        .unwrap_err();
+        assert!(e.contains("--brownout") && e.contains("best-effort"), "{e}");
+        assert!(validate(&ServeArgs {
+            brownout: 500,
+            slo_classes: Some(vec![SloClass::Interactive, SloClass::BestEffort]),
+            ..ServeArgs::default()
+        })
+        .is_ok());
+        let e = validate(&ServeArgs {
+            model_cache: Some("/tmp/x".into()),
+            ..ServeArgs::default()
+        })
+        .unwrap_err();
+        assert!(e.contains("--chaos"), "{e}");
+    }
+
+    #[test]
     fn default_run_serves_everything_and_renders() {
         let args = ServeArgs {
             clients: 4,
@@ -278,8 +534,15 @@ mod tests {
         assert!(report.conserves_requests());
         assert_eq!(report.submitted, 8);
         assert_eq!(report.served + report.rejected, 8);
+        assert_eq!(report.shed, 0);
+        assert!(report.chaos_twin.is_none());
         let text = render(&report);
-        assert!(text.contains("AlexNet") && text.contains("Per-tenant"));
+        assert!(
+            text.contains("AlexNet")
+                && text.contains("Per-tenant")
+                && text.contains("Per-class")
+                && text.contains("interactive")
+        );
         // Same args, same bytes.
         let again = run(&args).unwrap();
         assert_eq!(report, again);
@@ -301,6 +564,28 @@ mod tests {
         .unwrap();
         assert!(chaos.faults_injected > 0);
         assert!(chaos.fault_penalty_ticks > 0);
+        // No deadlines → nothing shed → the full digests must agree, and
+        // the attached twin (quiescent, identical load) saw every request.
         assert_eq!(chaos.output_digest, clean.output_digest);
+        let twin = chaos.chaos_twin.expect("chaos attaches the twin");
+        assert_eq!(twin.survivors, chaos.served);
+        assert_eq!(twin.survivor_digest, twin.twin_survivor_digest);
+    }
+
+    #[test]
+    fn overload_with_deadlines_sheds_and_conserves() {
+        let args = ServeArgs {
+            clients: 6,
+            requests: 3,
+            lambda: 2_000,
+            deadline: Some(1_500),
+            retry_budget: 2,
+            ..ServeArgs::default()
+        };
+        let report = run(&args).unwrap();
+        assert!(report.conserves_requests());
+        assert!(report.shed > 0, "tight deadlines must shed: {report:?}");
+        // Same args, same bytes — retries and sheds are deterministic.
+        assert_eq!(run(&args).unwrap(), report);
     }
 }

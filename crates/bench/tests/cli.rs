@@ -535,8 +535,10 @@ fn serve_report_is_byte_identical_across_thread_counts() {
     let submitted = json["submitted"].as_u64().unwrap();
     let served = json["served"].as_u64().unwrap();
     let rejected = json["rejected"].as_u64().unwrap();
+    let shed = json["shed"].as_u64().unwrap();
     assert_eq!(submitted, 15);
-    assert_eq!(submitted, served + rejected, "conservation at drain");
+    assert_eq!(shed, 0, "no deadlines, nothing sheds");
+    assert_eq!(submitted, served + rejected + shed, "conservation at drain");
     assert!(json["batches"].as_u64().unwrap() > 0);
     assert!(json["output_digest"].as_u64().unwrap() > 0);
     // Only AlexNet and GoogLeNet are in the mix, but all quick networks
@@ -547,6 +549,9 @@ fn serve_report_is_byte_identical_across_thread_counts() {
 
 #[test]
 fn serve_chaos_is_deterministic_and_conserves() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos.json");
     let args = [
         "serve",
         "--quick",
@@ -557,10 +562,18 @@ fn serve_chaos_is_deterministic_and_conserves() {
         "2",
         "--seed",
         "7",
+        "--json",
     ];
-    let a = repro(&args);
-    let b = repro(&args);
-    assert!(a.status.success() && b.status.success());
+    let mut argv: Vec<&str> = args.to_vec();
+    argv.push(path.to_str().unwrap());
+    let a = repro(&argv);
+    let b = repro(&argv);
+    assert!(
+        a.status.success(),
+        "chaos run failed:\n{}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert!(b.status.success());
     assert_eq!(a.stdout, b.stdout, "chaos run must be reproducible");
     let text = String::from_utf8_lossy(&a.stdout);
     assert!(text.contains("faults injected"));
@@ -569,6 +582,23 @@ fn serve_chaos_is_deterministic_and_conserves() {
         !text.contains("faults injected                              0"),
         "{text}"
     );
+    // The quiescent twin rides along: every request both runs served must
+    // have produced byte-identical output under faults and core deaths.
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let twin = &json["chaos_twin"];
+    assert!(
+        twin["survivors"]
+            .as_u64()
+            .expect("--chaos attaches the twin")
+            > 0,
+        "{twin:?}"
+    );
+    assert_eq!(
+        twin["survivor_digest"], twin["twin_survivor_digest"],
+        "chaos survivors diverged from the quiescent twin: {json:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -645,15 +675,146 @@ fn serve_admission_pressure_rejects_but_conserves() {
     let submitted = json["submitted"].as_u64().unwrap();
     let served = json["served"].as_u64().unwrap();
     let rejected = json["rejected"].as_u64().unwrap();
+    let shed = json["shed"].as_u64().unwrap();
     assert_eq!(submitted, 48);
     assert!(rejected > 0, "pressure must trigger admission control");
-    assert_eq!(submitted, served + rejected);
+    assert_eq!(submitted, served + rejected + shed);
     // Per-tenant conservation too.
     for t in json["per_tenant"].as_array().unwrap() {
         assert_eq!(
             t["submitted"].as_u64().unwrap(),
-            t["served"].as_u64().unwrap() + t["rejected"].as_u64().unwrap()
+            t["served"].as_u64().unwrap()
+                + t["rejected"].as_u64().unwrap()
+                + t["shed"].as_u64().unwrap()
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_slo_flags_are_validated() {
+    // The SLO flags are serve-only, range-checked at parse time, and
+    // cross-checked against each other — every error names the flag.
+    for (args, msg) in [
+        (
+            vec!["table6", "--deadline", "5"],
+            "--deadline only applies to `serve`",
+        ),
+        (
+            vec!["fig1", "--slo-class", "batch"],
+            "--slo-class only applies to `serve`",
+        ),
+        (
+            vec!["fig4", "--brownout", "500"],
+            "--brownout only applies to `serve`",
+        ),
+        (
+            vec!["chaos", "--retry-budget", "2"],
+            "--retry-budget only applies to `serve`",
+        ),
+        (
+            vec!["serve", "--deadline", "0"],
+            "--deadline must be at least 1 microtick",
+        ),
+        (vec!["serve", "--deadline", "soon"], "invalid deadline"),
+        (
+            vec!["serve", "--brownout", "0"],
+            "--brownout must be within 1..=1000 permille (got 0)",
+        ),
+        (
+            vec!["serve", "--brownout", "1500"],
+            "--brownout must be within 1..=1000 permille (got 1500)",
+        ),
+        (
+            vec!["serve", "--retry-budget", "17"],
+            "--retry-budget must be at most 16 retries per request (got 17)",
+        ),
+        (
+            vec!["serve", "--slo-class", "interactive,gold"],
+            "--slo-class clause `gold`: unknown class (have: interactive, batch, best-effort)",
+        ),
+        // Well-formed flags that conflict: brownout can never fire
+        // without a best-effort tenant to shed.
+        (
+            vec!["serve", "--brownout", "500"],
+            "--brownout below 1000 needs at least one best-effort tenant (see --slo-class)",
+        ),
+        // ...and a model cache is only exercised by the chaos pass.
+        (
+            vec!["serve", "--model-cache", "/tmp/x"],
+            "--model-cache under `serve` only applies with --chaos",
+        ),
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(msg), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn serve_overload_sheds_and_conserves_per_class() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_slo_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("slo.json");
+    // Hot arrivals against a tight deadline with a retry budget: some
+    // requests expire in queue, rejected ones are retried, and the books
+    // must still balance at every level.
+    let args = [
+        "serve",
+        "--quick",
+        "--clients",
+        "6",
+        "--requests",
+        "3",
+        "--lambda",
+        "2000",
+        "--max-wait",
+        "1000",
+        "--deadline",
+        "1500",
+        "--retry-budget",
+        "2",
+        "--slo-class",
+        "interactive,best-effort",
+        "--brownout",
+        "750",
+        "--json",
+    ];
+    let mut argv: Vec<&str> = args.to_vec();
+    argv.push(path.to_str().unwrap());
+    let a = repro(&argv);
+    assert!(
+        a.status.success(),
+        "overload run failed:\n{}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let b = repro(&argv);
+    assert_eq!(a.stdout, b.stdout, "overload run must be reproducible");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let submitted = json["submitted"].as_u64().unwrap();
+    let served = json["served"].as_u64().unwrap();
+    let rejected = json["rejected"].as_u64().unwrap();
+    let shed = json["shed"].as_u64().unwrap();
+    assert!(shed > 0, "tight deadlines must shed: {json:?}");
+    assert!(served > 0, "overload must not shed everything: {json:?}");
+    assert_eq!(submitted, served + rejected + shed);
+    // Per-class accounting covers all three classes and sums to the
+    // global ledger.
+    let classes = json["per_class"].as_array().unwrap();
+    assert_eq!(classes.len(), 3);
+    let mut sum = (0, 0, 0, 0);
+    for c in classes {
+        let (s, v, r, d) = (
+            c["submitted"].as_u64().unwrap(),
+            c["served"].as_u64().unwrap(),
+            c["rejected"].as_u64().unwrap(),
+            c["shed"].as_u64().unwrap(),
+        );
+        assert_eq!(s, v + r + d, "class ledger must balance: {c:?}");
+        sum = (sum.0 + s, sum.1 + v, sum.2 + r, sum.3 + d);
+    }
+    assert_eq!(sum, (submitted, served, rejected, shed));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -287,6 +287,22 @@ events! {
      "Execution-lane busy time across all dispatched batches."),
     (ServeFaultPenaltyTicks, "serve.fault_penalty_ticks", Sum, "microticks", "§IV-C",
      "Extra lane time charged to fault detection and recovery under load."),
+    (ServeShed, "serve.shed", Sum, "requests", "§III",
+     "Requests shed at dispatch because their deadline had already expired."),
+    (ServeDeadlineEarlyDispatches, "serve.deadline_early_dispatches", Sum, "batches", "§III",
+     "Batches the SLO-aware trigger pulled in ahead of the normal bound."),
+    (ServeBrownoutRejected, "serve.brownout_rejected", Sum, "requests", "§III",
+     "Best-effort admissions shed by brownout at the queue high-water mark."),
+    (ServeBreakerTrips, "serve.breaker_trips", Sum, "trips", "§IV-C",
+     "Circuit-breaker trips on a lane after consecutive faulted batches."),
+    (ServeBreakerOpenBatches, "serve.breaker_open_batches", Sum, "batches", "§IV-C",
+     "Batches served on the degraded single-core route while a breaker was open."),
+    (ServeBreakerHalfOpens, "serve.breaker_half_opens", Sum, "probes", "§IV-C",
+     "Half-open probes dispatched on the primary route after a breaker cooldown."),
+    (ServeBreakerReruns, "serve.breaker_reruns", Sum, "batches", "§IV-C",
+     "Batches re-run with recovery forced on after the primary route aborted on a fault."),
+    (ServeRetries, "serve.retries", Sum, "requests", "§III",
+     "Client retries re-offered after a rejection, paced by deterministic backoff."),
 }
 
 #[cfg(test)]

@@ -48,6 +48,22 @@ pub enum ConfigError {
     NoTenants,
     /// A tenant whose fair-share weight is zero would starve forever.
     ZeroTenantWeight(usize),
+    /// The SLO-class table does not cover every tenant (or names extras):
+    /// the two tables are indexed by the same tenant ids.
+    TenantClassCountMismatch {
+        /// Entries in the SLO-class table.
+        classes: usize,
+        /// Entries in the tenant-weight table.
+        tenants: usize,
+    },
+    /// A brownout high-water fraction outside 1..=1000 permille: zero
+    /// would shed best-effort traffic on an empty queue, and more than
+    /// 1000 can never fire.
+    BrownoutOutOfRange(u16),
+    /// A circuit breaker with a trip threshold but no cooldown would
+    /// re-probe the faulted lane on the very next batch, defeating the
+    /// open state.
+    ZeroBreakerCooldown,
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +107,21 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroTenantWeight(tenant) => {
                 write!(f, "tenant {tenant} has zero fair-share weight")
+            }
+            ConfigError::TenantClassCountMismatch { classes, tenants } => {
+                write!(
+                    f,
+                    "SLO-class table has {classes} entries for {tenants} tenants"
+                )
+            }
+            ConfigError::BrownoutOutOfRange(permille) => {
+                write!(
+                    f,
+                    "brownout high-water {permille} permille outside 1..=1000"
+                )
+            }
+            ConfigError::ZeroBreakerCooldown => {
+                write!(f, "circuit breaker needs a non-zero cooldown to stay open")
             }
         }
     }

@@ -14,7 +14,7 @@
 use crate::config::{ConfigError, RistrettoConfig};
 use crate::core::{CoreError, CoreReport, CoreSim};
 use crate::fault::{
-    plane_digest, FaultDetected, FaultInjector, FaultSite, FaultStats, FaultStructure,
+    plane_digest, FaultConfig, FaultDetected, FaultInjector, FaultSite, FaultStats, FaultStructure,
 };
 use crate::pipeline::{LayerTrace, PipelineLayer};
 use crate::ppu::{PostProcessor, PpuOutput};
@@ -958,10 +958,30 @@ impl Session {
         li: usize,
         act: &Tensor3,
     ) -> Result<(Tensor3, LayerTrace, FaultStats), EngineError> {
+        self.run_layer_with(li, act, self.net.cfg.faults)
+    }
+
+    /// [`Session::run_layer`] under an explicit fault campaign instead of
+    /// the compiled one — the serving circuit breaker uses this to re-run
+    /// degraded batches with [`FaultConfig::forced_recovery`] without
+    /// recompiling the network. Passing `self.net.cfg.faults` reproduces
+    /// [`Session::run_layer`] exactly.
+    ///
+    /// # Panics
+    /// Panics if `li` is out of range.
+    ///
+    /// # Errors
+    /// Same surface as [`Session::run`].
+    pub fn run_layer_with(
+        &self,
+        li: usize,
+        act: &Tensor3,
+        campaign: Option<FaultConfig>,
+    ) -> Result<(Tensor3, LayerTrace, FaultStats), EngineError> {
         assert!(li < self.net.layers.len(), "layer index out of range");
         let layer = &self.net.layers[li];
         let mut faults = FaultStats::default();
-        let (next, trace) = match self.net.cfg.faults.map(FaultInjector::new) {
+        let (next, trace) = match campaign.map(FaultInjector::new) {
             None => layer.execute(&self.net.csc, act, &self.scratch[li])?,
             Some(inj) => {
                 let (next, trace, layer_faults) = layer.execute_with_faults(

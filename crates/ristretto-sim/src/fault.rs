@@ -170,6 +170,15 @@ impl FaultConfig {
         self
     }
 
+    /// The campaign with detection and recovery both forced on — the
+    /// degraded-mode override the serving circuit breaker re-runs open-lane
+    /// batches under, so even a detect-only campaign completes instead of
+    /// erroring out of the scheduler. Injection sites and the seed are
+    /// untouched: the same faults fire, they are just always contained.
+    pub fn forced_recovery(self) -> Self {
+        self.with_detect(true).with_recover(true)
+    }
+
     /// The injection rate for one structure, in ppm.
     pub fn rate(&self, structure: FaultStructure) -> u32 {
         match structure {

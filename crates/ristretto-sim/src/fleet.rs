@@ -413,6 +413,7 @@ impl Fleet {
     fn run_sharded_input(
         &self,
         input: &Tensor3,
+        campaign: Option<crate::fault::FaultConfig>,
         state: &mut GroupState,
         noc: &mut Noc,
         faults: &mut FaultStats,
@@ -464,21 +465,21 @@ impl Fleet {
                     continue;
                 };
                 let scratch = atomstream::kernel::CscScratch::new();
-                let (out, _trace, layer_faults) =
-                    match cfg.faults.map(crate::fault::FaultInjector::new) {
-                        None => {
-                            let (out, trace) =
-                                layer.execute(self.net.csc_config(), &act, &scratch)?;
-                            (out, trace, FaultStats::default())
-                        }
-                        Some(inj) => layer.execute_with_faults(
-                            self.net.csc_config(),
-                            &act,
-                            &inj,
-                            li,
-                            cfg.acc_bits,
-                        )?,
-                    };
+                let (out, _trace, layer_faults) = match campaign
+                    .map(crate::fault::FaultInjector::new)
+                {
+                    None => {
+                        let (out, trace) = layer.execute(self.net.csc_config(), &act, &scratch)?;
+                        (out, trace, FaultStats::default())
+                    }
+                    Some(inj) => layer.execute_with_faults(
+                        self.net.csc_config(),
+                        &act,
+                        &inj,
+                        li,
+                        cfg.acc_bits,
+                    )?,
+                };
                 faults.merge(&layer_faults);
                 compute[slot] = self.shard_cycles(Some(layer), &atoms, li == 0);
                 slot_out[slot] = Some(out);
@@ -526,6 +527,7 @@ impl Fleet {
     fn run_unsharded_input(
         &self,
         input: &Tensor3,
+        campaign: Option<crate::fault::FaultConfig>,
         core: usize,
         alive: &mut [bool],
         noc: &mut Noc,
@@ -569,7 +571,7 @@ impl Fleet {
             }
             let atoms =
                 act_atoms_per_channel(&act, self.net.layers()[li].a_bits.bits(), cfg.atom_bits);
-            let (next, _trace, layer_faults) = self.session.run_layer(li, &act)?;
+            let (next, _trace, layer_faults) = self.session.run_layer_with(li, &act, campaign)?;
             faults.merge(&layer_faults);
             let cycles = self.shard_cycles(Some(&self.net.layers()[li]), &atoms, li == 0);
             latency += cycles;
@@ -589,6 +591,26 @@ impl Fleet {
     /// Same surface as [`Session::run`], plus shard recompilation errors
     /// from deterministic resharding after a core death.
     pub fn run(&self, inputs: &[Tensor3]) -> Result<FleetRun, EngineError> {
+        let refs: Vec<&Tensor3> = inputs.iter().collect();
+        self.run_with(&refs, self.net.config().faults)
+    }
+
+    /// [`Fleet::run`] over borrowed inputs and an explicit fault campaign.
+    ///
+    /// The serving scheduler dispatches through this surface: batches
+    /// borrow their queued input tensors instead of cloning them, and a
+    /// tripped circuit breaker substitutes
+    /// [`FaultConfig::forced_recovery`](crate::fault::FaultConfig::forced_recovery)
+    /// for the compiled campaign. Passing the compiled campaign reproduces
+    /// [`Fleet::run`] byte-exactly.
+    ///
+    /// # Errors
+    /// Same surface as [`Fleet::run`].
+    pub fn run_with(
+        &self,
+        inputs: &[&Tensor3],
+        campaign: Option<crate::fault::FaultConfig>,
+    ) -> Result<FleetRun, EngineError> {
         let _span = obs::span("fleet.run");
         obs::record(obs::Event::FleetRuns, 1);
         obs::record(obs::Event::FleetCores, self.cfg.cores as u64);
@@ -611,6 +633,7 @@ impl Fleet {
                 let core = dispatch[i % dispatch.len()];
                 let (out, latency) = self.run_unsharded_input(
                     input,
+                    campaign,
                     core,
                     &mut alive,
                     &mut noc,
@@ -646,6 +669,7 @@ impl Fleet {
                 let g = i % groups;
                 let (out, latency) = self.run_sharded_input(
                     input,
+                    campaign,
                     &mut states[g],
                     &mut noc,
                     &mut faults,

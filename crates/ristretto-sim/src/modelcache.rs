@@ -261,6 +261,39 @@ impl ModelCache {
         Ok(bytes.len() as u64)
     }
 
+    /// Flips one byte in the middle of the on-disk artifact for `key`
+    /// (chaos harness hook: the next [`ModelCache::compile_cached`] must
+    /// reject it and take the recompile path). Returns whether an
+    /// artifact existed to corrupt.
+    ///
+    /// # Errors
+    /// [`CacheError::Io`] on read or write failure.
+    pub fn corrupt_artifact(&self, key: &CacheKey) -> Result<bool, CacheError> {
+        let path = self.dir.join(key.file_name());
+        let mut bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(false),
+            Err(e) => {
+                return Err(CacheError::Io {
+                    path,
+                    op: "read",
+                    message: e.to_string(),
+                })
+            }
+        };
+        if bytes.is_empty() {
+            return Ok(false);
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).map_err(|e| CacheError::Io {
+            path,
+            op: "write",
+            message: e.to_string(),
+        })?;
+        Ok(true)
+    }
+
     /// Paths of every artifact file currently in the cache, sorted.
     ///
     /// # Errors
@@ -479,6 +512,26 @@ mod tests {
         );
         // Fallback recompile is byte-identical, and the bad artifact was
         // atomically replaced by a good one.
+        assert_eq!(*baseline, *recovered);
+        cache.load(&path).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_helper_forces_the_recompile_path() {
+        let (model, cfg) = tiny_model();
+        let dir = tmp_dir("chaos_corrupt");
+        let cache = ModelCache::new(&dir);
+        let key = CacheKey::derive(&model, &cfg);
+        // Nothing on disk yet: nothing to corrupt.
+        assert!(!cache.corrupt_artifact(&key).unwrap());
+        let baseline = cache.compile_cached(&model, &cfg).unwrap();
+        assert!(cache.corrupt_artifact(&key).unwrap());
+        let path = dir.join(key.file_name());
+        assert!(cache.load(&path).is_err(), "corruption must be detectable");
+        // The next cached compile rejects the artifact and recompiles to
+        // byte-identical output.
+        let recovered = cache.compile_cached(&model, &cfg).unwrap();
         assert_eq!(*baseline, *recovered);
         cache.load(&path).unwrap();
         let _ = fs::remove_dir_all(&dir);

@@ -1,14 +1,20 @@
 //! Seeded closed-loop load generator.
 //!
-//! Every arrival time, model pick and input tensor is a pure splitmix64
-//! hash of `(seed, client, attempt)` — the same site-hash discipline as
-//! [`crate::fault`] — so a run is a function of its configuration alone:
-//! no shared-state RNG, no wall clock, byte-identical at any thread
-//! count. Clients are closed-loop: each submits, waits for its completion
-//! (or rejection), thinks for a hashed interval, and submits again until
-//! its request budget is spent. Rejected attempts consume budget and are
-//! counted, which is what makes the post-drain conservation invariant
-//! `submitted == served + rejected` exact.
+//! Every arrival time, model pick, input tensor and retry-backoff jitter
+//! is a pure splitmix64 hash of `(seed, client, attempt)` — the same
+//! site-hash discipline as [`crate::fault`] — so a run is a function of
+//! its configuration alone: no shared-state RNG, no wall clock,
+//! byte-identical at any thread count. Clients are closed-loop: each
+//! submits, waits for its completion (or rejection), thinks for a hashed
+//! interval, and submits again until its request budget is spent.
+//!
+//! Rejected offers may be retried with deterministic exponential backoff
+//! (`base << (k−1)` plus hashed jitter, floored at the server's
+//! `retry_after` hint) up to a per-request retry budget; a retry reuses
+//! the same `(client, attempt)` hash sites, so it re-offers the *same*
+//! model and input. Every offer — fresh or retried — counts toward the
+//! post-drain conservation invariant
+//! `submitted == served + rejected + shed`.
 
 use super::registry::ModelId;
 use super::report::ServeReport;
@@ -33,6 +39,15 @@ pub struct LoadGenConfig {
     /// Model routing mix: each request picks a model with probability
     /// proportional to its weight.
     pub mix: Vec<(ModelId, u64)>,
+    /// Relative deadline attached to every request (absolute deadline =
+    /// offer tick + this); `None` submits without deadlines.
+    pub deadline_ticks: Option<u64>,
+    /// Retries a client may spend per request after rejections; `0`
+    /// abandons on the first rejection (the pre-backoff behaviour).
+    pub retry_budget: u32,
+    /// Backoff base in microticks: retry `k` waits
+    /// `base << (k−1)` plus hashed jitter in `[0, base)`.
+    pub retry_base_ticks: u64,
 }
 
 impl LoadGenConfig {
@@ -45,12 +60,19 @@ impl LoadGenConfig {
 /// One client's closed-loop state.
 struct Client {
     next_submit: Option<u64>,
-    attempts_left: usize,
+    /// Fresh requests not yet offered.
+    requests_left: usize,
+    /// Index of the request being offered at `next_submit` (stable across
+    /// its retries, so model/input hash sites replay identically).
     attempt: u64,
+    /// `0` = fresh offer, `k` = k-th retry of `attempt`.
+    retry_idx: u32,
+    /// Retries remaining for the current request.
+    retries_left: u32,
 }
 
 /// Site hash for one `(client, attempt)` decision; `salt` separates the
-/// think-time, routing and input streams.
+/// think-time, routing, input and retry-jitter streams.
 fn site(seed: u64, client: usize, attempt: u64, salt: u64) -> u64 {
     splitmix64(splitmix64(seed ^ ((client as u64) << 1) ^ salt) ^ attempt)
 }
@@ -73,14 +95,28 @@ fn pick_model(cfg: &LoadGenConfig, client: usize, attempt: u64) -> ModelId {
     cfg.mix.last().expect("mix is non-empty").0
 }
 
+/// Deterministic exponential backoff for retry `k` (1-based) of one
+/// request at tick `now`: `base << (k−1)` (shift capped at 16) plus
+/// hashed jitter in `[0, base)`, floored at the server's `retry_after`
+/// hint, never less than one tick.
+fn backoff(cfg: &LoadGenConfig, client: usize, attempt: u64, k: u32, now: u64, after: u64) -> u64 {
+    let base = cfg.retry_base_ticks.max(1);
+    let shift = (k.saturating_sub(1)).min(16);
+    let jitter = site(cfg.seed, client, (attempt << 8) | k as u64, 0x0052_E717) % base;
+    (base << shift)
+        .saturating_add(jitter)
+        .max(after.saturating_sub(now))
+        .max(1)
+}
+
 /// Drives the server with the configured closed loop until every client
 /// retires and the server drains, then assembles the integer report.
 ///
 /// Tenancy: client `c` belongs to tenant `c % tenants`.
 ///
 /// # Errors
-/// Propagates engine/execution failures; admission rejections are normal
-/// flow (counted, never an error here).
+/// Propagates engine/execution failures; admission rejections and
+/// deadline sheds are normal flow (counted, never an error here).
 ///
 /// # Panics
 /// Panics if `cfg.mix` is empty — the caller picks the mix from its own
@@ -88,11 +124,16 @@ fn pick_model(cfg: &LoadGenConfig, client: usize, attempt: u64) -> ModelId {
 pub fn run_load(server: &mut Server, cfg: &LoadGenConfig) -> Result<ServeReport, ServeError> {
     assert!(!cfg.mix.is_empty(), "load mix must name at least one model");
     let tenants = server.config().tenants();
+    let classes = server.config().tenant_classes.clone();
+    let mut retries: u64 = 0;
+    let mut retry_exhausted: u64 = 0;
     let mut clients: Vec<Client> = (0..cfg.clients)
         .map(|c| Client {
             next_submit: (cfg.requests_per_client > 0).then(|| think(cfg, c, 0)),
-            attempts_left: cfg.requests_per_client,
+            requests_left: cfg.requests_per_client,
             attempt: 0,
+            retry_idx: 0,
+            retries_left: cfg.retry_budget,
         })
         .collect();
 
@@ -108,31 +149,57 @@ pub fn run_load(server: &mut Server, cfg: &LoadGenConfig) -> Result<ServeReport,
             // Server events run first on ties: completions free lanes and
             // wake clients before new arrivals are considered.
             (submit, Some(ts)) if submit.is_none_or(|(t, _)| ts <= t) => {
+                // Served and shed completions pace the closed loop the
+                // same way: either outcome retires the request and starts
+                // the client's next think interval.
                 for done in server.step()? {
                     let c = done.client as usize;
                     let st = &mut clients[c];
-                    if st.attempts_left > 0 {
+                    st.attempt += 1;
+                    st.retry_idx = 0;
+                    st.retries_left = cfg.retry_budget;
+                    if st.requests_left > 0 {
                         st.next_submit = Some(done.finish + think(cfg, c, st.attempt));
                     }
                 }
             }
             (Some((t, c)), _) => {
                 let st = &mut clients[c];
-                st.attempts_left -= 1;
+                if st.retry_idx == 0 {
+                    st.requests_left -= 1;
+                }
                 let attempt = st.attempt;
-                st.attempt += 1;
                 st.next_submit = None;
                 let model = pick_model(cfg, c, attempt);
                 let (ic, ih, iw) = server.registry().get(model)?.net.input();
                 let input = WorkloadGen::new(site(cfg.seed, c, attempt, 0x0001_4907))
                     .activations(ic, ih, iw, &ActivationProfile::new(BitWidth::W8))
                     .map_err(|e| ServeError::Engine(crate::engine::EngineError::from(e)))?;
-                match server.submit(t, model, c % tenants.max(1), c as u64, input) {
-                    Ok(_) => {} // woken by the completion
-                    Err(ServeError::Rejected { .. }) => {
+                let deadline = cfg.deadline_ticks.map(|d| t.saturating_add(d));
+                match server.submit(t, model, c % tenants.max(1), c as u64, input, deadline) {
+                    Ok(_) => {} // woken by the completion (served or shed)
+                    Err(
+                        ServeError::Rejected { retry_after, .. }
+                        | ServeError::BrownedOut { retry_after, .. },
+                    ) => {
                         let st = &mut clients[c];
-                        if st.attempts_left > 0 {
-                            st.next_submit = Some(t + think(cfg, c, st.attempt));
+                        if st.retries_left > 0 {
+                            st.retries_left -= 1;
+                            st.retry_idx += 1;
+                            retries += 1;
+                            obs::record(obs::Event::ServeRetries, 1);
+                            let delay = backoff(cfg, c, attempt, st.retry_idx, t, retry_after);
+                            st.next_submit = Some(t + delay);
+                        } else {
+                            if cfg.retry_budget > 0 {
+                                retry_exhausted += 1;
+                            }
+                            st.attempt += 1;
+                            st.retry_idx = 0;
+                            st.retries_left = cfg.retry_budget;
+                            if st.requests_left > 0 {
+                                st.next_submit = Some(t + think(cfg, c, st.attempt));
+                            }
                         }
                     }
                     Err(e) => return Err(e),
@@ -149,5 +216,8 @@ pub fn run_load(server: &mut Server, cfg: &LoadGenConfig) -> Result<ServeReport,
         cfg.clients as u64,
         tenants as u64,
         server.registry().names(),
+        &classes,
+        retries,
+        retry_exhausted,
     ))
 }

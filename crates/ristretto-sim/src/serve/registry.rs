@@ -69,9 +69,13 @@ impl ModelRegistry {
         };
         let lane = Fleet::try_new(net.clone(), FleetConfig::new(1, ShardStrategy::Batch))?;
         let fleet = if serve.fleet_cores > 1 {
+            // Serve-level core-death campaigns land on the fleet lane
+            // only: the single-core lane stays clean so the degradation
+            // ladder always has a healthy rung to fall back to.
             Some(Fleet::try_new(
                 net.clone(),
-                FleetConfig::new(serve.fleet_cores, ShardStrategy::Batch),
+                FleetConfig::new(serve.fleet_cores, ShardStrategy::Batch)
+                    .with_core_deaths(serve.core_deaths),
             )?)
         } else {
             None

@@ -4,6 +4,7 @@
 //! requests per megatick) are derived at display time, never stored.
 
 use super::server::ServerStats;
+use super::SloClass;
 use serde::{Deserialize, Serialize};
 
 /// Per-tenant admission and service counts.
@@ -13,14 +14,56 @@ pub struct TenantStats {
     pub submitted: u64,
     /// Requests completed for this tenant.
     pub served: u64,
+    /// Requests refused by admission control (queue full or brownout).
+    pub rejected: u64,
+    /// Requests shed at dispatch because their deadline had expired.
+    pub shed: u64,
+}
+
+/// Per-SLO-class aggregate: tenant counters rolled up by class, plus the
+/// class's own latency tail — the table that shows brownout protecting
+/// interactive p99 at the cost of best-effort shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// The SLO class this row aggregates.
+    pub class: SloClass,
+    /// Requests offered by tenants of this class.
+    pub submitted: u64,
+    /// Requests completed for tenants of this class.
+    pub served: u64,
     /// Requests refused by admission control.
     pub rejected: u64,
+    /// Requests shed at dispatch on an expired deadline.
+    pub shed: u64,
+    /// Median completion latency in microticks (nearest rank; 0 when the
+    /// class served nothing).
+    pub latency_p50_ticks: u64,
+    /// 99th-percentile completion latency in microticks.
+    pub latency_p99_ticks: u64,
+}
+
+/// The chaos-under-load witness attached by `repro serve --chaos`: both
+/// the chaos run and its quiescent twin fold the output digests of the
+/// `(client, seq)` pairs *both* runs served. Equality proves that no
+/// shed, retried, rerouted or degraded request silently corrupted an
+/// output — the runs may serve different survivor sets, but everything
+/// they both served is byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosTwin {
+    /// `(client, seq)` pairs served by both runs.
+    pub survivors: u64,
+    /// The chaos run's digest fold over the shared survivor set.
+    pub survivor_digest: u64,
+    /// The quiescent twin's fold over the same set — must equal
+    /// `survivor_digest`.
+    pub twin_survivor_digest: u64,
 }
 
 /// The serialized outcome of one seeded serving run.
 ///
-/// Conservation invariant: `submitted == served + rejected` once the
-/// server has drained (no requests in flight), globally and per tenant.
+/// Conservation invariant: `submitted == served + rejected + shed` once
+/// the server has drained (no requests in flight) — globally, per tenant
+/// and per SLO class.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Load-generator seed.
@@ -35,18 +78,39 @@ pub struct ServeReport {
     pub submitted: u64,
     /// Requests completed.
     pub served: u64,
-    /// Requests refused by admission control.
+    /// Requests refused by admission control (queue full or brownout).
     pub rejected: u64,
+    /// Requests shed at dispatch because their deadline had expired.
+    pub shed: u64,
+    /// The brownout subset of `rejected`.
+    pub brownout_rejected: u64,
+    /// Client retries attempted after a rejection (backoff re-offers).
+    pub retries: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub retry_exhausted: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Batches routed through the multi-core fleet lane.
     pub fleet_batches: u64,
+    /// Batches the SLO-aware trigger pulled in ahead of the normal bound.
+    pub deadline_early_dispatches: u64,
+    /// Circuit-breaker trips (closed→open and failed-probe re-trips).
+    pub breaker_trips: u64,
+    /// Batches served on the degraded route while a breaker was open.
+    pub breaker_open_batches: u64,
+    /// Half-open probes dispatched after a breaker cooldown.
+    pub breaker_half_opens: u64,
+    /// Batches re-run with recovery forced after a fault abort.
+    pub breaker_reruns: u64,
     /// `histogram[k-1]` = batches that carried exactly `k` requests.
     pub batch_histogram: Vec<u64>,
     /// Deepest queue occupancy observed at any admission.
     pub queue_depth_max: u64,
     /// Per-tenant counts, indexed by tenant id.
     pub per_tenant: Vec<TenantStats>,
+    /// Per-SLO-class rollups, always all three classes in
+    /// [`SloClass::ALL`] order.
+    pub per_class: Vec<ClassStats>,
     /// Median completion latency in microticks (nearest rank).
     pub latency_p50_ticks: u64,
     /// 90th-percentile completion latency in microticks.
@@ -71,20 +135,53 @@ pub struct ServeReport {
     /// no-silent-corruption witness: a chaos run must reproduce the
     /// quiescent digest exactly even though its batching differs).
     pub output_digest: u64,
+    /// Intersection digests against a quiescent twin run — attached only
+    /// by chaos harnesses that ran one (`null` otherwise).
+    pub chaos_twin: Option<ChaosTwin>,
 }
 
 impl ServeReport {
     /// Assembles the report from the server's counters plus the load
-    /// generator's identity fields.
+    /// generator's identity fields: `classes` maps tenant id to SLO
+    /// class, `retries`/`retry_exhausted` come from the client side.
+    #[allow(clippy::too_many_arguments)] // one scalar per report identity field
     pub fn from_stats(
         stats: &ServerStats,
         seed: u64,
         clients: u64,
         tenants: u64,
         models: Vec<String>,
+        classes: &[SloClass],
+        retries: u64,
+        retry_exhausted: u64,
     ) -> Self {
         let mut lat = stats.latencies.clone();
         lat.sort_unstable();
+        let per_class = SloClass::ALL
+            .iter()
+            .map(|&class| {
+                let (mut submitted, mut served, mut rejected, mut shed) = (0, 0, 0, 0);
+                for (t, counts) in stats.per_tenant.iter().enumerate() {
+                    if classes[t] == class {
+                        submitted += counts.0;
+                        served += counts.1;
+                        rejected += counts.2;
+                        shed += counts.3;
+                    }
+                }
+                let mut class_lat = stats.latencies_by_class[class.index()].clone();
+                class_lat.sort_unstable();
+                ClassStats {
+                    class,
+                    submitted,
+                    served,
+                    rejected,
+                    shed,
+                    latency_p50_ticks: percentile(&class_lat, 50),
+                    latency_p99_ticks: percentile(&class_lat, 99),
+                }
+            })
+            .collect();
         Self {
             seed,
             clients,
@@ -93,19 +190,30 @@ impl ServeReport {
             submitted: stats.submitted,
             served: stats.served,
             rejected: stats.rejected,
+            shed: stats.shed,
+            brownout_rejected: stats.brownout_rejected,
+            retries,
+            retry_exhausted,
             batches: stats.batches,
             fleet_batches: stats.fleet_batches,
+            deadline_early_dispatches: stats.deadline_early_dispatches,
+            breaker_trips: stats.breaker_trips,
+            breaker_open_batches: stats.breaker_open_batches,
+            breaker_half_opens: stats.breaker_half_opens,
+            breaker_reruns: stats.breaker_reruns,
             batch_histogram: stats.batch_histogram.clone(),
             queue_depth_max: stats.queue_highwater,
             per_tenant: stats
                 .per_tenant
                 .iter()
-                .map(|&(submitted, served, rejected)| TenantStats {
+                .map(|&(submitted, served, rejected, shed)| TenantStats {
                     submitted,
                     served,
                     rejected,
+                    shed,
                 })
                 .collect(),
+            per_class,
             latency_p50_ticks: percentile(&lat, 50),
             latency_p90_ticks: percentile(&lat, 90),
             latency_p99_ticks: percentile(&lat, 99),
@@ -116,6 +224,7 @@ impl ServeReport {
             faults_detected: stats.faults_detected,
             makespan_ticks: stats.last_finish,
             output_digest: stats.output_digest(),
+            chaos_twin: None,
         }
     }
 
@@ -128,14 +237,19 @@ impl ServeReport {
         self.served as f64 * 1e6 / self.makespan_ticks as f64
     }
 
-    /// Whether `submitted == served + rejected` globally and per tenant —
-    /// the post-drain conservation invariant.
+    /// Whether `submitted == served + rejected + shed` globally, per
+    /// tenant and per SLO class — the post-drain conservation invariant.
     pub fn conserves_requests(&self) -> bool {
-        self.submitted == self.served + self.rejected
+        self.submitted == self.served + self.rejected + self.shed
             && self
                 .per_tenant
                 .iter()
-                .all(|t| t.submitted == t.served + t.rejected)
+                .all(|t| t.submitted == t.served + t.rejected + t.shed)
+            && self
+                .per_class
+                .iter()
+                .all(|c| c.submitted == c.served + c.rejected + c.shed)
+            && self.per_class.iter().map(|c| c.submitted).sum::<u64>() == self.submitted
     }
 }
 
@@ -164,5 +278,58 @@ mod tests {
         let v: Vec<u64> = (1..=10).collect();
         assert_eq!(percentile(&v, 50), 5);
         assert_eq!(percentile(&v, 99), 10);
+    }
+
+    #[test]
+    fn conservation_checks_every_level() {
+        let stats = ServerStats {
+            submitted: 10,
+            served: 7,
+            rejected: 2,
+            shed: 1,
+            per_tenant: vec![(6, 4, 1, 1), (4, 3, 1, 0)],
+            ..ServerStats::default()
+        };
+        let report = ServeReport::from_stats(
+            &stats,
+            1,
+            2,
+            2,
+            vec!["m".into()],
+            &[SloClass::Interactive, SloClass::BestEffort],
+            0,
+            0,
+        );
+        assert!(report.conserves_requests());
+        assert_eq!(report.per_class[0].submitted, 6);
+        assert_eq!(report.per_class[2].submitted, 4);
+        assert_eq!(report.per_class[1].submitted, 0);
+        let mut broken = report.clone();
+        broken.shed = 0;
+        assert!(!broken.conserves_requests());
+        let mut broken = report.clone();
+        broken.per_tenant[0].shed = 0;
+        assert!(!broken.conserves_requests());
+        let mut broken = report;
+        broken.per_class[2].served = 0;
+        assert!(!broken.conserves_requests());
+    }
+
+    #[test]
+    fn chaos_twin_round_trips() {
+        let stats = ServerStats::default();
+        let mut report =
+            ServeReport::from_stats(&stats, 1, 1, 1, vec!["m".into()], &[SloClass::Batch], 0, 0);
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"chaos_twin\":null"));
+        report.chaos_twin = Some(ChaosTwin {
+            survivors: 3,
+            survivor_digest: 42,
+            twin_survivor_digest: 42,
+        });
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"survivors\":3"));
+        let back: ServeReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
     }
 }

@@ -1,17 +1,23 @@
 //! The continuous-batching scheduler: virtual-time event loop, bounded
-//! admission, weighted fair dequeue, per-model execution lanes.
+//! admission with brownout shedding, weighted fair dequeue, per-request
+//! deadlines with dispatch-time shedding, per-model execution lanes
+//! behind a fault-tripped circuit breaker.
 
 use super::registry::{ModelEntry, ModelId, ModelRegistry};
-use super::{ServeConfig, ServeError};
-use crate::fault::FaultStats;
-use crate::fleet::tensor_digest;
+use super::{ServeConfig, ServeError, SloClass};
+use crate::engine::EngineError;
+use crate::fault::{FaultConfig, FaultStats};
+use crate::fleet::{tensor_digest, FleetRun};
 use qnn::tensor::Tensor3;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One admitted request waiting in a lane queue.
 struct Request {
     id: u64,
     tenant: usize,
+    /// The tenant's SLO class, resolved at admission.
+    class: SloClass,
     client: u64,
     /// Per-client admission sequence number: together with `client` it is
     /// the request's stable identity across runs whose interleaving
@@ -19,6 +25,24 @@ struct Request {
     seq: u64,
     input: Tensor3,
     submit: u64,
+    /// Absolute microtick the request expires at: still queued when it
+    /// passes, the scheduler sheds it at dispatch instead of running dead
+    /// work. `None` never expires.
+    deadline: Option<u64>,
+}
+
+/// How a request left the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Executed and completed; the output digest was recorded.
+    Served,
+    /// Shed at dispatch time: its deadline had already passed, so the
+    /// batch left without it (`ServeError::DeadlineExceeded` as a
+    /// completion-side disposition rather than a submission error).
+    DeadlineExceeded {
+        /// The absolute deadline that expired.
+        deadline: u64,
+    },
 }
 
 /// A finished request, reported back to the submitting client.
@@ -34,11 +58,60 @@ pub struct Completion {
     pub client: u64,
     /// Microtick the request was admitted at.
     pub submit: u64,
-    /// Microtick the batch carrying it completed at.
+    /// Microtick the batch carrying it completed at (for a shed request:
+    /// the dispatch tick that shed it).
     pub finish: u64,
+    /// Whether the request was served or shed.
+    pub disposition: Disposition,
 }
 
-/// Per-model execution lane: its queue, fairness credits and busy horizon.
+/// Circuit-breaker state of one execution lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: batches route normally, faulted batches grow the streak.
+    Closed,
+    /// Tripped: batches route around the fleet lane onto the single-core
+    /// lane with recovery forced on, until the cooldown tick passes and
+    /// the next batch half-opens (probes) the primary route.
+    Open {
+        /// First tick at which a probe may run.
+        until: u64,
+    },
+}
+
+/// One batch in flight, keyed for the completion heap: ascending finish
+/// tick, dispatch order breaking ties so pops are deterministic.
+struct InFlight {
+    finish: u64,
+    /// Dispatch ordinal (monotone per dispatch) — the deterministic
+    /// tie-break for batches finishing on the same tick.
+    order: u64,
+    comps: Vec<Completion>,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.finish, self.order) == (other.finish, other.order)
+    }
+}
+
+impl Eq for InFlight {}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.finish, self.order).cmp(&(other.finish, other.order))
+    }
+}
+
+/// Per-model execution lane: its queue, fairness credits, busy horizon,
+/// the incrementally maintained dispatch-trigger caches, the decaying
+/// span estimate and the circuit breaker.
 struct Lane {
     /// One FIFO per tenant, each in admission order.
     queues: Vec<VecDeque<Request>>,
@@ -46,11 +119,54 @@ struct Lane {
     credits: Vec<i64>,
     /// Virtual tick the lane is busy until.
     busy_until: u64,
+    /// Submit ticks of every pending request, ascending — maintained on
+    /// admission and rebuilt after dispatch, so `next_event` probes read
+    /// the k-th-smallest submit in O(1) instead of re-sorting the queue.
+    submits_sorted: Vec<u64>,
+    /// Earliest deadline among pending `Interactive` requests
+    /// (`u64::MAX` when none) — arms the SLO-aware early dispatch.
+    interactive_deadline_min: u64,
+    /// Decaying integer window over recent batch spans
+    /// (`est' = (3·est + span) / 4`); `0` until the first batch lands.
+    span_est: u64,
+    /// Consecutive completed batches that reported detected faults.
+    faulted_streak: u32,
+    breaker: BreakerState,
 }
 
 impl Lane {
     fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.submits_sorted.len()
+    }
+
+    /// Folds one admitted request into the trigger caches.
+    fn note_admit(&mut self, submit: u64, class: SloClass, deadline: Option<u64>) {
+        let at = self.submits_sorted.partition_point(|&s| s <= submit);
+        self.submits_sorted.insert(at, submit);
+        if class == SloClass::Interactive {
+            if let Some(d) = deadline {
+                self.interactive_deadline_min = self.interactive_deadline_min.min(d);
+            }
+        }
+    }
+
+    /// Rebuilds the trigger caches from the queues (after a dispatch or a
+    /// shed removed arbitrary entries).
+    fn rebuild_cache(&mut self) {
+        self.submits_sorted = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|r| r.submit))
+            .collect();
+        self.submits_sorted.sort_unstable();
+        self.interactive_deadline_min = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter(|r| r.class == SloClass::Interactive)
+            .filter_map(|r| r.deadline)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 }
 
@@ -62,14 +178,32 @@ pub struct ServerStats {
     pub submitted: u64,
     /// Requests completed.
     pub served: u64,
-    /// Requests refused by admission control.
+    /// Requests refused by admission control (queue full or brownout).
     pub rejected: u64,
-    /// Per-tenant `(submitted, served, rejected)` triples.
-    pub per_tenant: Vec<(u64, u64, u64)>,
+    /// Requests shed at dispatch because their deadline had expired.
+    pub shed: u64,
+    /// The brownout subset of `rejected`: `BestEffort` admissions shed at
+    /// the high-water mark.
+    pub brownout_rejected: u64,
+    /// Per-tenant `(submitted, served, rejected, shed)` tuples.
+    pub per_tenant: Vec<(u64, u64, u64, u64)>,
     /// Batches dispatched.
     pub batches: u64,
     /// Batches routed through the multi-core fleet lane.
     pub fleet_batches: u64,
+    /// Batches the SLO-aware trigger pulled in ahead of the batch-full /
+    /// max-wait bound.
+    pub deadline_early_dispatches: u64,
+    /// Circuit-breaker trips (closed→open, and re-trips on a failed
+    /// probe).
+    pub breaker_trips: u64,
+    /// Batches served on the degraded route while a breaker was open.
+    pub breaker_open_batches: u64,
+    /// Half-open probes dispatched after a breaker cooldown.
+    pub breaker_half_opens: u64,
+    /// Batches re-run with recovery forced on after the primary route
+    /// aborted on a detected fault.
+    pub breaker_reruns: u64,
     /// `histogram[k-1]` = batches that carried exactly `k` requests.
     pub batch_histogram: Vec<u64>,
     /// Deepest queue occupancy observed at any admission.
@@ -85,6 +219,9 @@ pub struct ServerStats {
     /// Completion latencies in microticks (sorted on demand for
     /// percentiles).
     pub latencies: Vec<u64>,
+    /// Completion latencies split by SLO class (indexed by
+    /// [`SloClass::index`]).
+    pub latencies_by_class: [Vec<u64>; 3],
     /// `(client, seq, digest)` per completed request; folded in sorted
     /// order into the report's `output_digest`, so the witness is
     /// independent of batch composition and completion interleaving.
@@ -100,7 +237,20 @@ impl ServerStats {
     /// byte-identical outputs agree here even if their batch compositions
     /// differed; any corrupted output changes it.
     pub fn output_digest(&self) -> u64 {
-        let mut digests = self.request_digests.clone();
+        self.output_digest_over(|_, _| true)
+    }
+
+    /// [`ServerStats::output_digest`] restricted to the requests `keep`
+    /// accepts by `(client, seq)` — the chaos-twin witness folds only the
+    /// intersection of both runs' survivors, so shed/degraded runs are
+    /// still provably corruption-free on everything they did serve.
+    pub fn output_digest_over(&self, mut keep: impl FnMut(u64, u64) -> bool) -> u64 {
+        let mut digests: Vec<(u64, u64, u64)> = self
+            .request_digests
+            .iter()
+            .copied()
+            .filter(|&(client, seq, _)| keep(client, seq))
+            .collect();
         digests.sort_unstable();
         let mut h = 0x5E27Eu64;
         for (client, seq, d) in digests {
@@ -118,8 +268,12 @@ pub struct Server {
     registry: ModelRegistry,
     cfg: ServeConfig,
     lanes: Vec<Lane>,
-    /// Batches in flight: `(finish, completions)`, kept sorted by finish.
-    in_flight: Vec<(u64, Vec<Completion>)>,
+    /// Batches in flight, a min-heap on `(finish, dispatch order)`: pops
+    /// are deterministic and O(log n), replacing the former re-sort of a
+    /// flat vector on every dispatch.
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    /// Monotone dispatch ordinal — the heap's tie-break key.
+    dispatch_order: u64,
     /// Admitted, not-yet-dispatched requests across all lanes.
     queued: usize,
     next_id: u64,
@@ -144,10 +298,15 @@ impl Server {
                 queues: (0..tenants).map(|_| VecDeque::new()).collect(),
                 credits: vec![0; tenants],
                 busy_until: 0,
+                submits_sorted: Vec::new(),
+                interactive_deadline_min: u64::MAX,
+                span_est: 0,
+                faulted_streak: 0,
+                breaker: BreakerState::Closed,
             })
             .collect();
         let stats = ServerStats {
-            per_tenant: vec![(0, 0, 0); tenants],
+            per_tenant: vec![(0, 0, 0, 0); tenants],
             batch_histogram: vec![0; cfg.max_batch],
             ..ServerStats::default()
         };
@@ -155,7 +314,8 @@ impl Server {
             registry,
             cfg,
             lanes,
-            in_flight: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            dispatch_order: 0,
             queued: 0,
             next_id: 0,
             client_seq: std::collections::HashMap::new(),
@@ -181,16 +341,35 @@ impl Server {
 
     /// Requests admitted but not yet completed (queued + in flight).
     pub fn outstanding(&self) -> usize {
-        self.queued + self.in_flight.iter().map(|(_, c)| c.len()).sum::<usize>()
+        self.queued
+            + self
+                .in_flight
+                .iter()
+                .map(|Reverse(b)| b.comps.len())
+                .sum::<usize>()
     }
 
-    /// Offers one request to admission control at microtick `now`.
-    /// Returns the request id on admission.
+    /// The earliest tick a queue slot is expected to free: the next
+    /// dispatch across all lanes (`now` when nothing is pending) — the
+    /// `retry_after` hint carried by rejections.
+    fn retry_after_hint(&self, now: u64) -> u64 {
+        (0..self.lanes.len())
+            .filter_map(|l| self.dispatch_time(l))
+            .min()
+            .unwrap_or(now)
+    }
+
+    /// Offers one request to admission control at microtick `now`, with
+    /// an optional absolute expiry deadline (microticks). Returns the
+    /// request id on admission.
     ///
     /// # Errors
-    /// [`ServeError::Rejected`] when the bounded queue is at capacity
-    /// (the request is counted, not enqueued), [`ServeError::UnknownModel`]
-    /// / [`ServeError::UnknownTenant`] for bad handles.
+    /// [`ServeError::Rejected`] when the bounded queue is at capacity,
+    /// [`ServeError::BrownedOut`] when brownout sheds a `BestEffort`
+    /// admission at the high-water mark (both counted, not enqueued;
+    /// both carry a `retry_after` backoff hint),
+    /// [`ServeError::UnknownModel`] / [`ServeError::UnknownTenant`] for
+    /// bad handles.
     pub fn submit(
         &mut self,
         now: u64,
@@ -198,6 +377,7 @@ impl Server {
         tenant: usize,
         client: u64,
         input: Tensor3,
+        deadline: Option<u64>,
     ) -> Result<u64, ServeError> {
         self.registry.get(model)?;
         if tenant >= self.cfg.tenants() {
@@ -207,9 +387,23 @@ impl Server {
             });
         }
         let now = now.max(self.horizon);
+        let class = self.cfg.tenant_classes[tenant];
         self.stats.submitted += 1;
         self.stats.per_tenant[tenant].0 += 1;
         obs::record(obs::Event::ServeRequests, 1);
+        if class == SloClass::BestEffort && self.queued >= self.cfg.brownout_highwater() {
+            self.stats.rejected += 1;
+            self.stats.brownout_rejected += 1;
+            self.stats.per_tenant[tenant].2 += 1;
+            obs::record(obs::Event::ServeRejected, 1);
+            obs::record(obs::Event::ServeBrownoutRejected, 1);
+            return Err(ServeError::BrownedOut {
+                tenant,
+                queue_depth: self.queued,
+                highwater: self.cfg.brownout_highwater(),
+                retry_after: self.retry_after_hint(now),
+            });
+        }
         if self.queued >= self.cfg.queue_capacity {
             self.stats.rejected += 1;
             self.stats.per_tenant[tenant].2 += 1;
@@ -218,6 +412,7 @@ impl Server {
                 tenant,
                 queue_depth: self.queued,
                 capacity: self.cfg.queue_capacity,
+                retry_after: self.retry_after_hint(now),
             });
         }
         let id = self.next_id;
@@ -225,13 +420,17 @@ impl Server {
         let seq = self.client_seq.entry(client).or_insert(0);
         let request_seq = *seq;
         *seq += 1;
-        self.lanes[model.0].queues[tenant].push_back(Request {
+        let lane = &mut self.lanes[model.0];
+        lane.note_admit(now, class, deadline);
+        lane.queues[tenant].push_back(Request {
             id,
             tenant,
+            class,
             client,
             seq: request_seq,
             input,
             submit: now,
+            deadline,
         });
         self.queued += 1;
         let depth = self.queued as u64;
@@ -244,7 +443,7 @@ impl Server {
     /// flight completes or a lane's dispatch condition fires. `None` when
     /// the server is fully drained.
     pub fn next_event(&self) -> Option<u64> {
-        let completion = self.in_flight.iter().map(|&(f, _)| f).min();
+        let completion = self.in_flight.peek().map(|Reverse(b)| b.finish);
         let dispatch = (0..self.lanes.len())
             .filter_map(|l| self.dispatch_time(l))
             .min();
@@ -254,33 +453,46 @@ impl Server {
         }
     }
 
-    /// When lane `l` would next dispatch: once free, once the batch is
-    /// full (`max_batch` pending, trigger = the batch-filling arrival) or
-    /// the oldest request has waited `max_wait_ticks` — whichever bounds
-    /// first. `None` while its queue is empty.
-    fn dispatch_time(&self, l: usize) -> Option<u64> {
+    /// The `(normal, slo)` trigger pair for lane `l`, read off the
+    /// incrementally maintained caches in O(1): `normal` is the classic
+    /// bound (batch full → the batch-filling arrival, else oldest request
+    /// plus `max_wait_ticks`), while `slo` is the early tick the oldest
+    /// pending interactive deadline pulls dispatch to — deadline minus
+    /// the lane's span estimate, floored at the oldest arrival — and is
+    /// absent until a span estimate exists. `None` while the lane is
+    /// empty.
+    fn triggers(&self, l: usize) -> Option<(u64, Option<u64>)> {
         let lane = &self.lanes[l];
         let pending = lane.pending();
         if pending == 0 {
             return None;
         }
-        let mut submits: Vec<u64> = lane
-            .queues
-            .iter()
-            .flat_map(|q| q.iter().map(|r| r.submit))
-            .collect();
-        submits.sort_unstable();
-        let trigger = if pending >= self.cfg.max_batch {
-            submits[self.cfg.max_batch - 1]
+        let normal = if pending >= self.cfg.max_batch {
+            lane.submits_sorted[self.cfg.max_batch - 1]
         } else {
-            submits[0].saturating_add(self.cfg.max_wait_ticks)
+            lane.submits_sorted[0].saturating_add(self.cfg.max_wait_ticks)
         };
-        Some(lane.busy_until.max(trigger))
+        let slo = (lane.interactive_deadline_min != u64::MAX && lane.span_est > 0).then(|| {
+            lane.interactive_deadline_min
+                .saturating_sub(lane.span_est)
+                .max(lane.submits_sorted[0])
+        });
+        Some((normal, slo))
+    }
+
+    /// When lane `l` would next dispatch: once free, once the earlier of
+    /// the normal and SLO-aware triggers fires. `None` while its queue is
+    /// empty.
+    fn dispatch_time(&self, l: usize) -> Option<u64> {
+        let (normal, slo) = self.triggers(l)?;
+        let trigger = slo.map_or(normal, |s| normal.min(s));
+        Some(self.lanes[l].busy_until.max(trigger))
     }
 
     /// Processes every event at the next event tick: completions first
     /// (they free lanes), then dispatches, in lane order. Returns the
-    /// completions popped.
+    /// completions popped, including shed notices
+    /// ([`Disposition::DeadlineExceeded`]).
     ///
     /// # Errors
     /// Propagates execution failures from the engine underneath.
@@ -290,30 +502,33 @@ impl Server {
         };
         self.horizon = self.horizon.max(t);
         let mut done = Vec::new();
-        self.in_flight.retain_mut(|(finish, comps)| {
-            if *finish <= t {
-                done.append(comps);
-                false
-            } else {
-                true
-            }
-        });
+        while self
+            .in_flight
+            .peek()
+            .is_some_and(|Reverse(b)| b.finish <= t)
+        {
+            let Reverse(batch) = self.in_flight.pop().expect("peeked non-empty");
+            done.extend(batch.comps);
+        }
         for c in &done {
             self.stats.served += 1;
             self.stats.per_tenant[c.tenant].1 += 1;
-            self.stats.latencies.push(c.finish - c.submit);
+            let latency = c.finish.saturating_sub(c.submit);
+            self.stats.latencies.push(latency);
+            self.stats.latencies_by_class[self.cfg.tenant_classes[c.tenant].index()].push(latency);
             self.stats.last_finish = self.stats.last_finish.max(c.finish);
             obs::record(obs::Event::ServeServed, 1);
         }
         for l in 0..self.lanes.len() {
             if self.dispatch_time(l).is_some_and(|d| d <= t) {
-                self.dispatch(l, t)?;
+                done.extend(self.dispatch(l, t)?);
             }
         }
         Ok(done)
     }
 
-    /// Runs the event loop to quiescence; returns every completion.
+    /// Runs the event loop to quiescence; returns every completion
+    /// (served and shed).
     ///
     /// # Errors
     /// Propagates the first execution failure.
@@ -323,7 +538,47 @@ impl Server {
             all.extend(self.step()?);
         }
         debug_assert_eq!(self.outstanding(), 0, "drain left requests behind");
+        debug_assert_eq!(
+            self.stats.submitted,
+            self.stats.served + self.stats.rejected + self.stats.shed,
+            "conservation violated at drain"
+        );
         Ok(all)
+    }
+
+    /// Removes every expired request from lane `l` at dispatch tick `at`,
+    /// returning their shed notices (counted, never executed).
+    fn shed_expired(&mut self, l: usize, at: u64) -> Vec<Completion> {
+        let lane = &mut self.lanes[l];
+        let mut notices = Vec::new();
+        for queue in &mut lane.queues {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            for r in queue.drain(..) {
+                match r.deadline {
+                    Some(d) if d <= at => {
+                        self.stats.shed += 1;
+                        self.stats.per_tenant[r.tenant].3 += 1;
+                        self.queued -= 1;
+                        obs::record(obs::Event::ServeShed, 1);
+                        notices.push(Completion {
+                            request: r.id,
+                            model: ModelId(l),
+                            tenant: r.tenant,
+                            client: r.client,
+                            submit: r.submit,
+                            finish: at,
+                            disposition: Disposition::DeadlineExceeded { deadline: d },
+                        });
+                    }
+                    _ => kept.push_back(r),
+                }
+            }
+            *queue = kept;
+        }
+        if !notices.is_empty() {
+            lane.rebuild_cache();
+        }
+        notices
     }
 
     /// Picks up to `max_batch` requests off lane `l` by smooth weighted
@@ -331,10 +586,15 @@ impl Server {
     /// credit by its weight, takes the highest credit (lowest tenant index
     /// on ties) and charges it the active weight sum.
     fn select_batch(&mut self, l: usize) -> Vec<Request> {
-        let weights = self.cfg.tenant_weights.clone();
-        let lane = &mut self.lanes[l];
+        // Split borrows: the weight table lives on the config, the queues
+        // on the lane — no per-dispatch clone of the weights.
+        let Self {
+            cfg, lanes, queued, ..
+        } = self;
+        let weights = &cfg.tenant_weights;
+        let lane = &mut lanes[l];
         let mut batch = Vec::new();
-        while batch.len() < self.cfg.max_batch {
+        while batch.len() < cfg.max_batch {
             let active: Vec<usize> = (0..lane.queues.len())
                 .filter(|&t| !lane.queues[t].is_empty())
                 .collect();
@@ -352,22 +612,64 @@ impl Server {
             lane.credits[pick] -= total;
             batch.push(lane.queues[pick].pop_front().expect("picked non-empty"));
         }
-        self.queued -= batch.len();
+        *queued -= batch.len();
         batch
     }
 
-    /// Dispatches one batch on lane `l` at tick `at`: selects requests,
-    /// executes them (fleet lane for large batches), prices the span via
-    /// the cycle model and schedules the completions.
-    fn dispatch(&mut self, l: usize, at: u64) -> Result<(), ServeError> {
+    /// Dispatches one batch on lane `l` at tick `at`: sheds expired
+    /// requests, selects the rest, routes them (fleet lane for large
+    /// batches unless the circuit breaker is open), prices the span via
+    /// the cycle model and schedules the completions. Returns the shed
+    /// notices.
+    fn dispatch(&mut self, l: usize, at: u64) -> Result<Vec<Completion>, ServeError> {
+        let notices = self.shed_expired(l, at);
+        if self.lanes[l].pending() == 0 {
+            return Ok(notices);
+        }
+        // Was the SLO-aware trigger the operative bound? (Accounting
+        // only; computed on the post-shed queue.)
+        let early = matches!(self.triggers(l), Some((normal, Some(slo))) if slo < normal);
         let batch = self.select_batch(l);
         debug_assert!(!batch.is_empty());
-        let inputs: Vec<Tensor3> = batch.iter().map(|r| r.input.clone()).collect();
+        let inputs: Vec<&Tensor3> = batch.iter().map(|r| &r.input).collect();
         let entry: &ModelEntry = self.registry.get(ModelId(l))?;
-        let use_fleet = entry.fleet.is_some() && batch.len() >= self.cfg.fleet_batch_threshold;
-        let run = match (&entry.fleet, use_fleet) {
-            (Some(fleet), true) => fleet.run(&inputs)?,
-            _ => entry.lane.run(&inputs)?,
+        let qualifies_fleet =
+            entry.fleet.is_some() && batch.len() >= self.cfg.fleet_batch_threshold;
+        let breaker_enabled = self.cfg.breaker_threshold > 0;
+        let campaign = entry.net.config().faults;
+
+        // The degradation ladder: while the breaker is open, batches skip
+        // the fleet lane and re-run on the single-core lane with recovery
+        // forced on; once the cooldown passes, the next batch half-opens
+        // (probes) the primary route. All decisions are pure functions of
+        // counters and virtual ticks — no wall clock, no randomness.
+        let (route_fleet, degraded, probing) = match self.lanes[l].breaker {
+            BreakerState::Open { until } if at >= until => (qualifies_fleet, false, true),
+            BreakerState::Open { .. } => (false, true, false),
+            BreakerState::Closed => (qualifies_fleet, false, false),
+        };
+        let effective = if degraded {
+            campaign.map(FaultConfig::forced_recovery)
+        } else {
+            campaign
+        };
+        let primary: Result<FleetRun, EngineError> = match (&entry.fleet, route_fleet) {
+            (Some(fleet), true) => fleet.run_with(&inputs, effective),
+            _ => entry.lane.run_with(&inputs, effective),
+        };
+        // Per-batch rung of the ladder: a detected fault that escaped
+        // containment aborts the primary attempt — re-run on the
+        // single-core lane with recovery forced instead of failing the
+        // whole serve loop.
+        let (run, rerun) = match primary {
+            Ok(run) => (run, false),
+            Err(EngineError::Fault(_)) if breaker_enabled => {
+                let run = entry
+                    .lane
+                    .run_with(&inputs, campaign.map(FaultConfig::forced_recovery))?;
+                (run, true)
+            }
+            Err(e) => return Err(e.into()),
         };
 
         // Span pricing, all integer: a per-dispatch weight-streaming
@@ -393,10 +695,59 @@ impl Server {
         obs::record(obs::Event::ServeBatchMax, batch.len() as u64);
         obs::record(obs::Event::ServeBusyTicks, span);
         obs::record(obs::Event::ServeFaultPenaltyTicks, penalty);
-        if use_fleet {
+        if route_fleet {
             self.stats.fleet_batches += 1;
             obs::record(obs::Event::ServeFleetBatches, 1);
         }
+        if early {
+            self.stats.deadline_early_dispatches += 1;
+            obs::record(obs::Event::ServeDeadlineEarlyDispatches, 1);
+        }
+        if rerun {
+            self.stats.breaker_reruns += 1;
+            obs::record(obs::Event::ServeBreakerReruns, 1);
+        }
+
+        // Breaker bookkeeping, driven purely by the batch's fault
+        // counters: an aborted-and-rerun batch counts as faulted.
+        let faulted = rerun || run.faults.detected_total() > 0;
+        if breaker_enabled {
+            match self.lanes[l].breaker {
+                BreakerState::Closed => {
+                    if faulted {
+                        self.lanes[l].faulted_streak += 1;
+                        if self.lanes[l].faulted_streak >= self.cfg.breaker_threshold {
+                            self.lanes[l].breaker = BreakerState::Open {
+                                until: finish.saturating_add(self.cfg.breaker_cooldown_ticks),
+                            };
+                            self.lanes[l].faulted_streak = 0;
+                            self.stats.breaker_trips += 1;
+                            obs::record(obs::Event::ServeBreakerTrips, 1);
+                        }
+                    } else {
+                        self.lanes[l].faulted_streak = 0;
+                    }
+                }
+                BreakerState::Open { .. } if probing => {
+                    self.stats.breaker_half_opens += 1;
+                    obs::record(obs::Event::ServeBreakerHalfOpens, 1);
+                    if faulted {
+                        self.lanes[l].breaker = BreakerState::Open {
+                            until: finish.saturating_add(self.cfg.breaker_cooldown_ticks),
+                        };
+                        self.stats.breaker_trips += 1;
+                        obs::record(obs::Event::ServeBreakerTrips, 1);
+                    } else {
+                        self.lanes[l].breaker = BreakerState::Closed;
+                    }
+                }
+                BreakerState::Open { .. } => {
+                    self.stats.breaker_open_batches += 1;
+                    obs::record(obs::Event::ServeBreakerOpenBatches, 1);
+                }
+            }
+        }
+
         for (r, out) in batch.iter().zip(&run.outputs) {
             self.stats
                 .request_digests
@@ -412,12 +763,23 @@ impl Server {
                 client: r.client,
                 submit: r.submit,
                 finish,
+                disposition: Disposition::Served,
             })
             .collect();
         self.lanes[l].busy_until = finish;
-        self.in_flight.push((finish, comps));
-        self.in_flight.sort_by_key(|&(f, _)| f);
-        Ok(())
+        self.lanes[l].span_est = if self.lanes[l].span_est == 0 {
+            span
+        } else {
+            (3 * self.lanes[l].span_est + span) / 4
+        };
+        self.in_flight.push(Reverse(InFlight {
+            finish,
+            order: self.dispatch_order,
+            comps,
+        }));
+        self.dispatch_order += 1;
+        self.lanes[l].rebuild_cache();
+        Ok(notices)
     }
 }
 
@@ -429,4 +791,42 @@ fn fault_penalty(faults: &FaultStats, mults: u64) -> u64 {
         .retries
         .saturating_add(faults.layer_fallbacks)
         .saturating_add(faults.wasted_atom_mults.div_ceil(mults))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(finish: u64, order: u64, tag: u64) -> Reverse<InFlight> {
+        Reverse(InFlight {
+            finish,
+            order,
+            comps: vec![Completion {
+                request: tag,
+                model: ModelId(0),
+                tenant: 0,
+                client: tag,
+                submit: 0,
+                finish,
+                disposition: Disposition::Served,
+            }],
+        })
+    }
+
+    /// The completion heap pops ascending `(finish, dispatch order)`:
+    /// batches finishing on the same tick retire in dispatch order, so a
+    /// heap-backed `in_flight` reproduces the former sorted-vector
+    /// retirement byte-for-byte.
+    #[test]
+    fn in_flight_pop_order_is_finish_then_dispatch_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(batch(50, 2, 0));
+        heap.push(batch(10, 1, 1));
+        heap.push(batch(10, 0, 2));
+        heap.push(batch(30, 3, 3));
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(b)| (b.finish, b.order))
+            .collect();
+        assert_eq!(popped, vec![(10, 0), (10, 1), (30, 3), (50, 2)]);
+    }
 }

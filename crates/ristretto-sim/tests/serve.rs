@@ -1,7 +1,8 @@
 //! Scheduler coverage for the serving layer: batch-coalescing
 //! determinism across thread counts, weighted fairness under a starved
 //! tenant, admission-control accounting, the max-wait dispatch bound,
-//! and chaos-under-load byte-reproducibility.
+//! deadline shedding, brownout, client retries, the circuit-breaker
+//! degradation ladder, and chaos-under-load byte-reproducibility.
 
 use qnn::mini::MiniNetwork;
 use qnn::models::NetworkId;
@@ -10,9 +11,10 @@ use qnn::tensor::Tensor3;
 use qnn::workload::{ActivationProfile, WeightProfile, WorkloadGen};
 use ristretto_sim::config::RistrettoConfig;
 use ristretto_sim::engine::NetworkModel;
-use ristretto_sim::fault::FaultConfig;
+use ristretto_sim::fault::{CoreDeathConfig, FaultConfig};
 use ristretto_sim::serve::{
-    run_load, LoadGenConfig, ModelId, ModelRegistry, ServeConfig, ServeError, ServeReport, Server,
+    run_load, Disposition, LoadGenConfig, ModelId, ModelRegistry, ServeConfig, ServeError,
+    ServeReport, Server, SloClass,
 };
 
 fn model(id: NetworkId, seed: u64) -> NetworkModel {
@@ -29,9 +31,28 @@ fn input_for(server: &Server, model: ModelId, seed: u64) -> Tensor3 {
         .unwrap()
 }
 
-/// Builds a two-model server and runs the standard closed loop under a
-/// dedicated `threads`-wide rayon pool.
-fn load_report(cfg: &RistrettoConfig, serve: ServeConfig, threads: usize) -> ServeReport {
+/// The standard closed loop of the determinism tests.
+fn standard_load(mix: Vec<(ModelId, u64)>) -> LoadGenConfig {
+    LoadGenConfig {
+        seed: 20220101,
+        clients: 6,
+        requests_per_client: 4,
+        lambda_per_mtick: 50,
+        mix,
+        deadline_ticks: None,
+        retry_budget: 0,
+        retry_base_ticks: 500,
+    }
+}
+
+/// Builds a two-model server and runs a closed loop under a dedicated
+/// `threads`-wide rayon pool; `tweak` edits the load shape.
+fn load_report_with(
+    cfg: &RistrettoConfig,
+    serve: ServeConfig,
+    threads: usize,
+    tweak: impl Fn(&mut LoadGenConfig),
+) -> ServeReport {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -45,15 +66,14 @@ fn load_report(cfg: &RistrettoConfig, serve: ServeConfig, threads: usize) -> Ser
             .register(&model(NetworkId::GoogLeNet, 13), cfg, &serve)
             .unwrap();
         let mut server = Server::new(reg, serve).unwrap();
-        let load = LoadGenConfig {
-            seed: 20220101,
-            clients: 6,
-            requests_per_client: 4,
-            lambda_per_mtick: 50,
-            mix: vec![(a, 3), (g, 1)],
-        };
+        let mut load = standard_load(vec![(a, 3), (g, 1)]);
+        tweak(&mut load);
         run_load(&mut server, &load).unwrap()
     })
+}
+
+fn load_report(cfg: &RistrettoConfig, serve: ServeConfig, threads: usize) -> ServeReport {
+    load_report_with(cfg, serve, threads, |_| {})
 }
 
 /// The serialized report — not just the struct — must be byte-identical
@@ -77,6 +97,7 @@ fn load_report_is_byte_identical_across_thread_counts() {
     assert!(reports[0].conserves_requests());
     assert_eq!(reports[0].submitted, 24);
     assert_eq!(reports[0].served, 24);
+    assert_eq!(reports[0].shed, 0);
     assert!(reports[0].batches > 0);
     // A second identical run reproduces the bytes exactly.
     let again = load_report(&cfg, ServeConfig::paper_default(), 4);
@@ -94,8 +115,10 @@ fn weighted_fairness_protects_the_starved_tenant() {
         max_wait_ticks: 1_000,
         queue_capacity: 64,
         tenant_weights: vec![2, 1],
+        tenant_classes: vec![SloClass::Batch, SloClass::Batch],
         fleet_cores: 1,
         fleet_batch_threshold: usize::MAX,
+        ..ServeConfig::paper_default()
     };
     let mut reg = ModelRegistry::new(None);
     let m = reg
@@ -105,10 +128,10 @@ fn weighted_fairness_protects_the_starved_tenant() {
     let input = input_for(&server, m, 23);
     // Heavy tenant 0 floods; light tenant 1 trickles.
     for c in 0..12u64 {
-        server.submit(0, m, 0, c, input.clone()).unwrap();
+        server.submit(0, m, 0, c, input.clone(), None).unwrap();
     }
     for c in 12..18u64 {
-        server.submit(0, m, 1, c, input.clone()).unwrap();
+        server.submit(0, m, 1, c, input.clone(), None).unwrap();
     }
     let done = server.drain().unwrap();
     assert_eq!(done.len(), 18);
@@ -133,8 +156,8 @@ fn weighted_fairness_protects_the_starved_tenant() {
         }
     }
     let stats = server.stats();
-    assert_eq!(stats.per_tenant[0], (12, 12, 0));
-    assert_eq!(stats.per_tenant[1], (6, 6, 0));
+    assert_eq!(stats.per_tenant[0], (12, 12, 0, 0));
+    assert_eq!(stats.per_tenant[1], (6, 6, 0, 0));
 }
 
 /// Admission control: the bounded queue rejects with a typed error that
@@ -143,13 +166,16 @@ fn weighted_fairness_protects_the_starved_tenant() {
 #[test]
 fn admission_rejections_are_counted_and_conserved() {
     let cfg = RistrettoConfig::paper_default();
+    let classes = [SloClass::Interactive, SloClass::Batch];
     let serve = ServeConfig {
         max_batch: 4,
         max_wait_ticks: 1_000,
         queue_capacity: 4,
         tenant_weights: vec![1, 1],
+        tenant_classes: classes.to_vec(),
         fleet_cores: 1,
         fleet_batch_threshold: usize::MAX,
+        ..ServeConfig::paper_default()
     };
     let mut reg = ModelRegistry::new(None);
     let m = reg
@@ -159,7 +185,7 @@ fn admission_rejections_are_counted_and_conserved() {
     let input = input_for(&server, m, 29);
     let mut rejected = 0;
     for c in 0..10u64 {
-        match server.submit(0, m, (c % 2) as usize, c, input.clone()) {
+        match server.submit(0, m, (c % 2) as usize, c, input.clone(), None) {
             Ok(_) => {}
             Err(ServeError::Rejected {
                 queue_depth,
@@ -175,7 +201,8 @@ fn admission_rejections_are_counted_and_conserved() {
     assert_eq!(rejected, 6, "capacity 4 admits 4 of 10");
     let done = server.drain().unwrap();
     assert_eq!(done.len(), 4);
-    let report = ServeReport::from_stats(server.stats(), 0, 10, 2, vec!["m".into()]);
+    let report =
+        ServeReport::from_stats(server.stats(), 0, 10, 2, vec!["m".into()], &classes, 0, 0);
     assert_eq!(
         (report.submitted, report.served, report.rejected),
         (10, 4, 6)
@@ -195,8 +222,10 @@ fn max_wait_bounds_idle_dispatch() {
         max_wait_ticks: 7_777,
         queue_capacity: 8,
         tenant_weights: vec![1],
+        tenant_classes: vec![SloClass::Batch],
         fleet_cores: 1,
         fleet_batch_threshold: usize::MAX,
+        ..ServeConfig::paper_default()
     };
     let mut reg = ModelRegistry::new(None);
     let m = reg
@@ -204,7 +233,7 @@ fn max_wait_bounds_idle_dispatch() {
         .unwrap();
     let mut server = Server::new(reg, serve).unwrap();
     let input = input_for(&server, m, 37);
-    server.submit(100, m, 0, 0, input).unwrap();
+    server.submit(100, m, 0, 0, input, None).unwrap();
     let done = server.drain().unwrap();
     assert_eq!(done.len(), 1);
     assert!(
@@ -254,5 +283,227 @@ fn chaos_under_load_is_reproducible_and_corruption_free() {
     assert_eq!(
         chaos.output_digest, clean.output_digest,
         "recovery must be byte-exact: no silent corruption under load"
+    );
+    // A faulted streak trips the lane breaker; the degraded route and the
+    // probes are all counted.
+    assert!(
+        chaos.breaker_trips > 0,
+        "faulted streak must trip: {chaos:?}"
+    );
+}
+
+/// Deadline shedding: requests whose deadline passes while queued are
+/// shed at dispatch — never executed, reported as
+/// [`Disposition::DeadlineExceeded`], and conserved as
+/// `submitted == served + rejected + shed` at every level. The whole
+/// overloaded run stays byte-identical across thread counts.
+#[test]
+fn expired_deadlines_shed_at_dispatch_and_conserve() {
+    let cfg = RistrettoConfig::paper_default();
+    // Hot load (tiny think times) against a tight deadline: queues back
+    // up behind busy lanes and the tail expires before dispatch.
+    let tweak = |l: &mut LoadGenConfig| {
+        l.lambda_per_mtick = 2_000;
+        l.deadline_ticks = Some(1_500);
+    };
+    let serve = ServeConfig {
+        queue_capacity: 1024,
+        ..ServeConfig::paper_default()
+    };
+    let r1 = load_report_with(&cfg, serve.clone(), 1, tweak);
+    let r4 = load_report_with(&cfg, serve, 4, tweak);
+    assert_eq!(
+        serde_json::to_string_pretty(&r1).unwrap(),
+        serde_json::to_string_pretty(&r4).unwrap(),
+        "shedding must not depend on thread count"
+    );
+    assert!(r1.shed > 0, "tight deadlines must shed: {r1:?}");
+    assert!(r1.served > 0, "not everything expires");
+    assert!(r1.conserves_requests());
+    assert_eq!(r1.submitted, r1.served + r1.rejected + r1.shed);
+}
+
+/// A shed request surfaces as a completion with the deadline disposition,
+/// carrying the deadline it missed; it never reaches an execution lane.
+#[test]
+fn shed_notice_names_the_missed_deadline() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve = ServeConfig {
+        max_batch: 8,
+        max_wait_ticks: 5_000,
+        queue_capacity: 8,
+        tenant_weights: vec![1],
+        tenant_classes: vec![SloClass::Batch],
+        fleet_cores: 1,
+        fleet_batch_threshold: usize::MAX,
+        ..ServeConfig::paper_default()
+    };
+    let mut reg = ModelRegistry::new(None);
+    let m = reg
+        .register(&model(NetworkId::AlexNet, 41), &cfg, &serve)
+        .unwrap();
+    let mut server = Server::new(reg, serve).unwrap();
+    let input = input_for(&server, m, 43);
+    // Deadline (tick 100) expires long before the max-wait dispatch at
+    // tick 5_000: the lone request must be shed, not served.
+    server.submit(0, m, 0, 7, input, Some(100)).unwrap();
+    let done = server.drain().unwrap();
+    assert_eq!(done.len(), 1);
+    assert_eq!(
+        done[0].disposition,
+        Disposition::DeadlineExceeded { deadline: 100 }
+    );
+    assert_eq!(done[0].client, 7);
+    let stats = server.stats();
+    assert_eq!((stats.shed, stats.served, stats.batches), (1, 0, 0));
+    assert_eq!(stats.per_tenant[0], (1, 0, 0, 1));
+}
+
+/// Brownout: once queue depth crosses the high-water mark, `BestEffort`
+/// admissions are shed with the typed error while higher classes keep
+/// admitting; after the queue drains, best-effort flows again (no
+/// permanent starvation).
+#[test]
+fn brownout_sheds_best_effort_then_recovers() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve = ServeConfig {
+        max_batch: 4,
+        max_wait_ticks: 1_000,
+        queue_capacity: 8,
+        tenant_weights: vec![1, 1],
+        tenant_classes: vec![SloClass::Interactive, SloClass::BestEffort],
+        brownout_permille: 500, // high-water at depth 4
+        fleet_cores: 1,
+        fleet_batch_threshold: usize::MAX,
+        ..ServeConfig::paper_default()
+    };
+    let mut reg = ModelRegistry::new(None);
+    let m = reg
+        .register(&model(NetworkId::AlexNet, 47), &cfg, &serve)
+        .unwrap();
+    let mut server = Server::new(reg, serve).unwrap();
+    let input = input_for(&server, m, 53);
+    // Fill to the high-water mark with interactive requests.
+    for c in 0..4u64 {
+        server.submit(0, m, 0, c, input.clone(), None).unwrap();
+    }
+    // Best-effort is browned out at the mark...
+    match server.submit(0, m, 1, 100, input.clone(), None) {
+        Err(ServeError::BrownedOut {
+            tenant,
+            queue_depth,
+            highwater,
+            ..
+        }) => {
+            assert_eq!((tenant, queue_depth, highwater), (1, 4, 4));
+        }
+        other => panic!("expected BrownedOut, got {other:?}"),
+    }
+    // ...while interactive still admits past it.
+    server.submit(0, m, 0, 4, input.clone(), None).unwrap();
+    assert_eq!(server.stats().brownout_rejected, 1);
+    // Drain the backlog; the queue is now empty, so best-effort admits
+    // and gets served — brownout is load shedding, not starvation.
+    server.drain().unwrap();
+    server.submit(50_000, m, 1, 101, input, None).unwrap();
+    let done = server.drain().unwrap();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].tenant, 1);
+    assert_eq!(done[0].disposition, Disposition::Served);
+    let stats = server.stats();
+    assert_eq!(stats.per_tenant[1], (2, 1, 1, 0));
+    assert!(stats.submitted == stats.served + stats.rejected + stats.shed);
+}
+
+/// Client retries: a rejected submission re-offers the same request after
+/// deterministic backoff; the retry stream is counted, conserves, and is
+/// byte-identical across thread counts.
+#[test]
+fn retry_backoff_is_deterministic_and_conserved() {
+    let cfg = RistrettoConfig::paper_default();
+    // A 2-deep queue under hot load: plenty of rejections to retry.
+    let tweak = |l: &mut LoadGenConfig| {
+        l.lambda_per_mtick = 2_000;
+        l.retry_budget = 3;
+    };
+    let serve = ServeConfig {
+        queue_capacity: 2,
+        ..ServeConfig::paper_default()
+    };
+    let r1 = load_report_with(&cfg, serve.clone(), 1, tweak);
+    let r4 = load_report_with(&cfg, serve, 4, tweak);
+    assert_eq!(
+        serde_json::to_string_pretty(&r1).unwrap(),
+        serde_json::to_string_pretty(&r4).unwrap(),
+        "retry timing must not depend on thread count"
+    );
+    assert!(r1.retries > 0, "rejections must be retried: {r1:?}");
+    assert!(r1.rejected > 0);
+    assert!(r1.conserves_requests());
+    // Every offer (fresh or retried) is accounted: submitted grows with
+    // the retries, so the books still balance exactly.
+    assert_eq!(r1.submitted, r1.served + r1.rejected + r1.shed);
+}
+
+/// The degradation ladder's bottom rung: a primary route that *aborts* on
+/// an undetained fault (detection on, recovery off) is re-run on the
+/// single-core lane with recovery forced — the serving loop completes,
+/// the rerun is counted, and outputs match the quiescent run exactly.
+#[test]
+fn fault_abort_reruns_degraded_instead_of_failing() {
+    let clean_cfg = RistrettoConfig::paper_default();
+    // Detection without recovery: the first detected fault aborts the
+    // engine run with a typed error.
+    let abort_cfg = RistrettoConfig::paper_default()
+        .with_faults(Some(FaultConfig::uniform(59, 120_000).with_recover(false)));
+    let serve = ServeConfig {
+        queue_capacity: 1024,
+        ..ServeConfig::paper_default()
+    };
+    let clean = load_report(&clean_cfg, serve.clone(), 4);
+    let degraded = load_report(&abort_cfg, serve.clone(), 4);
+    let degraded_again = load_report(&abort_cfg, serve, 1);
+    assert_eq!(
+        serde_json::to_string_pretty(&degraded).unwrap(),
+        serde_json::to_string_pretty(&degraded_again).unwrap()
+    );
+    assert!(
+        degraded.breaker_reruns > 0,
+        "aborted batches must re-run degraded: {degraded:?}"
+    );
+    assert_eq!(degraded.served, clean.served);
+    assert_eq!(
+        degraded.output_digest, clean.output_digest,
+        "the degraded rerun must be byte-exact"
+    );
+}
+
+/// Serve-level core deaths: a campaign attached to the fleet lane fires
+/// inside fleet batches mid-serve; migration keeps outputs byte-exact and
+/// the whole run reproducible at any thread count.
+#[test]
+fn core_deaths_mid_serve_stay_byte_exact() {
+    let cfg = RistrettoConfig::paper_default();
+    let serve_quiet = ServeConfig {
+        queue_capacity: 1024,
+        ..ServeConfig::paper_default()
+    };
+    let serve_deaths = ServeConfig {
+        core_deaths: Some(CoreDeathConfig::new(61, 200_000)),
+        ..serve_quiet.clone()
+    };
+    let quiet = load_report(&cfg, serve_quiet, 4);
+    let deaths = load_report(&cfg, serve_deaths.clone(), 4);
+    let deaths_again = load_report(&cfg, serve_deaths, 1);
+    assert_eq!(
+        serde_json::to_string_pretty(&deaths).unwrap(),
+        serde_json::to_string_pretty(&deaths_again).unwrap(),
+        "core deaths must be deterministic in virtual time"
+    );
+    assert!(deaths.fleet_batches > 0, "campaign needs fleet batches");
+    assert_eq!(deaths.served, quiet.served);
+    assert_eq!(
+        deaths.output_digest, quiet.output_digest,
+        "migration after death must not corrupt outputs"
     );
 }
